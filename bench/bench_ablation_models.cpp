@@ -1,0 +1,146 @@
+// Ablation benches for the design choices DESIGN.md §5 calls out:
+//  (a) the bit-width-aware memory access energy model behind Table II's
+//      mem column -- replaced by a fixed-cost model, the DAS rows lose
+//      their memory savings and the DVAFS packing advantage disappears;
+//  (b) the alpha-power-law voltage/delay calibration -- sweeping alpha
+//      shows how the DVAS voltage anchor (0.9 V at a 2x budget) pins it;
+//  (c) DAS quarter-word precision gating in the multiplier -- without the
+//      structural gating (data-only truncation), the low-precision cone
+//      keeps toggling through the Booth neg bits.
+
+#include "core/dvafs.h"
+
+#include <iostream>
+
+using namespace dvafs;
+
+namespace {
+
+double mem_share(const memory_energy_params& mp, sw_mode mode, int das)
+{
+    dvafs_multiplier mult(16);
+    simd_energy_model em;
+    em.mem = mp;
+    simd_processor proc(8, 16384, em);
+    const scaling_regime regime = mode == sw_mode::w1x16
+                                      ? scaling_regime::dvas
+                                      : scaling_regime::dvafs;
+    proc.set_operating_point(
+        make_operating_point(regime, mode, das, mult, tech_40nm_lp()));
+    conv_kernel_spec spec;
+    spec.tiles = 24;
+    prepare_conv_workload(proc, spec, mode, das);
+    proc.load_program(make_conv1d_program(spec, proc.sw()));
+    const simd_stats& st = proc.run();
+    return st.ledger.pj(power_domain::mem)
+           / static_cast<double>(st.words_processed);
+}
+
+} // namespace
+
+int main()
+{
+    print_banner(std::cout,
+                 "Ablation (a): memory energy model -- bit-aware vs fixed "
+                 "cost [pJ of memory energy per processed word]");
+    {
+        memory_energy_params bit_aware; // defaults: e_fixed 1.4, e_bit 0.35
+        memory_energy_params fixed_cost;
+        fixed_cost.e_fixed_pj = bit_aware.e_fixed_pj
+                                + 16.0 * bit_aware.e_bit_pj;
+        fixed_cost.e_bit_pj = 0.0;
+
+        ascii_table t({"setup", "bit-aware", "fixed-cost", "comment"});
+        const double full_a =
+            mem_share(bit_aware, sw_mode::w1x16, 16);
+        const double das4_a = mem_share(bit_aware, sw_mode::w1x16, 4);
+        const double dvafs_a = mem_share(bit_aware, sw_mode::w4x4, 4);
+        const double full_f =
+            mem_share(fixed_cost, sw_mode::w1x16, 16);
+        const double das4_f = mem_share(fixed_cost, sw_mode::w1x16, 4);
+        const double dvafs_f = mem_share(fixed_cost, sw_mode::w4x4, 4);
+        t.add_row({"1x16b", fmt_fixed(full_a, 2), fmt_fixed(full_f, 2),
+                   "same at full width"});
+        t.add_row({"1x4b DAS", fmt_fixed(das4_a, 2), fmt_fixed(das4_f, 2),
+                   "fixed model misses the narrow-access saving"});
+        t.add_row({"4x4b DVAFS", fmt_fixed(dvafs_a, 2),
+                   fmt_fixed(dvafs_f, 2),
+                   "packing advantage survives either way"});
+        t.print(std::cout);
+        std::cout << "Table II's mem column (31% -> 17% at 1x4b) needs the"
+                     " bit-aware term; with fixed cost the DAS mem share"
+                     " would *grow* at low precision.\n";
+    }
+
+    print_banner(std::cout,
+                 "Ablation (b): alpha-power-law exponent vs the DVAS "
+                 "voltage anchor (2x delay budget -> paper 0.9 V)");
+    {
+        ascii_table t({"alpha", "V(2x) [V]", "V(4x) [V]", "V(8x) [V]"});
+        for (const double alpha : {1.2, 1.6, 2.0, 2.4}) {
+            tech_model m = tech_40nm_lp();
+            m.alpha = alpha;
+            t.add_row({fmt_fixed(alpha, 1),
+                       fmt_fixed(m.solve_voltage(2.0), 2),
+                       fmt_fixed(m.solve_voltage(4.0), 2),
+                       fmt_fixed(m.solve_voltage(8.0), 2)});
+        }
+        t.print(std::cout);
+        std::cout << "alpha = 2.0 (the shipped calibration) reproduces the"
+                     " paper's 0.9 V DVAS / ~0.75 V DVAFS anchors.\n";
+    }
+
+    print_banner(std::cout,
+                 "Ablation (c): structural DAS gating vs data-only "
+                 "truncation [relative multiplier activity @ 4b]");
+    {
+        const tech_model& tech = tech_40nm_lp();
+        dvafs_multiplier m(16);
+        const auto measure = [&](bool structural) {
+            pcg32 rng(5);
+            m.set_das_precision(structural ? 4 : 16);
+            m.simulate_packed(0, 0);
+            m.reset_stats();
+            for (int i = 0; i < 1500; ++i) {
+                std::uint64_t a = rng.next_u32() & 0xffff;
+                std::uint64_t b = rng.next_u32() & 0xffff;
+                if (!structural) {
+                    a &= 0xf000; // data contract only
+                    b &= 0xf000;
+                }
+                m.simulate_packed(a, b);
+            }
+            const double cap = m.mean_switched_cap_ff(tech);
+            m.set_das_precision(16);
+            return cap;
+        };
+        const double full = [&] {
+            pcg32 rng(5);
+            m.set_das_precision(16);
+            m.simulate_packed(0, 0);
+            m.reset_stats();
+            for (int i = 0; i < 1500; ++i) {
+                m.simulate_packed(rng.next_u32() & 0xffff,
+                                  rng.next_u32() & 0xffff);
+            }
+            return m.mean_switched_cap_ff(tech);
+        }();
+        const double with_gating = measure(true);
+        const double data_only = measure(false);
+        ascii_table t({"configuration", "rel. activity", "k0"});
+        t.add_row({"full precision", "1.000", "1.0"});
+        t.add_row({"4b, structural gating (this design)",
+                   fmt_fixed(with_gating / full, 3),
+                   fmt_fixed(full / with_gating, 1)});
+        t.add_row({"4b, data truncation only",
+                   fmt_fixed(data_only / full, 3),
+                   fmt_fixed(full / data_only, 1)});
+        t.print(std::cout);
+        std::cout << "Without the quarter-word gating (and the relocated "
+                     "+neg correction) the Booth rows of the truncated "
+                     "region keep toggling, capping k0 near 3 instead of "
+                     "8+ -- the paper's 12.5 is unreachable by data "
+                     "truncation alone.\n";
+    }
+    return 0;
+}

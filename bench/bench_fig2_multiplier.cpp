@@ -1,0 +1,100 @@
+// Reproduces paper Fig. 2 (a)-(d): operating frequency, positive slack,
+// supply voltage and relative switching activity of the subword-parallel
+// DVAFS multiplier in DAS / DVAS / DVAFS modes at constant 500 MOPS.
+
+#include "core/dvafs.h"
+
+#include <iostream>
+
+using namespace dvafs;
+
+int main()
+{
+    const tech_model& tech = tech_40nm_lp();
+    dvafs_multiplier mult(16);
+    kparam_extraction_config cfg;
+    cfg.vectors = 2000;
+    const kparam_extraction kx = extract_kparams(mult, tech, cfg);
+
+    print_banner(std::cout, "Fig. 2a -- operating frequency @ constant "
+                            "500 MOPS throughput");
+    {
+        ascii_table t({"accuracy[bits]", "DAS/DVAS f[MHz]", "DVAFS f[MHz]",
+                       "paper DVAFS f[MHz]"});
+        for (const mult_operating_point& op : kx.das) {
+            double dvafs_f = 500.0;
+            for (const mult_operating_point& dv : kx.dvafs) {
+                if (16 / dv.n == op.bits) {
+                    dvafs_f = dv.f_mhz;
+                }
+            }
+            const double paper_f =
+                op.bits == 4 ? 125.0 : (op.bits == 8 ? 250.0 : 500.0);
+            t.add_row({std::to_string(op.bits), fmt_fixed(op.f_mhz, 0),
+                       fmt_fixed(dvafs_f, 0), fmt_fixed(paper_f, 0)});
+        }
+        t.print(std::cout);
+    }
+
+    print_banner(std::cout,
+                 "Fig. 2b -- positive slack @ 1.1 V [ns] (paper: DAS 4b "
+                 "~1 ns, DVAFS 4x4b ~7 ns)");
+    {
+        ascii_table t({"accuracy[bits]", "DAS/DVAS slack[ns]",
+                       "DVAFS slack[ns]"});
+        for (const mult_operating_point& op : kx.das) {
+            std::string dvafs_slack = "-";
+            for (const mult_operating_point& dv : kx.dvafs) {
+                if (16 / dv.n == op.bits) {
+                    dvafs_slack = fmt_fixed(dv.slack_ns, 2);
+                }
+            }
+            t.add_row({std::to_string(op.bits),
+                       fmt_fixed(op.slack_ns, 2), dvafs_slack});
+        }
+        t.print(std::cout);
+    }
+
+    print_banner(std::cout,
+                 "Fig. 2c -- supply voltage @ zero slack [V] (paper: DVAS "
+                 "down to 0.9, DVAFS to ~0.75)");
+    {
+        ascii_table t({"accuracy[bits]", "DAS V", "DVAS V", "DVAFS V"});
+        for (const mult_operating_point& op : kx.das) {
+            std::string dvafs_v = fmt_fixed(op.v_dvas, 2);
+            for (const mult_operating_point& dv : kx.dvafs) {
+                if (16 / dv.n == op.bits) {
+                    dvafs_v = fmt_fixed(dv.v_dvafs, 2);
+                }
+            }
+            t.add_row({std::to_string(op.bits), fmt_fixed(op.v_das, 2),
+                       fmt_fixed(op.v_dvas, 2), dvafs_v});
+        }
+        t.print(std::cout);
+    }
+
+    print_banner(std::cout,
+                 "Fig. 2d -- relative switching activity (paper: 1/12.5 "
+                 "DAS@4b, 1/3.2 DVAFS@4x4b)");
+    {
+        const double full = kx.das.back().mean_cap_ff; // 16 b row
+        ascii_table t({"accuracy[bits]", "DAS/DVAS activity",
+                       "DVAFS activity"});
+        for (const mult_operating_point& op : kx.das) {
+            std::string dvafs_a = fmt_fixed(op.mean_cap_ff / full, 3);
+            for (const mult_operating_point& dv : kx.dvafs) {
+                if (16 / dv.n == op.bits) {
+                    dvafs_a = fmt_fixed(dv.mean_cap_ff / full, 3);
+                }
+            }
+            t.add_row({std::to_string(op.bits),
+                       fmt_fixed(op.mean_cap_ff / full, 3), dvafs_a});
+        }
+        t.print(std::cout);
+    }
+
+    std::cout << "\ngate count: " << mult.gate_count()
+              << " (monolithic 16b Booth-Wallace: "
+              << booth_wallace_multiplier(16).gate_count() << ")\n";
+    return 0;
+}

@@ -1,0 +1,91 @@
+// Reproduces paper Fig. 3a: energy per computed word (normalized to the
+// non-reconfigurable 16-bit multiplier) as a function of accuracy under
+// DAS, DVAS and full DVAFS, plus the absolute pJ/word calibration points
+// quoted in Sec. III-A (2.63 pJ reconfigurable vs 2.16 pJ baseline).
+
+#include "core/dvafs.h"
+
+#include <iostream>
+
+using namespace dvafs;
+
+namespace {
+
+double measure_baseline_pj(const tech_model& tech)
+{
+    booth_wallace_multiplier base(16);
+    pcg32 rng(3);
+    base.simulate(0, 0);
+    base.reset_stats();
+    for (int i = 0; i < 2000; ++i) {
+        base.simulate(rng.range(-32768, 32767), rng.range(-32768, 32767));
+    }
+    return tech_model::toggle_energy_fj(base.mean_switched_cap_ff(tech),
+                                        tech.vdd_nom)
+           * 1e-3;
+}
+
+} // namespace
+
+int main()
+{
+    const tech_model& tech = tech_40nm_lp();
+    dvafs_multiplier mult(16);
+    kparam_extraction_config cfg;
+    cfg.vectors = 2500;
+    const kparam_extraction kx = extract_kparams(mult, tech, cfg);
+
+    const double base_pj = measure_baseline_pj(tech);
+
+    // Energy/word per regime. Activity (switched cap) is per cycle; DVAFS
+    // divides by N words per cycle. Voltages from the extraction.
+    const auto energy_pj = [&](const mult_operating_point& op, double vdd,
+                               int words_per_cycle) {
+        return tech_model::toggle_energy_fj(op.mean_cap_ff, vdd) * 1e-3
+               / static_cast<double>(words_per_cycle);
+    };
+
+    print_banner(std::cout,
+                 "Fig. 3a -- energy/word normalized to the 16b baseline "
+                 "(paper: DVAFS >95% reduction at 4x4b)");
+    ascii_table t({"accuracy[bits]", "DAS", "DVAS", "DVAFS",
+                   "DVAFS pJ/word"});
+    for (const mult_operating_point& das_op : kx.das) {
+        const double das =
+            energy_pj(das_op, das_op.v_das, 1) / base_pj;
+        const double dvas =
+            energy_pj(das_op, das_op.v_dvas, 1) / base_pj;
+        double dvafs = dvas;
+        double dvafs_abs = energy_pj(das_op, das_op.v_dvas, 1);
+        for (const mult_operating_point& dv : kx.dvafs) {
+            if (16 / dv.n == das_op.bits) {
+                dvafs = energy_pj(dv, dv.v_dvafs, dv.n) / base_pj;
+                dvafs_abs = energy_pj(dv, dv.v_dvafs, dv.n);
+            }
+        }
+        t.add_row({std::to_string(das_op.bits), fmt_fixed(das, 3),
+                   fmt_fixed(dvas, 3), fmt_fixed(dvafs, 3),
+                   fmt_fixed(dvafs_abs, 3)});
+    }
+    t.print(std::cout);
+
+    const double full_pj =
+        energy_pj(kx.das.back(), tech.vdd_nom, 1);
+    std::cout << "\nabsolute calibration: reconfigurable @16b = "
+              << fmt_fixed(full_pj, 2) << " pJ/word (paper 2.63), "
+              << "baseline = " << fmt_fixed(base_pj, 2)
+              << " pJ/word (paper 2.16), overhead = "
+              << fmt_percent(full_pj / base_pj - 1.0, 0)
+              << " (paper 21%)\n";
+
+    const double e16 = full_pj / base_pj;
+    double e4 = e16;
+    for (const mult_operating_point& dv : kx.dvafs) {
+        if (dv.n == 4) {
+            e4 = energy_pj(dv, dv.v_dvafs, dv.n) / base_pj;
+        }
+    }
+    std::cout << "dynamic range 16b -> 4x4b: " << fmt_fixed(e16 / e4, 1)
+              << "x (paper: ~20x)\n";
+    return 0;
+}

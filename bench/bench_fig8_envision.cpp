@@ -1,0 +1,106 @@
+// Reproduces paper Fig. 8: relative energy per word of the Envision CNN
+// processor (a) at constant 200 MHz and (b) at constant 76 GOPS, for DAS,
+// DVAS and DVAFS, plus the headline numbers of Sec. V.
+
+#include "core/dvafs.h"
+
+#include <iostream>
+
+using namespace dvafs;
+
+namespace {
+
+void print_axis(const envision_model& model, bool constant_throughput)
+{
+    const envision_report base = model.evaluate([&] {
+        envision_mode m;
+        m.f_mhz = 200.0;
+        m.vdd = 1.03;
+        return m;
+    }());
+
+    ascii_table t({"precision[bits]", "DAS", "DVAS", "DVAFS", "DVAFS mW",
+                   "DVAFS TOPS/W"});
+    for (const int bits : {16, 12, 8, 4}) {
+        const auto at = [&](scaling_regime r) {
+            return constant_throughput
+                       ? model.at_constant_throughput(r, sw_mode::w1x16,
+                                                      bits)
+                       : model.at_constant_frequency(r, sw_mode::w1x16,
+                                                     bits);
+        };
+        const envision_report das = model.evaluate(at(scaling_regime::das));
+        const envision_report dvas =
+            model.evaluate(at(scaling_regime::dvas));
+        const envision_report dvafs =
+            model.evaluate(at(scaling_regime::dvafs));
+        t.add_row({std::to_string(bits),
+                   fmt_fixed(das.energy_per_op_pj / base.energy_per_op_pj,
+                             3),
+                   fmt_fixed(dvas.energy_per_op_pj / base.energy_per_op_pj,
+                             3),
+                   fmt_fixed(dvafs.energy_per_op_pj
+                                 / base.energy_per_op_pj,
+                             3),
+                   fmt_fixed(dvafs.power_mw, 1),
+                   fmt_fixed(dvafs.tops_per_w, 2)});
+    }
+    t.print(std::cout);
+}
+
+} // namespace
+
+int main()
+{
+    const envision_model model;
+
+    print_banner(std::cout,
+                 "Fig. 8a -- Envision energy/word @ constant f = 200 MHz "
+                 "(normalized to 300 mW @ 16b)");
+    print_axis(model, false);
+    std::cout << "paper: DAS 2.4x, DVAS 3.8x @4b; DVAFS 4x4b = 108 mW @ "
+                 "304 GOPS = 2.8 TOPS/W\n";
+
+    print_banner(std::cout,
+                 "Fig. 8b -- Envision energy/word @ constant T = 76 GOPS");
+    print_axis(model, true);
+    std::cout << "paper: DVAFS 4x4b = 18 mW @ 76 GOPS = 4.2 TOPS/W "
+                 "(6.9x over DAS, 4.1x over DVAS)\n";
+
+    print_banner(std::cout, "Sec. V headline numbers (model | paper)");
+    {
+        const envision_report nom = model.evaluate([&] {
+            envision_mode m;
+            m.f_mhz = 200.0;
+            m.vdd = 1.03;
+            return m;
+        }());
+        const envision_report best = model.evaluate(
+            model.at_constant_throughput(scaling_regime::dvafs,
+                                         sw_mode::w4x4, 4));
+        envision_mode sparse = model.at_constant_throughput(
+            scaling_regime::dvafs, sw_mode::w4x4, 4);
+        sparse.input_sparsity = 0.85;
+        sparse.weight_sparsity = 0.35;
+        const envision_report best_sparse = model.evaluate(sparse);
+        ascii_table t({"metric", "model", "paper"});
+        t.add_row({"16b nominal power [mW]", fmt_fixed(nom.power_mw, 0),
+                   "300"});
+        t.add_row({"16b efficiency [TOPS/W]",
+                   fmt_fixed(nom.tops_per_w, 2), "0.25-0.3"});
+        t.add_row({"4x4b @200MHz [TOPS/W]",
+                   fmt_fixed(model
+                                 .evaluate(model.at_constant_frequency(
+                                     scaling_regime::dvafs, sw_mode::w4x4,
+                                     4))
+                                 .tops_per_w,
+                             2),
+                   "2.8"});
+        t.add_row({"4x4b @76GOPS [TOPS/W]", fmt_fixed(best.tops_per_w, 2),
+                   "4.2"});
+        t.add_row({"4x4b sparse CONV [TOPS/W]",
+                   fmt_fixed(best_sparse.tops_per_w, 1), ">10"});
+        t.print(std::cout);
+    }
+    return 0;
+}

@@ -1,0 +1,81 @@
+// google-benchmark microbenchmarks of the simulators themselves (harness
+// health; not a paper figure): gate-level multiplier evaluation rate,
+// subword fast path, SIMD processor cycle rate, CNN layer throughput.
+
+#include "core/dvafs.h"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace dvafs;
+
+void bm_dvafs_mult_gate_level(benchmark::State& state)
+{
+    dvafs_multiplier m(16);
+    m.set_mode(static_cast<sw_mode>(state.range(0)));
+    pcg32 rng(1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(m.simulate_packed(
+            rng.next_u32() & 0xffff, rng.next_u32() & 0xffff));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(bm_dvafs_mult_gate_level)->Arg(0)->Arg(1)->Arg(2);
+
+void bm_subword_fast_path(benchmark::State& state)
+{
+    const auto mode = static_cast<sw_mode>(state.range(0));
+    pcg32 rng(2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            subword_multiply(static_cast<std::uint16_t>(rng.next_u32()),
+                             static_cast<std::uint16_t>(rng.next_u32()),
+                             mode));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(bm_subword_fast_path)->Arg(0)->Arg(1)->Arg(2);
+
+void bm_simd_conv_cycles(benchmark::State& state)
+{
+    const int sw = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        state.PauseTiming();
+        simd_processor proc(sw, 16384);
+        conv_kernel_spec spec;
+        spec.tiles = 32;
+        prepare_conv_workload(proc, spec, sw_mode::w1x16, 16);
+        proc.load_program(make_conv1d_program(spec, proc.sw()));
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(proc.run().cycles);
+    }
+}
+BENCHMARK(bm_simd_conv_cycles)->Arg(8)->Arg(64);
+
+void bm_lenet_forward(benchmark::State& state)
+{
+    const network net = make_lenet5();
+    tensor in({1, 28, 28});
+    pcg32 rng(3);
+    for (float& v : in.flat()) {
+        v = static_cast<float>(rng.uniform(0.0, 1.0));
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(net.forward(in, false));
+    }
+}
+BENCHMARK(bm_lenet_forward);
+
+void bm_sta_full_netlist(benchmark::State& state)
+{
+    dvafs_multiplier m(16);
+    const tech_model& t = tech_40nm_lp();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            m.mode_critical_path_ps(t, t.vdd_nom, sw_mode::w1x16, 16));
+    }
+}
+BENCHMARK(bm_sta_full_netlist);
+
+} // namespace

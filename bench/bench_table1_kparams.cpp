@@ -1,0 +1,51 @@
+// Reproduces paper Table I: the D(V)A(F)S scale parameters k0..k4 and N of
+// the 16-bit multiplier, extracted from the gate-level netlist, printed
+// next to the paper's published values.
+
+#include "core/dvafs.h"
+
+#include <iostream>
+
+using namespace dvafs;
+
+int main()
+{
+    const tech_model& tech = tech_40nm_lp();
+    dvafs_multiplier mult(16);
+    kparam_extraction_config cfg;
+    cfg.vectors = 3000;
+    const kparam_extraction kx = extract_kparams(mult, tech, cfg);
+
+    print_banner(std::cout,
+                 "Table I -- D(V)A(F)S parameters (measured | paper)");
+    ascii_table t({"parameter", "4b", "8b", "12b", "16b"});
+    const auto& paper = paper_table1();
+    const auto row = [&](const std::string& name, auto measured,
+                         auto published) {
+        std::vector<std::string> cells{name};
+        for (const int bits : {4, 8, 12, 16}) {
+            const k_factors& m = k_for_bits(kx.table, bits);
+            const k_factors& p = k_for_bits(paper, bits);
+            cells.push_back(fmt_fixed(measured(m), 2) + " | "
+                            + fmt_fixed(published(p), 2));
+        }
+        t.add_row(cells);
+    };
+    row("k0", [](const k_factors& k) { return k.k0; },
+        [](const k_factors& k) { return k.k0; });
+    row("k1", [](const k_factors& k) { return k.k1; },
+        [](const k_factors& k) { return k.k1; });
+    row("k2", [](const k_factors& k) { return k.k2; },
+        [](const k_factors& k) { return k.k2; });
+    row("k3", [](const k_factors& k) { return k.k3; },
+        [](const k_factors& k) { return k.k3; });
+    row("k4", [](const k_factors& k) { return k.k4; },
+        [](const k_factors& k) { return k.k4; });
+    row("N", [](const k_factors& k) { return double(k.n); },
+        [](const k_factors& k) { return double(k.n); });
+    t.print(std::cout);
+
+    std::cout << "\nmeasured table (standalone):\n";
+    print_kparams(std::cout, kx);
+    return 0;
+}

@@ -1,0 +1,78 @@
+// Reproduces paper Table II: power distribution (mem / nas / as) and total
+// power of the SIMD processor for SW = 8 and 64 across the five operating
+// setups, at T = SW x N words/cycle x 500/N MHz.
+
+#include "core/dvafs.h"
+
+#include <iostream>
+
+using namespace dvafs;
+
+namespace {
+
+struct setup {
+    const char* name;
+    scaling_regime regime;
+    sw_mode mode;
+    int das_bits;
+    double paper_p8;  // paper's P[mW] at SW=8
+    double paper_p64; // paper's P[mW] at SW=64
+};
+
+} // namespace
+
+int main()
+{
+    const tech_model& tech = tech_40nm_lp();
+    dvafs_multiplier mult(16);
+    kparam_extraction_config cfg;
+    cfg.vectors = 1500;
+    const kparam_extraction kx = extract_kparams(mult, tech, cfg);
+
+    simd_energy_model em;
+    for (const k_factors& k : kx.table) {
+        em.activity_override[{sw_mode::w1x16, k.bits}] = k.k0;
+    }
+    em.activity_override[{sw_mode::w2x8, 8}] = k_for_bits(kx.table, 8).k3;
+    em.activity_override[{sw_mode::w4x4, 4}] = k_for_bits(kx.table, 4).k3;
+
+    const setup setups[] = {
+        {"1x16b", scaling_regime::das, sw_mode::w1x16, 16, 36, 289},
+        {"1x8b", scaling_regime::dvas, sw_mode::w1x16, 8, 24, 160},
+        {"1x4b", scaling_regime::dvas, sw_mode::w1x16, 4, 20, 111},
+        {"2x8b", scaling_regime::dvafs, sw_mode::w2x8, 8, 15, 103},
+        {"4x4b", scaling_regime::dvafs, sw_mode::w4x4, 4, 7, 45},
+    };
+
+    print_banner(std::cout,
+                 "Table II -- SIMD power distribution @ T = SW x N x "
+                 "500/N MHz (model | paper)");
+    for (const int sw : {8, 64}) {
+        ascii_table t({"SW", "mode", "Vnas[V]", "Vas[V]", "mem", "nas",
+                       "as", "P[mW] model", "P[mW] paper"});
+        for (const setup& s : setups) {
+            simd_processor proc(sw, 16384, em);
+            const domain_voltages dv = make_operating_point(
+                s.regime, s.mode, s.das_bits, mult, tech, 500.0);
+            proc.set_operating_point(dv);
+            conv_kernel_spec spec;
+            spec.tiles = 48;
+            spec.out_shift = 2;
+            prepare_conv_workload(proc, spec, s.mode, s.das_bits, 7);
+            proc.load_program(make_conv1d_program(spec, proc.sw()));
+            const simd_stats& st = proc.run();
+            t.add_row({std::to_string(sw), s.name,
+                       fmt_fixed(dv.v_nas, 2), fmt_fixed(dv.v_as, 2),
+                       fmt_percent(st.ledger.share(power_domain::mem), 0),
+                       fmt_percent(st.ledger.share(power_domain::nas), 0),
+                       fmt_percent(st.ledger.share(power_domain::as), 0),
+                       fmt_fixed(st.power_mw(dv.f_mhz), 1),
+                       fmt_fixed(sw == 8 ? s.paper_p8 : s.paper_p64, 0)});
+        }
+        t.print(std::cout);
+        std::cout << '\n';
+    }
+    std::cout << "paper shares for reference -- SW=8 1x16b: 31/46/23; "
+                 "4x4b: 47/44/9. SW=64 1x16b: 31/32/37; 4x4b: 53/33/14.\n";
+    return 0;
+}

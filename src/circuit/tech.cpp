@@ -1,0 +1,119 @@
+#include "circuit/tech.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dvafs {
+
+namespace {
+
+// Relative capacitance / delay of each gate kind vs. a reference NAND2.
+// Values follow typical standard-cell library ratios: XOR/MUX/MAJ cells are
+// roughly 1.5-2x a NAND2 in input + internal capacitance and delay.
+struct kind_factors {
+    double cap;
+    double delay;
+};
+
+kind_factors factors(gate_kind k) noexcept
+{
+    switch (k) {
+    case gate_kind::input: return {0.0, 0.0};
+    case gate_kind::constant: return {0.0, 0.0};
+    case gate_kind::buf: return {0.6, 0.6};
+    case gate_kind::not_g: return {0.5, 0.5};
+    case gate_kind::and_g: return {1.1, 1.1};
+    case gate_kind::or_g: return {1.1, 1.1};
+    case gate_kind::xor_g: return {1.7, 1.6};
+    case gate_kind::nand_g: return {1.0, 1.0};
+    case gate_kind::nor_g: return {1.0, 1.1};
+    case gate_kind::xnor_g: return {1.7, 1.6};
+    case gate_kind::and3_g: return {1.5, 1.4};
+    case gate_kind::or3_g: return {1.5, 1.5};
+    case gate_kind::mux_g: return {1.8, 1.4};
+    case gate_kind::maj_g: return {2.0, 1.5};
+    }
+    return {1.0, 1.0};
+}
+
+} // namespace
+
+double tech_model::gate_cap_ff(gate_kind k) const noexcept
+{
+    return unit_cap_ff * factors(k).cap;
+}
+
+double tech_model::gate_delay_ps(gate_kind k, double vdd) const noexcept
+{
+    return unit_delay_ps * factors(k).delay * delay_scale(vdd);
+}
+
+double tech_model::delay_scale(double vdd) const
+{
+    if (vdd <= vth) {
+        throw std::domain_error("tech_model: vdd at or below threshold");
+    }
+    const auto d = [&](double v) {
+        return v / std::pow(v - vth, alpha);
+    };
+    return d(vdd) / d(vdd_nom);
+}
+
+double tech_model::solve_voltage(double delay_ratio) const
+{
+    if (delay_ratio <= 1.0) {
+        return vdd_nom;
+    }
+    // delay_scale is monotonically decreasing in v over (vth, vdd_nom];
+    // bisect for delay_scale(v) == delay_ratio.
+    double lo = vth + 1e-4; // delay -> huge
+    double hi = vdd_nom;    // delay ratio 1
+    for (int it = 0; it < 80; ++it) {
+        const double mid = 0.5 * (lo + hi);
+        if (delay_scale(mid) > delay_ratio) {
+            lo = mid; // too slow: need more voltage
+        } else {
+            hi = mid;
+        }
+    }
+    const double v = 0.5 * (lo + hi);
+    return std::max(v, vmin);
+}
+
+const tech_model& tech_40nm_lp()
+{
+    // Calibration: with vth=0.55 and alpha=2.0, a 2x delay budget solves to
+    // about 0.90 V (paper: DVAS 4 b -> 0.9 V) and an 8x budget to about
+    // 0.70 V before the vmin clamp (paper: DVAFS 4x4 b -> 0.7-0.75 V).
+    // unit_delay_ps is set so the 16-bit DVAFS multiplier's full-precision
+    // critical path is ~2 ns (the paper's 500 MHz operating point);
+    // unit_cap_ff so its full-precision energy/word is ~2.63 pJ at 1.1 V.
+    static const tech_model t{
+        .name = "generic-40nm-LP-LVT",
+        .vdd_nom = 1.1,
+        .vth = 0.55,
+        .alpha = 2.0,
+        .vmin = 0.70,
+        .unit_delay_ps = 48.0,
+        .unit_cap_ff = 2.0,
+    };
+    return t;
+}
+
+const tech_model& tech_28nm_fdsoi()
+{
+    // Calibration targets (Envision, Table III): 200 MHz @ 1.03 V,
+    // 100 MHz @ 0.80 V, 50 MHz @ 0.65 V. FDSOI bodies allow lower vmin.
+    static const tech_model t{
+        .name = "generic-28nm-FDSOI",
+        .vdd_nom = 1.03,
+        .vth = 0.52,
+        .alpha = 1.6,
+        .vmin = 0.60,
+        .unit_delay_ps = 10.0,
+        .unit_cap_ff = 0.6,
+    };
+    return t;
+}
+
+} // namespace dvafs

@@ -1,0 +1,56 @@
+// Technology models: per-gate-kind switched capacitance and delay, plus the
+// alpha-power-law voltage/delay relation used to convert positive timing
+// slack into supply-voltage reduction (the "V" in DVAS/DVAFS).
+//
+// The paper synthesizes its multiplier in a 40 nm LP LVT library at a nominal
+// 1.1 V and reports: DVAS at 4 b reaches 0.9 V; DVAFS at 4x4 b reaches about
+// 0.7-0.75 V (Fig. 2c); Envision is a 28 nm FDSOI chip running 1.03 V at
+// 200 MHz, 0.80 V at 100 MHz, 0.65 V at 50 MHz (Table III). Our models are
+// calibrated so that those anchor points fall out of the delay law; the
+// calibration is asserted in tests/test_tech.cpp.
+
+#pragma once
+
+#include "circuit/netlist.h"
+
+#include <string>
+
+namespace dvafs {
+
+struct tech_model {
+    std::string name;
+    double vdd_nom = 1.1;  // nominal supply [V]
+    double vth = 0.55;     // effective threshold for the delay law [V]
+    double alpha = 2.0;    // velocity-saturation exponent
+    double vmin = 0.60;    // minimum reliable operating voltage [V]
+    double unit_delay_ps = 12.0; // delay of a reference NAND2 at vdd_nom
+    double unit_cap_ff = 0.8;    // switched capacitance of a reference NAND2
+
+    // -- per-gate-kind scale factors (relative to the reference NAND2) ------
+    double gate_cap_ff(gate_kind k) const noexcept;
+    double gate_delay_ps(gate_kind k, double vdd) const noexcept;
+
+    // Alpha-power delay law, normalized: delay(v) / delay(vdd_nom).
+    // delay(v)  proportional to  v / (v - vth)^alpha.
+    double delay_scale(double vdd) const;
+
+    // Inverse problem: the largest voltage reduction such that delay grows by
+    // at most `delay_ratio` (>= 1). Clamped to [vmin, vdd_nom]. This is the
+    // "convert positive slack into lower Vdd" step of DVAS/DVAFS.
+    double solve_voltage(double delay_ratio) const;
+
+    // Dynamic energy of one toggle of capacitance `cap_ff` at `vdd`:
+    // E = C * V^2, returned in femtojoules (fF * V^2 = fJ).
+    static double toggle_energy_fj(double cap_ff, double vdd) noexcept
+    {
+        return cap_ff * vdd * vdd;
+    }
+};
+
+// 40 nm LP LVT (multiplier + SIMD processor experiments, Secs. III-A/III-B).
+const tech_model& tech_40nm_lp();
+
+// 28 nm FDSOI (Envision experiments, Sec. V).
+const tech_model& tech_28nm_fdsoi();
+
+} // namespace dvafs

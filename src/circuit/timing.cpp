@@ -1,0 +1,79 @@
+#include "circuit/timing.h"
+
+#include <algorithm>
+
+namespace dvafs {
+
+timing_report timing_analyzer::analyze(double vdd) const
+{
+    return run(vdd, nullptr);
+}
+
+timing_report timing_analyzer::analyze_mode(
+    double vdd, const std::vector<std::pair<net_id, bool>>& tied) const
+{
+    const std::vector<bool> is_static = find_static_gates(nl_, tied);
+    return run(vdd, &is_static);
+}
+
+double timing_analyzer::slack_ps(
+    double period_ps, double vdd,
+    const std::vector<std::pair<net_id, bool>>& tied) const
+{
+    return period_ps - analyze_mode(vdd, tied).critical_path_ps;
+}
+
+std::size_t timing_analyzer::violations(
+    double period_ps, double vdd,
+    const std::vector<std::pair<net_id, bool>>& tied) const
+{
+    const timing_report rep = analyze_mode(vdd, tied);
+    std::size_t count = 0;
+    for (const auto& [name, id] : nl_.outputs()) {
+        if (rep.arrival_ps[id] > period_ps) {
+            ++count;
+        }
+    }
+    return count;
+}
+
+timing_report timing_analyzer::run(double vdd,
+                                   const std::vector<bool>* is_static) const
+{
+    timing_report rep;
+    rep.arrival_ps.assign(nl_.size(), 0.0);
+
+    const auto& gates = nl_.gates();
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+        const gate& g = gates[i];
+        if (g.kind == gate_kind::input || g.kind == gate_kind::constant) {
+            rep.arrival_ps[i] = 0.0;
+            continue;
+        }
+        if (is_static && (*is_static)[i]) {
+            // Output is mode-constant: settles long before the clock edge.
+            rep.arrival_ps[i] = 0.0;
+            continue;
+        }
+        ++rep.active_gates;
+        double in_arrival = 0.0;
+        const int n = fanin_count(g.kind);
+        if (n >= 1) {
+            in_arrival = std::max(in_arrival, rep.arrival_ps[g.in0]);
+        }
+        if (n >= 2) {
+            in_arrival = std::max(in_arrival, rep.arrival_ps[g.in1]);
+        }
+        if (n >= 3) {
+            in_arrival = std::max(in_arrival, rep.arrival_ps[g.in2]);
+        }
+        rep.arrival_ps[i] = in_arrival + tech_.gate_delay_ps(g.kind, vdd);
+        if (rep.arrival_ps[i] > rep.critical_path_ps) {
+            rep.critical_path_ps = rep.arrival_ps[i];
+            rep.endpoint = static_cast<net_id>(i);
+        }
+    }
+    return rep;
+}
+
+} // namespace dvafs

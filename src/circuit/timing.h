@@ -1,0 +1,64 @@
+// Static timing analysis over the netlist DAG.
+//
+// Arrival times propagate in one topological pass (construction order).
+// A gate contributes its delay only if it belongs to the *active cone* --
+// gates that can still toggle given the current mode's tied-off inputs
+// (see find_static_gates). This models multi-mode synthesis timing: in a
+// low-precision mode the critical path is measured through the logic that
+// actually switches, which is exactly the path the voltage scaling of
+// DVAS/DVAFS exploits (paper Fig. 2b).
+
+#pragma once
+
+#include "circuit/logic_sim.h"
+#include "circuit/netlist.h"
+#include "circuit/tech.h"
+
+#include <vector>
+
+namespace dvafs {
+
+struct timing_report {
+    double critical_path_ps = 0.0;
+    net_id endpoint = no_net;        // gate where the worst path ends
+    std::size_t active_gates = 0;    // gates in the active cone
+    std::vector<double> arrival_ps;  // per-net arrival time
+};
+
+class timing_analyzer {
+public:
+    timing_analyzer(const netlist& nl, const tech_model& tech)
+        : nl_(nl), tech_(tech)
+    {
+    }
+
+    // Full-netlist timing at voltage `vdd` (all gates active).
+    timing_report analyze(double vdd) const;
+
+    // Mode-aware timing: gates whose output is constant under `tied` do not
+    // propagate arrivals (their outputs are stable before the clock edge).
+    timing_report
+    analyze_mode(double vdd,
+                 const std::vector<std::pair<net_id, bool>>& tied) const;
+
+    // Positive slack for a clock period `period_ps` in the given mode.
+    double slack_ps(double period_ps, double vdd,
+                    const std::vector<std::pair<net_id, bool>>& tied) const;
+
+    // Number of *endpoint* nets (registered outputs of the netlist) whose
+    // arrival exceeds the clock period at the given supply -- the timing
+    // violations that DVAS/DVAFS voltage selection must avoid ("without
+    // inducing timing errors", paper Sec. II-B). Zero at any voltage at or
+    // above the vf solution for this mode's critical path.
+    std::size_t
+    violations(double period_ps, double vdd,
+               const std::vector<std::pair<net_id, bool>>& tied) const;
+
+private:
+    timing_report run(double vdd, const std::vector<bool>* is_static) const;
+
+    const netlist& nl_;
+    const tech_model& tech_;
+};
+
+} // namespace dvafs

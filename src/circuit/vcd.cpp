@@ -1,0 +1,111 @@
+#include "circuit/vcd.h"
+
+#include <stdexcept>
+
+namespace dvafs {
+
+vcd_writer::vcd_writer(const std::string& path,
+                       const std::string& top_module)
+    : path_(path), top_(top_module), out_(path)
+{
+    if (!out_) {
+        throw std::runtime_error("vcd_writer: cannot open " + path);
+    }
+}
+
+std::string vcd_writer::make_id(std::size_t index)
+{
+    // Printable identifier characters per the VCD spec: '!' .. '~'.
+    constexpr char lo = '!';
+    constexpr int radix = '~' - '!' + 1;
+    std::string id;
+    do {
+        id += static_cast<char>(lo + static_cast<int>(index % radix));
+        index /= radix;
+    } while (index > 0);
+    return id;
+}
+
+void vcd_writer::add_signal(const std::string& name, net_id net)
+{
+    add_bus(name, bus{net});
+}
+
+void vcd_writer::add_bus(const std::string& name, const bus& nets)
+{
+    if (header_written_) {
+        throw std::logic_error(
+            "vcd_writer: signals must be added before sampling");
+    }
+    if (nets.empty()) {
+        throw std::invalid_argument("vcd_writer: empty bus");
+    }
+    signal s;
+    s.name = name;
+    s.id = make_id(signals_.size());
+    s.nets = nets;
+    signals_.push_back(std::move(s));
+}
+
+void vcd_writer::write_header()
+{
+    out_ << "$version dvafs vcd_writer $end\n"
+         << "$timescale 1ns $end\n"
+         << "$scope module " << top_ << " $end\n";
+    for (const signal& s : signals_) {
+        if (s.nets.size() == 1) {
+            out_ << "$var wire 1 " << s.id << ' ' << s.name << " $end\n";
+        } else {
+            out_ << "$var wire " << s.nets.size() << ' ' << s.id << ' '
+                 << s.name << " [" << s.nets.size() - 1 << ":0] $end\n";
+        }
+    }
+    out_ << "$upscope $end\n$enddefinitions $end\n";
+    header_written_ = true;
+}
+
+std::string vcd_writer::value_of(const logic_sim& sim, const signal& s)
+{
+    if (s.nets.size() == 1) {
+        return sim.value(s.nets[0]) ? "1" : "0";
+    }
+    std::string bits = "b";
+    for (std::size_t i = s.nets.size(); i-- > 0;) {
+        bits += sim.value(s.nets[i]) ? '1' : '0';
+    }
+    return bits;
+}
+
+void vcd_writer::sample(const logic_sim& sim, std::uint64_t time)
+{
+    if (!header_written_) {
+        write_header();
+    }
+    if (!first_sample_ && time < last_time_) {
+        throw std::invalid_argument("vcd_writer: time must not decrease");
+    }
+    bool stamp_written = false;
+    const auto stamp = [&] {
+        if (!stamp_written) {
+            out_ << '#' << time << '\n';
+            stamp_written = true;
+        }
+    };
+    for (signal& s : signals_) {
+        std::string v = value_of(sim, s);
+        if (first_sample_ || v != s.last) {
+            stamp();
+            if (s.nets.size() == 1) {
+                out_ << v << s.id << '\n';
+            } else {
+                out_ << v << ' ' << s.id << '\n';
+            }
+            s.last = std::move(v);
+        }
+    }
+    first_sample_ = false;
+    last_time_ = time;
+    out_.flush();
+}
+
+} // namespace dvafs

@@ -1,0 +1,60 @@
+// VCD (Value Change Dump) writer: records logic_sim states as a standard
+// waveform file viewable in GTKWave & co. Useful for inspecting how the
+// DVAFS multiplier's active cone changes across modes, and for debugging
+// netlist builders.
+
+#pragma once
+
+#include "circuit/cells.h"
+#include "circuit/logic_sim.h"
+#include "circuit/netlist.h"
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace dvafs {
+
+class vcd_writer {
+public:
+    // Creates `path` and writes the VCD header once the first signal set
+    // is registered. Throws std::runtime_error if the file cannot be
+    // created.
+    explicit vcd_writer(const std::string& path,
+                        const std::string& top_module = "dvafs");
+
+    // Registers a single-bit signal / a multi-bit bus (LSB first).
+    // Must be called before the first sample().
+    void add_signal(const std::string& name, net_id net);
+    void add_bus(const std::string& name, const bus& nets);
+
+    // Emits value changes for the current simulator state at `time`
+    // (arbitrary units; must be non-decreasing).
+    void sample(const logic_sim& sim, std::uint64_t time);
+
+    std::size_t signal_count() const noexcept { return signals_.size(); }
+    const std::string& path() const noexcept { return path_; }
+
+private:
+    struct signal {
+        std::string name;
+        std::string id; // VCD short identifier
+        bus nets;
+        std::string last; // last dumped value string
+    };
+
+    void write_header();
+    static std::string make_id(std::size_t index);
+    static std::string value_of(const logic_sim& sim, const signal& s);
+
+    std::string path_;
+    std::string top_;
+    std::ofstream out_;
+    std::vector<signal> signals_;
+    bool header_written_ = false;
+    bool first_sample_ = true;
+    std::uint64_t last_time_ = 0;
+};
+
+} // namespace dvafs

@@ -1,0 +1,212 @@
+#include "cnn/layers.h"
+
+#include "fixedpoint/quantize.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace dvafs {
+
+namespace {
+
+// Fake-quantizes a copy of `t` to `bits` (no-op for bits <= 0).
+tensor quantized_copy(const tensor& t, int bits)
+{
+    tensor out = t;
+    if (bits > 0) {
+        fake_quantize_inplace(out.flat(), bits);
+    }
+    return out;
+}
+
+std::vector<float> quantized_weights(const std::vector<float>& w, int bits)
+{
+    std::vector<float> out = w;
+    if (bits > 0) {
+        fake_quantize_inplace(out, bits);
+    }
+    return out;
+}
+
+} // namespace
+
+conv_layer::conv_layer(std::string name, int filters, int channels,
+                       int kernel, int stride, int pad)
+    : name_(std::move(name)), f_(filters), c_(channels), k_(kernel),
+      s_(stride), p_(pad),
+      w_(static_cast<std::size_t>(filters) * channels * kernel * kernel,
+         0.0F),
+      b_(static_cast<std::size_t>(filters), 0.0F)
+{
+    if (filters < 1 || channels < 1 || kernel < 1 || stride < 1 || pad < 0) {
+        throw std::invalid_argument("conv_layer: bad topology");
+    }
+}
+
+tensor_shape conv_layer::out_shape(const tensor_shape& in) const
+{
+    if (in.c != c_) {
+        throw std::invalid_argument("conv_layer " + name_
+                                    + ": channel mismatch");
+    }
+    const int oh = (in.h + 2 * p_ - k_) / s_ + 1;
+    const int ow = (in.w + 2 * p_ - k_) / s_ + 1;
+    if (oh < 1 || ow < 1) {
+        throw std::invalid_argument("conv_layer " + name_
+                                    + ": input too small");
+    }
+    return {f_, oh, ow};
+}
+
+tensor conv_layer::forward(const tensor& in, const layer_quant& q) const
+{
+    const tensor_shape os = out_shape(in.shape());
+    const tensor x = quantized_copy(in, q.input_bits);
+    const std::vector<float> w = quantized_weights(w_, q.weight_bits);
+
+    tensor out(os);
+    const int ih = in.shape().h;
+    const int iw = in.shape().w;
+    const std::size_t ck2 =
+        static_cast<std::size_t>(c_) * static_cast<std::size_t>(k_)
+        * static_cast<std::size_t>(k_);
+    for (int f = 0; f < f_; ++f) {
+        const float* wf = w.data() + static_cast<std::size_t>(f) * ck2;
+        for (int oy = 0; oy < os.h; ++oy) {
+            for (int ox = 0; ox < os.w; ++ox) {
+                double acc = b_[static_cast<std::size_t>(f)];
+                for (int c = 0; c < c_; ++c) {
+                    for (int ky = 0; ky < k_; ++ky) {
+                        const int y = oy * s_ + ky - p_;
+                        if (y < 0 || y >= ih) {
+                            continue;
+                        }
+                        const float* wrow =
+                            wf
+                            + (static_cast<std::size_t>(c)
+                                   * static_cast<std::size_t>(k_)
+                               + static_cast<std::size_t>(ky))
+                                  * static_cast<std::size_t>(k_);
+                        for (int kx = 0; kx < k_; ++kx) {
+                            const int xx = ox * s_ + kx - p_;
+                            if (xx < 0 || xx >= iw) {
+                                continue;
+                            }
+                            acc += static_cast<double>(
+                                       wrow[static_cast<std::size_t>(kx)])
+                                   * x.at(c, y, xx);
+                        }
+                    }
+                }
+                out.at(f, oy, ox) = static_cast<float>(acc);
+            }
+        }
+    }
+    return out;
+}
+
+std::uint64_t conv_layer::macs(const tensor_shape& in) const
+{
+    const tensor_shape os = out_shape(in);
+    return static_cast<std::uint64_t>(os.h) * static_cast<std::uint64_t>(
+               os.w)
+           * static_cast<std::uint64_t>(f_)
+           * static_cast<std::uint64_t>(c_)
+           * static_cast<std::uint64_t>(k_)
+           * static_cast<std::uint64_t>(k_);
+}
+
+tensor relu_layer::forward(const tensor& in, const layer_quant& q) const
+{
+    tensor out = quantized_copy(in, q.input_bits);
+    for (float& v : out.flat()) {
+        v = std::max(v, 0.0F);
+    }
+    return out;
+}
+
+maxpool_layer::maxpool_layer(std::string name, int size, int stride)
+    : name_(std::move(name)), size_(size), stride_(stride)
+{
+    if (size < 1 || stride < 1) {
+        throw std::invalid_argument("maxpool_layer: bad parameters");
+    }
+}
+
+tensor_shape maxpool_layer::out_shape(const tensor_shape& in) const
+{
+    return {in.c, (in.h - size_) / stride_ + 1,
+            (in.w - size_) / stride_ + 1};
+}
+
+tensor maxpool_layer::forward(const tensor& in, const layer_quant& q) const
+{
+    const tensor x = quantized_copy(in, q.input_bits);
+    const tensor_shape os = out_shape(in.shape());
+    tensor out(os);
+    for (int c = 0; c < os.c; ++c) {
+        for (int oy = 0; oy < os.h; ++oy) {
+            for (int ox = 0; ox < os.w; ++ox) {
+                float m = -std::numeric_limits<float>::infinity();
+                for (int ky = 0; ky < size_; ++ky) {
+                    for (int kx = 0; kx < size_; ++kx) {
+                        m = std::max(m, x.at(c, oy * stride_ + ky,
+                                             ox * stride_ + kx));
+                    }
+                }
+                out.at(c, oy, ox) = m;
+            }
+        }
+    }
+    return out;
+}
+
+fc_layer::fc_layer(std::string name, int outputs, int inputs)
+    : name_(std::move(name)), out_(outputs), in_(inputs),
+      w_(static_cast<std::size_t>(outputs) * static_cast<std::size_t>(
+             inputs),
+         0.0F),
+      b_(static_cast<std::size_t>(outputs), 0.0F)
+{
+    if (outputs < 1 || inputs < 1) {
+        throw std::invalid_argument("fc_layer: bad topology");
+    }
+}
+
+tensor_shape fc_layer::out_shape(const tensor_shape& in) const
+{
+    if (static_cast<int>(in.elements()) != in_) {
+        throw std::invalid_argument("fc_layer " + name_
+                                    + ": input size mismatch");
+    }
+    return {out_, 1, 1};
+}
+
+tensor fc_layer::forward(const tensor& in, const layer_quant& q) const
+{
+    const tensor x = quantized_copy(in, q.input_bits);
+    const std::vector<float> w = quantized_weights(w_, q.weight_bits);
+    tensor out(out_shape(in.shape()));
+    const std::span<const float> xf = x.flat();
+    for (int o = 0; o < out_; ++o) {
+        double acc = b_[static_cast<std::size_t>(o)];
+        const float* wr = w.data()
+                          + static_cast<std::size_t>(o)
+                                * static_cast<std::size_t>(in_);
+        for (int i = 0; i < in_; ++i) {
+            acc += static_cast<double>(wr[static_cast<std::size_t>(i)])
+                   * xf[static_cast<std::size_t>(i)];
+        }
+        out.at(o, 0, 0) = static_cast<float>(acc);
+    }
+    return out;
+}
+
+std::uint64_t fc_layer::macs(const tensor_shape&) const
+{
+    return static_cast<std::uint64_t>(out_)
+           * static_cast<std::uint64_t>(in_);
+}
+
+} // namespace dvafs

@@ -1,0 +1,143 @@
+// CNN layers (paper Sec. IV-A): convolution (eq. 4), ReLU, max-pooling and
+// fully-connected, each with a float reference path and a quantized path.
+//
+// Quantization emulates b-bit fixed-point hardware by fake-quantizing
+// weights and input feature maps with symmetric per-tensor scales (the
+// methodology of the paper's reference [22]): value -> round(value/step) ->
+// clamp -> value. Accumulation stays wide (float stands in for the 32+ bit
+// accumulators of the datapath), matching how Envision computes.
+
+#pragma once
+
+#include "cnn/tensor.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dvafs {
+
+// Per-layer quantization configuration; bits <= 0 means "keep float".
+struct layer_quant {
+    int weight_bits = 0;
+    int input_bits = 0;
+};
+
+class layer {
+public:
+    virtual ~layer() = default;
+    virtual const std::string& name() const noexcept = 0;
+    virtual tensor_shape out_shape(const tensor_shape& in) const = 0;
+    // `q` quantizes this layer's weights and its input feature map.
+    virtual tensor forward(const tensor& in, const layer_quant& q) const = 0;
+    // Multiply-accumulates per forward pass (0 for relu/pool).
+    virtual std::uint64_t macs(const tensor_shape& in) const = 0;
+    virtual std::size_t weight_count() const noexcept { return 0; }
+    // Mutable access for weight-generation and quantization sweeps.
+    virtual std::vector<float>* weights() noexcept { return nullptr; }
+    virtual const std::vector<float>* weights() const noexcept
+    {
+        return nullptr;
+    }
+};
+
+// -- convolution (eq. 4) ------------------------------------------------------
+class conv_layer final : public layer {
+public:
+    // filters F, input channels C, kernel K, stride S, zero padding P.
+    conv_layer(std::string name, int filters, int channels, int kernel,
+               int stride, int pad);
+
+    const std::string& name() const noexcept override { return name_; }
+    tensor_shape out_shape(const tensor_shape& in) const override;
+    tensor forward(const tensor& in, const layer_quant& q) const override;
+    std::uint64_t macs(const tensor_shape& in) const override;
+    std::size_t weight_count() const noexcept override
+    {
+        return w_.size();
+    }
+    std::vector<float>* weights() noexcept override { return &w_; }
+    const std::vector<float>* weights() const noexcept override
+    {
+        return &w_;
+    }
+    std::vector<float>& biases() noexcept { return b_; }
+
+    int filters() const noexcept { return f_; }
+    int channels() const noexcept { return c_; }
+    int kernel() const noexcept { return k_; }
+    int stride() const noexcept { return s_; }
+    int pad() const noexcept { return p_; }
+
+private:
+    std::string name_;
+    int f_;
+    int c_;
+    int k_;
+    int s_;
+    int p_;
+    std::vector<float> w_; // [F][C][K][K]
+    std::vector<float> b_; // [F]
+};
+
+// -- ReLU ----------------------------------------------------------------------
+class relu_layer final : public layer {
+public:
+    explicit relu_layer(std::string name) : name_(std::move(name)) {}
+    const std::string& name() const noexcept override { return name_; }
+    tensor_shape out_shape(const tensor_shape& in) const override
+    {
+        return in;
+    }
+    tensor forward(const tensor& in, const layer_quant& q) const override;
+    std::uint64_t macs(const tensor_shape&) const override { return 0; }
+
+private:
+    std::string name_;
+};
+
+// -- max pooling ----------------------------------------------------------------
+class maxpool_layer final : public layer {
+public:
+    maxpool_layer(std::string name, int size, int stride);
+    const std::string& name() const noexcept override { return name_; }
+    tensor_shape out_shape(const tensor_shape& in) const override;
+    tensor forward(const tensor& in, const layer_quant& q) const override;
+    std::uint64_t macs(const tensor_shape&) const override { return 0; }
+
+private:
+    std::string name_;
+    int size_;
+    int stride_;
+};
+
+// -- fully connected -------------------------------------------------------------
+class fc_layer final : public layer {
+public:
+    fc_layer(std::string name, int outputs, int inputs);
+    const std::string& name() const noexcept override { return name_; }
+    tensor_shape out_shape(const tensor_shape& in) const override;
+    tensor forward(const tensor& in, const layer_quant& q) const override;
+    std::uint64_t macs(const tensor_shape& in) const override;
+    std::size_t weight_count() const noexcept override
+    {
+        return w_.size();
+    }
+    std::vector<float>* weights() noexcept override { return &w_; }
+    const std::vector<float>* weights() const noexcept override
+    {
+        return &w_;
+    }
+    std::vector<float>& biases() noexcept { return b_; }
+    int outputs() const noexcept { return out_; }
+    int inputs() const noexcept { return in_; }
+
+private:
+    std::string name_;
+    int out_;
+    int in_;
+    std::vector<float> w_; // [out][in]
+    std::vector<float> b_;
+};
+
+} // namespace dvafs

@@ -1,0 +1,64 @@
+#include "cnn/network.h"
+
+#include <stdexcept>
+
+namespace dvafs {
+
+void network::clear_quant()
+{
+    for (layer_quant& q : quant_) {
+        q = layer_quant{};
+    }
+}
+
+std::vector<std::size_t> network::weighted_layers() const
+{
+    std::vector<std::size_t> idx;
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+        if (layers_[i]->weight_count() > 0) {
+            idx.push_back(i);
+        }
+    }
+    return idx;
+}
+
+tensor network::forward(const tensor& input, bool use_quant,
+                        std::vector<tensor>* activations) const
+{
+    if (!(input.shape() == input_shape_)) {
+        throw std::invalid_argument("network::forward: input shape "
+                                    + input.shape().to_string()
+                                    + " != " + input_shape_.to_string());
+    }
+    tensor x = input;
+    static const layer_quant no_quant{};
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+        x = layers_[i]->forward(x, use_quant ? quant_[i] : no_quant);
+        if (activations != nullptr) {
+            activations->push_back(x);
+        }
+    }
+    return x;
+}
+
+std::uint64_t network::total_macs() const
+{
+    std::uint64_t total = 0;
+    tensor_shape s = input_shape_;
+    for (const auto& l : layers_) {
+        total += l->macs(s);
+        s = l->out_shape(s);
+    }
+    return total;
+}
+
+tensor_shape network::output_shape() const
+{
+    tensor_shape s = input_shape_;
+    for (const auto& l : layers_) {
+        s = l->out_shape(s);
+    }
+    return s;
+}
+
+} // namespace dvafs

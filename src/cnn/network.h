@@ -1,0 +1,63 @@
+// Sequential network container with per-layer quantization settings.
+
+#pragma once
+
+#include "cnn/layers.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dvafs {
+
+class network {
+public:
+    network(std::string name, tensor_shape input_shape)
+        : name_(std::move(name)), input_shape_(input_shape)
+    {
+    }
+
+    network(network&&) = default;
+    network& operator=(network&&) = default;
+
+    const std::string& name() const noexcept { return name_; }
+    const tensor_shape& input_shape() const noexcept { return input_shape_; }
+
+    void add(std::unique_ptr<layer> l)
+    {
+        layers_.push_back(std::move(l));
+        quant_.push_back(layer_quant{});
+    }
+
+    std::size_t depth() const noexcept { return layers_.size(); }
+    layer& at(std::size_t i) { return *layers_.at(i); }
+    const layer& at(std::size_t i) const { return *layers_.at(i); }
+
+    layer_quant& quant(std::size_t i) { return quant_.at(i); }
+    const layer_quant& quant(std::size_t i) const { return quant_.at(i); }
+    void clear_quant();
+
+    // Indices of the layers that carry weights (conv + fc): the layers the
+    // paper's Fig. 6 sweeps over.
+    std::vector<std::size_t> weighted_layers() const;
+
+    // Forward pass. If `use_quant`, each layer applies its layer_quant.
+    // If `activations` is non-null it receives each layer's output (for
+    // sparsity and range statistics).
+    tensor forward(const tensor& input, bool use_quant,
+                   std::vector<tensor>* activations = nullptr) const;
+
+    // Total multiply-accumulates of one forward pass.
+    std::uint64_t total_macs() const;
+
+    // Output shape after all layers.
+    tensor_shape output_shape() const;
+
+private:
+    std::string name_;
+    tensor_shape input_shape_;
+    std::vector<std::unique_ptr<layer>> layers_;
+    std::vector<layer_quant> quant_;
+};
+
+} // namespace dvafs

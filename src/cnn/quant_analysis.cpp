@@ -1,0 +1,167 @@
+#include "cnn/quant_analysis.h"
+
+#include "fixedpoint/quantize.h"
+#include "util/rng.h"
+
+#include <stdexcept>
+
+namespace dvafs {
+
+teacher_dataset make_teacher_dataset(const network& net,
+                                     const quant_sweep_config& cfg)
+{
+    teacher_dataset data;
+    pcg32 rng(cfg.seed);
+    for (int i = 0; i < cfg.images; ++i) {
+        tensor x(net.input_shape());
+        for (float& v : x.flat()) {
+            // Image-like inputs: non-negative, moderately sparse.
+            const double g = rng.gaussian(0.25, 0.35);
+            v = static_cast<float>(std::max(0.0, std::min(1.0, g)));
+        }
+        data.labels.push_back(argmax(net.forward(x, /*use_quant=*/false)));
+        data.inputs.push_back(std::move(x));
+    }
+    return data;
+}
+
+double relative_accuracy(const network& net, const teacher_dataset& data)
+{
+    if (data.inputs.empty()) {
+        throw std::invalid_argument("relative_accuracy: empty dataset");
+    }
+    std::size_t agree = 0;
+    for (std::size_t i = 0; i < data.inputs.size(); ++i) {
+        const tensor out = net.forward(data.inputs[i], /*use_quant=*/true);
+        agree += (argmax(out) == data.labels[i]);
+    }
+    return static_cast<double>(agree)
+           / static_cast<double>(data.inputs.size());
+}
+
+std::vector<layer_quant_requirement>
+sweep_layer_precision(network& net, const teacher_dataset& data,
+                      const quant_sweep_config& cfg)
+{
+    // Save current settings to restore afterwards.
+    std::vector<layer_quant> saved;
+    for (std::size_t i = 0; i < net.depth(); ++i) {
+        saved.push_back(net.quant(i));
+    }
+    net.clear_quant();
+
+    std::vector<layer_quant_requirement> out;
+    for (const std::size_t li : net.weighted_layers()) {
+        layer_quant_requirement req;
+        req.layer_index = li;
+        req.layer_name = net.at(li).name();
+
+        // Weights: quantize only this layer's weights.
+        req.min_weight_bits = cfg.max_bits;
+        for (int bits = 1; bits <= cfg.max_bits; ++bits) {
+            net.clear_quant();
+            net.quant(li).weight_bits = bits;
+            if (relative_accuracy(net, data) >= cfg.target_accuracy) {
+                req.min_weight_bits = bits;
+                break;
+            }
+        }
+        // Inputs: quantize only this layer's input feature map.
+        req.min_input_bits = cfg.max_bits;
+        for (int bits = 1; bits <= cfg.max_bits; ++bits) {
+            net.clear_quant();
+            net.quant(li).input_bits = bits;
+            if (relative_accuracy(net, data) >= cfg.target_accuracy) {
+                req.min_input_bits = bits;
+                break;
+            }
+        }
+        out.push_back(req);
+    }
+
+    for (std::size_t i = 0; i < net.depth(); ++i) {
+        net.quant(i) = saved[i];
+    }
+    return out;
+}
+
+double apply_requirements(network& net,
+                          const std::vector<layer_quant_requirement>& req,
+                          const teacher_dataset& data)
+{
+    net.clear_quant();
+    for (const layer_quant_requirement& r : req) {
+        net.quant(r.layer_index).weight_bits = r.min_weight_bits;
+        net.quant(r.layer_index).input_bits = r.min_input_bits;
+    }
+    return relative_accuracy(net, data);
+}
+
+std::vector<layer_quant_requirement>
+refine_requirements(network& net, std::vector<layer_quant_requirement> reqs,
+                    const teacher_dataset& data,
+                    const quant_sweep_config& cfg)
+{
+    for (int round = 0; round < cfg.max_bits; ++round) {
+        if (apply_requirements(net, reqs, data) >= cfg.target_accuracy) {
+            break;
+        }
+        bool changed = false;
+        for (layer_quant_requirement& r : reqs) {
+            if (r.min_weight_bits < cfg.max_bits) {
+                ++r.min_weight_bits;
+                changed = true;
+            }
+            if (r.min_input_bits < cfg.max_bits) {
+                ++r.min_input_bits;
+                changed = true;
+            }
+        }
+        if (!changed) {
+            break; // everything saturated at max_bits
+        }
+    }
+    net.clear_quant();
+    return reqs;
+}
+
+std::vector<layer_sparsity> measure_sparsity(const network& net,
+                                             const teacher_dataset& data)
+{
+    if (data.inputs.empty()) {
+        throw std::invalid_argument("measure_sparsity: empty dataset");
+    }
+    const std::vector<std::size_t> weighted = net.weighted_layers();
+    std::vector<layer_sparsity> out(weighted.size());
+
+    // Weight sparsity is data-independent.
+    for (std::size_t k = 0; k < weighted.size(); ++k) {
+        out[k].layer_name = net.at(weighted[k]).name();
+        const std::vector<float>* w = net.at(weighted[k]).weights();
+        std::size_t zeros = 0;
+        for (const float v : *w) {
+            zeros += (v == 0.0F);
+        }
+        out[k].weight_sparsity =
+            static_cast<double>(zeros) / static_cast<double>(w->size());
+    }
+
+    // Input sparsity: average over the dataset of each weighted layer's
+    // input tensor (the network input for the first layer, the previous
+    // layer's output otherwise -- post-ReLU zeros dominate).
+    for (const tensor& x : data.inputs) {
+        std::vector<tensor> acts;
+        net.forward(x, /*use_quant=*/false, &acts);
+        for (std::size_t k = 0; k < weighted.size(); ++k) {
+            const std::size_t li = weighted[k];
+            const tensor& input_fm = (li == 0) ? x : acts[li - 1];
+            out[k].input_sparsity += input_fm.sparsity();
+        }
+    }
+    for (layer_sparsity& s : out) {
+        s.input_sparsity /= static_cast<double>(data.inputs.size());
+    }
+    return out;
+}
+
+} // namespace dvafs

@@ -1,0 +1,84 @@
+// Quantization sweeps for the paper's Fig. 6: the minimum per-layer weight
+// and input-feature-map precision that retains 99% relative accuracy.
+//
+// Relative accuracy is measured against the float network itself: a seeded
+// synthetic dataset is labelled by the float network (teacher), and a
+// quantized configuration scores the fraction of inputs whose argmax
+// matches the teacher's. This is exactly the quantization-noise effect the
+// paper's metric captures, without the proprietary datasets (DESIGN.md §2).
+
+#pragma once
+
+#include "cnn/network.h"
+#include "cnn/zoo.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dvafs {
+
+struct quant_sweep_config {
+    int images = 24;            // synthetic evaluation inputs
+    double target_accuracy = 0.99;
+    int max_bits = 12;          // sweep upper bound
+    std::uint64_t seed = 7;
+};
+
+// A labelled synthetic dataset: inputs plus float-teacher argmax labels.
+struct teacher_dataset {
+    std::vector<tensor> inputs;
+    std::vector<int> labels;
+};
+
+teacher_dataset make_teacher_dataset(const network& net,
+                                     const quant_sweep_config& cfg);
+
+// Fraction of inputs whose quantized argmax equals the teacher label
+// (uses the network's current per-layer quant settings).
+double relative_accuracy(const network& net, const teacher_dataset& data);
+
+// Result of the per-layer sweep: minimal bits per weighted layer.
+struct layer_quant_requirement {
+    std::string layer_name;
+    std::size_t layer_index = 0;
+    int min_weight_bits = 0;
+    int min_input_bits = 0;
+};
+
+// For each weighted layer independently: quantize only that layer's weights
+// (resp. inputs) and find the smallest precision meeting the target.
+// Restores the network's quant settings afterwards.
+std::vector<layer_quant_requirement>
+sweep_layer_precision(network& net, const teacher_dataset& data,
+                      const quant_sweep_config& cfg);
+
+// Applies the sweep result to the network's quant settings and returns the
+// achieved joint relative accuracy.
+double apply_requirements(network& net,
+                          const std::vector<layer_quant_requirement>& req,
+                          const teacher_dataset& data);
+
+// Joint refinement: per-layer thresholds do not compose (quantization noise
+// accumulates across layers), so the paper's methodology raises precisions
+// until the *joint* configuration meets the target. This implementation
+// bumps every layer still below cfg.max_bits by one bit per round, which
+// preserves the layer-to-layer precision profile of the sweep.
+std::vector<layer_quant_requirement>
+refine_requirements(network& net, std::vector<layer_quant_requirement> reqs,
+                    const teacher_dataset& data,
+                    const quant_sweep_config& cfg);
+
+// Mean activation sparsity (post-ReLU zeros) per weighted layer's *input*,
+// and quantized input sparsity at the layer's input_bits -- the zero-
+// guarding statistics behind Table III.
+struct layer_sparsity {
+    std::string layer_name;
+    double weight_sparsity = 0.0;
+    double input_sparsity = 0.0;
+};
+
+std::vector<layer_sparsity> measure_sparsity(const network& net,
+                                             const teacher_dataset& data);
+
+} // namespace dvafs

@@ -1,0 +1,49 @@
+#include "cnn/tensor.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace dvafs {
+
+std::string tensor_shape::to_string() const
+{
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%dx%dx%d", c, h, w);
+    return buf;
+}
+
+double tensor::sparsity() const noexcept
+{
+    if (data_.empty()) {
+        return 0.0;
+    }
+    std::size_t zeros = 0;
+    for (const float v : data_) {
+        zeros += (v == 0.0F);
+    }
+    return static_cast<double>(zeros) / static_cast<double>(data_.size());
+}
+
+double tensor::max_abs() const noexcept
+{
+    double m = 0.0;
+    for (const float v : data_) {
+        m = std::max(m, static_cast<double>(std::fabs(v)));
+    }
+    return m;
+}
+
+int argmax(const tensor& t)
+{
+    int best = 0;
+    float best_v = t.flat().empty() ? 0.0F : t.flat()[0];
+    for (std::size_t i = 1; i < t.size(); ++i) {
+        if (t.flat()[i] > best_v) {
+            best_v = t.flat()[i];
+            best = static_cast<int>(i);
+        }
+    }
+    return best;
+}
+
+} // namespace dvafs

@@ -1,0 +1,68 @@
+// Minimal CHW float tensor for the CNN inference engine.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dvafs {
+
+struct tensor_shape {
+    int c = 1;
+    int h = 1;
+    int w = 1;
+
+    std::size_t elements() const noexcept
+    {
+        return static_cast<std::size_t>(c) * static_cast<std::size_t>(h)
+               * static_cast<std::size_t>(w);
+    }
+    bool operator==(const tensor_shape&) const = default;
+    std::string to_string() const;
+};
+
+class tensor {
+public:
+    tensor() : tensor(tensor_shape{}) {}
+    explicit tensor(tensor_shape s) : shape_(s), data_(s.elements(), 0.0F) {}
+
+    const tensor_shape& shape() const noexcept { return shape_; }
+
+    float& at(int c, int y, int x)
+    {
+        return data_[index(c, y, x)];
+    }
+    float at(int c, int y, int x) const
+    {
+        return data_[index(c, y, x)];
+    }
+
+    std::span<float> flat() noexcept { return data_; }
+    std::span<const float> flat() const noexcept { return data_; }
+    std::size_t size() const noexcept { return data_.size(); }
+
+    // Fraction of exact zeros (the sparsity measure used by Table III).
+    double sparsity() const noexcept;
+    // Largest absolute element.
+    double max_abs() const noexcept;
+
+private:
+    std::size_t index(int c, int y, int x) const
+    {
+        return (static_cast<std::size_t>(c) * static_cast<std::size_t>(
+                    shape_.h)
+                + static_cast<std::size_t>(y))
+                   * static_cast<std::size_t>(shape_.w)
+               + static_cast<std::size_t>(x);
+    }
+
+    tensor_shape shape_{};
+    std::vector<float> data_;
+};
+
+// argmax over the flattened tensor (classification decision).
+int argmax(const tensor& t);
+
+} // namespace dvafs

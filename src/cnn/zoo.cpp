@@ -1,0 +1,199 @@
+#include "cnn/zoo.h"
+
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dvafs {
+
+namespace {
+
+std::unique_ptr<conv_layer> conv(const std::string& name, int f, int c,
+                                 int k, int s, int p)
+{
+    return std::make_unique<conv_layer>(name, f, c, k, s, p);
+}
+std::unique_ptr<relu_layer> relu(const std::string& name)
+{
+    return std::make_unique<relu_layer>(name);
+}
+std::unique_ptr<maxpool_layer> pool(const std::string& name, int size,
+                                    int stride)
+{
+    return std::make_unique<maxpool_layer>(name, size, stride);
+}
+std::unique_ptr<fc_layer> fc(const std::string& name, int out, int in)
+{
+    return std::make_unique<fc_layer>(name, out, in);
+}
+
+// VGG-style block: n convs of 3x3 then a 2x2 pool.
+void vgg_block(network& net, const std::string& prefix, int convs, int f,
+               int& c)
+{
+    for (int i = 0; i < convs; ++i) {
+        net.add(conv(prefix + "_" + std::to_string(i + 1), f, c, 3, 1, 1));
+        net.add(relu(prefix + "_relu" + std::to_string(i + 1)));
+        c = f;
+    }
+    net.add(pool(prefix + "_pool", 2, 2));
+}
+
+} // namespace
+
+void init_weights(network& net, const zoo_options& opt)
+{
+    pcg32 rng(opt.seed);
+    tensor_shape s = net.input_shape();
+    for (std::size_t i = 0; i < net.depth(); ++i) {
+        layer& l = net.at(i);
+        std::vector<float>* w = l.weights();
+        if (w != nullptr && !w->empty()) {
+            // He initialization: std = sqrt(2 / fan_in).
+            std::size_t fan_in = w->size();
+            if (const auto* cl = dynamic_cast<const conv_layer*>(&l)) {
+                fan_in = static_cast<std::size_t>(cl->channels())
+                         * static_cast<std::size_t>(cl->kernel())
+                         * static_cast<std::size_t>(cl->kernel());
+            } else if (const auto* fl = dynamic_cast<const fc_layer*>(&l)) {
+                fan_in = static_cast<std::size_t>(fl->inputs());
+            }
+            const double std =
+                std::sqrt(2.0 / static_cast<double>(fan_in));
+            for (float& v : *w) {
+                v = static_cast<float>(rng.gaussian(0.0, std));
+            }
+            // Magnitude pruning to the requested sparsity.
+            if (opt.weight_sparsity > 0.0) {
+                std::vector<float> mags;
+                mags.reserve(w->size());
+                for (const float v : *w) {
+                    mags.push_back(std::fabs(v));
+                }
+                const auto kth = static_cast<std::size_t>(
+                    opt.weight_sparsity
+                    * static_cast<double>(mags.size()));
+                if (kth > 0 && kth < mags.size()) {
+                    std::nth_element(mags.begin(),
+                                     mags.begin()
+                                         + static_cast<long>(kth),
+                                     mags.end());
+                    const float thr = mags[kth];
+                    for (float& v : *w) {
+                        if (std::fabs(v) < thr) {
+                            v = 0.0F;
+                        }
+                    }
+                }
+            }
+        }
+        s = l.out_shape(s);
+    }
+}
+
+network make_lenet5(const zoo_options& opt)
+{
+    network net("LeNet-5", {1, 28, 28});
+    net.add(conv("conv1", 6, 1, 5, 1, 2));  // 6x28x28
+    net.add(relu("relu1"));
+    net.add(pool("pool1", 2, 2));           // 6x14x14
+    net.add(conv("conv2", 16, 6, 5, 1, 0)); // 16x10x10
+    net.add(relu("relu2"));
+    net.add(pool("pool2", 2, 2));           // 16x5x5
+    net.add(fc("fc3", 120, 16 * 5 * 5));
+    net.add(relu("relu3"));
+    net.add(fc("fc4", 84, 120));
+    net.add(relu("relu4"));
+    net.add(fc("fc5", 10, 84));
+    init_weights(net, opt);
+    return net;
+}
+
+network make_alexnet_full(const zoo_options& opt)
+{
+    network net("AlexNet", {3, 227, 227});
+    net.add(conv("conv1", 96, 3, 11, 4, 0)); // 96x55x55
+    net.add(relu("relu1"));
+    net.add(pool("pool1", 3, 2));            // 96x27x27
+    net.add(conv("conv2", 256, 96, 5, 1, 2));
+    net.add(relu("relu2"));
+    net.add(pool("pool2", 3, 2));            // 256x13x13
+    net.add(conv("conv3", 384, 256, 3, 1, 1));
+    net.add(relu("relu3"));
+    net.add(conv("conv4", 384, 384, 3, 1, 1));
+    net.add(relu("relu4"));
+    net.add(conv("conv5", 256, 384, 3, 1, 1));
+    net.add(relu("relu5"));
+    net.add(pool("pool5", 3, 2)); // 256x6x6
+    net.add(fc("fc6", 4096, 256 * 6 * 6));
+    net.add(relu("relu6"));
+    net.add(fc("fc7", 4096, 4096));
+    net.add(relu("relu7"));
+    net.add(fc("fc8", 1000, 4096));
+    init_weights(net, opt);
+    return net;
+}
+
+network make_alexnet_scaled(const zoo_options& opt)
+{
+    // Same 8-weighted-layer structure at ~1/10 the spatial work.
+    network net("AlexNet-S", {3, 67, 67});
+    net.add(conv("conv1", 24, 3, 11, 4, 0)); // 24x15x15
+    net.add(relu("relu1"));
+    net.add(pool("pool1", 3, 2));            // 24x7x7
+    net.add(conv("conv2", 64, 24, 5, 1, 2)); // 64x7x7
+    net.add(relu("relu2"));
+    net.add(pool("pool2", 3, 2));            // 64x3x3
+    net.add(conv("conv3", 96, 64, 3, 1, 1));
+    net.add(relu("relu3"));
+    net.add(conv("conv4", 96, 96, 3, 1, 1));
+    net.add(relu("relu4"));
+    net.add(conv("conv5", 64, 96, 3, 1, 1));
+    net.add(relu("relu5"));
+    net.add(fc("fc6", 256, 64 * 3 * 3));
+    net.add(relu("relu6"));
+    net.add(fc("fc7", 256, 256));
+    net.add(relu("relu7"));
+    net.add(fc("fc8", 100, 256));
+    init_weights(net, opt);
+    return net;
+}
+
+network make_vgg16_full(const zoo_options& opt)
+{
+    network net("VGG16", {3, 224, 224});
+    int c = 3;
+    vgg_block(net, "block1", 2, 64, c);
+    vgg_block(net, "block2", 2, 128, c);
+    vgg_block(net, "block3", 3, 256, c);
+    vgg_block(net, "block4", 3, 512, c);
+    vgg_block(net, "block5", 3, 512, c);
+    net.add(fc("fc14", 4096, 512 * 7 * 7));
+    net.add(relu("fc14_relu"));
+    net.add(fc("fc15", 4096, 4096));
+    net.add(relu("fc15_relu"));
+    net.add(fc("fc16", 1000, 4096));
+    init_weights(net, opt);
+    return net;
+}
+
+network make_vgg16_scaled(const zoo_options& opt)
+{
+    network net("VGG16-S", {3, 56, 56});
+    int c = 3;
+    vgg_block(net, "block1", 2, 16, c);
+    vgg_block(net, "block2", 2, 24, c);
+    vgg_block(net, "block3", 3, 32, c);
+    vgg_block(net, "block4", 3, 48, c);
+    vgg_block(net, "block5", 3, 48, c);
+    net.add(fc("fc14", 128, 48 * 1 * 1));
+    net.add(relu("fc14_relu"));
+    net.add(fc("fc15", 128, 128));
+    net.add(relu("fc15_relu"));
+    net.add(fc("fc16", 40, 128));
+    init_weights(net, opt);
+    return net;
+}
+
+} // namespace dvafs

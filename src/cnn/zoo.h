@@ -1,0 +1,52 @@
+// Network zoo: the three topologies the paper evaluates (Secs. IV-V) --
+// LeNet-5, AlexNet and VGG16 -- built with seeded synthetic weights.
+//
+// Substitution note (see DESIGN.md §2): the paper uses trained weights on
+// MNIST / ImageNet / LFW. Those artifacts are proprietary or impractical
+// offline, so the zoo generates He-initialized Gaussian weights from a
+// seeded RNG and sparsifies them by magnitude pruning to the typical
+// trained-network levels the paper reports (Table III). Quantization
+// behaviour (Fig. 6) depends on weight/activation *distributions* rather
+// than on what the network has learned, so the sweep methodology is
+// preserved; absolute bit counts are reported next to the paper's.
+//
+// Each builder has a `full` variant with the published topology (used for
+// workload numbers: MACs/frame of Table III) and a `scaled` variant with
+// reduced spatial resolution / channel counts (used for execution-based
+// sweeps, where a full AlexNet forward pass per bit setting would dominate
+// bench runtime).
+
+#pragma once
+
+#include "cnn/network.h"
+
+#include <cstdint>
+
+namespace dvafs {
+
+struct zoo_options {
+    std::uint64_t seed = 2017;
+    // Fraction of smallest-magnitude weights pruned to exact zero
+    // (trained-network sparsity stand-in; Table III reports 4-35%).
+    double weight_sparsity = 0.2;
+};
+
+// LeNet-5 on 1x28x28 inputs (5 weighted layers: 2 conv + 3 fc).
+network make_lenet5(const zoo_options& opt = {});
+
+// AlexNet, published topology on 3x227x227 (8 weighted layers).
+network make_alexnet_full(const zoo_options& opt = {});
+// Reduced AlexNet: same depth/structure on 3x67x67 with thinner layers.
+network make_alexnet_scaled(const zoo_options& opt = {});
+
+// VGG16, published topology on 3x224x224 (16 weighted layers).
+network make_vgg16_full(const zoo_options& opt = {});
+// Reduced VGG16: same depth/structure on 3x56x56 with thinner layers.
+network make_vgg16_scaled(const zoo_options& opt = {});
+
+// Initializes all conv/fc weights of `net` with He-scaled Gaussians and
+// applies magnitude pruning at `weight_sparsity`. (Called by the builders;
+// exposed for custom networks.)
+void init_weights(network& net, const zoo_options& opt);
+
+} // namespace dvafs

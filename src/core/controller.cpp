@@ -1,0 +1,90 @@
+#include "core/controller.h"
+
+#include <stdexcept>
+
+namespace dvafs {
+
+dvafs_controller::dvafs_controller(const tech_model& tech, int width,
+                                   double throughput_mops)
+    : tech_(tech), throughput_mops_(throughput_mops),
+      mult_(std::make_unique<dvafs_multiplier>(width))
+{
+    kparam_extraction_config cfg;
+    cfg.throughput_mops = throughput_mops;
+    kx_ = extract_kparams(*mult_, tech_, cfg);
+}
+
+const mult_operating_point& dvafs_controller::measured(sw_mode mode,
+                                                       int bits) const
+{
+    if (mode == sw_mode::w1x16) {
+        for (const mult_operating_point& op : kx_.das) {
+            if (op.bits == bits) {
+                return op;
+            }
+        }
+    } else {
+        for (const mult_operating_point& op : kx_.dvafs) {
+            if (op.mode == mode) {
+                return op;
+            }
+        }
+    }
+    throw std::out_of_range("dvafs_controller: no measurement for mode");
+}
+
+dvafs_operating_point
+dvafs_controller::resolve(int required_bits, scaling_regime regime) const
+{
+    const int w = mult_->width();
+    const int q = w / 4;
+    // Round the requirement up to the DAS quarter-word granularity.
+    int bits = ((required_bits + q - 1) / q) * q;
+    bits = std::min(std::max(bits, q), w);
+
+    dvafs_operating_point op;
+    op.regime = regime;
+    op.v_mem = tech_.vdd_nom;
+
+    if (regime == scaling_regime::dvafs) {
+        op.mode = mode_for_precision(bits);
+        const mult_operating_point& m =
+            measured(op.mode.subword, op.mode.lane_width());
+        op.words_per_cycle = m.n;
+        op.f_mhz = throughput_mops_ / m.n;
+        op.v_as = m.v_dvafs;
+        op.v_nas = tech_.solve_voltage(static_cast<double>(m.n));
+    } else {
+        op.mode = dvafs_mode{sw_mode::w1x16, bits};
+        const mult_operating_point& m = measured(sw_mode::w1x16, bits);
+        op.words_per_cycle = 1.0;
+        op.f_mhz = throughput_mops_;
+        op.v_as = (regime == scaling_regime::dvas) ? m.v_dvas
+                                                   : tech_.vdd_nom;
+        op.v_nas = tech_.vdd_nom;
+    }
+
+    // Relative energy per word vs. full-precision operation at Vnom.
+    const double e_ref = energy_per_word_pj(
+        {{sw_mode::w1x16, w}, scaling_regime::das, throughput_mops_,
+         tech_.vdd_nom, tech_.vdd_nom, tech_.vdd_nom, 1.0, 1.0});
+    op.rel_energy_per_word = energy_per_word_pj(op) / e_ref;
+    return op;
+}
+
+double
+dvafs_controller::energy_per_word_pj(const dvafs_operating_point& op) const
+{
+    const mult_operating_point& m =
+        measured(op.mode.subword,
+                 op.mode.subword == sw_mode::w1x16 ? op.mode.precision_bits
+                                                   : op.mode.lane_width());
+    // Switched capacitance per cycle at Vnom, rescaled to the as voltage;
+    // N words are processed per cycle.
+    const double cap_ff = m.mean_cap_ff;
+    const double e_cycle_fj =
+        tech_model::toggle_energy_fj(cap_ff, op.v_as);
+    return e_cycle_fj * 1e-3 / op.words_per_cycle;
+}
+
+} // namespace dvafs

@@ -1,0 +1,66 @@
+// Run-time DVAFS controller: the paper's headline capability -- "running
+// every layer of the network at its optimal computational accuracy" -- as a
+// library. Given a precision requirement and a throughput target, the
+// controller picks the subword mode, frequency and the two variable supply
+// voltages, and estimates the resulting power from the gate-level
+// multiplier's measured activity and timing.
+
+#pragma once
+
+#include "core/mode.h"
+#include "energy/kparams.h"
+#include "energy/power_model.h"
+#include "mult/dvafs_mult.h"
+#include "simd/power_domains.h"
+
+#include <memory>
+
+namespace dvafs {
+
+// A fully resolved operating point for the datapath.
+struct dvafs_operating_point {
+    dvafs_mode mode;
+    scaling_regime regime = scaling_regime::dvafs;
+    double f_mhz = 0.0;
+    double v_as = 0.0;
+    double v_nas = 0.0;
+    double v_mem = 0.0;
+    double words_per_cycle = 1.0;
+    // Estimated energy per processed word, relative to full-precision DAS
+    // operation at the same throughput.
+    double rel_energy_per_word = 1.0;
+};
+
+class dvafs_controller {
+public:
+    // Builds (and owns) a gate-level multiplier of `width` bits and
+    // extracts its k parameters once; subsequent queries are table lookups.
+    explicit dvafs_controller(const tech_model& tech = tech_40nm_lp(),
+                              int width = 16,
+                              double throughput_mops = 500.0);
+
+    // The measured Table I of the underlying multiplier.
+    const kparam_extraction& kparams() const noexcept { return kx_; }
+    const dvafs_multiplier& multiplier() const noexcept { return *mult_; }
+    const tech_model& tech() const noexcept { return tech_; }
+
+    // Resolves an operating point for `required_bits` of precision under a
+    // scaling regime at the constructor's constant throughput.
+    dvafs_operating_point resolve(int required_bits,
+                                  scaling_regime regime
+                                  = scaling_regime::dvafs) const;
+
+    // Energy/word estimate [pJ] of a resolved point, from the multiplier's
+    // measured switched capacitance at that mode and the solved voltages.
+    double energy_per_word_pj(const dvafs_operating_point& op) const;
+
+private:
+    const mult_operating_point& measured(sw_mode mode, int bits) const;
+
+    const tech_model& tech_;
+    double throughput_mops_;
+    std::unique_ptr<dvafs_multiplier> mult_;
+    kparam_extraction kx_;
+};
+
+} // namespace dvafs

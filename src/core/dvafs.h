@@ -1,0 +1,67 @@
+// Umbrella header: the public API of the DVAFS library.
+//
+// Layering (bottom to top):
+//   circuit/   gate-level netlists, logic simulation, timing, technology
+//   mult/      exact + approximate multipliers; the DVAFS multiplier
+//   energy/    the paper's power equations, k-parameter extraction, VF
+//   simd/      the DVAFS-compatible SIMD vector processor
+//   cnn/       quantized CNN inference and per-layer precision analysis
+//   envision/  the Envision chip model
+//   core/      modes, run-time controller, layer-wise precision planner
+
+#pragma once
+
+#include "util/csv.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+#include "fixedpoint/bitops.h"
+#include "fixedpoint/fixed.h"
+#include "fixedpoint/quantize.h"
+
+#include "circuit/cells.h"
+#include "circuit/logic_sim.h"
+#include "circuit/netlist.h"
+#include "circuit/tech.h"
+#include "circuit/timing.h"
+
+#include "mult/array_mult.h"
+#include "mult/booth.h"
+#include "mult/booth_wallace_mult.h"
+#include "mult/dvafs_mult.h"
+#include "mult/error_analysis.h"
+#include "mult/subword.h"
+#include "mult/wallace_mult.h"
+#include "mult/approx/etm_mult.h"
+#include "mult/approx/kulkarni_mult.h"
+#include "mult/approx/per_mult.h"
+#include "mult/approx/truncated_mult.h"
+
+#include "energy/energy_ledger.h"
+#include "energy/kparams.h"
+#include "energy/power_model.h"
+#include "energy/vf_curve.h"
+
+#include "simd/assembler.h"
+#include "simd/isa.h"
+#include "simd/kernels.h"
+#include "simd/memory.h"
+#include "simd/power_domains.h"
+#include "simd/processor.h"
+
+#include "cnn/layers.h"
+#include "cnn/network.h"
+#include "cnn/quant_analysis.h"
+#include "cnn/tensor.h"
+#include "cnn/workload.h"
+#include "cnn/zoo.h"
+
+#include "envision/calibration.h"
+#include "envision/envision.h"
+#include "envision/layer_runner.h"
+
+#include "core/controller.h"
+#include "core/energy_report.h"
+#include "core/mode.h"
+#include "core/planner.h"

@@ -1,0 +1,56 @@
+#include "core/energy_report.h"
+
+#include "util/table.h"
+
+#include <cstdio>
+#include <ostream>
+
+namespace dvafs {
+
+std::string describe(const dvafs_operating_point& op)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "%s [%s] @ %.0f MHz, Vas=%.2f V, Vnas=%.2f V, "
+                  "%.0f words/cycle, rel E/word %.3f",
+                  op.mode.to_string().c_str(), to_string(op.regime),
+                  op.f_mhz, op.v_as, op.v_nas, op.words_per_cycle,
+                  op.rel_energy_per_word);
+    return buf;
+}
+
+void print_plan(std::ostream& os, const network_plan& plan)
+{
+    ascii_table t({"layer", "mode", "wght[b]", "in[b]", "f[MHz]", "V[V]",
+                   "P[mW]", "E[mJ]", "t[ms]"});
+    for (const layer_plan& lp : plan.layers) {
+        t.add_row({lp.layer_name, to_string(lp.mode.mode),
+                   std::to_string(lp.weight_bits),
+                   std::to_string(lp.input_bits),
+                   fmt_fixed(lp.mode.f_mhz, 0), fmt_fixed(lp.mode.vdd, 2),
+                   fmt_fixed(lp.power_mw, 1), fmt_sci(lp.energy_mj, 2),
+                   fmt_fixed(lp.time_ms, 3)});
+    }
+    t.print(os);
+    os << "  total: " << fmt_fixed(plan.total_energy_mj * 1e3, 3)
+       << " uJ/frame, " << fmt_fixed(plan.fps, 1) << " fps, "
+       << fmt_fixed(plan.avg_power_mw, 1) << " mW avg, "
+       << fmt_fixed(plan.tops_per_w, 2) << " TOPS/W, "
+       << fmt_fixed(plan.savings_factor, 2) << "x vs 16b baseline, "
+       << "relative accuracy " << fmt_percent(plan.relative_accuracy, 1)
+       << "\n";
+}
+
+void print_kparams(std::ostream& os, const kparam_extraction& kx)
+{
+    ascii_table t({"bits", "k0", "k1", "k2", "k3", "k4", "N"});
+    for (const k_factors& k : kx.table) {
+        t.add_row({std::to_string(k.bits), fmt_fixed(k.k0, 2),
+                   fmt_fixed(k.k1, 2), fmt_fixed(k.k2, 2),
+                   fmt_fixed(k.k3, 2), fmt_fixed(k.k4, 2),
+                   std::to_string(k.n)});
+    }
+    t.print(os);
+}
+
+} // namespace dvafs

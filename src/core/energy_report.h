@@ -1,0 +1,23 @@
+// Human-readable reports for controller/planner results (used by examples
+// and benches; kept out of the algorithmic headers).
+
+#pragma once
+
+#include "core/controller.h"
+#include "core/planner.h"
+
+#include <iosfwd>
+
+namespace dvafs {
+
+// One-line rendering of an operating point, e.g.
+// "4x4 @ 125 MHz, Vas=0.75 V, Vnas=0.78 V, 4 words/cycle, rel E/word 0.06".
+std::string describe(const dvafs_operating_point& op);
+
+// Tabular rendering of a network plan (per-layer rows + totals).
+void print_plan(std::ostream& os, const network_plan& plan);
+
+// Tabular rendering of a measured Table I.
+void print_kparams(std::ostream& os, const kparam_extraction& kx);
+
+} // namespace dvafs

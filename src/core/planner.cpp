@@ -1,0 +1,74 @@
+#include "core/planner.h"
+
+#include <stdexcept>
+
+namespace dvafs {
+
+network_plan precision_planner::plan(network& net,
+                                     const quant_sweep_config& cfg) const
+{
+    const teacher_dataset data = make_teacher_dataset(net, cfg);
+    const std::vector<layer_quant_requirement> reqs = refine_requirements(
+        net, sweep_layer_precision(net, data, cfg), data, cfg);
+    const std::vector<layer_sparsity> sparsity =
+        measure_sparsity(net, data);
+    network_plan np = plan_with_requirements(net, reqs, sparsity);
+    np.relative_accuracy = apply_requirements(net, reqs, data);
+    return np;
+}
+
+network_plan precision_planner::plan_with_requirements(
+    const network& net, const std::vector<layer_quant_requirement>& reqs,
+    const std::vector<layer_sparsity>& sparsity) const
+{
+    std::vector<layer_workload> workloads = extract_workloads(net);
+    if (workloads.size() != reqs.size()) {
+        throw std::invalid_argument(
+            "precision_planner: requirement count mismatch");
+    }
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        workloads[i].weight_bits = reqs[i].min_weight_bits;
+        workloads[i].input_bits = reqs[i].min_input_bits;
+        if (i < sparsity.size()) {
+            workloads[i].weight_sparsity = sparsity[i].weight_sparsity;
+            workloads[i].input_sparsity = sparsity[i].input_sparsity;
+        }
+    }
+
+    network_plan np;
+    np.network_name = net.name();
+    const network_run run = runner_.run_network(net.name(), workloads);
+    for (std::size_t i = 0; i < run.layers.size(); ++i) {
+        const layer_run& lr = run.layers[i];
+        layer_plan lp;
+        lp.layer_name = lr.name;
+        lp.weight_bits = workloads[i].weight_bits;
+        lp.input_bits = workloads[i].input_bits;
+        lp.mode = lr.mode;
+        lp.power_mw = lr.report.power_mw;
+        lp.energy_mj = lr.energy_mj;
+        lp.time_ms = lr.time_ms;
+        np.layers.push_back(lp);
+    }
+    np.total_energy_mj = run.total_energy_mj;
+    np.total_time_ms = run.total_time_ms;
+    np.fps = run.fps;
+    np.avg_power_mw = run.avg_power_mw;
+    np.tops_per_w = run.tops_per_w;
+
+    // 16-bit baseline: same workloads, full precision, no sparsity gains
+    // from reduced modes (sparsity levels kept -- they are workload facts).
+    std::vector<layer_workload> base = workloads;
+    for (layer_workload& w : base) {
+        w.weight_bits = 16;
+        w.input_bits = 16;
+    }
+    const network_run base_run = runner_.run_network(net.name(), base);
+    np.baseline_energy_mj = base_run.total_energy_mj;
+    np.savings_factor = np.total_energy_mj > 0.0
+                            ? np.baseline_energy_mj / np.total_energy_mj
+                            : 1.0;
+    return np;
+}
+
+} // namespace dvafs

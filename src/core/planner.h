@@ -1,0 +1,66 @@
+// Layer-wise precision planner: combines the CNN quantization requirements
+// (Fig. 6) with the Envision model (Sec. V) to schedule every layer of a
+// network at its optimal computational accuracy -- the deployment flow the
+// paper's introduction motivates.
+
+#pragma once
+
+#include "cnn/quant_analysis.h"
+#include "cnn/workload.h"
+#include "envision/layer_runner.h"
+
+#include <string>
+#include <vector>
+
+namespace dvafs {
+
+struct layer_plan {
+    std::string layer_name;
+    int weight_bits = 16;
+    int input_bits = 16;
+    envision_mode mode;        // resolved Envision operating point
+    double power_mw = 0.0;
+    double energy_mj = 0.0;    // per frame
+    double time_ms = 0.0;
+};
+
+struct network_plan {
+    std::string network_name;
+    std::vector<layer_plan> layers;
+    double relative_accuracy = 1.0; // joint accuracy at the planned bits
+    double total_energy_mj = 0.0;
+    double total_time_ms = 0.0;
+    double fps = 0.0;
+    double avg_power_mw = 0.0;
+    double tops_per_w = 0.0;
+    // Energy of the same network with every layer at 16 b (the non-scaled
+    // baseline), for the headline savings factor.
+    double baseline_energy_mj = 0.0;
+    double savings_factor = 1.0;
+};
+
+class precision_planner {
+public:
+    explicit precision_planner(const envision_model& model)
+        : runner_(model)
+    {
+    }
+
+    // Full pipeline: sweep per-layer precision requirements on `net`
+    // against a synthetic teacher dataset, attach measured sparsity, map
+    // every layer onto the Envision model, and report network-level
+    // energy/fps/efficiency plus the 16 b baseline.
+    network_plan plan(network& net, const quant_sweep_config& cfg) const;
+
+    // Plan from externally supplied requirements (e.g. the paper's
+    // published per-layer bits), skipping the sweep.
+    network_plan plan_with_requirements(
+        const network& net,
+        const std::vector<layer_quant_requirement>& reqs,
+        const std::vector<layer_sparsity>& sparsity) const;
+
+private:
+    layer_runner runner_;
+};
+
+} // namespace dvafs

@@ -1,0 +1,25 @@
+#include "energy/energy_ledger.h"
+
+namespace dvafs {
+
+const char* to_string(power_domain d) noexcept
+{
+    switch (d) {
+    case power_domain::mem: return "mem";
+    case power_domain::nas: return "nas";
+    case power_domain::as: return "as";
+    }
+    return "?";
+}
+
+double energy_ledger::power_mw(std::uint64_t cycles, double f_mhz) const
+{
+    if (cycles == 0) {
+        return 0.0;
+    }
+    // Energy per cycle [pJ] * f [MHz] = pJ * 1e6 / s = uW; / 1000 -> mW.
+    const double pj_per_cycle = total_pj() / static_cast<double>(cycles);
+    return pj_per_cycle * f_mhz * 1e-3;
+}
+
+} // namespace dvafs

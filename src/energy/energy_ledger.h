@@ -1,0 +1,56 @@
+// Per-domain energy accounting used by the SIMD processor and the Envision
+// model. Energy is attributed to the paper's three domains: the memory
+// (fixed supply), the non-accuracy-scalable logic (control, decode) and the
+// accuracy-scalable arithmetic.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dvafs {
+
+enum class power_domain : std::uint8_t { mem = 0, nas = 1, as = 2 };
+
+const char* to_string(power_domain d) noexcept;
+
+class energy_ledger {
+public:
+    void add_pj(power_domain d, double pj) noexcept
+    {
+        pj_[static_cast<std::size_t>(d)] += pj;
+    }
+
+    double pj(power_domain d) const noexcept
+    {
+        return pj_[static_cast<std::size_t>(d)];
+    }
+    double total_pj() const noexcept
+    {
+        return pj_[0] + pj_[1] + pj_[2];
+    }
+    double share(power_domain d) const noexcept
+    {
+        const double t = total_pj();
+        return t > 0.0 ? pj(d) / t : 0.0;
+    }
+
+    // Average power over an execution of `cycles` cycles at `f_mhz`:
+    // P[mW] = E[pJ] * f[MHz] / cycles * 1e-6 ... (pJ * 1/us) = uW.
+    double power_mw(std::uint64_t cycles, double f_mhz) const;
+
+    void reset() noexcept { pj_[0] = pj_[1] = pj_[2] = 0.0; }
+
+    energy_ledger& operator+=(const energy_ledger& rhs) noexcept
+    {
+        for (std::size_t i = 0; i < 3; ++i) {
+            pj_[i] += rhs.pj_[i];
+        }
+        return *this;
+    }
+
+private:
+    double pj_[3] = {0.0, 0.0, 0.0};
+};
+
+} // namespace dvafs

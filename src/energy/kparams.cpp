@@ -1,0 +1,132 @@
+#include "energy/kparams.h"
+
+#include "util/rng.h"
+
+#include <stdexcept>
+
+namespace dvafs {
+
+namespace {
+
+double measure_activity(dvafs_multiplier& m, sw_mode mode, int keep_bits,
+                        const tech_model& tech,
+                        const kparam_extraction_config& cfg)
+{
+    m.set_das_precision(m.width());
+    m.set_mode(mode);
+    if (mode == sw_mode::w1x16 && keep_bits < m.width()) {
+        m.set_das_precision(keep_bits);
+    }
+    pcg32 rng(cfg.seed);
+    const std::uint64_t mask = low_mask(m.width());
+    // Warm up the simulator state with the first vector, then count
+    // transitions over an identical stream for every configuration --
+    // without this, stale state from a previous mode pollutes the first
+    // transition and the full-precision reference would not be exactly
+    // reproducible.
+    m.simulate_packed(rng.next_u64() & mask, rng.next_u64() & mask);
+    m.reset_stats();
+    for (std::uint64_t i = 0; i < cfg.vectors; ++i) {
+        std::uint64_t a = rng.next_u64() & mask;
+        std::uint64_t b = rng.next_u64() & mask;
+        if (mode != sw_mode::w1x16 && keep_bits < m.lane_width(mode)) {
+            // Per-lane DAS truncation inside a subword mode is a data
+            // contract (the paper's 2x1-8b / 4x1-4b settings).
+            a = subword_truncate(static_cast<std::uint16_t>(a), mode,
+                                 keep_bits);
+            b = subword_truncate(static_cast<std::uint16_t>(b), mode,
+                                 keep_bits);
+        }
+        m.simulate_packed(a, b);
+    }
+    const double cap = m.mean_switched_cap_ff(tech);
+    m.set_das_precision(m.width());
+    return cap;
+}
+
+} // namespace
+
+kparam_extraction extract_kparams(dvafs_multiplier& mult,
+                                  const tech_model& tech,
+                                  const kparam_extraction_config& cfg)
+{
+    kparam_extraction out;
+    const int w = mult.width();
+    const int q = w / 4;
+
+    // Full-precision reference: 1xW at the nominal voltage; clock period at
+    // the target throughput (1 word/cycle).
+    const double cap_full =
+        measure_activity(mult, sw_mode::w1x16, w, tech, cfg);
+    const double f_full = cfg.throughput_mops; // 1 word/cycle
+    const double period_full_ps = 1e6 / f_full;
+
+    // --- DAS / DVAS: 1xW mode, truncated to 4/8/12/16 (quarter multiples) --
+    for (int keep = q; keep <= w; keep += q) {
+        mult_operating_point op;
+        op.bits = keep;
+        op.mode = sw_mode::w1x16;
+        op.n = 1;
+        op.mean_cap_ff =
+            measure_activity(mult, sw_mode::w1x16, keep, tech, cfg);
+        op.crit_path_ps = mult.mode_critical_path_ps(
+            tech, tech.vdd_nom, sw_mode::w1x16, keep);
+        op.f_mhz = f_full;
+        op.slack_ns = (period_full_ps - op.crit_path_ps) * 1e-3;
+        op.v_das = tech.vdd_nom;
+        op.v_dvas = tech.solve_voltage(period_full_ps / op.crit_path_ps);
+        op.v_dvafs = op.v_dvas; // no parallelism in 1xW
+        out.das.push_back(op);
+    }
+
+    // --- DVAFS: subword modes at constant throughput ------------------------
+    for (const sw_mode mode : all_sw_modes) {
+        mult_operating_point op;
+        op.mode = mode;
+        op.n = lane_count(mode);
+        op.bits = w / op.n;
+        op.mean_cap_ff = measure_activity(mult, mode, op.bits, tech, cfg);
+        op.crit_path_ps = mult.mode_critical_path_ps(
+            tech, tech.vdd_nom, mode, op.bits);
+        op.f_mhz = f_full / op.n; // N words/cycle at constant throughput
+        const double period_ps = 1e6 / op.f_mhz;
+        op.slack_ns = (period_ps - op.crit_path_ps) * 1e-3;
+        op.v_das = tech.vdd_nom;
+        op.v_dvas = tech.solve_voltage(period_full_ps / op.crit_path_ps);
+        op.v_dvafs = tech.solve_voltage(period_ps / op.crit_path_ps);
+        out.dvafs.push_back(op);
+    }
+
+    // --- assemble the measured Table I --------------------------------------
+    for (const mult_operating_point& das_op : out.das) {
+        k_factors k;
+        k.bits = das_op.bits;
+        k.k0 = cap_full / das_op.mean_cap_ff;
+        k.k1 = k.k0;
+        k.k2 = tech.vdd_nom / das_op.v_dvas;
+        // Matching DVAFS mode: lane width == precision (e.g. 4 -> 4x4).
+        const mult_operating_point* dv = nullptr;
+        for (const mult_operating_point& m : out.dvafs) {
+            if (w / m.n == das_op.bits) {
+                dv = &m;
+            }
+        }
+        if (dv != nullptr) {
+            k.k3 = cap_full / dv->mean_cap_ff;
+            k.k4 = tech.vdd_nom / dv->v_dvafs;
+            k.k5 = k.k4; // single multiplier: no separate nas domain
+            k.n = dv->n;
+        } else {
+            // Precisions without a matching subword mode (12 b) fall back
+            // to DVAS behaviour, as in the paper's Table I (N = 1).
+            k.k3 = k.k0;
+            k.k4 = k.k2;
+            k.k5 = 1.0;
+            k.n = 1;
+        }
+        out.table.push_back(k);
+    }
+    return out;
+}
+
+} // namespace dvafs

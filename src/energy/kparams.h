@@ -1,0 +1,48 @@
+// Extraction of the paper's k parameters (Table I) from the gate-level
+// DVAFS multiplier: switching activity ratios from logic simulation over
+// random operand streams, voltage ratios from active-cone timing plus the
+// alpha-power-law voltage solver.
+
+#pragma once
+
+#include "energy/power_model.h"
+#include "mult/dvafs_mult.h"
+
+#include <cstdint>
+
+namespace dvafs {
+
+struct kparam_extraction_config {
+    std::uint64_t vectors = 2000; // random input transitions per mode
+    std::uint64_t seed = 42;
+    double throughput_mops = 500.0; // constant-throughput target (words/s)
+};
+
+// Measured operating point of the multiplier in one configuration.
+struct mult_operating_point {
+    int bits = 16;                // effective precision
+    sw_mode mode = sw_mode::w1x16;
+    double mean_cap_ff = 0.0;     // switched capacitance per transition
+    double crit_path_ps = 0.0;    // active-cone critical path at Vnom
+    double f_mhz = 0.0;           // frequency at constant throughput
+    double slack_ns = 0.0;        // positive slack at Vnom and f
+    double v_das = 0.0;           // supply in DAS (no scaling): Vnom
+    double v_dvas = 0.0;          // solved supply, constant f
+    double v_dvafs = 0.0;         // solved supply at f/N
+    int n = 1;                    // subword parallelism
+};
+
+// Sweeps precision 4/8/12/16 in DAS/DVAS (1xW + truncation) and the DVAFS
+// modes (4x4, 2x8, 1x16) and returns one operating point per precision for
+// each regime.
+struct kparam_extraction {
+    std::vector<mult_operating_point> das;   // 1xW, truncated inputs
+    std::vector<mult_operating_point> dvafs; // subword modes
+    std::vector<k_factors> table;            // measured Table I
+};
+
+kparam_extraction extract_kparams(dvafs_multiplier& mult,
+                                  const tech_model& tech,
+                                  const kparam_extraction_config& cfg = {});
+
+} // namespace dvafs

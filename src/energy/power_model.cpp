@@ -1,0 +1,95 @@
+#include "energy/power_model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dvafs {
+
+const std::vector<k_factors>& paper_table1()
+{
+    // Paper Table I plus k5 inferred from the Table II nas voltages
+    // (1x16b: 1.1 V, 2x8b: 0.9 V, 4x4b: 0.8 V).
+    static const std::vector<k_factors> table{
+        // bits   k0     k1    k2    k3    k4    k5     N
+        {4, 12.5, 12.5, 1.2, 3.2, 1.53, 1.375, 4},
+        {8, 3.5, 3.5, 1.1, 1.82, 1.27, 1.22, 2},
+        {12, 1.4, 1.4, 1.02, 1.45, 1.02, 1.0, 1},
+        {16, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1},
+    };
+    return table;
+}
+
+const k_factors& k_for_bits(const std::vector<k_factors>& table, int bits)
+{
+    for (const k_factors& k : table) {
+        if (k.bits == bits) {
+            return k;
+        }
+    }
+    throw std::out_of_range("k_for_bits: no entry for precision "
+                            + std::to_string(bits));
+}
+
+double interpolate_k1(const std::vector<k_factors>& table, double bits)
+{
+    // The table rows are ordered by ascending bits (4, 8, 12, 16) with
+    // descending k1. Extrapolate below the smallest entry along the last
+    // log-log segment; clamp above the largest.
+    if (table.empty()) {
+        return 1.0;
+    }
+    if (bits >= table.back().bits) {
+        return table.back().k1;
+    }
+    std::size_t hi = 1;
+    while (hi + 1 < table.size()
+           && bits > static_cast<double>(table[hi].bits)) {
+        ++hi;
+    }
+    const k_factors& a = table[hi - 1];
+    const k_factors& b = table[hi];
+    const double t = (std::log(bits) - std::log(a.bits))
+                     / (std::log(static_cast<double>(b.bits))
+                        - std::log(static_cast<double>(a.bits)));
+    return std::exp(std::log(a.k1) + t * (std::log(b.k1) - std::log(a.k1)));
+}
+
+double power_breakdown::energy_per_word_pj(double f_mhz,
+                                           int words_per_cycle) const
+{
+    // mW / (MHz * words/cycle) = nJ/word * 1e-... : 1 mW = 1e-3 J/s,
+    // 1 MHz = 1e6 cycles/s -> mW/MHz = 1e-9 J/cycle = 1 nJ/cycle.
+    const double nj_per_cycle = total_mw() / f_mhz;
+    return 1000.0 * nj_per_cycle / static_cast<double>(words_per_cycle);
+}
+
+power_breakdown das_power(const power_plant& p, const k_factors& k)
+{
+    power_breakdown b;
+    const double v2 = p.vdd * p.vdd;
+    b.as_mw = (p.alpha_c_as_pf / k.k0) * p.f_mhz * v2 * 1e-3;
+    b.nas_mw = p.alpha_c_nas_pf * p.f_mhz * v2 * 1e-3;
+    return b;
+}
+
+power_breakdown dvas_power(const power_plant& p, const k_factors& k)
+{
+    power_breakdown b;
+    const double vas = p.vdd / k.k2;
+    b.as_mw = (p.alpha_c_as_pf / k.k1) * p.f_mhz * vas * vas * 1e-3;
+    b.nas_mw = p.alpha_c_nas_pf * p.f_mhz * p.vdd * p.vdd * 1e-3;
+    return b;
+}
+
+power_breakdown dvafs_power(const power_plant& p, const k_factors& k)
+{
+    power_breakdown b;
+    const double f = p.f_mhz / static_cast<double>(k.n);
+    const double vas = p.vdd / k.k4;
+    const double vnas = p.vdd / k.k5;
+    b.as_mw = (p.alpha_c_as_pf / k.k3) * f * vas * vas * 1e-3;
+    b.nas_mw = p.alpha_c_nas_pf * f * vnas * vnas * 1e-3;
+    return b;
+}
+
+} // namespace dvafs

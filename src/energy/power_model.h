@@ -1,0 +1,73 @@
+// Analytical power models of the paper's equations (1), (2), (3).
+//
+//   P_DAS   = (a_as/k0) C_as f V^2              + a_nas C_nas f V^2
+//   P_DVAS  = (a_as/k1) C_as f (V_as/k2)^2      + a_nas C_nas f V_nas^2
+//   P_DVAFS = (a_as/k3) C_as (f/N) (V_as/k4)^2  + a_nas C_nas (f/N)(V_nas/k5)^2
+//
+// The k parameters are precision-dependent scale factors (Table I). They can
+// be taken from the paper's table or extracted from the gate-level
+// multiplier (energy/kparams.h); both paths flow through this model.
+
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace dvafs {
+
+// Scale factors for one precision setting.
+struct k_factors {
+    int bits = 16;   // computational precision
+    double k0 = 1.0; // DAS activity reduction
+    double k1 = 1.0; // DVAS activity reduction (== k0 in practice)
+    double k2 = 1.0; // DVAS supply reduction Vnom/V_as
+    double k3 = 1.0; // DVAFS activity reduction (per cycle)
+    double k4 = 1.0; // DVAFS as-domain supply reduction
+    double k5 = 1.0; // DVAFS nas-domain supply reduction
+    int n = 1;       // subword parallelism N
+};
+
+// Table I of the paper (for the 16-bit Booth-encoded Wallace multiplier).
+// k5 is not tabulated explicitly; the paper's Table II voltages imply the
+// nas domain follows the as domain in DVAFS mode (Vnas within 0.1 V), so we
+// adopt k5 from the measured Vnas = {1.1, 0.9, 0.8} anchors.
+const std::vector<k_factors>& paper_table1();
+
+// Returns the row for `bits` (4, 8, 12 or 16) from a table.
+const k_factors& k_for_bits(const std::vector<k_factors>& table, int bits);
+
+// Log-log interpolation of the k1 (activity divisor) column over precision;
+// clamps outside the tabulated range. Used for precisions between (or
+// below) the tabulated quarter-word settings.
+double interpolate_k1(const std::vector<k_factors>& table, double bits);
+
+// Circuit constants of the modeled system: activity-capacitance products
+// per clock for the accuracy-scalable and non-scalable parts, at full
+// precision and nominal voltage.
+struct power_plant {
+    double alpha_c_as_pf = 1.0;  // a_as * C_as   [pF] switched per cycle
+    double alpha_c_nas_pf = 0.5; // a_nas * C_nas [pF] switched per cycle
+    double f_mhz = 500.0;        // full-precision operating frequency
+    double vdd = 1.1;            // nominal supply [V]
+};
+
+struct power_breakdown {
+    double as_mw = 0.0;
+    double nas_mw = 0.0;
+    double total_mw() const noexcept { return as_mw + nas_mw; }
+    // Energy per processed word [pJ] at throughput `words_per_cycle * f`.
+    double energy_per_word_pj(double f_mhz, int words_per_cycle) const;
+};
+
+// Equation (1): accuracy scaling only (activity drops, V and f unchanged).
+power_breakdown das_power(const power_plant& p, const k_factors& k);
+
+// Equation (2): + voltage scaling of the as domain at constant frequency.
+power_breakdown dvas_power(const power_plant& p, const k_factors& k);
+
+// Equation (3): + subword parallelism; at constant throughput the whole
+// system (as and nas) runs at f/N and reduced voltages.
+power_breakdown dvafs_power(const power_plant& p, const k_factors& k);
+
+} // namespace dvafs

@@ -1,0 +1,57 @@
+#include "energy/vf_curve.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dvafs {
+
+vf_curve::vf_curve(const tech_model& tech, double crit_path_ps)
+    : tech_(tech), crit_path_ps_(crit_path_ps)
+{
+    if (crit_path_ps <= 0.0) {
+        throw std::invalid_argument("vf_curve: non-positive critical path");
+    }
+    f_nom_mhz_ = 1e6 / crit_path_ps_;
+}
+
+double vf_curve::f_max_mhz(double vdd) const
+{
+    return f_nom_mhz_ / tech_.delay_scale(vdd);
+}
+
+double vf_curve::v_min_for(double f_mhz) const
+{
+    if (f_mhz > f_nom_mhz_ * (1.0 + 1e-9)) {
+        throw std::domain_error(
+            "vf_curve: frequency above f_max at nominal voltage");
+    }
+    return tech_.solve_voltage(f_nom_mhz_ / f_mhz);
+}
+
+operating_point vf_curve::at_frequency(double f_mhz) const
+{
+    operating_point op;
+    op.f_mhz = f_mhz;
+    op.vdd = v_min_for(f_mhz);
+    const double vr = op.vdd / tech_.vdd_nom;
+    op.rel_power = (f_mhz / f_nom_mhz_) * vr * vr;
+    return op;
+}
+
+std::vector<operating_point> vf_curve::sample(int points) const
+{
+    std::vector<operating_point> out;
+    if (points < 2) {
+        throw std::invalid_argument("vf_curve::sample: need >= 2 points");
+    }
+    const double f_lo = f_max_mhz(tech_.vmin);
+    for (int i = 0; i < points; ++i) {
+        const double f = f_lo
+                         + (f_nom_mhz_ - f_lo) * static_cast<double>(i)
+                               / static_cast<double>(points - 1);
+        out.push_back(at_frequency(f));
+    }
+    return out;
+}
+
+} // namespace dvafs

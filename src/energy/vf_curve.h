@@ -1,0 +1,47 @@
+// Voltage-frequency operating points: the glue between timing slack and the
+// energy models. A vf_curve wraps a technology model plus a reference
+// critical path and answers "what supply does frequency f need?" and
+// "what is the max frequency at supply V?".
+
+#pragma once
+
+#include "circuit/tech.h"
+
+#include <vector>
+
+namespace dvafs {
+
+struct operating_point {
+    double f_mhz = 0.0;
+    double vdd = 0.0;
+    // Relative dynamic power of this point vs. (f_ref, vdd_nom):
+    // (f/f_ref) * (V/Vnom)^2.
+    double rel_power = 1.0;
+};
+
+class vf_curve {
+public:
+    // `crit_path_ps` is the design's critical path at the technology's
+    // nominal voltage; f_max(vdd_nom) = 1e6 / crit_path_ps MHz.
+    vf_curve(const tech_model& tech, double crit_path_ps);
+
+    double f_max_mhz(double vdd) const;
+    // Minimum voltage running at f_mhz without timing violations
+    // (clamped to [vmin, vdd_nom]; throws if f exceeds f_max at nominal).
+    double v_min_for(double f_mhz) const;
+
+    operating_point at_frequency(double f_mhz) const;
+
+    // Sampled curve between f_min and f_max (for table printing).
+    std::vector<operating_point> sample(int points) const;
+
+    double nominal_f_mhz() const noexcept { return f_nom_mhz_; }
+    const tech_model& tech() const noexcept { return tech_; }
+
+private:
+    const tech_model& tech_;
+    double crit_path_ps_;
+    double f_nom_mhz_;
+};
+
+} // namespace dvafs

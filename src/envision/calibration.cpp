@@ -1,0 +1,38 @@
+#include "envision/calibration.h"
+
+#include <algorithm>
+#include <iterator>
+
+namespace dvafs {
+
+double envision_calibration::voltage_for_frequency(double f_mhz) const
+{
+    struct anchor {
+        double f;
+        double v;
+    };
+    // Measured VF anchors from Table III.
+    static constexpr anchor anchors[] = {
+        {50.0, 0.65}, {100.0, 0.80}, {200.0, 1.03}};
+
+    if (f_mhz <= anchors[0].f) {
+        return anchors[0].v;
+    }
+    for (std::size_t i = 1; i < std::size(anchors); ++i) {
+        if (f_mhz <= anchors[i].f) {
+            const double t = (f_mhz - anchors[i - 1].f)
+                             / (anchors[i].f - anchors[i - 1].f);
+            return anchors[i - 1].v
+                   + t * (anchors[i].v - anchors[i - 1].v);
+        }
+    }
+    return anchors[std::size(anchors) - 1].v;
+}
+
+const envision_calibration& default_envision_calibration()
+{
+    static const envision_calibration cal{};
+    return cal;
+}
+
+} // namespace dvafs

@@ -1,0 +1,183 @@
+#include "envision/envision.h"
+
+#include "circuit/tech.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dvafs {
+
+namespace {
+
+// Log-log interpolation of the paper's Table I k1 column (DAS activity
+// divisor) over precision; used for asymmetric weight/input precisions.
+double k1_interp(double bits)
+{
+    struct pt {
+        double b;
+        double k;
+    };
+    static constexpr pt pts[] = {{4, 12.5}, {8, 3.5}, {12, 1.4}, {16, 1.0}};
+    if (bits <= pts[0].b) {
+        return pts[0].k;
+    }
+    for (std::size_t i = 1; i < std::size(pts); ++i) {
+        if (bits <= pts[i].b) {
+            const double t = (std::log(bits) - std::log(pts[i - 1].b))
+                             / (std::log(pts[i].b) - std::log(pts[i - 1].b));
+            return std::exp(std::log(pts[i - 1].k)
+                            + t * (std::log(pts[i].k)
+                                   - std::log(pts[i - 1].k)));
+        }
+    }
+    return pts[std::size(pts) - 1].k;
+}
+
+double k3_for_lane(int lane_bits)
+{
+    switch (lane_bits) {
+    case 4: return 3.2;
+    case 8: return 1.82;
+    default: return 1.0;
+    }
+}
+
+// Active-cone critical-path ratio vs. full precision: the DAS cone
+// (truncated 1x16 datapath) and the subword-lane cone. Values follow the
+// paper's slack measurements (Fig. 2b scaled to the Envision datapath).
+double das_path_ratio(double bits)
+{
+    struct pt {
+        double b;
+        double r;
+    };
+    static constexpr pt pts[] = {{4, 0.55}, {8, 0.75}, {12, 0.9}, {16, 1.0}};
+    if (bits <= pts[0].b) {
+        return pts[0].r;
+    }
+    for (std::size_t i = 1; i < std::size(pts); ++i) {
+        if (bits <= pts[i].b) {
+            const double t =
+                (bits - pts[i - 1].b) / (pts[i].b - pts[i - 1].b);
+            return pts[i - 1].r + t * (pts[i].r - pts[i - 1].r);
+        }
+    }
+    return 1.0;
+}
+
+double subword_path_ratio(int lane_bits)
+{
+    switch (lane_bits) {
+    case 4: return 0.5;
+    case 8: return 0.8;
+    default: return 1.0;
+    }
+}
+
+sw_mode mode_for_bits(int bits)
+{
+    switch (bits) {
+    case 4: return sw_mode::w4x4;
+    case 8: return sw_mode::w2x8;
+    default: return sw_mode::w1x16;
+    }
+}
+
+} // namespace
+
+double envision_model::activity_divisor(sw_mode mode, int weight_bits,
+                                        int input_bits) const
+{
+    const int lb = lane_bits(mode);
+    if (weight_bits > lb || input_bits > lb || weight_bits < 1
+        || input_bits < 1) {
+        throw std::invalid_argument(
+            "envision_model: precision exceeds lane width");
+    }
+    const double k3 = k3_for_lane(lb);
+    const double eff_bits = std::sqrt(static_cast<double>(weight_bits)
+                                      * static_cast<double>(input_bits));
+    // Compose the subword divisor with DAS scaling inside the lane: the
+    // lane-relative precision eff/lb maps onto the 16-bit k1 table.
+    return k3 * k1_interp(16.0 * eff_bits / static_cast<double>(lb));
+}
+
+envision_report envision_model::evaluate(const envision_mode& m) const
+{
+    if (m.weight_sparsity < 0.0 || m.weight_sparsity > 1.0
+        || m.input_sparsity < 0.0 || m.input_sparsity > 1.0) {
+        throw std::invalid_argument("envision_model: bad sparsity");
+    }
+    const double div =
+        activity_divisor(m.mode, m.weight_bits, m.input_bits);
+    const double fr = m.f_mhz / cal_.f_nom_mhz;
+    const double vr = m.vdd / cal_.v_nom;
+    const double scale = fr * vr * vr;
+    const double live = 1.0 - m.input_sparsity;
+
+    envision_report r;
+    r.as_mw = cal_.as_mw * live / div * scale;
+    r.guard_mw = cal_.guard_mw * live * scale;
+    r.fixed_mw = cal_.fixed_mw * scale;
+    r.mem_mw = cal_.mem_mw
+               * (1.0 - cal_.mem_weight_compression * m.weight_sparsity)
+               * scale;
+    r.power_mw = r.as_mw + r.guard_mw + r.fixed_mw + r.mem_mw;
+    r.gops = 2.0 * cal_.mac_units * cal_.mac_utilization * m.f_mhz
+             * static_cast<double>(m.n()) * 1e-3;
+    r.tops_per_w = r.gops / r.power_mw;          // Gops/mW == Tops/W
+    r.energy_per_op_pj = r.power_mw / r.gops;    // mW/Gops == pJ/op
+    return r;
+}
+
+envision_mode envision_model::at_constant_frequency(scaling_regime regime,
+                                                    sw_mode mode,
+                                                    int bits) const
+{
+    const tech_model& t = tech_28nm_fdsoi();
+    envision_mode m;
+    m.f_mhz = cal_.f_nom_mhz;
+    switch (regime) {
+    case scaling_regime::das:
+        m.mode = sw_mode::w1x16;
+        m.weight_bits = m.input_bits = bits;
+        m.vdd = cal_.v_nom;
+        break;
+    case scaling_regime::dvas:
+        m.mode = sw_mode::w1x16;
+        m.weight_bits = m.input_bits = bits;
+        m.vdd = t.solve_voltage(1.0 / das_path_ratio(bits));
+        break;
+    case scaling_regime::dvafs: {
+        m.mode = mode_for_bits(bits);
+        const int lb = lane_bits(m.mode);
+        m.weight_bits = m.input_bits = std::min(bits, lb);
+        if (m.n() > 1) {
+            m.vdd = t.solve_voltage(1.0 / subword_path_ratio(lb));
+        } else {
+            // No subword mode at this precision: DVAFS degenerates to DVAS
+            // (paper Table I: N = 1 at 12 and 16 bit).
+            m.vdd = t.solve_voltage(1.0 / das_path_ratio(bits));
+        }
+        break;
+    }
+    }
+    (void)mode;
+    return m;
+}
+
+envision_mode envision_model::at_constant_throughput(scaling_regime regime,
+                                                     sw_mode mode,
+                                                     int bits) const
+{
+    envision_mode m = at_constant_frequency(regime, mode, bits);
+    if (regime == scaling_regime::dvafs && m.n() > 1) {
+        // Frequency drops by N at constant GOPS; the supply follows the
+        // chip's measured VF curve.
+        m.f_mhz = cal_.f_nom_mhz / static_cast<double>(m.n());
+        m.vdd = cal_.voltage_for_frequency(m.f_mhz);
+    }
+    return m;
+}
+
+} // namespace dvafs

@@ -1,0 +1,73 @@
+// Envision chip model (paper Sec. V): a 256-MAC DVAFS-compatible CNN
+// processor in 28 nm FDSOI. The model maps an operating mode (subword
+// configuration, per-operand precisions, frequency, sparsity levels) to
+// power, throughput and efficiency, calibrated to the paper's published
+// measurements (see envision/calibration.h).
+
+#pragma once
+
+#include "envision/calibration.h"
+#include "mult/subword.h"
+#include "simd/power_domains.h" // scaling_regime
+
+#include <string>
+
+namespace dvafs {
+
+struct envision_mode {
+    sw_mode mode = sw_mode::w1x16;
+    int weight_bits = 16;    // <= lane width
+    int input_bits = 16;     // <= lane width
+    double f_mhz = 200.0;
+    double vdd = 1.03;
+    double weight_sparsity = 0.0;
+    double input_sparsity = 0.0;
+
+    int n() const noexcept { return lane_count(mode); }
+};
+
+struct envision_report {
+    double power_mw = 0.0;
+    double as_mw = 0.0;
+    double guard_mw = 0.0;
+    double fixed_mw = 0.0;
+    double mem_mw = 0.0;
+    double gops = 0.0;        // effective ops/s (2 ops per MAC)
+    double tops_per_w = 0.0;
+    double energy_per_op_pj = 0.0;
+};
+
+class envision_model {
+public:
+    explicit envision_model(
+        const envision_calibration& cal = default_envision_calibration())
+        : cal_(cal)
+    {
+    }
+
+    const envision_calibration& calibration() const noexcept { return cal_; }
+
+    // Activity divisor of the MAC array for a precision configuration:
+    // k3-style subword divisor composed with the quadratic precision
+    // scaling of the active lane bits (wb x ib).
+    double activity_divisor(sw_mode mode, int weight_bits,
+                            int input_bits) const;
+
+    // Power/efficiency at an explicit operating point.
+    envision_report evaluate(const envision_mode& m) const;
+
+    // Convenience constructors for the paper's two experiment axes:
+    //  * constant frequency (Fig. 8a): f = 200 MHz; the supply follows the
+    //    shortened active-cone critical path (DAS keeps V nominal).
+    //  * constant throughput (Fig. 8b): f = 200/N MHz; the supply follows
+    //    the chip's measured VF curve.
+    envision_mode at_constant_frequency(scaling_regime regime, sw_mode mode,
+                                        int bits) const;
+    envision_mode at_constant_throughput(scaling_regime regime, sw_mode mode,
+                                         int bits) const;
+
+private:
+    envision_calibration cal_;
+};
+
+} // namespace dvafs

@@ -1,0 +1,79 @@
+#include "envision/layer_runner.h"
+
+#include <algorithm>
+
+namespace dvafs {
+
+envision_mode layer_runner::select_mode(const layer_workload& w) const
+{
+    const envision_calibration& cal = model_.calibration();
+    envision_mode m;
+    const int need = std::max(w.weight_bits, w.input_bits);
+    if (need <= 4) {
+        m.mode = sw_mode::w4x4;
+    } else if (need <= 8) {
+        m.mode = sw_mode::w2x8;
+    } else {
+        m.mode = sw_mode::w1x16;
+    }
+    m.f_mhz = cal.f_nom_mhz / static_cast<double>(m.n());
+    m.vdd = cal.voltage_for_frequency(m.f_mhz);
+    m.weight_bits = std::min(w.weight_bits, lane_bits(m.mode));
+    m.input_bits = std::min(w.input_bits, lane_bits(m.mode));
+    m.weight_sparsity = w.weight_sparsity;
+    m.input_sparsity = w.input_sparsity;
+    return m;
+}
+
+layer_run layer_runner::run_layer(const layer_workload& w) const
+{
+    return run_layer(w, select_mode(w));
+}
+
+layer_run layer_runner::run_layer(const layer_workload& w,
+                                  const envision_mode& m) const
+{
+    const envision_calibration& cal = model_.calibration();
+    layer_run run;
+    run.name = w.name;
+    run.mode = m;
+    run.report = model_.evaluate(m);
+    run.mmacs = static_cast<double>(w.macs) * 1e-6;
+    // N MACs per unit per cycle at utilization; sparsity does not shorten
+    // runtime on Envision (guarded units idle but the schedule is static).
+    const double macs_per_cycle = static_cast<double>(cal.mac_units)
+                                  * cal.mac_utilization
+                                  * static_cast<double>(m.n());
+    run.cycles = static_cast<double>(w.macs) / macs_per_cycle;
+    run.time_ms = run.cycles / (m.f_mhz * 1e3);
+    run.energy_mj = run.report.power_mw * run.time_ms * 1e-3;
+    return run;
+}
+
+network_run
+layer_runner::run_network(const std::string& name,
+                          const std::vector<layer_workload>& layers) const
+{
+    network_run nr;
+    nr.network_name = name;
+    for (const layer_workload& w : layers) {
+        nr.layers.push_back(run_layer(w));
+        const layer_run& lr = nr.layers.back();
+        nr.total_mmacs += lr.mmacs;
+        nr.total_time_ms += lr.time_ms;
+        nr.total_energy_mj += lr.energy_mj;
+    }
+    if (nr.total_time_ms > 0.0) {
+        nr.fps = 1000.0 / nr.total_time_ms;
+        nr.avg_power_mw = nr.total_energy_mj / nr.total_time_ms * 1e3;
+    }
+    if (nr.total_energy_mj > 0.0) {
+        // 2 ops per MAC; mJ -> TOPS/W: ops / (energy [J]) = ops/J;
+        // (2 * MACs * 1e6) / (mJ * 1e-3 J) / 1e12 [T].
+        nr.tops_per_w = 2.0 * nr.total_mmacs * 1e6
+                        / (nr.total_energy_mj * 1e-3) / 1e12;
+    }
+    return nr;
+}
+
+} // namespace dvafs

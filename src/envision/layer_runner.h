@@ -1,0 +1,56 @@
+// Maps CNN layer workloads onto the Envision model: cycles, runtime, power
+// and efficiency per layer and per network -- the machinery behind the
+// paper's Table III.
+
+#pragma once
+
+#include "cnn/workload.h"
+#include "envision/envision.h"
+
+#include <string>
+#include <vector>
+
+namespace dvafs {
+
+struct layer_run {
+    std::string name;
+    envision_mode mode;
+    envision_report report;
+    double mmacs = 0.0;      // workload [M MACs/frame]
+    double cycles = 0.0;     // MAC-array cycles for one frame
+    double time_ms = 0.0;    // runtime of one frame at mode.f_mhz
+    double energy_mj = 0.0;  // energy of one frame [mJ]
+};
+
+struct network_run {
+    std::string network_name;
+    std::vector<layer_run> layers;
+    double total_mmacs = 0.0;
+    double total_time_ms = 0.0;
+    double total_energy_mj = 0.0;
+    double fps = 0.0;
+    double avg_power_mw = 0.0;   // energy / time
+    double tops_per_w = 0.0;     // effective ops / energy
+};
+
+class layer_runner {
+public:
+    explicit layer_runner(const envision_model& model) : model_(model) {}
+
+    // Picks the subword mode from the layer's max(weight_bits, input_bits):
+    // <=4 -> 4x4 @ 50 MHz, <=8 -> 2x8 @ 100 MHz, else 1x16 @ 200 MHz, with
+    // voltages from the chip VF curve -- the per-layer policy of Table III.
+    envision_mode select_mode(const layer_workload& w) const;
+
+    layer_run run_layer(const layer_workload& w) const;
+    layer_run run_layer(const layer_workload& w,
+                        const envision_mode& m) const;
+
+    network_run run_network(const std::string& name,
+                            const std::vector<layer_workload>& layers) const;
+
+private:
+    const envision_model& model_;
+};
+
+} // namespace dvafs

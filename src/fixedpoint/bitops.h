@@ -1,0 +1,86 @@
+// Bit-manipulation helpers shared by the fixed-point types, the subword
+// arithmetic fast paths, and the gate-level multiplier models.
+
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+namespace dvafs {
+
+// Mask with the low `width` bits set (width in [0, 64]).
+constexpr std::uint64_t low_mask(int width) noexcept
+{
+    return width >= 64 ? ~0ULL : ((1ULL << width) - 1ULL);
+}
+
+// Sign-extends the low `width` bits of `v` into a signed 64-bit value.
+constexpr std::int64_t sign_extend(std::uint64_t v, int width) noexcept
+{
+    if (width <= 0 || width >= 64) {
+        return static_cast<std::int64_t>(v);
+    }
+    const std::uint64_t m = 1ULL << (width - 1);
+    const std::uint64_t x = v & low_mask(width);
+    return static_cast<std::int64_t>((x ^ m) - m);
+}
+
+// Two's-complement encode a signed value into `width` bits (truncating).
+constexpr std::uint64_t to_bits(std::int64_t v, int width) noexcept
+{
+    return static_cast<std::uint64_t>(v) & low_mask(width);
+}
+
+// Smallest / largest signed values representable in `width` bits.
+constexpr std::int64_t signed_min(int width) noexcept
+{
+    return width >= 64 ? INT64_MIN : -(1LL << (width - 1));
+}
+constexpr std::int64_t signed_max(int width) noexcept
+{
+    return width >= 64 ? INT64_MAX : (1LL << (width - 1)) - 1;
+}
+
+// Saturating clamp of `v` to the signed `width`-bit range.
+constexpr std::int64_t clamp_signed(std::int64_t v, int width) noexcept
+{
+    const std::int64_t lo = signed_min(width);
+    const std::int64_t hi = signed_max(width);
+    return v < lo ? lo : (v > hi ? hi : v);
+}
+
+// True if `v` fits in signed `width` bits without truncation.
+constexpr bool fits_signed(std::int64_t v, int width) noexcept
+{
+    return v >= signed_min(width) && v <= signed_max(width);
+}
+
+// Extracts bit `i` of `v` as 0/1.
+constexpr int bit_of(std::uint64_t v, int i) noexcept
+{
+    return static_cast<int>((v >> i) & 1ULL);
+}
+
+// Hamming distance (number of toggling bits) between two words; this is the
+// elementary switching-activity measure for bus transitions.
+constexpr int hamming(std::uint64_t a, std::uint64_t b) noexcept
+{
+    return __builtin_popcountll(a ^ b);
+}
+
+// Truncates (LSB-gates) a signed `width`-bit value so that only the top
+// `keep_bits` carry information; the dropped LSBs read as zero. This is the
+// DAS input-truncation operation from the paper (Fig. 1a: LSBs gated).
+constexpr std::int64_t truncate_lsbs(std::int64_t v, int width,
+                                     int keep_bits) noexcept
+{
+    if (keep_bits >= width) {
+        return v;
+    }
+    const int drop = width - keep_bits;
+    const std::uint64_t bits = to_bits(v, width) & (low_mask(width)
+                                                    & ~low_mask(drop));
+    return sign_extend(bits, width);
+}
+
+} // namespace dvafs

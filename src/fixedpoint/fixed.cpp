@@ -1,0 +1,154 @@
+#include "fixedpoint/fixed.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace dvafs {
+
+std::int64_t round_scaled(double scaled, rounding r) noexcept
+{
+    switch (r) {
+    case rounding::truncate:
+        return static_cast<std::int64_t>(std::trunc(scaled));
+    case rounding::nearest:
+        // Round half away from zero (common DSP convention).
+        return static_cast<std::int64_t>(
+            scaled >= 0.0 ? std::floor(scaled + 0.5)
+                          : std::ceil(scaled - 0.5));
+    case rounding::nearest_even: {
+        const double fl = std::floor(scaled);
+        const double frac = scaled - fl;
+        if (frac > 0.5) {
+            return static_cast<std::int64_t>(fl) + 1;
+        }
+        if (frac < 0.5) {
+            return static_cast<std::int64_t>(fl);
+        }
+        const auto lo = static_cast<std::int64_t>(fl);
+        return (lo % 2 == 0) ? lo : lo + 1;
+    }
+    }
+    return 0;
+}
+
+fixed_point fixed_point::from_raw(std::int64_t raw, fixed_format fmt)
+{
+    if (fmt.width < 2 || fmt.width > 63) {
+        throw std::invalid_argument("fixed_point: width must be in [2, 63]");
+    }
+    if (fmt.frac_bits < 0 || fmt.frac_bits >= 63) {
+        throw std::invalid_argument("fixed_point: bad frac_bits");
+    }
+    if (!fits_signed(raw, fmt.width)) {
+        throw std::out_of_range("fixed_point: raw value does not fit width");
+    }
+    fixed_point fp;
+    fp.raw_ = raw;
+    fp.fmt_ = fmt;
+    return fp;
+}
+
+fixed_point fixed_point::from_double(double value, fixed_format fmt,
+                                     rounding r, overflow o)
+{
+    const double scaled =
+        value * static_cast<double>(1LL << fmt.frac_bits);
+    std::int64_t raw = round_scaled(scaled, r);
+    if (o == overflow::saturate) {
+        raw = clamp_signed(raw, fmt.width);
+    } else {
+        raw = sign_extend(to_bits(raw, fmt.width), fmt.width);
+    }
+    return from_raw(raw, fmt);
+}
+
+fixed_point fixed_point::add(const fixed_point& rhs) const
+{
+    if (fmt_.frac_bits != rhs.fmt_.frac_bits) {
+        throw std::invalid_argument("fixed_point::add: frac_bits mismatch");
+    }
+    fixed_format out{std::max(fmt_.width, rhs.fmt_.width) + 1,
+                     fmt_.frac_bits};
+    out.width = std::min(out.width, 63);
+    return from_raw(clamp_signed(raw_ + rhs.raw_, out.width), out);
+}
+
+fixed_point fixed_point::sub(const fixed_point& rhs) const
+{
+    if (fmt_.frac_bits != rhs.fmt_.frac_bits) {
+        throw std::invalid_argument("fixed_point::sub: frac_bits mismatch");
+    }
+    fixed_format out{std::max(fmt_.width, rhs.fmt_.width) + 1,
+                     fmt_.frac_bits};
+    out.width = std::min(out.width, 63);
+    return from_raw(clamp_signed(raw_ - rhs.raw_, out.width), out);
+}
+
+fixed_point fixed_point::mul(const fixed_point& rhs) const
+{
+    fixed_format out{fmt_.width + rhs.fmt_.width,
+                     fmt_.frac_bits + rhs.fmt_.frac_bits};
+    if (out.width > 63) {
+        throw std::overflow_error("fixed_point::mul: product too wide");
+    }
+    return from_raw(raw_ * rhs.raw_, out);
+}
+
+fixed_point fixed_point::convert(fixed_format to, rounding r,
+                                 overflow o) const
+{
+    const int shift = fmt_.frac_bits - to.frac_bits;
+    std::int64_t raw = raw_;
+    if (shift > 0) {
+        // Dropping fractional bits: apply the rounding mode.
+        const std::int64_t unit = 1LL << shift;
+        switch (r) {
+        case rounding::truncate:
+            raw = raw >> shift; // arithmetic shift == floor
+            if (raw_ < 0 && (raw_ & (unit - 1)) != 0) {
+                raw += 1; // trunc-toward-zero semantics
+            }
+            break;
+        case rounding::nearest:
+            raw = raw >= 0 ? (raw + unit / 2) >> shift
+                           : -((-raw + unit / 2) >> shift);
+            break;
+        case rounding::nearest_even: {
+            const std::int64_t q = raw >> shift; // floor
+            const std::int64_t rem = raw - (q << shift);
+            if (2 * rem > unit || (2 * rem == unit && (q & 1))) {
+                raw = q + 1;
+            } else {
+                raw = q;
+            }
+            break;
+        }
+        }
+    } else if (shift < 0) {
+        raw = raw << (-shift);
+    }
+    if (o == overflow::saturate) {
+        raw = clamp_signed(raw, to.width);
+    } else {
+        raw = sign_extend(to_bits(raw, to.width), to.width);
+    }
+    return from_raw(raw, to);
+}
+
+fixed_point fixed_point::truncated(int keep_bits) const
+{
+    fixed_point fp = *this;
+    fp.raw_ = truncate_lsbs(raw_, fmt_.width, keep_bits);
+    return fp;
+}
+
+std::string fixed_point::to_string() const
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6f (Q%d.%d raw=%lld)", to_double(),
+                  fmt_.width - fmt_.frac_bits - 1, fmt_.frac_bits,
+                  static_cast<long long>(raw_));
+    return buf;
+}
+
+} // namespace dvafs

@@ -1,0 +1,83 @@
+// Two's-complement fixed-point value type used by the quantized CNN path and
+// the DCT example. A `fixed_point` is a signed integer `raw` interpreted as
+// raw * 2^-frac_bits, stored in `width` bits.
+
+#pragma once
+
+#include "fixedpoint/bitops.h"
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace dvafs {
+
+enum class rounding { truncate, nearest, nearest_even };
+enum class overflow { saturate, wrap };
+
+// Static format descriptor: Q(width-frac-1).frac signed fixed point.
+struct fixed_format {
+    int width = 16;    // total bits including sign
+    int frac_bits = 8; // fractional bits
+
+    constexpr double lsb() const noexcept
+    {
+        return 1.0 / static_cast<double>(1LL << frac_bits);
+    }
+    constexpr double max_value() const noexcept
+    {
+        return static_cast<double>(signed_max(width)) * lsb();
+    }
+    constexpr double min_value() const noexcept
+    {
+        return static_cast<double>(signed_min(width)) * lsb();
+    }
+    bool operator==(const fixed_format&) const = default;
+};
+
+class fixed_point {
+public:
+    fixed_point() = default;
+
+    // Constructs from a raw integer in the given format (validated).
+    static fixed_point from_raw(std::int64_t raw, fixed_format fmt);
+
+    // Quantizes a real value into the format.
+    static fixed_point from_double(double value, fixed_format fmt,
+                                   rounding r = rounding::nearest,
+                                   overflow o = overflow::saturate);
+
+    std::int64_t raw() const noexcept { return raw_; }
+    fixed_format format() const noexcept { return fmt_; }
+    double to_double() const noexcept
+    {
+        return static_cast<double>(raw_) * fmt_.lsb();
+    }
+
+    // Exact sum/difference in a widened format (width+1 integer bits).
+    fixed_point add(const fixed_point& rhs) const;
+    fixed_point sub(const fixed_point& rhs) const;
+
+    // Exact product: width grows to sum of widths, frac to sum of fracs.
+    fixed_point mul(const fixed_point& rhs) const;
+
+    // Converts to another format with explicit rounding/overflow handling.
+    fixed_point convert(fixed_format to, rounding r = rounding::nearest,
+                        overflow o = overflow::saturate) const;
+
+    // DAS-style LSB truncation of the raw value (keeps `keep_bits` MSBs).
+    fixed_point truncated(int keep_bits) const;
+
+    bool operator==(const fixed_point& rhs) const = default;
+
+    std::string to_string() const;
+
+private:
+    std::int64_t raw_ = 0;
+    fixed_format fmt_{};
+};
+
+// Rounds a scaled real value to an integer per the rounding mode.
+std::int64_t round_scaled(double scaled, rounding r) noexcept;
+
+} // namespace dvafs

@@ -1,0 +1,103 @@
+#include "fixedpoint/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dvafs {
+
+quant_params choose_quant(std::span<const float> data, int bits,
+                          double max_abs_override)
+{
+    double max_abs = max_abs_override;
+    if (max_abs <= 0.0) {
+        for (const float v : data) {
+            max_abs = std::max(max_abs, static_cast<double>(std::fabs(v)));
+        }
+    }
+    quant_params qp;
+    qp.bits = bits;
+    const double levels = static_cast<double>((1LL << (bits - 1)) - 1);
+    qp.step = (max_abs > 0.0 && levels > 0.0) ? max_abs / levels : 1.0;
+    return qp;
+}
+
+std::vector<std::int32_t> quantize(std::span<const float> data,
+                                   const quant_params& qp)
+{
+    std::vector<std::int32_t> out;
+    out.reserve(data.size());
+    const auto lo = static_cast<std::int32_t>(signed_min(qp.bits));
+    const auto hi = static_cast<std::int32_t>(signed_max(qp.bits));
+    for (const float v : data) {
+        const std::int64_t code =
+            round_scaled(static_cast<double>(v) / qp.step,
+                         rounding::nearest);
+        out.push_back(static_cast<std::int32_t>(
+            std::clamp<std::int64_t>(code, lo, hi)));
+    }
+    return out;
+}
+
+std::vector<float> dequantize(std::span<const std::int32_t> codes,
+                              const quant_params& qp)
+{
+    std::vector<float> out;
+    out.reserve(codes.size());
+    for (const std::int32_t c : codes) {
+        out.push_back(static_cast<float>(qp.dequantize(c)));
+    }
+    return out;
+}
+
+void fake_quantize_inplace(std::span<float> data, int bits,
+                           double max_abs_override)
+{
+    const quant_params qp = choose_quant(data, bits, max_abs_override);
+    const auto lo = static_cast<std::int64_t>(signed_min(bits));
+    const auto hi = static_cast<std::int64_t>(signed_max(bits));
+    for (float& v : data) {
+        std::int64_t code = round_scaled(static_cast<double>(v) / qp.step,
+                                         rounding::nearest);
+        code = std::clamp(code, lo, hi);
+        v = static_cast<float>(qp.dequantize(
+            static_cast<std::int32_t>(code)));
+    }
+}
+
+double quantization_rmse(std::span<const float> data, int bits)
+{
+    const quant_params qp = choose_quant(data, bits);
+    const auto lo = static_cast<std::int64_t>(signed_min(bits));
+    const auto hi = static_cast<std::int64_t>(signed_max(bits));
+    double sq = 0.0;
+    for (const float v : data) {
+        std::int64_t code = round_scaled(static_cast<double>(v) / qp.step,
+                                         rounding::nearest);
+        code = std::clamp(code, lo, hi);
+        const double err =
+            qp.dequantize(static_cast<std::int32_t>(code)) - v;
+        sq += err * err;
+    }
+    return data.empty() ? 0.0 : std::sqrt(sq / static_cast<double>(
+                                              data.size()));
+}
+
+double quantized_sparsity(std::span<const float> data, int bits)
+{
+    if (data.empty()) {
+        return 0.0;
+    }
+    const quant_params qp = choose_quant(data, bits);
+    std::size_t zeros = 0;
+    for (const float v : data) {
+        const std::int64_t code =
+            round_scaled(static_cast<double>(v) / qp.step,
+                         rounding::nearest);
+        if (code == 0) {
+            ++zeros;
+        }
+    }
+    return static_cast<double>(zeros) / static_cast<double>(data.size());
+}
+
+} // namespace dvafs

@@ -1,0 +1,56 @@
+// Tensor / vector quantizers for the CNN path.
+//
+// The paper (Sec. IV, Fig. 6) quantizes weights and input feature maps of each
+// layer to b bits with a per-layer scale. We implement symmetric uniform
+// quantization: scale is chosen so that the largest-magnitude element maps to
+// the largest representable code.
+
+#pragma once
+
+#include "fixedpoint/fixed.h"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dvafs {
+
+// Symmetric uniform quantizer: code = round(value / step), with
+// step = max_abs / (2^(bits-1) - 1). Codes saturate to the signed range.
+struct quant_params {
+    int bits = 8;
+    double step = 1.0; // real value of one code unit
+
+    double dequantize(std::int32_t code) const noexcept
+    {
+        return static_cast<double>(code) * step;
+    }
+};
+
+// Chooses quantization parameters for `data` at `bits` precision.
+// If max_abs_override > 0 it is used instead of the observed max (lets the
+// caller share one scale across tensors, e.g. activations over a batch).
+quant_params choose_quant(std::span<const float> data, int bits,
+                          double max_abs_override = 0.0);
+
+// Quantizes to integer codes (saturating, round-half-away-from-zero).
+std::vector<std::int32_t> quantize(std::span<const float> data,
+                                   const quant_params& qp);
+
+// Dequantizes codes back to real values.
+std::vector<float> dequantize(std::span<const std::int32_t> codes,
+                              const quant_params& qp);
+
+// One-shot "fake quantization": value -> quantize -> dequantize. This is what
+// the Fig. 6 sweeps apply to weights/activations to emulate b-bit hardware.
+void fake_quantize_inplace(std::span<float> data, int bits,
+                           double max_abs_override = 0.0);
+
+// Quantization RMSE of representing `data` at `bits` precision.
+double quantization_rmse(std::span<const float> data, int bits);
+
+// Fraction of elements that quantize to code 0 at the given precision --
+// the sparsity measure used by Table III (Envision gates zero operands).
+double quantized_sparsity(std::span<const float> data, int bits);
+
+} // namespace dvafs

@@ -1,0 +1,113 @@
+#include "mult/approx/etm_mult.h"
+
+#include "circuit/cells.h"
+#include "fixedpoint/bitops.h"
+#include "mult/booth.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace dvafs {
+
+etm_multiplier::etm_multiplier(int width)
+    : structural_multiplier("etm" + std::to_string(width), width,
+                            /*is_signed=*/false)
+{
+    if (width < 4 || width % 2 != 0 || width > 24) {
+        throw std::invalid_argument("etm_multiplier: width must be even");
+    }
+    for (int i = 0; i < width; ++i) {
+        a_bus_.push_back(nl_.add_input("a" + std::to_string(i)));
+    }
+    for (int i = 0; i < width; ++i) {
+        b_bus_.push_back(nl_.add_input("b" + std::to_string(i)));
+    }
+    const int k = width / 2;
+    const net_id zero = nl_.add_const(false);
+
+    const bus al(a_bus_.begin(), a_bus_.begin() + k);
+    const bus ah(a_bus_.begin() + k, a_bus_.end());
+    const bus bl(b_bus_.begin(), b_bus_.begin() + k);
+    const bus bh(b_bus_.begin() + k, b_bus_.end());
+
+    // msb_zero: both accurate segments are all-zero.
+    net_id any_high = zero;
+    for (const net_id n : ah) {
+        any_high = nl_.or_g(any_high, n);
+    }
+    for (const net_id n : bh) {
+        any_high = nl_.or_g(any_high, n);
+    }
+
+    // Exact k x k products of the high and low segments (unsigned:
+    // AND-plane + Wallace reduction).
+    const auto exact_product = [&](const bus& x, const bus& y) {
+        std::vector<std::vector<net_id>> cols(2 * x.size());
+        for (std::size_t i = 0; i < x.size(); ++i) {
+            for (std::size_t j = 0; j < y.size(); ++j) {
+                cols[i + j].push_back(nl_.and_g(x[i], y[j]));
+            }
+        }
+        return build_wallace_sum(nl_, std::move(cols),
+                                 static_cast<int>(2 * x.size()));
+    };
+    const bus hh = exact_product(ah, bh); // 2k bits, weight 2k
+    const bus llx = exact_product(al, bl); // 2k bits, weight 0
+
+    // Approximate low region: bit i = al[i] | bl[i] stands in for the
+    // discarded cross products; the rest of the low field reads zero.
+    bus approx_low(static_cast<std::size_t>(2 * k), zero);
+    for (int i = 0; i < k; ++i) {
+        approx_low[static_cast<std::size_t>(i)] =
+            nl_.or_g(al[static_cast<std::size_t>(i)],
+                     bl[static_cast<std::size_t>(i)]);
+    }
+
+    const int out_w = 2 * width;
+    bus out(static_cast<std::size_t>(out_w), zero);
+    // Select per region: when any_high, product = hh << 2k with approx low
+    // bits; otherwise exact ll product in the low half.
+    for (int i = 0; i < 2 * k; ++i) {
+        out[static_cast<std::size_t>(i)] =
+            nl_.mux_g(llx[static_cast<std::size_t>(i)],
+                      approx_low[static_cast<std::size_t>(i)], any_high);
+    }
+    for (int i = 0; i < 2 * k; ++i) {
+        out[static_cast<std::size_t>(2 * k + i)] =
+            nl_.and_g(hh[static_cast<std::size_t>(i)], any_high);
+    }
+
+    out_bus_ = out;
+    for (int i = 0; i < out_w; ++i) {
+        nl_.mark_output("p" + std::to_string(i),
+                        out_bus_[static_cast<std::size_t>(i)]);
+    }
+    finalize();
+}
+
+std::uint64_t etm_multiplier::approx_multiply(std::uint64_t a,
+                                              std::uint64_t b, int width)
+{
+    const int k = width / 2;
+    const std::uint64_t al = a & low_mask(k);
+    const std::uint64_t ah = a >> k;
+    const std::uint64_t bl = b & low_mask(k);
+    const std::uint64_t bh = b >> k;
+    if (ah == 0 && bh == 0) {
+        return al * bl;
+    }
+    std::uint64_t low = 0;
+    for (int i = 0; i < k; ++i) {
+        low |= ((al | bl) >> i & 1ULL) << i;
+    }
+    return (ah * bh << (2 * k)) | low;
+}
+
+std::int64_t etm_multiplier::functional(std::int64_t a, std::int64_t b) const
+{
+    return static_cast<std::int64_t>(
+        approx_multiply(static_cast<std::uint64_t>(a),
+                        static_cast<std::uint64_t>(b), width()));
+}
+
+} // namespace dvafs

@@ -1,0 +1,31 @@
+// Error-tolerant multiplier (baseline [5] in the paper: Kyaw et al.,
+// "Low-power high-speed multiplier for error-tolerant application",
+// EDSSC 2011).
+//
+// The operands are split into an accurate MSB segment and an approximate
+// LSB segment at a fixed design-time position k:
+//  * if both MSB segments are zero, the LSB segments are multiplied exactly
+//    (small operands lose nothing);
+//  * otherwise the MSB segments are multiplied exactly and every bit of the
+//    approximate low region is filled by OR-ing the operand LSB columns,
+//    a cheap stand-in for the discarded cross products.
+// The approximation is fixed at design time: one (RMSE, energy) point.
+
+#pragma once
+
+#include "mult/multiplier.h"
+
+namespace dvafs {
+
+class etm_multiplier final : public structural_multiplier {
+public:
+    // width even; split = width/2 (MSB half accurate, LSB half approximate).
+    explicit etm_multiplier(int width);
+
+    std::int64_t functional(std::int64_t a, std::int64_t b) const override;
+
+    static std::uint64_t approx_multiply(std::uint64_t a, std::uint64_t b,
+                                         int width);
+};
+
+} // namespace dvafs

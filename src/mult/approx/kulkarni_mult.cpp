@@ -1,0 +1,110 @@
+#include "mult/approx/kulkarni_mult.h"
+
+#include "circuit/cells.h"
+#include "fixedpoint/bitops.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace dvafs {
+
+namespace {
+
+bool is_pow2(int v) noexcept { return v > 0 && (v & (v - 1)) == 0; }
+
+} // namespace
+
+kulkarni_multiplier::kulkarni_multiplier(int width)
+    : structural_multiplier("kulkarni" + std::to_string(width), width,
+                            /*is_signed=*/false)
+{
+    if (!is_pow2(width) || width < 2 || width > 32) {
+        throw std::invalid_argument(
+            "kulkarni_multiplier: width must be a power of two in [2,32]");
+    }
+    for (int i = 0; i < width; ++i) {
+        a_bus_.push_back(nl_.add_input("a" + std::to_string(i)));
+    }
+    for (int i = 0; i < width; ++i) {
+        b_bus_.push_back(nl_.add_input("b" + std::to_string(i)));
+    }
+    out_bus_ = build_block(a_bus_, b_bus_);
+    out_bus_.resize(static_cast<std::size_t>(2 * width),
+                    nl_.add_const(false));
+    for (std::size_t i = 0; i < out_bus_.size(); ++i) {
+        nl_.mark_output("p" + std::to_string(i), out_bus_[i]);
+    }
+    finalize();
+}
+
+bus kulkarni_multiplier::build_block(const bus& a, const bus& b)
+{
+    const std::size_t n = a.size();
+    if (n == 2) {
+        // The underdesigned 2x2 block: p3 is dropped and p1 uses OR so that
+        // 3*3 = 0b0111 = 7 (every other input pair is exact).
+        bus out(4, nl_.add_const(false));
+        out[0] = nl_.and_g(a[0], b[0]);
+        out[1] = nl_.or_g(nl_.and_g(a[1], b[0]), nl_.and_g(a[0], b[1]));
+        out[2] = nl_.and_g(a[1], b[1]);
+        return out;
+    }
+    const std::size_t h = n / 2;
+    const bus al(a.begin(), a.begin() + static_cast<long>(h));
+    const bus ah(a.begin() + static_cast<long>(h), a.end());
+    const bus bl(b.begin(), b.begin() + static_cast<long>(h));
+    const bus bh(b.begin() + static_cast<long>(h), b.end());
+
+    const bus ll = build_block(al, bl); // weight 0
+    const bus lh = build_block(al, bh); // weight h
+    const bus hl = build_block(ah, bl); // weight h
+    const bus hh = build_block(ah, bh); // weight 2h
+
+    // Exact accumulation of the four sub-products (adders are accurate in
+    // the underdesigned architecture; only the 2x2 kernel is approximate).
+    std::vector<std::vector<net_id>> columns(2 * n);
+    const auto scatter = [&](const bus& p, std::size_t shift) {
+        for (std::size_t i = 0; i < p.size(); ++i) {
+            columns[i + shift].push_back(p[i]);
+        }
+    };
+    scatter(ll, 0);
+    scatter(lh, h);
+    scatter(hl, h);
+    scatter(hh, 2 * h);
+    return build_wallace_sum(nl_, std::move(columns),
+                             static_cast<int>(2 * n));
+}
+
+std::uint64_t kulkarni_multiplier::approx_multiply(std::uint64_t a,
+                                                   std::uint64_t b,
+                                                   int width)
+{
+    if (width == 2) {
+        const std::uint64_t a0 = a & 1U;
+        const std::uint64_t a1 = (a >> 1) & 1U;
+        const std::uint64_t b0 = b & 1U;
+        const std::uint64_t b1 = (b >> 1) & 1U;
+        return (a0 & b0) | (((a1 & b0) | (a0 & b1)) << 1)
+               | ((a1 & b1) << 2);
+    }
+    const int h = width / 2;
+    const std::uint64_t al = a & low_mask(h);
+    const std::uint64_t ah = a >> h;
+    const std::uint64_t bl = b & low_mask(h);
+    const std::uint64_t bh = b >> h;
+    return approx_multiply(al, bl, h)
+           + ((approx_multiply(al, bh, h) + approx_multiply(ah, bl, h))
+              << h)
+           + (approx_multiply(ah, bh, h) << (2 * h));
+}
+
+std::int64_t kulkarni_multiplier::functional(std::int64_t a,
+                                             std::int64_t b) const
+{
+    return static_cast<std::int64_t>(
+        approx_multiply(static_cast<std::uint64_t>(a),
+                        static_cast<std::uint64_t>(b), width()));
+}
+
+} // namespace dvafs

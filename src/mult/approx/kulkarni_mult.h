@@ -1,0 +1,33 @@
+// Underdesigned multiplier (baseline [4] in the paper: Kulkarni et al.,
+// "Trading accuracy for power with an underdesigned multiplier
+// architecture", VLSID 2011).
+//
+// A deliberately inaccurate 2x2 building block -- identical to the exact
+// block except that 3 x 3 yields 7 instead of 9, which removes the block's
+// fourth output bit -- is composed recursively with exact adders into wider
+// unsigned multipliers. The approximation is fixed at design time: the bench
+// reports it as one (RMSE, energy) point in the Fig. 3b plane.
+
+#pragma once
+
+#include "mult/multiplier.h"
+
+namespace dvafs {
+
+class kulkarni_multiplier final : public structural_multiplier {
+public:
+    // width must be a power of two >= 2 (recursive 2x2 composition).
+    explicit kulkarni_multiplier(int width);
+
+    std::int64_t functional(std::int64_t a, std::int64_t b) const override;
+
+    // Pure-arithmetic model of the recursive composition (for tests).
+    static std::uint64_t approx_multiply(std::uint64_t a, std::uint64_t b,
+                                         int width);
+
+private:
+    // Recursively builds the approximate product columns of a*b.
+    bus build_block(const bus& a, const bus& b);
+};
+
+} // namespace dvafs

@@ -1,0 +1,156 @@
+#include "mult/approx/per_mult.h"
+
+#include "circuit/cells.h"
+#include "fixedpoint/bitops.h"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dvafs {
+
+namespace {
+
+// Approximate two-operand add: sum = OR, with the dropped amount recorded
+// as the error word. The identity  x + y = (x | y) + (x & y)  makes the
+// AND word the exact error of the OR approximation.
+struct approx_sum {
+    std::uint64_t sum;
+    std::uint64_t error;
+};
+
+approx_sum approx_add(std::uint64_t x, std::uint64_t y)
+{
+    return {x | y, x & y};
+}
+
+} // namespace
+
+per_multiplier::per_multiplier(int width, int recovery)
+    : structural_multiplier("per" + std::to_string(width) + "_r"
+                                + std::to_string(recovery),
+                            width, /*is_signed=*/false),
+      recovery_(recovery)
+{
+    if (width < 2 || width > 24) {
+        throw std::invalid_argument("per_multiplier: width out of range");
+    }
+    if (recovery < 0 || recovery > 2 * width) {
+        throw std::invalid_argument("per_multiplier: bad recovery");
+    }
+    for (int i = 0; i < width; ++i) {
+        a_bus_.push_back(nl_.add_input("a" + std::to_string(i)));
+    }
+    for (int i = 0; i < width; ++i) {
+        b_bus_.push_back(nl_.add_input("b" + std::to_string(i)));
+    }
+    const int out_w = 2 * width;
+    const net_id zero = nl_.add_const(false);
+
+    // Partial-product rows (unsigned AND plane), padded to 2*width.
+    std::vector<bus> rows;
+    for (int j = 0; j < width; ++j) {
+        bus row(static_cast<std::size_t>(out_w), zero);
+        for (int i = 0; i < width; ++i) {
+            row[static_cast<std::size_t>(i + j)] =
+                nl_.and_g(a_bus_[static_cast<std::size_t>(i)],
+                          b_bus_[static_cast<std::size_t>(j)]);
+        }
+        rows.push_back(std::move(row));
+    }
+
+    // Tree of approximate adders, collecting error words.
+    std::vector<bus> errors;
+    while (rows.size() > 1) {
+        std::vector<bus> next;
+        for (std::size_t i = 0; i + 1 < rows.size(); i += 2) {
+            bus sum(static_cast<std::size_t>(out_w), zero);
+            bus err(static_cast<std::size_t>(out_w), zero);
+            for (int c = 0; c < out_w; ++c) {
+                const net_id x = rows[i][static_cast<std::size_t>(c)];
+                const net_id y = rows[i + 1][static_cast<std::size_t>(c)];
+                sum[static_cast<std::size_t>(c)] = nl_.or_g(x, y);
+                err[static_cast<std::size_t>(c)] = nl_.and_g(x, y);
+            }
+            next.push_back(std::move(sum));
+            errors.push_back(std::move(err));
+        }
+        if (rows.size() % 2 == 1) {
+            next.push_back(std::move(rows.back()));
+        }
+        rows = std::move(next);
+    }
+    bus result = rows.front();
+
+    // Partial error recovery: add back the top `recovery` positions of each
+    // error word with exact (ripple) adders.
+    const int lo = out_w - recovery_;
+    for (const bus& err : errors) {
+        bus masked(static_cast<std::size_t>(out_w), zero);
+        bool nonzero = false;
+        for (int c = lo; c < out_w; ++c) {
+            if (c >= 0 && err[static_cast<std::size_t>(c)] != zero) {
+                masked[static_cast<std::size_t>(c)] =
+                    err[static_cast<std::size_t>(c)];
+                nonzero = true;
+            }
+        }
+        if (nonzero) {
+            result = build_ripple_adder(nl_, result, masked, no_net,
+                                        /*drop_carry=*/true);
+            result.resize(static_cast<std::size_t>(out_w), zero);
+        }
+    }
+
+    out_bus_ = result;
+    for (int i = 0; i < out_w; ++i) {
+        nl_.mark_output("p" + std::to_string(i),
+                        out_bus_[static_cast<std::size_t>(i)]);
+    }
+    finalize();
+}
+
+std::uint64_t per_multiplier::approx_multiply(std::uint64_t a,
+                                              std::uint64_t b, int width,
+                                              int recovery)
+{
+    const int out_w = 2 * width;
+    std::vector<std::uint64_t> rows;
+    for (int j = 0; j < width; ++j) {
+        if ((b >> j) & 1ULL) {
+            rows.push_back((a & low_mask(width)) << j);
+        } else {
+            rows.push_back(0);
+        }
+    }
+    std::vector<std::uint64_t> errors;
+    while (rows.size() > 1) {
+        std::vector<std::uint64_t> next;
+        for (std::size_t i = 0; i + 1 < rows.size(); i += 2) {
+            const approx_sum s = approx_add(rows[i], rows[i + 1]);
+            next.push_back(s.sum & low_mask(out_w));
+            errors.push_back(s.error & low_mask(out_w));
+        }
+        if (rows.size() % 2 == 1) {
+            next.push_back(rows.back());
+        }
+        rows = std::move(next);
+    }
+    std::uint64_t result = rows.front();
+    const int lo = out_w - recovery;
+    const std::uint64_t mask =
+        (lo <= 0) ? low_mask(out_w) : (low_mask(out_w) & ~low_mask(lo));
+    for (const std::uint64_t err : errors) {
+        result = (result + (err & mask)) & low_mask(out_w);
+    }
+    return result;
+}
+
+std::int64_t per_multiplier::functional(std::int64_t a, std::int64_t b) const
+{
+    return static_cast<std::int64_t>(
+        approx_multiply(static_cast<std::uint64_t>(a),
+                        static_cast<std::uint64_t>(b), width(), recovery_));
+}
+
+} // namespace dvafs

@@ -1,0 +1,38 @@
+// Approximate multiplier with configurable partial error recovery
+// (baseline [3] in the paper: Liu et al., "A low-power, high performance
+// approximate multiplier with configurable partial error recovery",
+// DATE 2014).
+//
+// Partial products are accumulated with *approximate* adders that treat the
+// carry chain optimistically: each bit position produces an approximate sum
+// (OR of the inputs) and an error bit (AND of the inputs; the identity
+// x + y = (x|y) + (x&y) makes the AND word the exact dropped amount). The
+// error words can then be added back exactly for the top `recovery` bit
+// positions -- a design-time knob trading accuracy for adder energy.
+// recovery = 2*width recovers everything within one adder level;
+// recovery = 0 is the cheapest, least accurate configuration.
+
+#pragma once
+
+#include "mult/multiplier.h"
+
+namespace dvafs {
+
+class per_multiplier final : public structural_multiplier {
+public:
+    // `recovery` in [0, 2*width]: number of MSB positions of each error
+    // word that are added back exactly.
+    per_multiplier(int width, int recovery);
+
+    int recovery() const noexcept { return recovery_; }
+
+    std::int64_t functional(std::int64_t a, std::int64_t b) const override;
+
+    static std::uint64_t approx_multiply(std::uint64_t a, std::uint64_t b,
+                                         int width, int recovery);
+
+private:
+    int recovery_ = 0;
+};
+
+} // namespace dvafs

@@ -1,0 +1,71 @@
+#include "mult/approx/truncated_mult.h"
+
+#include "fixedpoint/bitops.h"
+#include "mult/booth.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace dvafs {
+
+truncated_multiplier::truncated_multiplier(int width)
+    : structural_multiplier("truncated" + std::to_string(width), width,
+                            /*is_signed=*/true)
+{
+    if (width < 4 || width > 24) {
+        throw std::invalid_argument(
+            "truncated_multiplier: width out of range");
+    }
+    for (int i = 0; i < width; ++i) {
+        a_bus_.push_back(nl_.add_input("a" + std::to_string(i)));
+    }
+    for (int i = 0; i < width; ++i) {
+        b_bus_.push_back(nl_.add_input("b" + std::to_string(i)));
+    }
+
+    const int out_w = 2 * width;
+    std::vector<std::vector<net_id>> columns;
+    build_booth_pp_array(nl_, a_bus_, b_bus_, columns, out_w);
+    out_bus_ = build_wallace_sum(nl_, std::move(columns), out_w);
+    for (int i = 0; i < out_w; ++i) {
+        nl_.mark_output("p" + std::to_string(i),
+                        out_bus_[static_cast<std::size_t>(i)]);
+    }
+    finalize();
+}
+
+void truncated_multiplier::set_truncation(int t)
+{
+    if (t < 0 || t >= width()) {
+        throw std::invalid_argument("truncated_multiplier: bad level");
+    }
+    trunc_ = t;
+}
+
+std::int64_t truncated_multiplier::functional(std::int64_t a,
+                                              std::int64_t b) const
+{
+    const std::int64_t ta = truncate_lsbs(a, width(), width() - trunc_);
+    const std::int64_t tb = truncate_lsbs(b, width(), width() - trunc_);
+    return ta * tb;
+}
+
+void truncated_multiplier::drive(std::int64_t a, std::int64_t b)
+{
+    structural_multiplier::drive(
+        truncate_lsbs(a, width(), width() - trunc_),
+        truncate_lsbs(b, width(), width() - trunc_));
+}
+
+std::vector<std::pair<net_id, bool>>
+truncated_multiplier::tied_inputs(int t) const
+{
+    std::vector<std::pair<net_id, bool>> tied;
+    for (int i = 0; i < t; ++i) {
+        tied.emplace_back(a_bus_[static_cast<std::size_t>(i)], false);
+        tied.emplace_back(b_bus_[static_cast<std::size_t>(i)], false);
+    }
+    return tied;
+}
+
+} // namespace dvafs

@@ -1,0 +1,43 @@
+// Run-time programmable truncated multiplier (baseline [8] in the paper:
+// de la Guia Solaz et al., "A flexible low power DSP with a programmable
+// truncated multiplier", TCAS-I 2012).
+//
+// The truncation level t is programmable at run time: the t least-significant
+// columns of the partial-product array are not formed, which removes their
+// switching activity but injects a (mostly one-sided) truncation error. This
+// is the strongest *run-time* competitor in Fig. 3b: cheaper than the DVAFS
+// design at high accuracy (no reconfiguration overhead, no subword logic)
+// but unable to scale voltage or frequency, so it loses below roughly
+// 1e-4 relative RMSE.
+//
+// Structural model: a monolithic Booth-Wallace multiplier whose operand LSBs
+// feed AND gates controlled by per-column enable inputs (one per truncation
+// level), so activity is measured on the same netlist for every t.
+
+#pragma once
+
+#include "mult/multiplier.h"
+
+namespace dvafs {
+
+class truncated_multiplier final : public structural_multiplier {
+public:
+    explicit truncated_multiplier(int width);
+
+    // Truncation level: the t LSBs of both operands are zeroed before the
+    // multiply and the exact product of the truncated operands is returned.
+    void set_truncation(int t);
+    int truncation() const noexcept { return trunc_; }
+
+    std::int64_t functional(std::int64_t a, std::int64_t b) const override;
+
+    // Input ties for mode-aware timing/static analysis at truncation t.
+    std::vector<std::pair<net_id, bool>> tied_inputs(int t) const;
+
+private:
+    void drive(std::int64_t a, std::int64_t b) override;
+
+    int trunc_ = 0;
+};
+
+} // namespace dvafs

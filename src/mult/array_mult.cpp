@@ -1,0 +1,46 @@
+#include "mult/array_mult.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace dvafs {
+
+array_multiplier::array_multiplier(int width)
+    : structural_multiplier("array" + std::to_string(width), width,
+                            /*is_signed=*/false)
+{
+    if (width < 2 || width > 24) {
+        throw std::invalid_argument("array_multiplier: width out of range");
+    }
+    for (int i = 0; i < width; ++i) {
+        a_bus_.push_back(nl_.add_input("a" + std::to_string(i)));
+    }
+    for (int i = 0; i < width; ++i) {
+        b_bus_.push_back(nl_.add_input("b" + std::to_string(i)));
+    }
+
+    // Row-by-row carry-save accumulation of the AND plane.
+    const net_id zero = nl_.add_const(false);
+    bus acc(static_cast<std::size_t>(2 * width), zero);
+
+    for (int j = 0; j < width; ++j) {
+        // Partial product row j: a * b_j, weight 2^j.
+        bus row(static_cast<std::size_t>(2 * width), zero);
+        for (int i = 0; i < width; ++i) {
+            row[static_cast<std::size_t>(i + j)] =
+                nl_.and_g(a_bus_[static_cast<std::size_t>(i)],
+                          b_bus_[static_cast<std::size_t>(j)]);
+        }
+        acc = build_ripple_adder(nl_, acc, row, no_net, /*drop_carry=*/true);
+        acc.resize(static_cast<std::size_t>(2 * width), zero);
+    }
+
+    out_bus_ = acc;
+    for (int i = 0; i < 2 * width; ++i) {
+        nl_.mark_output("p" + std::to_string(i),
+                        out_bus_[static_cast<std::size_t>(i)]);
+    }
+    finalize();
+}
+
+} // namespace dvafs

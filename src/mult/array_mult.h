@@ -1,0 +1,19 @@
+// Unsigned ripple-carry array multiplier.
+//
+// The simplest exact multiplier: an n x n AND-plane accumulated with a
+// carry-save array of full adders and a final ripple chain. Serves as a
+// structurally-independent cross-check for the netlist infrastructure and
+// as the long-critical-path reference design in timing tests.
+
+#pragma once
+
+#include "mult/multiplier.h"
+
+namespace dvafs {
+
+class array_multiplier final : public structural_multiplier {
+public:
+    explicit array_multiplier(int width);
+};
+
+} // namespace dvafs

@@ -1,0 +1,117 @@
+#include "mult/booth.h"
+
+#include "fixedpoint/bitops.h"
+
+namespace dvafs {
+
+std::vector<int> booth_digits(std::int64_t b, int width)
+{
+    const int groups = (width + 1) / 2;
+    std::vector<int> digits(static_cast<std::size_t>(groups));
+    const auto bit = [&](int i) -> int {
+        if (i < 0) {
+            return 0;
+        }
+        if (i >= width) {
+            return bit_of(to_bits(b, width), width - 1); // sign extension
+        }
+        return bit_of(to_bits(b, width), i);
+    };
+    for (int g = 0; g < groups; ++g) {
+        digits[static_cast<std::size_t>(g)] =
+            -2 * bit(2 * g + 1) + bit(2 * g) + bit(2 * g - 1);
+    }
+    return digits;
+}
+
+booth_controls build_booth_encoder(netlist& nl, net_id hi, net_id mid,
+                                   net_id lo)
+{
+    booth_controls c;
+    c.one = nl.xor_g(mid, lo);
+    // two = (hi & !mid & !lo) | (!hi & mid & lo)
+    const net_id both = nl.and_g(mid, lo);
+    const net_id neither = nl.nor_g(mid, lo);
+    c.two = nl.or_g(nl.and_g(hi, neither),
+                    nl.and_g(nl.not_g(hi), both));
+    c.neg = hi;
+    return c;
+}
+
+bus build_booth_pp_row(netlist& nl, const bus& a, const booth_controls& ctl)
+{
+    const std::size_t n = a.size();
+    const net_id zero = nl.add_const(false);
+    bus row;
+    row.reserve(n + 1);
+    for (std::size_t j = 0; j <= n; ++j) {
+        const net_id aj = (j < n) ? a[j] : a[n - 1];
+        const net_id ajm1 = (j == 0) ? zero : a[j - 1];
+        const net_id sel = nl.or_g(nl.and_g(ctl.one, aj),
+                                   nl.and_g(ctl.two, ajm1));
+        row.push_back(nl.xor_g(sel, ctl.neg));
+    }
+    return row;
+}
+
+int build_booth_pp_array(netlist& nl, const bus& a, const bus& b,
+                         std::vector<std::vector<net_id>>& columns,
+                         int result_width)
+{
+    const int n = static_cast<int>(b.size());
+    const int groups = (n + 1) / 2;
+    const net_id zero = nl.add_const(false);
+    const net_id one_c = nl.add_const(true);
+
+    if (static_cast<int>(columns.size()) < result_width) {
+        columns.resize(static_cast<std::size_t>(result_width));
+    }
+    const auto place = [&](int col, net_id net) {
+        if (col < result_width && net != zero) {
+            columns[static_cast<std::size_t>(col)].push_back(net);
+        }
+    };
+
+    std::int64_t compensation = 0;
+    for (int g = 0; g < groups; ++g) {
+        const net_id lo = (g == 0) ? zero : b[static_cast<std::size_t>(
+                                                 2 * g - 1)];
+        const net_id mid = (2 * g < n) ? b[static_cast<std::size_t>(2 * g)]
+                                       : b.back();
+        const net_id hi = (2 * g + 1 < n)
+                              ? b[static_cast<std::size_t>(2 * g + 1)]
+                              : b.back();
+        const booth_controls ctl = build_booth_encoder(nl, hi, mid, lo);
+        const bus row = build_booth_pp_row(nl, a, ctl);
+
+        const int base = 2 * g;
+        const int msb = static_cast<int>(row.size()) - 1;
+        for (int j = 0; j < msb; ++j) {
+            place(base + j, row[static_cast<std::size_t>(j)]);
+        }
+        // Inverted-MSB sign-extension scheme:
+        //   value(row) = lowbits + (~msb)*2^p - 2^p       (p = base + msb)
+        if (base + msb < result_width) {
+            place(base + msb, nl.not_g(row.back()));
+            compensation -= (1LL << (base + msb));
+        } else {
+            // Row sign column is beyond the result: the truncated row is
+            // already exact modulo 2^result_width.
+            place(base + msb, row.back());
+        }
+        // Two's-complement +neg correction at the row LSB.
+        place(base, ctl.neg);
+    }
+
+    // Materialize the accumulated compensation constant as hardwired bits.
+    const std::uint64_t k =
+        to_bits(compensation, result_width);
+    for (int c = 0; c < result_width; ++c) {
+        if (bit_of(k, c)) {
+            place(c, one_c);
+        }
+    }
+    return groups;
+}
+
+} // namespace dvafs

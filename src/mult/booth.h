@@ -1,0 +1,56 @@
+// Radix-4 (modified) Booth encoding: functional reference and structural
+// builders. The paper's multiplier is a Booth-encoded Wallace-tree design
+// (Sec. III-A); these primitives are shared by the monolithic baseline
+// multiplier and by the 5-bit unit multipliers inside the subword-parallel
+// DVAFS multiplier.
+
+#pragma once
+
+#include "circuit/cells.h"
+#include "circuit/netlist.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace dvafs {
+
+// -- functional reference ----------------------------------------------------
+
+// Booth digits of the signed `width`-bit value `b`; each digit is in
+// [-2, 2] and  b == sum_i digit[i] * 4^i .  For odd widths the sign bit is
+// extended by one position so the last group is complete.
+std::vector<int> booth_digits(std::int64_t b, int width);
+
+// -- structural builders ------------------------------------------------------
+
+// Control wires of one Booth digit: digit = (-1)^neg * (one + 2*two),
+// where at most one of {one, two} is set.
+struct booth_controls {
+    net_id one = no_net;
+    net_id two = no_net;
+    net_id neg = no_net;
+};
+
+// Encodes the bit triple (hi, mid, lo) = (b[2i+1], b[2i], b[2i-1]).
+booth_controls build_booth_encoder(netlist& nl, net_id hi, net_id mid,
+                                   net_id lo);
+
+// Builds the partial-product row for digit `ctl` and the signed operand bus
+// `a` (width n). The row has n+1 bits:
+//   row[j] = neg XOR ((one AND a[j]) OR (two AND a[j-1]))
+// with a[-1] = 0 and a[n] = a[n-1] (one-position sign extension). The row's
+// arithmetic value is  digit * a  in "inverted + neg LSB correction" form:
+// the caller must also add `ctl.neg` at the row's LSB column.
+bus build_booth_pp_row(netlist& nl, const bus& a, const booth_controls& ctl);
+
+// Places a complete Booth partial-product array for signed a x b into
+// `columns` (column c holds nets of weight 2^c). Sign extension uses the
+// inverted-MSB + constant-compensation scheme, so the resulting column sum
+// equals the exact product modulo 2^result_width.
+//
+// Returns the number of PP rows placed.
+int build_booth_pp_array(netlist& nl, const bus& a, const bus& b,
+                         std::vector<std::vector<net_id>>& columns,
+                         int result_width);
+
+} // namespace dvafs

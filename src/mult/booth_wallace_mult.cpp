@@ -1,0 +1,37 @@
+#include "mult/booth_wallace_mult.h"
+
+#include "mult/booth.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace dvafs {
+
+booth_wallace_multiplier::booth_wallace_multiplier(int width)
+    : structural_multiplier("booth_wallace" + std::to_string(width), width,
+                            /*is_signed=*/true)
+{
+    if (width < 2 || width > 24) {
+        throw std::invalid_argument(
+            "booth_wallace_multiplier: width out of range");
+    }
+    for (int i = 0; i < width; ++i) {
+        a_bus_.push_back(nl_.add_input("a" + std::to_string(i)));
+    }
+    for (int i = 0; i < width; ++i) {
+        b_bus_.push_back(nl_.add_input("b" + std::to_string(i)));
+    }
+
+    const int out_w = 2 * width;
+    std::vector<std::vector<net_id>> columns;
+    pp_rows_ = build_booth_pp_array(nl_, a_bus_, b_bus_, columns, out_w);
+    out_bus_ = build_wallace_sum(nl_, std::move(columns), out_w);
+
+    for (int i = 0; i < out_w; ++i) {
+        nl_.mark_output("p" + std::to_string(i),
+                        out_bus_[static_cast<std::size_t>(i)]);
+    }
+    finalize();
+}
+
+} // namespace dvafs

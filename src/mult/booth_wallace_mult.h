@@ -1,0 +1,25 @@
+// Monolithic radix-4 Booth-encoded Wallace-tree multiplier.
+//
+// This is the paper's reference multiplier architecture (Sec. III-A) in its
+// non-reconfigurable form: the baseline "2.16 pJ/word 16 b multiplier"
+// against which the DVAFS design's 21% reconfiguration overhead is measured
+// (Fig. 3a). Also doubles as the substrate of the truncation-based
+// approximate baseline [8].
+
+#pragma once
+
+#include "mult/multiplier.h"
+
+namespace dvafs {
+
+class booth_wallace_multiplier final : public structural_multiplier {
+public:
+    explicit booth_wallace_multiplier(int width);
+
+    int pp_rows() const noexcept { return pp_rows_; }
+
+private:
+    int pp_rows_ = 0;
+};
+
+} // namespace dvafs

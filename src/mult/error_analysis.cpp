@@ -1,0 +1,78 @@
+#include "mult/error_analysis.h"
+
+#include "fixedpoint/bitops.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dvafs {
+
+namespace {
+
+error_report finish(const error_stats& es, int width)
+{
+    error_report rep;
+    rep.samples = es.count();
+    rep.rmse = es.rmse();
+    rep.rmse_relative =
+        es.rmse() / std::pow(2.0, 2.0 * (width - 1));
+    rep.mean_error = es.mean_error();
+    rep.max_abs_error = es.max_abs_error();
+    rep.error_rate = es.error_rate();
+    return rep;
+}
+
+} // namespace
+
+error_report analyze_multiplier_error(const mult_fn& candidate, int width,
+                                      bool is_signed, std::uint64_t samples,
+                                      std::uint64_t seed)
+{
+    if (width < 2 || width > 31) {
+        throw std::invalid_argument("analyze_multiplier_error: bad width");
+    }
+    pcg32 rng(seed);
+    error_stats es;
+    for (std::uint64_t s = 0; s < samples; ++s) {
+        std::int64_t a;
+        std::int64_t b;
+        if (is_signed) {
+            a = sign_extend(rng.next_u64(), width);
+            b = sign_extend(rng.next_u64(), width);
+        } else {
+            a = static_cast<std::int64_t>(rng.next_u64() & low_mask(width));
+            b = static_cast<std::int64_t>(rng.next_u64() & low_mask(width));
+        }
+        es.add(static_cast<double>(a * b),
+               static_cast<double>(candidate(a, b)));
+    }
+    return finish(es, width);
+}
+
+error_report analyze_multiplier_error_exhaustive(const mult_fn& candidate,
+                                                 int width, bool is_signed)
+{
+    if (width < 2 || width > 12) {
+        throw std::invalid_argument(
+            "analyze_multiplier_error_exhaustive: width too large");
+    }
+    error_stats es;
+    const std::int64_t n = 1LL << width;
+    for (std::int64_t ua = 0; ua < n; ++ua) {
+        for (std::int64_t ub = 0; ub < n; ++ub) {
+            const std::int64_t a =
+                is_signed ? sign_extend(static_cast<std::uint64_t>(ua),
+                                        width)
+                          : ua;
+            const std::int64_t b =
+                is_signed ? sign_extend(static_cast<std::uint64_t>(ub),
+                                        width)
+                          : ub;
+            es.add(static_cast<double>(a * b),
+                   static_cast<double>(candidate(a, b)));
+        }
+    }
+    return finish(es, width);
+}
+
+} // namespace dvafs

@@ -1,0 +1,60 @@
+#include "mult/multiplier.h"
+
+#include "fixedpoint/bitops.h"
+
+#include <stdexcept>
+
+namespace dvafs {
+
+void structural_multiplier::finalize()
+{
+    sim_ = std::make_unique<logic_sim>(nl_);
+}
+
+void structural_multiplier::drive(std::int64_t a, std::int64_t b)
+{
+    const auto& ins = nl_.inputs();
+    std::vector<bool> v(ins.size(), false);
+    const std::uint64_t ab = to_bits(a, width_);
+    const std::uint64_t bb = to_bits(b, width_);
+    // Input creation order in every subclass: a bits LSB-first, then b bits.
+    for (int i = 0; i < width_; ++i) {
+        v[static_cast<std::size_t>(i)] = bit_of(ab, i) != 0;
+        v[static_cast<std::size_t>(width_ + i)] = bit_of(bb, i) != 0;
+    }
+    sim_->apply(v);
+}
+
+std::int64_t structural_multiplier::simulate(std::int64_t a, std::int64_t b)
+{
+    if (!sim_) {
+        throw std::logic_error("structural_multiplier: not finalized");
+    }
+    drive(a, b);
+    const std::uint64_t raw = sim_->read_bus(out_bus_);
+    const int out_width = static_cast<int>(out_bus_.size());
+    return signed_ ? sign_extend(raw, out_width)
+                   : static_cast<std::int64_t>(raw);
+}
+
+std::int64_t structural_multiplier::functional(std::int64_t a,
+                                               std::int64_t b) const
+{
+    return a * b;
+}
+
+double structural_multiplier::mean_switched_cap_ff(const tech_model& t) const
+{
+    const std::uint64_t n = sim_->transitions();
+    return n ? sim_->switched_capacitance_ff(t) / static_cast<double>(n)
+             : 0.0;
+}
+
+double structural_multiplier::critical_path_ps(const tech_model& t,
+                                               double vdd) const
+{
+    const timing_analyzer sta(nl_, t);
+    return sta.analyze(vdd).critical_path_ps;
+}
+
+} // namespace dvafs

@@ -1,0 +1,84 @@
+// Common interface of structural (gate-level) multipliers.
+//
+// A structural multiplier owns its netlist and a logic simulator. Calling
+// simulate() drives a new input vector, so consecutive calls accumulate
+// switching activity -- the raw material for every energy number in the
+// paper's Figs. 2-3.
+
+#pragma once
+
+#include "circuit/cells.h"
+#include "circuit/logic_sim.h"
+#include "circuit/netlist.h"
+#include "circuit/tech.h"
+#include "circuit/timing.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace dvafs {
+
+class structural_multiplier {
+public:
+    virtual ~structural_multiplier() = default;
+
+    structural_multiplier(const structural_multiplier&) = delete;
+    structural_multiplier& operator=(const structural_multiplier&) = delete;
+
+    int width() const noexcept { return width_; }
+    bool is_signed() const noexcept { return signed_; }
+    const std::string& name() const noexcept { return name_; }
+    const netlist& net() const noexcept { return nl_; }
+
+    // Computes a*b through the gate-level netlist. Operands must fit the
+    // multiplier's width (signed or unsigned per is_signed()).
+    std::int64_t simulate(std::int64_t a, std::int64_t b);
+
+    // Pure-arithmetic result this design is *supposed* to produce (for the
+    // exact designs this is the true product; approximate designs override).
+    virtual std::int64_t functional(std::int64_t a, std::int64_t b) const;
+
+    // -- switching-activity statistics --------------------------------------
+    void reset_stats() { sim_->reset_stats(); }
+    std::uint64_t total_toggles() const { return sim_->total_toggles(); }
+    std::uint64_t transitions() const { return sim_->transitions(); }
+    double switched_capacitance_ff(const tech_model& t) const
+    {
+        return sim_->switched_capacitance_ff(t);
+    }
+    // Mean switched capacitance per applied input transition [fF].
+    double mean_switched_cap_ff(const tech_model& t) const;
+
+    // -- timing --------------------------------------------------------------
+    // Critical path at vdd through the full netlist.
+    double critical_path_ps(const tech_model& t, double vdd) const;
+
+    std::size_t gate_count() const noexcept { return nl_.logic_gate_count(); }
+
+protected:
+    structural_multiplier(std::string name, int width, bool is_signed)
+        : name_(std::move(name)), width_(width), signed_(is_signed)
+    {
+    }
+
+    // Called by subclasses once construction of nl_ is complete.
+    void finalize();
+
+    // Assembles the full primary-input vector for operands a, b. Subclasses
+    // with extra control inputs (modes) override extra_inputs().
+    virtual void drive(std::int64_t a, std::int64_t b);
+
+    netlist nl_;
+    bus a_bus_;
+    bus b_bus_;
+    bus out_bus_;
+    std::unique_ptr<logic_sim> sim_;
+
+private:
+    std::string name_;
+    int width_;
+    bool signed_;
+};
+
+} // namespace dvafs

@@ -1,0 +1,141 @@
+#include "mult/subword.h"
+
+#include <stdexcept>
+
+namespace dvafs {
+
+const char* to_string(sw_mode m) noexcept
+{
+    switch (m) {
+    case sw_mode::w1x16: return "1x16";
+    case sw_mode::w2x8: return "2x8";
+    case sw_mode::w4x4: return "4x4";
+    }
+    return "?";
+}
+
+sw_mode parse_sw_mode(const std::string& s)
+{
+    if (s == "1x16") {
+        return sw_mode::w1x16;
+    }
+    if (s == "2x8") {
+        return sw_mode::w2x8;
+    }
+    if (s == "4x4") {
+        return sw_mode::w4x4;
+    }
+    throw std::invalid_argument("parse_sw_mode: unknown mode " + s);
+}
+
+std::uint16_t pack_lanes(const std::vector<std::int32_t>& lanes, sw_mode m)
+{
+    const int n = lane_count(m);
+    const int lb = lane_bits(m);
+    if (static_cast<int>(lanes.size()) != n) {
+        throw std::invalid_argument("pack_lanes: lane count mismatch");
+    }
+    std::uint16_t word = 0;
+    for (int i = 0; i < n; ++i) {
+        const std::uint64_t bits =
+            to_bits(lanes[static_cast<std::size_t>(i)], lb);
+        word = static_cast<std::uint16_t>(word | (bits << (lb * i)));
+    }
+    return word;
+}
+
+std::vector<std::int32_t> unpack_lanes(std::uint16_t word, sw_mode m)
+{
+    const int n = lane_count(m);
+    const int lb = lane_bits(m);
+    std::vector<std::int32_t> lanes(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        lanes[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(
+            sign_extend(static_cast<std::uint64_t>(word) >> (lb * i), lb));
+    }
+    return lanes;
+}
+
+std::uint32_t pack_products(const std::vector<std::int32_t>& lanes, sw_mode m)
+{
+    const int n = lane_count(m);
+    const int pb = 2 * lane_bits(m);
+    if (static_cast<int>(lanes.size()) != n) {
+        throw std::invalid_argument("pack_products: lane count mismatch");
+    }
+    std::uint32_t word = 0;
+    for (int i = 0; i < n; ++i) {
+        const std::uint64_t bits =
+            to_bits(lanes[static_cast<std::size_t>(i)], pb);
+        word = static_cast<std::uint32_t>(word | (bits << (pb * i)));
+    }
+    return word;
+}
+
+std::vector<std::int32_t> unpack_products(std::uint32_t word, sw_mode m)
+{
+    const int n = lane_count(m);
+    const int pb = 2 * lane_bits(m);
+    std::vector<std::int32_t> lanes(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        lanes[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(
+            sign_extend(static_cast<std::uint64_t>(word) >> (pb * i), pb));
+    }
+    return lanes;
+}
+
+std::uint32_t subword_multiply(std::uint16_t a, std::uint16_t b, sw_mode m)
+{
+    const int n = lane_count(m);
+    const int lb = lane_bits(m);
+    const int pb = 2 * lb;
+    std::uint32_t out = 0;
+    for (int i = 0; i < n; ++i) {
+        const std::int64_t av =
+            sign_extend(static_cast<std::uint64_t>(a) >> (lb * i), lb);
+        const std::int64_t bv =
+            sign_extend(static_cast<std::uint64_t>(b) >> (lb * i), lb);
+        const std::uint64_t p = to_bits(av * bv, pb);
+        out = static_cast<std::uint32_t>(out | (p << (pb * i)));
+    }
+    return out;
+}
+
+std::uint16_t subword_truncate(std::uint16_t a, sw_mode m, int keep_bits)
+{
+    const int n = lane_count(m);
+    const int lb = lane_bits(m);
+    if (keep_bits < 1 || keep_bits > lb) {
+        throw std::invalid_argument("subword_truncate: bad keep_bits");
+    }
+    std::uint16_t out = 0;
+    for (int i = 0; i < n; ++i) {
+        const std::int64_t av =
+            sign_extend(static_cast<std::uint64_t>(a) >> (lb * i), lb);
+        const std::uint64_t tv = to_bits(truncate_lsbs(av, lb, keep_bits),
+                                         lb);
+        out = static_cast<std::uint16_t>(out | (tv << (lb * i)));
+    }
+    return out;
+}
+
+std::uint32_t subword_mac(std::uint32_t acc, std::uint16_t a, std::uint16_t b,
+                          sw_mode m)
+{
+    const int n = lane_count(m);
+    const int pb = 2 * lane_bits(m);
+    const std::uint32_t prod = subword_multiply(a, b, m);
+    std::uint32_t out = 0;
+    for (int i = 0; i < n; ++i) {
+        const std::int64_t av =
+            sign_extend(static_cast<std::uint64_t>(acc) >> (pb * i), pb);
+        const std::int64_t pv =
+            sign_extend(static_cast<std::uint64_t>(prod) >> (pb * i), pb);
+        const std::int64_t sum = clamp_signed(av + pv, pb);
+        out = static_cast<std::uint32_t>(out
+                                         | (to_bits(sum, pb) << (pb * i)));
+    }
+    return out;
+}
+
+} // namespace dvafs

@@ -1,0 +1,70 @@
+#include "mult/wallace_mult.h"
+
+#include "fixedpoint/bitops.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace dvafs {
+
+wallace_multiplier::wallace_multiplier(int width)
+    : structural_multiplier("wallace" + std::to_string(width), width,
+                            /*is_signed=*/true)
+{
+    if (width < 2 || width > 24) {
+        throw std::invalid_argument("wallace_multiplier: width out of range");
+    }
+    for (int i = 0; i < width; ++i) {
+        a_bus_.push_back(nl_.add_input("a" + std::to_string(i)));
+    }
+    for (int i = 0; i < width; ++i) {
+        b_bus_.push_back(nl_.add_input("b" + std::to_string(i)));
+    }
+
+    const int n = width;
+    const int out_w = 2 * n;
+    std::vector<std::vector<net_id>> columns(
+        static_cast<std::size_t>(out_w));
+
+    // Baugh-Wooley decomposition:
+    //   A*B =   sum_{i,j<n-1} a_i b_j 2^{i+j}
+    //         + a_{n-1} b_{n-1} 2^{2n-2}
+    //         - sum_{j<n-1} a_{n-1} b_j 2^{n-1+j}
+    //         - sum_{i<n-1} a_i b_{n-1} 2^{n-1+i}
+    // and -X = ~X - (all ones over X's positions): the negative groups enter
+    // as NAND terms plus a compensation constant.
+    std::int64_t compensation = 0;
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+            const int col = i + j;
+            const bool ai_sign = (i == n - 1);
+            const bool bj_sign = (j == n - 1);
+            const net_id ai = a_bus_[static_cast<std::size_t>(i)];
+            const net_id bj = b_bus_[static_cast<std::size_t>(j)];
+            if (ai_sign != bj_sign) {
+                columns[static_cast<std::size_t>(col)].push_back(
+                    nl_.nand_g(ai, bj));
+                compensation -= (1LL << col);
+            } else {
+                columns[static_cast<std::size_t>(col)].push_back(
+                    nl_.and_g(ai, bj));
+            }
+        }
+    }
+    const std::uint64_t k = to_bits(compensation, out_w);
+    const net_id one_c = nl_.add_const(true);
+    for (int c = 0; c < out_w; ++c) {
+        if (bit_of(k, c)) {
+            columns[static_cast<std::size_t>(c)].push_back(one_c);
+        }
+    }
+
+    out_bus_ = build_wallace_sum(nl_, std::move(columns), out_w);
+    for (int i = 0; i < out_w; ++i) {
+        nl_.mark_output("p" + std::to_string(i),
+                        out_bus_[static_cast<std::size_t>(i)]);
+    }
+    finalize();
+}
+
+} // namespace dvafs

@@ -1,0 +1,19 @@
+// Signed Wallace-tree multiplier (Baugh-Wooley partial products).
+//
+// Two's-complement n x n multiplication via the Baugh-Wooley identity: the
+// cross terms involving the sign bits enter inverted plus a hardwired
+// compensation constant; the resulting column array is reduced with a
+// Wallace compressor and summed by a Kogge-Stone adder.
+
+#pragma once
+
+#include "mult/multiplier.h"
+
+namespace dvafs {
+
+class wallace_multiplier final : public structural_multiplier {
+public:
+    explicit wallace_multiplier(int width);
+};
+
+} // namespace dvafs

@@ -1,0 +1,209 @@
+#include "simd/assembler.h"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace dvafs {
+
+namespace {
+
+struct token_line {
+    std::string mnemonic;
+    std::vector<std::string> operands;
+    int line_no = 0;
+};
+
+std::string strip(const std::string& s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) {
+        ++b;
+    }
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) {
+        --e;
+    }
+    return s.substr(b, e - b);
+}
+
+[[noreturn]] void fail(int line, const std::string& msg)
+{
+    throw std::runtime_error("assemble: line " + std::to_string(line) + ": "
+                             + msg);
+}
+
+int parse_reg(const std::string& tok, char prefix, int limit, int line)
+{
+    if (tok.size() < 2 || tok[0] != prefix) {
+        fail(line, "expected register " + std::string(1, prefix)
+                       + "N, got '" + tok + "'");
+    }
+    const int idx = std::atoi(tok.c_str() + 1);
+    if (idx < 0 || idx >= limit) {
+        fail(line, "register index out of range: " + tok);
+    }
+    return idx;
+}
+
+std::int32_t parse_imm(const std::string& tok, int line)
+{
+    try {
+        std::size_t pos = 0;
+        const long v = std::stol(tok, &pos, 0);
+        if (pos != tok.size()) {
+            fail(line, "bad immediate '" + tok + "'");
+        }
+        return static_cast<std::int32_t>(v);
+    } catch (const std::logic_error&) {
+        fail(line, "bad immediate '" + tok + "'");
+    }
+}
+
+} // namespace
+
+program assemble(const std::string& source)
+{
+    std::istringstream in(source);
+    std::string raw;
+    std::vector<token_line> lines;
+    std::map<std::string, int> labels;
+    int line_no = 0;
+
+    while (std::getline(in, raw)) {
+        ++line_no;
+        if (const auto hash = raw.find('#'); hash != std::string::npos) {
+            raw.resize(hash);
+        }
+        std::string text = strip(raw);
+        if (text.empty()) {
+            continue;
+        }
+        if (text.back() == ':') {
+            const std::string label = strip(text.substr(0, text.size() - 1));
+            if (label.empty() || labels.count(label)) {
+                fail(line_no, "bad or duplicate label '" + label + "'");
+            }
+            labels[label] = static_cast<int>(lines.size());
+            continue;
+        }
+        token_line tl;
+        tl.line_no = line_no;
+        std::istringstream ls(text);
+        ls >> tl.mnemonic;
+        std::string rest;
+        std::getline(ls, rest);
+        std::istringstream os(rest);
+        std::string opnd;
+        while (std::getline(os, opnd, ',')) {
+            opnd = strip(opnd);
+            if (!opnd.empty()) {
+                tl.operands.push_back(opnd);
+            }
+        }
+        lines.push_back(std::move(tl));
+    }
+
+    program prog;
+    for (std::size_t pc = 0; pc < lines.size(); ++pc) {
+        const token_line& tl = lines[pc];
+        const auto& ops = tl.operands;
+        const auto need = [&](std::size_t n) {
+            if (ops.size() != n) {
+                fail(tl.line_no, tl.mnemonic + " expects "
+                                     + std::to_string(n) + " operands");
+            }
+        };
+        const auto branch_offset = [&](const std::string& tok) {
+            if (const auto it = labels.find(tok); it != labels.end()) {
+                return static_cast<std::int32_t>(it->second)
+                       - static_cast<std::int32_t>(pc);
+            }
+            return parse_imm(tok, tl.line_no);
+        };
+
+        const std::string& m = tl.mnemonic;
+        if (m == "nop") {
+            need(0);
+            prog.push_back(make_nop());
+        } else if (m == "halt") {
+            need(0);
+            prog.push_back(make_halt());
+        } else if (m == "li") {
+            need(2);
+            prog.push_back(make_li(parse_reg(ops[0], 'r', 8, tl.line_no),
+                                   parse_imm(ops[1], tl.line_no)));
+        } else if (m == "addi") {
+            need(3);
+            prog.push_back(make_addi(parse_reg(ops[0], 'r', 8, tl.line_no),
+                                     parse_reg(ops[1], 'r', 8, tl.line_no),
+                                     parse_imm(ops[2], tl.line_no)));
+        } else if (m == "lw") {
+            need(3);
+            prog.push_back(make_lw(parse_reg(ops[0], 'r', 8, tl.line_no),
+                                   parse_reg(ops[1], 'r', 8, tl.line_no),
+                                   parse_imm(ops[2], tl.line_no)));
+        } else if (m == "bnez") {
+            need(2);
+            prog.push_back(make_bnez(parse_reg(ops[0], 'r', 8, tl.line_no),
+                                     branch_offset(ops[1])));
+        } else if (m == "vload" || m == "vstore") {
+            need(3);
+            const int vd = parse_reg(ops[0], 'v', 8, tl.line_no);
+            const int ra = parse_reg(ops[1], 'r', 8, tl.line_no);
+            const std::int32_t imm = parse_imm(ops[2], tl.line_no);
+            prog.push_back(m == "vload" ? make_vload(vd, ra, imm)
+                                        : make_vstore(vd, ra, imm));
+        } else if (m == "vbcast") {
+            need(2);
+            prog.push_back(
+                make_vbcast(parse_reg(ops[0], 'v', 8, tl.line_no),
+                            parse_reg(ops[1], 'r', 8, tl.line_no)));
+        } else if (m == "vadd" || m == "vmul") {
+            need(3);
+            const int vd = parse_reg(ops[0], 'v', 8, tl.line_no);
+            const int va = parse_reg(ops[1], 'v', 8, tl.line_no);
+            const int vb = parse_reg(ops[2], 'v', 8, tl.line_no);
+            prog.push_back(m == "vadd" ? make_vadd(vd, va, vb)
+                                       : make_vmul(vd, va, vb));
+        } else if (m == "vmac") {
+            need(3);
+            prog.push_back(make_vmac(parse_reg(ops[0], 'a', 4, tl.line_no),
+                                     parse_reg(ops[1], 'v', 8, tl.line_no),
+                                     parse_reg(ops[2], 'v', 8, tl.line_no)));
+        } else if (m == "vclr") {
+            need(1);
+            prog.push_back(
+                make_vclr(parse_reg(ops[0], 'a', 4, tl.line_no)));
+        } else if (m == "vsat") {
+            need(3);
+            prog.push_back(make_vsat(parse_reg(ops[0], 'v', 8, tl.line_no),
+                                     parse_reg(ops[1], 'a', 4, tl.line_no),
+                                     parse_imm(ops[2], tl.line_no)));
+        } else if (m == "setmode") {
+            need(1);
+            const std::int32_t v = parse_imm(ops[0], tl.line_no);
+            if (v < 0 || v > 2) {
+                fail(tl.line_no, "setmode operand must be 0, 1 or 2");
+            }
+            prog.push_back(make_setmode(static_cast<sw_mode>(v)));
+        } else {
+            fail(tl.line_no, "unknown mnemonic '" + m + "'");
+        }
+    }
+    return prog;
+}
+
+std::string disassemble(const program& prog)
+{
+    std::string out;
+    for (const instruction& i : prog) {
+        out += i.to_string();
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace dvafs

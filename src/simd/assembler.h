@@ -1,0 +1,29 @@
+// Tiny text assembler for the SIMD ISA: one instruction per line, labels
+// with a trailing colon, '#' comments. Branch targets may be labels or
+// numeric offsets. Example:
+//
+//     li r1, 0
+//   loop:
+//     vload v0, r1, 0
+//     vmac a0, v0, v1
+//     addi r1, r1, 8
+//     addi r2, r2, -1
+//     bnez r2, loop
+//     vsat v2, a0, 4
+//     halt
+
+#pragma once
+
+#include "simd/isa.h"
+
+#include <string>
+
+namespace dvafs {
+
+// Throws std::runtime_error with a line-numbered message on syntax errors.
+program assemble(const std::string& source);
+
+// Round-trip helper: renders a program back to assembly text.
+std::string disassemble(const program& prog);
+
+} // namespace dvafs

@@ -1,0 +1,131 @@
+#include "simd/kernels.h"
+
+#include "fixedpoint/bitops.h"
+#include "util/rng.h"
+
+#include <stdexcept>
+
+namespace dvafs {
+
+program make_conv1d_program(const conv_kernel_spec& spec, int sw)
+{
+    if (spec.taps < 1 || spec.taps > 5) {
+        throw std::invalid_argument(
+            "make_conv1d_program: taps must be in [1, 5] (v0..v4)");
+    }
+    program p;
+    // Weight setup: load each tap and broadcast it across the lanes.
+    p.push_back(make_li(6, spec.w_base));
+    for (int k = 0; k < spec.taps; ++k) {
+        p.push_back(make_lw(4, 6, k));
+        p.push_back(make_vbcast(k, 4));
+    }
+    p.push_back(make_li(1, spec.in_base));
+    p.push_back(make_li(2, spec.out_base));
+    p.push_back(make_li(3, spec.tiles));
+
+    const auto loop_start = static_cast<std::int32_t>(p.size());
+    p.push_back(make_vclr(0));
+    for (int k = 0; k < spec.taps; ++k) {
+        p.push_back(make_vload(6, 1, k));
+        p.push_back(make_vmac(0, 6, k));
+    }
+    p.push_back(make_vsat(7, 0, spec.out_shift));
+    p.push_back(make_vstore(7, 2, 0));
+    p.push_back(make_addi(1, 1, sw));
+    p.push_back(make_addi(2, 2, sw));
+    p.push_back(make_addi(3, 3, -1));
+    p.push_back(make_bnez(3, loop_start - static_cast<std::int32_t>(
+                                 p.size())));
+    p.push_back(make_halt());
+    return p;
+}
+
+conv_workload prepare_conv_workload(simd_processor& proc,
+                                    const conv_kernel_spec& spec,
+                                    sw_mode mode, int das_bits,
+                                    std::uint64_t seed)
+{
+    const int sw = proc.sw();
+    const int n = lane_count(mode);
+    const int lb = lane_bits(mode);
+    if (das_bits < 1 || das_bits > lb) {
+        throw std::invalid_argument("prepare_conv_workload: bad das_bits");
+    }
+    // DAS data contract: per-lane values use the das_bits MSBs only.
+    const int up = lb - das_bits;
+
+    pcg32 rng(seed);
+    conv_workload w;
+    const int total_in = spec.tiles * sw + spec.taps;
+
+    // Inputs: small values so the packed accumulators never saturate
+    // (functional checking concern only; energy does not depend on values).
+    std::vector<std::vector<std::int32_t>> in_slots(
+        static_cast<std::size_t>(total_in));
+    for (int addr = 0; addr < total_in; ++addr) {
+        std::vector<std::int32_t> slots(static_cast<std::size_t>(n));
+        for (int s = 0; s < n; ++s) {
+            slots[static_cast<std::size_t>(s)] = static_cast<std::int32_t>(
+                rng.range(-2, 1) << up);
+        }
+        in_slots[static_cast<std::size_t>(addr)] = slots;
+        proc.memory().poke(
+            static_cast<std::uint32_t>(spec.in_base + addr),
+            pack_lanes(slots, mode));
+        for (const std::int32_t v : slots) {
+            w.inputs.push_back(v);
+        }
+    }
+    // Weights: one scalar word per tap (vbcast uses the low lane bits).
+    for (int k = 0; k < spec.taps; ++k) {
+        const auto wv =
+            static_cast<std::int32_t>(rng.range(-2, 1) << up);
+        w.weights.push_back(wv);
+        proc.memory().poke(static_cast<std::uint32_t>(spec.w_base + k),
+                           static_cast<std::uint16_t>(to_bits(wv, 16)));
+    }
+
+    // Expected outputs, replicating the datapath's saturation order.
+    const int pb = 2 * lb;
+    for (int o = 0; o < spec.tiles * sw; ++o) {
+        for (int s = 0; s < n; ++s) {
+            std::int64_t acc = 0;
+            for (int k = 0; k < spec.taps; ++k) {
+                const std::int64_t prod =
+                    static_cast<std::int64_t>(
+                        in_slots[static_cast<std::size_t>(o + k)]
+                                [static_cast<std::size_t>(s)])
+                    * w.weights[static_cast<std::size_t>(k)];
+                acc = clamp_signed(acc + prod, pb);
+            }
+            w.expected.push_back(static_cast<std::int32_t>(
+                clamp_signed(acc >> spec.out_shift, lb)));
+        }
+    }
+    return w;
+}
+
+int check_conv_outputs(const simd_processor& proc,
+                       const conv_kernel_spec& spec, sw_mode mode,
+                       const conv_workload& w)
+{
+    const int sw = proc.sw();
+    const int n = lane_count(mode);
+    int mismatches = 0;
+    for (int o = 0; o < spec.tiles * sw; ++o) {
+        const std::uint16_t got = proc.memory().peek(
+            static_cast<std::uint32_t>(spec.out_base + o));
+        std::vector<std::int32_t> slots(static_cast<std::size_t>(n));
+        for (int s = 0; s < n; ++s) {
+            slots[static_cast<std::size_t>(s)] =
+                w.expected[static_cast<std::size_t>(o * n + s)];
+        }
+        if (got != pack_lanes(slots, mode)) {
+            ++mismatches;
+        }
+    }
+    return mismatches;
+}
+
+} // namespace dvafs

@@ -1,0 +1,53 @@
+// Convolution kernel generator for the SIMD processor -- the benchmark
+// workload of the paper's Sec. III-B ("a large convolution kernel").
+//
+// The kernel computes a 1-D convolution out[i] = sum_k w[k] * in[i+k] over
+// SW outputs per tile, with the K weights pre-broadcast into vector
+// registers and the inner loop fully unrolled (vload + vmac per tap), which
+// yields the MAC-dominated instruction mix of a tuned vector DSP loop.
+
+#pragma once
+
+#include "simd/isa.h"
+#include "simd/processor.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace dvafs {
+
+struct conv_kernel_spec {
+    int taps = 5;       // K
+    int tiles = 64;     // output tiles of SW elements each
+    int in_base = 0;    // input base address (word index)
+    int w_base = 4096;  // weight base address
+    int out_base = 6144; // output base address
+    int out_shift = 6;  // accumulator >> shift before saturation
+};
+
+// Builds the program for the given spec and SIMD width (the pointer stride
+// per tile equals SW). Register conventions:
+//   r1 input pointer, r2 output pointer, r3 tile counter, r4 scratch.
+//   v0..v(K-1) broadcast weights, v6 data, v7 result. a0 accumulator.
+program make_conv1d_program(const conv_kernel_spec& spec, int sw);
+
+// Fills memory with a deterministic test pattern (inputs and weights) whose
+// per-lane values fit the given precision; returns the expected outputs
+// computed with plain arithmetic for verification.
+struct conv_workload {
+    std::vector<std::int32_t> inputs;  // one value per packed word position
+    std::vector<std::int32_t> weights;
+    std::vector<std::int32_t> expected; // per output word position
+};
+
+conv_workload prepare_conv_workload(simd_processor& proc,
+                                    const conv_kernel_spec& spec,
+                                    sw_mode mode, int das_bits,
+                                    std::uint64_t seed = 99);
+
+// Reads back and checks outputs; returns number of mismatching words.
+int check_conv_outputs(const simd_processor& proc,
+                       const conv_kernel_spec& spec, sw_mode mode,
+                       const conv_workload& w);
+
+} // namespace dvafs

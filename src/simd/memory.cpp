@@ -1,0 +1,71 @@
+#include "simd/memory.h"
+
+#include <stdexcept>
+
+namespace dvafs {
+
+banked_memory::banked_memory(std::size_t words, int banks)
+    : data_(words, 0), banks_(banks)
+{
+    if (banks < 1) {
+        throw std::invalid_argument("banked_memory: need >= 1 bank");
+    }
+}
+
+void banked_memory::account(int active_bits)
+{
+    ++accesses_;
+    const double vr = params_.vdd / params_.vdd_nom;
+    energy_pj_ += (params_.e_fixed_pj
+                   + params_.e_bit_pj * static_cast<double>(active_bits))
+                  * vr * vr;
+}
+
+std::uint16_t banked_memory::read(std::uint32_t addr, int active_bits)
+{
+    account(active_bits);
+    return data_.at(addr);
+}
+
+void banked_memory::write(std::uint32_t addr, std::uint16_t value,
+                          int active_bits)
+{
+    account(active_bits);
+    data_.at(addr) = value;
+}
+
+std::vector<std::uint16_t> banked_memory::read_vector(std::uint32_t base,
+                                                      int active_bits)
+{
+    std::vector<std::uint16_t> out(static_cast<std::size_t>(banks_));
+    for (int i = 0; i < banks_; ++i) {
+        out[static_cast<std::size_t>(i)] =
+            read(base + static_cast<std::uint32_t>(i), active_bits);
+    }
+    return out;
+}
+
+void banked_memory::write_vector(std::uint32_t base,
+                                 const std::vector<std::uint16_t>& values,
+                                 int active_bits)
+{
+    if (static_cast<int>(values.size()) != banks_) {
+        throw std::invalid_argument("write_vector: width mismatch");
+    }
+    for (int i = 0; i < banks_; ++i) {
+        write(base + static_cast<std::uint32_t>(i),
+              values[static_cast<std::size_t>(i)], active_bits);
+    }
+}
+
+std::uint16_t banked_memory::peek(std::uint32_t addr) const
+{
+    return data_.at(addr);
+}
+
+void banked_memory::poke(std::uint32_t addr, std::uint16_t value)
+{
+    data_.at(addr) = value;
+}
+
+} // namespace dvafs

@@ -1,0 +1,66 @@
+#include "simd/power_domains.h"
+
+#include <stdexcept>
+
+namespace dvafs {
+
+const char* to_string(scaling_regime r) noexcept
+{
+    switch (r) {
+    case scaling_regime::das: return "DAS";
+    case scaling_regime::dvas: return "DVAS";
+    case scaling_regime::dvafs: return "DVAFS";
+    }
+    return "?";
+}
+
+domain_voltages make_operating_point(scaling_regime regime, sw_mode mode,
+                                     int das_bits,
+                                     const dvafs_multiplier& mult,
+                                     const tech_model& tech,
+                                     double throughput_mops)
+{
+    domain_voltages dv;
+    dv.v_mem = tech.vdd_nom;
+    dv.mode = mode;
+    dv.das_bits = das_bits;
+
+    const double f_nom = throughput_mops; // one word/cycle at full precision
+    const double period_nom_ps = 1e6 / f_nom;
+
+    if (regime != scaling_regime::dvafs && mode != sw_mode::w1x16) {
+        throw std::invalid_argument(
+            "make_operating_point: DAS/DVAS use the 1xW datapath");
+    }
+
+    switch (regime) {
+    case scaling_regime::das:
+        dv.f_mhz = f_nom;
+        dv.v_nas = tech.vdd_nom;
+        dv.v_as = tech.vdd_nom;
+        break;
+    case scaling_regime::dvas: {
+        dv.f_mhz = f_nom;
+        dv.v_nas = tech.vdd_nom;
+        const double cp = mult.mode_critical_path_ps(
+            tech, tech.vdd_nom, sw_mode::w1x16, das_bits);
+        dv.v_as = tech.solve_voltage(period_nom_ps / cp);
+        break;
+    }
+    case scaling_regime::dvafs: {
+        const int n = lane_count(mode);
+        dv.f_mhz = f_nom / static_cast<double>(n);
+        const double period_ps = 1e6 / dv.f_mhz;
+        const double cp =
+            mult.mode_critical_path_ps(tech, tech.vdd_nom, mode, das_bits);
+        dv.v_as = tech.solve_voltage(period_ps / cp);
+        // The control path was timed for the nominal period; running N x
+        // slower gives it an N-fold delay budget.
+        dv.v_nas = tech.solve_voltage(static_cast<double>(n));
+        break;
+    }
+    }
+    return dv;
+}
+
+} // namespace dvafs

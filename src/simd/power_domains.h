@@ -1,0 +1,43 @@
+// Power-domain configuration of the SIMD processor (paper Sec. III-B):
+// memories on a fixed-voltage domain V_mem, control/decode on V_nas, vector
+// arithmetic on V_as. The regime (DAS / DVAS / DVAFS) determines frequency
+// and the two variable voltages at constant computational throughput.
+
+#pragma once
+
+#include "circuit/tech.h"
+#include "mult/dvafs_mult.h"
+#include "mult/subword.h"
+
+namespace dvafs {
+
+enum class scaling_regime : std::uint8_t { das, dvas, dvafs };
+const char* to_string(scaling_regime r) noexcept;
+
+struct domain_voltages {
+    double v_mem = 1.1;
+    double v_nas = 1.1;
+    double v_as = 1.1;
+    double f_mhz = 500.0;
+    sw_mode mode = sw_mode::w1x16;
+    int das_bits = 16; // per-lane effective precision
+};
+
+// Computes the operating point for a regime at constant word throughput
+// `throughput_mops` (words/s; 1xW full precision runs at throughput_mops
+// MHz with one word per cycle).
+//
+//  * DAS:   f and all voltages stay nominal; only activity drops.
+//  * DVAS:  f nominal; V_as drops per the multiplier's active-cone slack.
+//  * DVAFS: subword mode with N = lanes; f = f_nom / N; V_as from the lane
+//           critical path at the longer period; V_nas from the N-fold
+//           relaxed control-path timing. V_mem always stays nominal.
+//
+// `mult` supplies the active-cone critical paths (the as-domain timing).
+domain_voltages make_operating_point(scaling_regime regime, sw_mode mode,
+                                     int das_bits,
+                                     const dvafs_multiplier& mult,
+                                     const tech_model& tech,
+                                     double throughput_mops = 500.0);
+
+} // namespace dvafs

@@ -1,0 +1,288 @@
+#include "simd/processor.h"
+
+#include "fixedpoint/bitops.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dvafs {
+
+double simd_energy_model::activity_divisor(sw_mode mode, int das_bits) const
+{
+    if (const auto it = activity_override.find({mode, das_bits});
+        it != activity_override.end()) {
+        return it->second;
+    }
+    // Fall back to the paper's Table I: k1 for DAS in 1xW mode, k3 for the
+    // subword modes (per-cycle activity at full lane precision).
+    const auto& table = paper_table1();
+    if (mode == sw_mode::w1x16) {
+        return interpolate_k1(table, das_bits);
+    }
+    const int lane_bits_full = 16 / lane_count(mode);
+    const double k3 = k_for_bits(table, lane_bits_full).k3;
+    if (das_bits >= lane_bits_full) {
+        return k3;
+    }
+    // DAS inside a subword mode: compose the subword divisor with the
+    // relative DAS divisor of the reduced lane precision, mapped onto the
+    // 16-bit table through the lane-relative precision.
+    const double eff_bits = 16.0 * das_bits / lane_bits_full;
+    return k3 * interpolate_k1(table, eff_bits)
+           / interpolate_k1(table, 16.0);
+}
+
+simd_processor::simd_processor(int sw, std::size_t memory_words,
+                               simd_energy_model energy)
+    : sw_(sw), mem_(memory_words, sw), energy_(energy)
+{
+    if (sw < 1 || sw > 1024) {
+        throw std::invalid_argument("simd_processor: bad SIMD width");
+    }
+    mem_.set_energy_params(energy_.mem);
+    vregs_.assign(8, std::vector<std::uint16_t>(
+                         static_cast<std::size_t>(sw), 0));
+    accs_.assign(4, std::vector<std::uint32_t>(
+                        static_cast<std::size_t>(sw), 0));
+}
+
+void simd_processor::set_operating_point(const domain_voltages& dv)
+{
+    dv_ = dv;
+    memory_energy_params mp = energy_.mem;
+    mp.vdd = dv.v_mem;
+    mem_.set_energy_params(mp);
+}
+
+void simd_processor::load_program(program p)
+{
+    prog_ = std::move(p);
+    pc_ = 0;
+    halted_ = false;
+}
+
+void simd_processor::reset_stats()
+{
+    stats_ = simd_stats{};
+    mem_.reset_stats();
+}
+
+int simd_processor::active_bits() const noexcept
+{
+    return lane_count(dv_.mode) * dv_.das_bits;
+}
+
+const simd_stats& simd_processor::run(std::uint64_t max_cycles)
+{
+    const double mem_before_pj = mem_.energy_pj();
+    while (!halted_) {
+        if (pc_ < 0 || pc_ >= static_cast<std::int64_t>(prog_.size())) {
+            throw std::runtime_error("simd_processor: PC out of program");
+        }
+        if (stats_.cycles >= max_cycles) {
+            throw std::runtime_error("simd_processor: cycle limit reached");
+        }
+        const instruction ins = prog_[static_cast<std::size_t>(pc_)];
+        ++pc_;
+        execute(ins);
+        account(ins);
+        ++stats_.cycles;
+        ++stats_.instructions;
+        ++stats_.mix[ins.op];
+    }
+    // Memory energy accumulated inside banked_memory during this run.
+    stats_.ledger.add_pj(power_domain::mem,
+                         mem_.energy_pj() - mem_before_pj);
+    return stats_;
+}
+
+void simd_processor::execute(const instruction& ins)
+{
+    const auto vec_addr = [&](int ra, std::int32_t imm) {
+        const std::int64_t a = regs_[static_cast<std::size_t>(ra)] + imm;
+        if (a < 0
+            || a + sw_ > static_cast<std::int64_t>(mem_.size())) {
+            throw std::runtime_error("simd_processor: vector access OOB");
+        }
+        return static_cast<std::uint32_t>(a);
+    };
+
+    switch (ins.op) {
+    case opcode::nop:
+        break;
+    case opcode::halt:
+        halted_ = true;
+        break;
+    case opcode::li:
+        regs_[ins.rd] = ins.imm;
+        break;
+    case opcode::addi:
+        regs_[ins.rd] = regs_[ins.ra] + ins.imm;
+        break;
+    case opcode::lw: {
+        const std::int64_t a = regs_[ins.ra] + ins.imm;
+        if (a < 0 || a >= static_cast<std::int64_t>(mem_.size())) {
+            throw std::runtime_error("simd_processor: lw OOB");
+        }
+        regs_[ins.rd] = static_cast<std::int32_t>(
+            sign_extend(mem_.read(static_cast<std::uint32_t>(a),
+                                  active_bits()),
+                        16));
+        break;
+    }
+    case opcode::bnez:
+        if (regs_[ins.ra] != 0) {
+            pc_ += ins.imm - 1; // pc already advanced past this instruction
+        }
+        break;
+    case opcode::vload: {
+        const auto base = vec_addr(ins.ra, ins.imm);
+        vregs_[ins.rd] = mem_.read_vector(base, active_bits());
+        break;
+    }
+    case opcode::vstore: {
+        const auto base = vec_addr(ins.ra, ins.imm);
+        mem_.write_vector(base, vregs_[ins.rd], active_bits());
+        break;
+    }
+    case opcode::vbcast: {
+        // Broadcasts the scalar's low lane_bits into every packed subword.
+        const int lb = lane_bits(dv_.mode);
+        const std::uint64_t lane = to_bits(regs_[ins.ra], lb);
+        std::uint64_t word = 0;
+        for (int s = 0; s < lane_count(dv_.mode); ++s) {
+            word |= lane << (lb * s);
+        }
+        for (auto& w : vregs_[ins.rd]) {
+            w = static_cast<std::uint16_t>(word);
+        }
+        break;
+    }
+    case opcode::vadd: {
+        const auto& va = vregs_[ins.ra];
+        const auto& vb = vregs_[ins.rb];
+        auto& vd = vregs_[ins.rd];
+        const int lb = lane_bits(dv_.mode);
+        for (int l = 0; l < sw_; ++l) {
+            std::uint64_t out = 0;
+            for (int s = 0; s < lane_count(dv_.mode); ++s) {
+                const std::int64_t x = sign_extend(
+                    va[static_cast<std::size_t>(l)] >> (lb * s), lb);
+                const std::int64_t y = sign_extend(
+                    vb[static_cast<std::size_t>(l)] >> (lb * s), lb);
+                out |= to_bits(x + y, lb) << (lb * s);
+            }
+            vd[static_cast<std::size_t>(l)] =
+                static_cast<std::uint16_t>(out);
+        }
+        break;
+    }
+    case opcode::vmul: {
+        const auto& va = vregs_[ins.ra];
+        const auto& vb = vregs_[ins.rb];
+        auto& vd = vregs_[ins.rd];
+        const int lb = lane_bits(dv_.mode);
+        for (int l = 0; l < sw_; ++l) {
+            const std::uint32_t p =
+                subword_multiply(va[static_cast<std::size_t>(l)],
+                                 vb[static_cast<std::size_t>(l)],
+                                 dv_.mode);
+            // Keep the low lane_bits of each product (wrapping multiply).
+            std::uint64_t out = 0;
+            for (int s = 0; s < lane_count(dv_.mode); ++s) {
+                const std::uint64_t lane = (p >> (2 * lb * s)) & low_mask(lb);
+                out |= lane << (lb * s);
+            }
+            vd[static_cast<std::size_t>(l)] =
+                static_cast<std::uint16_t>(out);
+        }
+        break;
+    }
+    case opcode::vmac: {
+        const auto& va = vregs_[ins.ra];
+        const auto& vb = vregs_[ins.rb];
+        auto& acc = accs_[ins.rd];
+        for (int l = 0; l < sw_; ++l) {
+            acc[static_cast<std::size_t>(l)] = subword_mac(
+                acc[static_cast<std::size_t>(l)],
+                va[static_cast<std::size_t>(l)],
+                vb[static_cast<std::size_t>(l)], dv_.mode);
+        }
+        ++stats_.vector_macs;
+        stats_.words_processed += static_cast<std::uint64_t>(sw_)
+                                  * static_cast<std::uint64_t>(
+                                      lane_count(dv_.mode));
+        break;
+    }
+    case opcode::vclr:
+        std::fill(accs_[ins.rd].begin(), accs_[ins.rd].end(), 0U);
+        break;
+    case opcode::vsat: {
+        const auto& acc = accs_[ins.ra];
+        auto& vd = vregs_[ins.rd];
+        const int lb = lane_bits(dv_.mode);
+        const int pb = 2 * lb;
+        for (int l = 0; l < sw_; ++l) {
+            std::uint64_t out = 0;
+            for (int s = 0; s < lane_count(dv_.mode); ++s) {
+                const std::int64_t wide = sign_extend(
+                    acc[static_cast<std::size_t>(l)] >> (pb * s), pb);
+                const std::int64_t v =
+                    clamp_signed(wide >> ins.imm, lb);
+                out |= to_bits(v, lb) << (lb * s);
+            }
+            vd[static_cast<std::size_t>(l)] =
+                static_cast<std::uint16_t>(out);
+        }
+        break;
+    }
+    case opcode::setmode:
+        dv_.mode = static_cast<sw_mode>(ins.imm);
+        break;
+    }
+}
+
+void simd_processor::account(const instruction& ins)
+{
+    const double nas_r = dv_.v_nas / 1.1;
+    const double as_r = dv_.v_as / 1.1;
+    const double nas_sq = nas_r * nas_r;
+    const double as_sq = as_r * as_r;
+    const double lanes = static_cast<double>(sw_);
+
+    // Fetch/decode and per-lane control fire every cycle.
+    stats_.ledger.add_pj(power_domain::nas,
+                         (energy_.e_fetch_decode_pj
+                          + energy_.e_ctrl_pj_per_lane * lanes)
+                             * nas_sq);
+
+    switch (ins.op) {
+    case opcode::li:
+    case opcode::addi:
+    case opcode::bnez:
+        stats_.ledger.add_pj(power_domain::nas,
+                             energy_.e_scalar_pj * nas_sq);
+        break;
+    default:
+        break;
+    }
+
+    if (is_vector_op(ins.op)) {
+        stats_.ledger.add_pj(power_domain::nas,
+                             energy_.e_vrf_pj_per_lane * lanes * nas_sq);
+    }
+    if (is_arith_vector_op(ins.op)) {
+        const double net =
+            sw_ > 8 ? energy_.e_net_pj_per_lane
+                          * std::log2(static_cast<double>(sw_) / 8.0)
+                    : 0.0;
+        const double divisor =
+            energy_.activity_divisor(dv_.mode, dv_.das_bits);
+        stats_.ledger.add_pj(power_domain::as,
+                             (energy_.e_mac_pj_per_lane + net) / divisor
+                                 * lanes * as_sq);
+    }
+    // Memory energy is accounted inside banked_memory (collected in run()).
+}
+
+} // namespace dvafs

@@ -1,0 +1,66 @@
+#include "util/csv.h"
+
+#include "util/table.h"
+
+#include <stdexcept>
+
+namespace dvafs {
+
+std::string csv_escape(const std::string& cell)
+{
+    const bool needs_quotes =
+        cell.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quotes) {
+        return cell;
+    }
+    std::string out = "\"";
+    for (const char c : cell) {
+        if (c == '"') {
+            out += '"';
+        }
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+csv_writer::csv_writer(const std::string& path,
+                       std::vector<std::string> headers)
+    : path_(path), out_(path), columns_(headers.size())
+{
+    if (!out_) {
+        throw std::runtime_error("csv_writer: cannot open " + path);
+    }
+    for (std::size_t i = 0; i < headers.size(); ++i) {
+        if (i) {
+            out_ << ',';
+        }
+        out_ << csv_escape(headers[i]);
+    }
+    out_ << '\n';
+}
+
+void csv_writer::add_row(const std::vector<std::string>& cells)
+{
+    for (std::size_t i = 0; i < columns_; ++i) {
+        if (i) {
+            out_ << ',';
+        }
+        if (i < cells.size()) {
+            out_ << csv_escape(cells[i]);
+        }
+    }
+    out_ << '\n';
+}
+
+void csv_writer::add_row_numeric(const std::vector<double>& cells)
+{
+    std::vector<std::string> row;
+    row.reserve(cells.size());
+    for (const double v : cells) {
+        row.push_back(fmt_double(v, 6));
+    }
+    add_row(row);
+}
+
+} // namespace dvafs

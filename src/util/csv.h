@@ -1,0 +1,31 @@
+// Minimal CSV writer so bench outputs can be re-plotted outside the repo.
+
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace dvafs {
+
+class csv_writer {
+public:
+    // Opens `path` for writing and emits the header row.
+    // Throws std::runtime_error if the file cannot be created.
+    csv_writer(const std::string& path, std::vector<std::string> headers);
+
+    void add_row(const std::vector<std::string>& cells);
+    void add_row_numeric(const std::vector<double>& cells);
+
+    const std::string& path() const noexcept { return path_; }
+
+private:
+    std::string path_;
+    std::ofstream out_;
+    std::size_t columns_ = 0;
+};
+
+// Escapes a cell per RFC 4180 (quotes cells containing comma/quote/newline).
+std::string csv_escape(const std::string& cell);
+
+} // namespace dvafs

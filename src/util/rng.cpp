@@ -1,0 +1,57 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace dvafs {
+
+std::uint32_t pcg32::bounded(std::uint32_t bound) noexcept
+{
+    if (bound == 0) {
+        return 0;
+    }
+    // Lemire-style rejection: threshold is the smallest value that keeps the
+    // distribution over [0, bound) exactly uniform.
+    const std::uint32_t threshold = (-bound) % bound;
+    for (;;) {
+        const std::uint32_t r = next_u32();
+        if (r >= threshold) {
+            return r % bound;
+        }
+    }
+}
+
+std::int64_t pcg32::range(std::int64_t lo, std::int64_t hi) noexcept
+{
+    if (hi <= lo) {
+        return lo;
+    }
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1U;
+    if (span <= 0xffffffffULL) {
+        return lo + static_cast<std::int64_t>(
+                        bounded(static_cast<std::uint32_t>(span)));
+    }
+    // Wide span: 64-bit modulo is acceptable here (span >> bias).
+    return lo + static_cast<std::int64_t>(next_u64() % span);
+}
+
+double pcg32::gaussian() noexcept
+{
+    if (has_spare_) {
+        has_spare_ = false;
+        return spare_;
+    }
+    double u = 0.0;
+    double v = 0.0;
+    double s = 0.0;
+    do {
+        u = uniform(-1.0, 1.0);
+        v = uniform(-1.0, 1.0);
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double m = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * m;
+    has_spare_ = true;
+    return u * m;
+}
+
+} // namespace dvafs

@@ -1,0 +1,76 @@
+#include "mult/array_mult.h"
+
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+namespace dvafs {
+namespace {
+
+class array_mult_test : public ::testing::TestWithParam<int> {};
+
+TEST_P(array_mult_test, exhaustive_unsigned)
+{
+    const int w = GetParam();
+    array_multiplier m(w);
+    const std::int64_t n = 1LL << w;
+    for (std::int64_t a = 0; a < n; ++a) {
+        for (std::int64_t b = 0; b < n; ++b) {
+            ASSERT_EQ(m.simulate(a, b), a * b)
+                << "w=" << w << " a=" << a << " b=" << b;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(widths, array_mult_test,
+                         ::testing::Values(2, 3, 4, 5));
+
+TEST(array_mult, random_wide)
+{
+    array_multiplier m(12);
+    pcg32 rng(3);
+    for (int i = 0; i < 500; ++i) {
+        const std::int64_t a = rng.range(0, (1 << 12) - 1);
+        const std::int64_t b = rng.range(0, (1 << 12) - 1);
+        EXPECT_EQ(m.simulate(a, b), a * b);
+    }
+}
+
+TEST(array_mult, metadata)
+{
+    array_multiplier m(8);
+    EXPECT_EQ(m.width(), 8);
+    EXPECT_FALSE(m.is_signed());
+    EXPECT_EQ(m.name(), "array8");
+    EXPECT_GT(m.gate_count(), 0U);
+    EXPECT_EQ(m.functional(7, 9), 63);
+}
+
+TEST(array_mult, activity_accumulates)
+{
+    array_multiplier m(6);
+    m.simulate(0, 0);
+    m.reset_stats();
+    m.simulate(63, 63);
+    EXPECT_GT(m.total_toggles(), 0U);
+    EXPECT_EQ(m.transitions(), 1U);
+    EXPECT_GT(m.mean_switched_cap_ff(tech_40nm_lp()), 0.0);
+}
+
+TEST(array_mult, rejects_bad_width)
+{
+    EXPECT_THROW(array_multiplier m(1), std::invalid_argument);
+    EXPECT_THROW(array_multiplier m(30), std::invalid_argument);
+}
+
+TEST(array_mult, critical_path_grows_with_width)
+{
+    array_multiplier m4(4);
+    array_multiplier m8(8);
+    const tech_model& t = tech_40nm_lp();
+    EXPECT_GT(m8.critical_path_ps(t, t.vdd_nom),
+              m4.critical_path_ps(t, t.vdd_nom));
+}
+
+} // namespace
+} // namespace dvafs

@@ -1,0 +1,232 @@
+#include "circuit/cells.h"
+
+#include "circuit/logic_sim.h"
+#include "fixedpoint/bitops.h"
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+namespace dvafs {
+namespace {
+
+// Drives the inputs of `nl` with the bits of `packed` and reads `out`.
+std::uint64_t eval(const netlist& nl, std::uint64_t packed, const bus& out)
+{
+    logic_sim sim(nl);
+    sim.apply_packed(packed);
+    return sim.read_bus(out);
+}
+
+bus make_inputs(netlist& nl, const std::string& prefix, int n)
+{
+    bus b;
+    for (int i = 0; i < n; ++i) {
+        b.push_back(nl.add_input(prefix + std::to_string(i)));
+    }
+    return b;
+}
+
+TEST(cells, half_and_full_adder)
+{
+    netlist nl;
+    const bus in = make_inputs(nl, "i", 3);
+    const adder_bit ha = build_half_adder(nl, in[0], in[1]);
+    const adder_bit fa = build_full_adder(nl, in[0], in[1], in[2]);
+    logic_sim sim(nl);
+    for (int v = 0; v < 8; ++v) {
+        sim.apply_packed(static_cast<std::uint64_t>(v));
+        const int a = v & 1;
+        const int b = (v >> 1) & 1;
+        const int c = (v >> 2) & 1;
+        EXPECT_EQ(sim.value(ha.sum), ((a + b) & 1) != 0);
+        EXPECT_EQ(sim.value(ha.carry), (a + b) >= 2);
+        EXPECT_EQ(sim.value(fa.sum), ((a + b + c) & 1) != 0);
+        EXPECT_EQ(sim.value(fa.carry), (a + b + c) >= 2);
+    }
+}
+
+// Exhaustive adder equivalence: ripple vs Kogge-Stone vs carry-select.
+class adder_test : public ::testing::TestWithParam<int> {};
+
+TEST_P(adder_test, ripple_exhaustive)
+{
+    const int n = GetParam();
+    netlist nl;
+    const bus a = make_inputs(nl, "a", n);
+    const bus b = make_inputs(nl, "b", n);
+    const bus sum = build_ripple_adder(nl, a, b);
+    ASSERT_EQ(sum.size(), static_cast<std::size_t>(n + 1));
+    for (std::uint64_t x = 0; x < (1ULL << n); ++x) {
+        for (std::uint64_t y = 0; y < (1ULL << n); ++y) {
+            EXPECT_EQ(eval(nl, x | (y << n), sum), x + y);
+        }
+    }
+}
+
+TEST_P(adder_test, kogge_stone_exhaustive)
+{
+    const int n = GetParam();
+    netlist nl;
+    const bus a = make_inputs(nl, "a", n);
+    const bus b = make_inputs(nl, "b", n);
+    const bus sum = build_kogge_stone_adder(nl, a, b);
+    for (std::uint64_t x = 0; x < (1ULL << n); ++x) {
+        for (std::uint64_t y = 0; y < (1ULL << n); ++y) {
+            EXPECT_EQ(eval(nl, x | (y << n), sum), x + y);
+        }
+    }
+}
+
+TEST_P(adder_test, carry_select_exhaustive)
+{
+    const int n = GetParam();
+    netlist nl;
+    const bus a = make_inputs(nl, "a", n);
+    const bus b = make_inputs(nl, "b", n);
+    const bus sum =
+        build_carry_select_adder(nl, a, b, /*block_bits=*/2, {},
+                                 /*drop_carry=*/false);
+    for (std::uint64_t x = 0; x < (1ULL << n); ++x) {
+        for (std::uint64_t y = 0; y < (1ULL << n); ++y) {
+            EXPECT_EQ(eval(nl, x | (y << n), sum), x + y);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(widths, adder_test, ::testing::Values(2, 3, 4, 6));
+
+TEST(cells, kogge_stone_width_mismatch_throws)
+{
+    netlist nl;
+    const bus a = make_inputs(nl, "a", 4);
+    const bus b = make_inputs(nl, "b", 3);
+    EXPECT_THROW((void)build_kogge_stone_adder(nl, a, b),
+                 std::invalid_argument);
+}
+
+TEST(cells, segmented_adder_kill_cuts_carry)
+{
+    // 4-bit adder split at bit 2: with keep=0, the low-half carry must not
+    // reach the high half.
+    netlist nl;
+    const bus a = make_inputs(nl, "a", 4);
+    const bus b = make_inputs(nl, "b", 4);
+    const net_id keep = nl.add_input("keep");
+    const bus sum = build_segmented_adder(nl, a, b, {{2, keep}},
+                                          /*drop_carry=*/true);
+    logic_sim sim(nl);
+    // 0b0011 + 0b0001 = 0b0100 normally; with the cut, carry into bit 2
+    // disappears: low half = 0b00, high half = 0b00.
+    const auto run = [&](bool keep_v) {
+        sim.apply_packed(0b0011ULL | (0b0001ULL << 4)
+                         | (static_cast<std::uint64_t>(keep_v) << 8));
+        return sim.read_bus(sum);
+    };
+    EXPECT_EQ(run(true), 0b0100ULL);
+    EXPECT_EQ(run(false), 0b0000ULL);
+}
+
+TEST(cells, carry_select_kill_matches_segmented_semantics)
+{
+    netlist nl;
+    const bus a = make_inputs(nl, "a", 4);
+    const bus b = make_inputs(nl, "b", 4);
+    const net_id keep = nl.add_input("keep");
+    const bus sum = build_carry_select_adder(nl, a, b, 2, {{2, keep}});
+    logic_sim sim(nl);
+    for (std::uint64_t x = 0; x < 16; ++x) {
+        for (std::uint64_t y = 0; y < 16; ++y) {
+            for (int k = 0; k <= 1; ++k) {
+                sim.apply_packed(x | (y << 4)
+                                 | (static_cast<std::uint64_t>(k) << 8));
+                std::uint64_t want;
+                if (k != 0) {
+                    want = (x + y) & 0xf;
+                } else {
+                    const std::uint64_t lo = ((x & 3) + (y & 3)) & 3;
+                    const std::uint64_t hi =
+                        ((x >> 2) + (y >> 2)) & 3;
+                    want = lo | (hi << 2);
+                }
+                EXPECT_EQ(sim.read_bus(sum), want)
+                    << "x=" << x << " y=" << y << " keep=" << k;
+            }
+        }
+    }
+}
+
+TEST(cells, gated_bus_and_mux_bus)
+{
+    netlist nl;
+    const bus a = make_inputs(nl, "a", 3);
+    const bus b = make_inputs(nl, "b", 3);
+    const net_id en = nl.add_input("en");
+    const bus gated = build_gated_bus(nl, a, en);
+    const bus muxed = build_mux_bus(nl, a, b, en);
+    logic_sim sim(nl);
+    // a = 0b101, b = 0b010, en = 0.
+    sim.apply_packed(0b101ULL | (0b010ULL << 3));
+    EXPECT_EQ(sim.read_bus(gated), 0b000ULL);
+    EXPECT_EQ(sim.read_bus(muxed), 0b101ULL);
+    // en = 1.
+    sim.apply_packed(0b101ULL | (0b010ULL << 3) | (1ULL << 6));
+    EXPECT_EQ(sim.read_bus(gated), 0b101ULL);
+    EXPECT_EQ(sim.read_bus(muxed), 0b010ULL);
+}
+
+TEST(cells, extend_helpers)
+{
+    netlist nl;
+    const bus a = make_inputs(nl, "a", 2);
+    const bus se = extend_signed(a, 4);
+    ASSERT_EQ(se.size(), 4U);
+    EXPECT_EQ(se[2], a[1]);
+    EXPECT_EQ(se[3], a[1]);
+    const bus ze = extend_unsigned(nl, a, 4);
+    EXPECT_EQ(ze[2], nl.const0());
+    EXPECT_THROW((void)extend_signed({}, 4), std::invalid_argument);
+}
+
+TEST(cells, wallace_sum_of_many_terms)
+{
+    // Sum 10 random 6-bit unsigned values via the column compressor.
+    netlist nl;
+    std::vector<bus> terms;
+    for (int t = 0; t < 10; ++t) {
+        terms.push_back(make_inputs(nl, "t" + std::to_string(t), 6));
+    }
+    std::vector<std::vector<net_id>> cols(10);
+    for (const bus& t : terms) {
+        for (std::size_t i = 0; i < t.size(); ++i) {
+            cols[i].push_back(t[i]);
+        }
+    }
+    const bus sum = build_wallace_sum(nl, cols, 10);
+    logic_sim sim(nl);
+    pcg32 rng(5);
+    for (int it = 0; it < 200; ++it) {
+        std::uint64_t packed = 0;
+        std::uint64_t want = 0;
+        for (int t = 0; t < 10; ++t) {
+            const std::uint64_t v = rng.next_u32() & 0x3f;
+            packed |= v << (6 * t);
+            want += v;
+        }
+        sim.apply_packed(packed);
+        EXPECT_EQ(sim.read_bus(sum), want & 0x3ff);
+    }
+}
+
+TEST(cells, wallace_compressor_reports_adder_counts)
+{
+    netlist nl;
+    const bus a = make_inputs(nl, "a", 4);
+    std::vector<std::vector<net_id>> cols(1);
+    cols[0] = {a[0], a[1], a[2], a[3]};
+    const compressed_rows rows = build_wallace_compressor(nl, cols);
+    EXPECT_GT(rows.full_adders + rows.half_adders, 0U);
+    EXPECT_GE(rows.row0.size(), 1U);
+}
+
+} // namespace
+} // namespace dvafs

@@ -1,0 +1,107 @@
+#include "core/controller.h"
+
+#include "core/energy_report.h"
+
+#include <gtest/gtest.h>
+
+namespace dvafs {
+namespace {
+
+class controller_test : public ::testing::Test {
+protected:
+    // Shared: the controller builds and characterizes a 16-bit multiplier.
+    static dvafs_controller& ctrl()
+    {
+        static dvafs_controller c(tech_40nm_lp(), 16, 500.0);
+        return c;
+    }
+};
+
+TEST_F(controller_test, full_precision_point_is_nominal)
+{
+    const dvafs_operating_point op =
+        ctrl().resolve(16, scaling_regime::das);
+    EXPECT_EQ(op.mode.subword, sw_mode::w1x16);
+    EXPECT_DOUBLE_EQ(op.f_mhz, 500.0);
+    EXPECT_DOUBLE_EQ(op.v_as, 1.1);
+    EXPECT_NEAR(op.rel_energy_per_word, 1.0, 1e-6);
+}
+
+TEST_F(controller_test, dvafs_selects_subword_modes)
+{
+    const dvafs_operating_point op4 =
+        ctrl().resolve(4, scaling_regime::dvafs);
+    EXPECT_EQ(op4.mode.subword, sw_mode::w4x4);
+    EXPECT_DOUBLE_EQ(op4.f_mhz, 125.0);
+    EXPECT_DOUBLE_EQ(op4.words_per_cycle, 4.0);
+    EXPECT_NEAR(op4.v_as, 0.75, 0.06);
+
+    const dvafs_operating_point op8 =
+        ctrl().resolve(8, scaling_regime::dvafs);
+    EXPECT_EQ(op8.mode.subword, sw_mode::w2x8);
+    EXPECT_DOUBLE_EQ(op8.f_mhz, 250.0);
+}
+
+TEST_F(controller_test, precision_rounds_up_to_quarter)
+{
+    const dvafs_operating_point op =
+        ctrl().resolve(5, scaling_regime::dvas);
+    EXPECT_EQ(op.mode.precision_bits, 8);
+    const dvafs_operating_point op2 =
+        ctrl().resolve(9, scaling_regime::dvas);
+    EXPECT_EQ(op2.mode.precision_bits, 12);
+}
+
+TEST_F(controller_test, regime_energy_ordering_at_4b)
+{
+    const double das =
+        ctrl().resolve(4, scaling_regime::das).rel_energy_per_word;
+    const double dvas =
+        ctrl().resolve(4, scaling_regime::dvas).rel_energy_per_word;
+    const double dvafs =
+        ctrl().resolve(4, scaling_regime::dvafs).rel_energy_per_word;
+    EXPECT_LT(das, 1.0);
+    EXPECT_LT(dvas, das);
+    EXPECT_LT(dvafs, dvas);
+    // Paper Fig. 3a: DVAFS reaches <10% of the 16 b energy per word.
+    EXPECT_LT(dvafs, 0.12);
+}
+
+TEST_F(controller_test, dvas_keeps_frequency_scales_voltage)
+{
+    const dvafs_operating_point op =
+        ctrl().resolve(4, scaling_regime::dvas);
+    EXPECT_DOUBLE_EQ(op.f_mhz, 500.0);
+    EXPECT_LT(op.v_as, 1.1);
+    EXPECT_DOUBLE_EQ(op.v_nas, 1.1);
+}
+
+TEST_F(controller_test, energy_decreases_with_precision_in_dvafs)
+{
+    double prev = 1e9;
+    for (const int bits : {16, 8, 4}) {
+        const double e = ctrl()
+                             .resolve(bits, scaling_regime::dvafs)
+                             .rel_energy_per_word;
+        EXPECT_LT(e, prev) << bits;
+        prev = e;
+    }
+}
+
+TEST_F(controller_test, describe_is_informative)
+{
+    const std::string s =
+        describe(ctrl().resolve(4, scaling_regime::dvafs));
+    EXPECT_NE(s.find("4x4"), std::string::npos);
+    EXPECT_NE(s.find("125"), std::string::npos);
+    EXPECT_NE(s.find("DVAFS"), std::string::npos);
+}
+
+TEST_F(controller_test, kparams_accessible)
+{
+    EXPECT_EQ(ctrl().kparams().table.size(), 4U);
+    EXPECT_EQ(ctrl().multiplier().width(), 16);
+}
+
+} // namespace
+} // namespace dvafs

@@ -1,0 +1,184 @@
+// Analysis properties of the DVAFS multiplier: the activity, timing and
+// voltage behaviour that Sections II-III of the paper build on. These are
+// the invariants behind Table I and Figs. 2-3; absolute values are compared
+// against the paper in EXPERIMENTS.md, the tests pin the *ordering*.
+
+#include "mult/booth_wallace_mult.h"
+#include "mult/dvafs_mult.h"
+
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+namespace dvafs {
+namespace {
+
+double measure_cap(dvafs_multiplier& m, sw_mode mode, int das,
+                   std::uint64_t seed)
+{
+    const tech_model& t = tech_40nm_lp();
+    m.set_das_precision(m.width());
+    m.set_mode(mode);
+    if (mode == sw_mode::w1x16 && das < m.width()) {
+        m.set_das_precision(das);
+    }
+    m.reset_stats();
+    pcg32 rng(seed);
+    for (int i = 0; i < 800; ++i) {
+        m.simulate_packed(rng.next_u32() & 0xffff,
+                          rng.next_u32() & 0xffff);
+    }
+    const double cap = m.mean_switched_cap_ff(t);
+    m.set_das_precision(m.width());
+    return cap;
+}
+
+class dvafs_analysis : public ::testing::Test {
+protected:
+    static dvafs_multiplier& mult()
+    {
+        static dvafs_multiplier m(16); // shared: construction is heavy
+        return m;
+    }
+};
+
+TEST_F(dvafs_analysis, das_activity_decreases_monotonically)
+{
+    dvafs_multiplier& m = mult();
+    const double c16 = measure_cap(m, sw_mode::w1x16, 16, 5);
+    const double c12 = measure_cap(m, sw_mode::w1x16, 12, 5);
+    const double c8 = measure_cap(m, sw_mode::w1x16, 8, 5);
+    const double c4 = measure_cap(m, sw_mode::w1x16, 4, 5);
+    EXPECT_GT(c16, c12);
+    EXPECT_GT(c12, c8);
+    EXPECT_GT(c8, c4);
+    // Table I direction: k0(4b) is large. Our netlist measures >= 6x
+    // (the paper reports 12.5x on its multiplier).
+    EXPECT_GT(c16 / c4, 6.0);
+    // k0(8b) around 2-4x.
+    EXPECT_GT(c16 / c8, 2.0);
+}
+
+TEST_F(dvafs_analysis, subword_activity_between_full_and_das)
+{
+    dvafs_multiplier& m = mult();
+    const double c16 = measure_cap(m, sw_mode::w1x16, 16, 7);
+    const double c2x8 = measure_cap(m, sw_mode::w2x8, 8, 7);
+    const double c4x4 = measure_cap(m, sw_mode::w4x4, 4, 7);
+    const double das8 = measure_cap(m, sw_mode::w1x16, 8, 7);
+    const double das4 = measure_cap(m, sw_mode::w1x16, 4, 7);
+    // Subword modes reuse idle cells, so their per-cycle activity sits
+    // between full precision and the DAS cone (k3 < k0 in Table I).
+    EXPECT_LT(c2x8, c16);
+    EXPECT_LT(c4x4, c2x8);
+    EXPECT_GT(c2x8, das8);
+    EXPECT_GT(c4x4, das4);
+}
+
+TEST_F(dvafs_analysis, reconfiguration_overhead_at_full_precision)
+{
+    // Fig. 3a: the reconfigurable multiplier pays an overhead at 16 b
+    // (paper: 21%). Ours must be positive and below 2x.
+    dvafs_multiplier& m = mult();
+    booth_wallace_multiplier base(16);
+    const tech_model& t = tech_40nm_lp();
+    pcg32 rng(9);
+    base.simulate(0, 0);
+    base.reset_stats();
+    for (int i = 0; i < 800; ++i) {
+        base.simulate(rng.range(-32768, 32767), rng.range(-32768, 32767));
+    }
+    const double base_cap = base.mean_switched_cap_ff(t);
+    const double dv_cap = measure_cap(m, sw_mode::w1x16, 16, 9);
+    EXPECT_GT(dv_cap, base_cap);
+    EXPECT_LT(dv_cap, 2.0 * base_cap);
+}
+
+TEST_F(dvafs_analysis, critical_path_shortens_with_precision)
+{
+    dvafs_multiplier& m = mult();
+    const tech_model& t = tech_40nm_lp();
+    const double cp16 =
+        m.mode_critical_path_ps(t, t.vdd_nom, sw_mode::w1x16, 16);
+    const double cp8 =
+        m.mode_critical_path_ps(t, t.vdd_nom, sw_mode::w1x16, 8);
+    const double cp4 =
+        m.mode_critical_path_ps(t, t.vdd_nom, sw_mode::w1x16, 4);
+    EXPECT_GT(cp16, cp8);
+    EXPECT_GT(cp8, cp4);
+    // Fig. 2b: the 4 b cone is around half the full path.
+    EXPECT_LT(cp4 / cp16, 0.8);
+}
+
+TEST_F(dvafs_analysis, subword_paths_shorter_than_full)
+{
+    dvafs_multiplier& m = mult();
+    const tech_model& t = tech_40nm_lp();
+    const double cp16 =
+        m.mode_critical_path_ps(t, t.vdd_nom, sw_mode::w1x16, 16);
+    const double cp2 =
+        m.mode_critical_path_ps(t, t.vdd_nom, sw_mode::w2x8, 8);
+    const double cp4 =
+        m.mode_critical_path_ps(t, t.vdd_nom, sw_mode::w4x4, 4);
+    EXPECT_LT(cp2, cp16);
+    EXPECT_LT(cp4, cp2);
+}
+
+TEST_F(dvafs_analysis, full_path_calibrated_to_500mhz)
+{
+    // tech_40nm_lp is calibrated so the full-precision path supports the
+    // paper's 500 MHz clock at 1.1 V (2 ns period), within 15%.
+    dvafs_multiplier& m = mult();
+    const tech_model& t = tech_40nm_lp();
+    const double cp16 =
+        m.mode_critical_path_ps(t, t.vdd_nom, sw_mode::w1x16, 16);
+    EXPECT_NEAR(cp16, 2000.0, 300.0);
+}
+
+TEST_F(dvafs_analysis, dvafs_voltage_matches_paper_anchors)
+{
+    // Constant throughput: 2x8 at 250 MHz and 4x4 at 125 MHz. The paper
+    // reaches ~0.9 V and 0.7-0.75 V.
+    dvafs_multiplier& m = mult();
+    const tech_model& t = tech_40nm_lp();
+    const double cp16 =
+        m.mode_critical_path_ps(t, t.vdd_nom, sw_mode::w1x16, 16);
+    const double cp2 =
+        m.mode_critical_path_ps(t, t.vdd_nom, sw_mode::w2x8, 8);
+    const double cp4 =
+        m.mode_critical_path_ps(t, t.vdd_nom, sw_mode::w4x4, 4);
+    const double v2 = t.solve_voltage(2.0 * cp16 / cp2);
+    const double v4 = t.solve_voltage(4.0 * cp16 / cp4);
+    EXPECT_NEAR(v2, 0.89, 0.05);
+    EXPECT_NEAR(v4, 0.75, 0.05);
+    EXPECT_LT(v4, v2);
+}
+
+TEST_F(dvafs_analysis, active_gate_count_tracks_mode)
+{
+    dvafs_multiplier& m = mult();
+    const std::size_t full = m.active_gate_count(sw_mode::w1x16, 16);
+    const std::size_t das8 = m.active_gate_count(sw_mode::w1x16, 8);
+    const std::size_t das4 = m.active_gate_count(sw_mode::w1x16, 4);
+    const std::size_t sub4 = m.active_gate_count(sw_mode::w4x4, 4);
+    EXPECT_GT(full, das8);
+    EXPECT_GT(das8, das4);
+    EXPECT_GT(sub4, das4); // reused cells: more logic alive than DAS
+    EXPECT_LT(sub4, full);
+}
+
+TEST_F(dvafs_analysis, width8_variant_has_same_orderings)
+{
+    dvafs_multiplier m8(8);
+    const tech_model& t = tech_40nm_lp();
+    const double c_full = measure_cap(m8, sw_mode::w1x16, 8, 3);
+    const double c_das = measure_cap(m8, sw_mode::w1x16, 2, 3);
+    const double c_sub = measure_cap(m8, sw_mode::w4x4, 2, 3);
+    EXPECT_GT(c_full, c_sub);
+    EXPECT_GT(c_sub, c_das);
+    EXPECT_LT(m8.mode_critical_path_ps(t, t.vdd_nom, sw_mode::w4x4, 2),
+              m8.mode_critical_path_ps(t, t.vdd_nom, sw_mode::w1x16, 8));
+}
+
+} // namespace
+} // namespace dvafs

@@ -1,0 +1,78 @@
+#include "energy/energy_ledger.h"
+
+#include <gtest/gtest.h>
+
+namespace dvafs {
+namespace {
+
+TEST(energy_ledger, accumulates_per_domain)
+{
+    energy_ledger l;
+    l.add_pj(power_domain::mem, 10.0);
+    l.add_pj(power_domain::nas, 20.0);
+    l.add_pj(power_domain::as, 30.0);
+    l.add_pj(power_domain::as, 10.0);
+    EXPECT_DOUBLE_EQ(l.pj(power_domain::mem), 10.0);
+    EXPECT_DOUBLE_EQ(l.pj(power_domain::nas), 20.0);
+    EXPECT_DOUBLE_EQ(l.pj(power_domain::as), 40.0);
+    EXPECT_DOUBLE_EQ(l.total_pj(), 70.0);
+}
+
+TEST(energy_ledger, shares_sum_to_one)
+{
+    energy_ledger l;
+    l.add_pj(power_domain::mem, 1.0);
+    l.add_pj(power_domain::nas, 2.0);
+    l.add_pj(power_domain::as, 3.0);
+    EXPECT_NEAR(l.share(power_domain::mem) + l.share(power_domain::nas)
+                    + l.share(power_domain::as),
+                1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(l.share(power_domain::as), 0.5);
+}
+
+TEST(energy_ledger, empty_shares_are_zero)
+{
+    const energy_ledger l;
+    EXPECT_EQ(l.share(power_domain::mem), 0.0);
+    EXPECT_EQ(l.total_pj(), 0.0);
+    EXPECT_EQ(l.power_mw(100, 500.0), 0.0);
+}
+
+TEST(energy_ledger, power_conversion)
+{
+    energy_ledger l;
+    l.add_pj(power_domain::as, 1000.0); // over 100 cycles -> 10 pJ/cycle
+    // 10 pJ/cycle at 500 MHz = 5 mW.
+    EXPECT_DOUBLE_EQ(l.power_mw(100, 500.0), 5.0);
+    EXPECT_EQ(l.power_mw(0, 500.0), 0.0);
+}
+
+TEST(energy_ledger, accumulate_operator)
+{
+    energy_ledger a;
+    a.add_pj(power_domain::mem, 1.0);
+    energy_ledger b;
+    b.add_pj(power_domain::mem, 2.0);
+    b.add_pj(power_domain::as, 3.0);
+    a += b;
+    EXPECT_DOUBLE_EQ(a.pj(power_domain::mem), 3.0);
+    EXPECT_DOUBLE_EQ(a.pj(power_domain::as), 3.0);
+}
+
+TEST(energy_ledger, reset)
+{
+    energy_ledger l;
+    l.add_pj(power_domain::nas, 5.0);
+    l.reset();
+    EXPECT_EQ(l.total_pj(), 0.0);
+}
+
+TEST(energy_ledger, domain_names)
+{
+    EXPECT_STREQ(to_string(power_domain::mem), "mem");
+    EXPECT_STREQ(to_string(power_domain::nas), "nas");
+    EXPECT_STREQ(to_string(power_domain::as), "as");
+}
+
+} // namespace
+} // namespace dvafs

@@ -1,0 +1,80 @@
+#include "core/energy_report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dvafs {
+namespace {
+
+TEST(energy_report, describe_contains_all_fields)
+{
+    dvafs_operating_point op;
+    op.mode = {sw_mode::w2x8, 6};
+    op.regime = scaling_regime::dvas;
+    op.f_mhz = 250.0;
+    op.v_as = 0.91;
+    op.v_nas = 1.1;
+    op.words_per_cycle = 2.0;
+    op.rel_energy_per_word = 0.25;
+    const std::string s = describe(op);
+    EXPECT_NE(s.find("2x8@6b"), std::string::npos);
+    EXPECT_NE(s.find("DVAS"), std::string::npos);
+    EXPECT_NE(s.find("250"), std::string::npos);
+    EXPECT_NE(s.find("0.91"), std::string::npos);
+    EXPECT_NE(s.find("0.250"), std::string::npos);
+}
+
+TEST(energy_report, print_plan_lists_layers_and_totals)
+{
+    network_plan plan;
+    plan.network_name = "toy";
+    layer_plan lp;
+    lp.layer_name = "conv1";
+    lp.weight_bits = 5;
+    lp.input_bits = 4;
+    lp.mode.mode = sw_mode::w2x8;
+    lp.mode.f_mhz = 100.0;
+    lp.mode.vdd = 0.8;
+    lp.power_mw = 25.0;
+    lp.energy_mj = 1e-4;
+    lp.time_ms = 0.004;
+    plan.layers.push_back(lp);
+    plan.total_energy_mj = 1e-4;
+    plan.total_time_ms = 0.004;
+    plan.fps = 250000.0;
+    plan.avg_power_mw = 25.0;
+    plan.tops_per_w = 2.0;
+    plan.savings_factor = 4.2;
+    plan.relative_accuracy = 0.99;
+
+    std::ostringstream ss;
+    print_plan(ss, plan);
+    const std::string s = ss.str();
+    EXPECT_NE(s.find("conv1"), std::string::npos);
+    EXPECT_NE(s.find("2x8"), std::string::npos);
+    EXPECT_NE(s.find("4.20x"), std::string::npos);
+    EXPECT_NE(s.find("99.0%"), std::string::npos);
+    EXPECT_NE(s.find("TOPS/W"), std::string::npos);
+}
+
+TEST(energy_report, print_kparams_renders_every_row)
+{
+    kparam_extraction kx;
+    for (const int bits : {4, 8, 12, 16}) {
+        k_factors k;
+        k.bits = bits;
+        k.k0 = k.k1 = 16.0 / bits;
+        k.n = bits == 4 ? 4 : 1;
+        kx.table.push_back(k);
+    }
+    std::ostringstream ss;
+    print_kparams(ss, kx);
+    const std::string s = ss.str();
+    EXPECT_NE(s.find("bits"), std::string::npos);
+    EXPECT_NE(s.find("4.00"), std::string::npos); // k0 at 4 bits
+    EXPECT_NE(s.find("16"), std::string::npos);
+}
+
+} // namespace
+} // namespace dvafs

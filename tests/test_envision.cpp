@@ -1,0 +1,169 @@
+// Envision model calibration: the anchors the paper publishes in Sec. V
+// must fall out of the model (see envision/calibration.h).
+
+#include "envision/envision.h"
+
+#include <gtest/gtest.h>
+
+namespace dvafs {
+namespace {
+
+class envision_test : public ::testing::Test {
+protected:
+    envision_model model;
+};
+
+envision_mode nominal()
+{
+    envision_mode m;
+    m.mode = sw_mode::w1x16;
+    m.weight_bits = 16;
+    m.input_bits = 16;
+    m.f_mhz = 200.0;
+    m.vdd = 1.03;
+    return m;
+}
+
+TEST_F(envision_test, anchor_300mw_at_nominal)
+{
+    const envision_report r = model.evaluate(nominal());
+    EXPECT_NEAR(r.power_mw, 300.0, 5.0);
+    // 76 effective GOPS at 73% utilization of 256 MACs x 2 ops.
+    EXPECT_NEAR(r.gops, 74.8, 1.0);
+    EXPECT_NEAR(r.tops_per_w, 0.25, 0.02);
+}
+
+TEST_F(envision_test, anchor_das_4b_ratio)
+{
+    // Paper Fig. 8a: 2.4x less energy per op at 4 b DAS.
+    const envision_mode das4 =
+        model.at_constant_frequency(scaling_regime::das, sw_mode::w1x16, 4);
+    const double e16 = model.evaluate(nominal()).energy_per_op_pj;
+    const double e4 = model.evaluate(das4).energy_per_op_pj;
+    EXPECT_NEAR(e16 / e4, 2.4, 0.25);
+}
+
+TEST_F(envision_test, anchor_dvas_4b_ratio)
+{
+    // Paper Fig. 8a: 3.8x at 4 b DVAS.
+    const envision_mode dvas4 = model.at_constant_frequency(
+        scaling_regime::dvas, sw_mode::w1x16, 4);
+    const double e16 = model.evaluate(nominal()).energy_per_op_pj;
+    const double e4 = model.evaluate(dvas4).energy_per_op_pj;
+    EXPECT_NEAR(e16 / e4, 3.8, 0.5);
+}
+
+TEST_F(envision_test, anchor_dvafs_4x4_at_200mhz)
+{
+    // Paper Fig. 8a: ~108 mW at 4x4b / 200 MHz -> ~2.8 TOPS/W.
+    const envision_mode m = model.at_constant_frequency(
+        scaling_regime::dvafs, sw_mode::w4x4, 4);
+    const envision_report r = model.evaluate(m);
+    EXPECT_NEAR(r.power_mw, 108.0, 15.0);
+    EXPECT_NEAR(r.tops_per_w, 2.8, 0.4);
+}
+
+TEST_F(envision_test, anchor_dvafs_4x4_constant_throughput)
+{
+    // Paper Fig. 8b: ~18 mW at 4x4b / 50 MHz / 0.65 V -> 4.2 TOPS/W.
+    const envision_mode m = model.at_constant_throughput(
+        scaling_regime::dvafs, sw_mode::w4x4, 4);
+    EXPECT_DOUBLE_EQ(m.f_mhz, 50.0);
+    EXPECT_NEAR(m.vdd, 0.65, 0.01);
+    const envision_report r = model.evaluate(m);
+    EXPECT_NEAR(r.power_mw, 18.0, 3.0);
+    EXPECT_NEAR(r.tops_per_w, 4.2, 0.6);
+}
+
+TEST_F(envision_test, improvement_factors_over_das_dvas)
+{
+    // Paper Sec. V: full DVAFS at constant throughput is 6.9x better than
+    // DAS and 4.1x better than DVAS (energy per op).
+    const double das = model
+                           .evaluate(model.at_constant_frequency(
+                               scaling_regime::das, sw_mode::w1x16, 4))
+                           .energy_per_op_pj;
+    const double dvas = model
+                            .evaluate(model.at_constant_frequency(
+                                scaling_regime::dvas, sw_mode::w1x16, 4))
+                            .energy_per_op_pj;
+    const double dvafs = model
+                             .evaluate(model.at_constant_throughput(
+                                 scaling_regime::dvafs, sw_mode::w4x4, 4))
+                             .energy_per_op_pj;
+    EXPECT_NEAR(das / dvafs, 6.9, 1.5);
+    EXPECT_NEAR(dvas / dvafs, 4.1, 1.0);
+}
+
+TEST_F(envision_test, sparsity_gates_power)
+{
+    envision_mode m = nominal();
+    const double dense = model.evaluate(m).power_mw;
+    m.input_sparsity = 0.8;
+    m.weight_sparsity = 0.3;
+    const double sparse = model.evaluate(m).power_mw;
+    EXPECT_LT(sparse, dense * 0.6);
+    // Fixed power never disappears.
+    EXPECT_GT(sparse, model.calibration().fixed_mw * 0.9);
+}
+
+TEST_F(envision_test, activity_divisor_properties)
+{
+    // Full precision in each mode -> the k3 column.
+    EXPECT_NEAR(model.activity_divisor(sw_mode::w1x16, 16, 16), 1.0, 1e-9);
+    EXPECT_NEAR(model.activity_divisor(sw_mode::w2x8, 8, 8), 1.82, 1e-9);
+    EXPECT_NEAR(model.activity_divisor(sw_mode::w4x4, 4, 4), 3.2, 1e-9);
+    // Lower precision raises the divisor monotonically.
+    EXPECT_GT(model.activity_divisor(sw_mode::w1x16, 8, 8),
+              model.activity_divisor(sw_mode::w1x16, 12, 12));
+    EXPECT_GT(model.activity_divisor(sw_mode::w2x8, 5, 4),
+              model.activity_divisor(sw_mode::w2x8, 8, 8));
+    // Asymmetric precisions land between the symmetric cases.
+    const double d74 = model.activity_divisor(sw_mode::w2x8, 7, 4);
+    EXPECT_GT(d74, model.activity_divisor(sw_mode::w2x8, 7, 7));
+    EXPECT_LT(d74, model.activity_divisor(sw_mode::w2x8, 4, 4));
+    EXPECT_THROW((void)model.activity_divisor(sw_mode::w4x4, 8, 4),
+                 std::invalid_argument);
+}
+
+TEST_F(envision_test, vf_curve_anchors)
+{
+    const envision_calibration& cal = model.calibration();
+    EXPECT_DOUBLE_EQ(cal.voltage_for_frequency(200.0), 1.03);
+    EXPECT_DOUBLE_EQ(cal.voltage_for_frequency(100.0), 0.80);
+    EXPECT_DOUBLE_EQ(cal.voltage_for_frequency(50.0), 0.65);
+    // Interpolation and clamping.
+    EXPECT_GT(cal.voltage_for_frequency(150.0), 0.80);
+    EXPECT_LT(cal.voltage_for_frequency(150.0), 1.03);
+    EXPECT_DOUBLE_EQ(cal.voltage_for_frequency(25.0), 0.65);
+    EXPECT_DOUBLE_EQ(cal.voltage_for_frequency(400.0), 1.03);
+}
+
+TEST_F(envision_test, gops_scale_with_parallelism)
+{
+    const envision_mode m4 = model.at_constant_frequency(
+        scaling_regime::dvafs, sw_mode::w4x4, 4);
+    const envision_report r4 = model.evaluate(m4);
+    const envision_report r16 = model.evaluate(nominal());
+    EXPECT_NEAR(r4.gops / r16.gops, 4.0, 1e-9);
+}
+
+TEST_F(envision_test, constant_throughput_das_equals_constant_frequency)
+{
+    const envision_mode a =
+        model.at_constant_frequency(scaling_regime::das, sw_mode::w1x16, 8);
+    const envision_mode b = model.at_constant_throughput(
+        scaling_regime::das, sw_mode::w1x16, 8);
+    EXPECT_DOUBLE_EQ(a.f_mhz, b.f_mhz);
+    EXPECT_DOUBLE_EQ(a.vdd, b.vdd);
+}
+
+TEST_F(envision_test, bad_sparsity_rejected)
+{
+    envision_mode m = nominal();
+    m.input_sparsity = 1.5;
+    EXPECT_THROW((void)model.evaluate(m), std::invalid_argument);
+}
+
+} // namespace
+} // namespace dvafs

@@ -1,0 +1,178 @@
+#include "fixedpoint/bitops.h"
+#include "fixedpoint/fixed.h"
+
+#include <gtest/gtest.h>
+
+namespace dvafs {
+namespace {
+
+TEST(bitops, low_mask)
+{
+    EXPECT_EQ(low_mask(0), 0ULL);
+    EXPECT_EQ(low_mask(1), 1ULL);
+    EXPECT_EQ(low_mask(16), 0xffffULL);
+    EXPECT_EQ(low_mask(64), ~0ULL);
+}
+
+TEST(bitops, sign_extend_round_trip)
+{
+    for (int width = 2; width <= 16; ++width) {
+        const std::int64_t lo = signed_min(width);
+        const std::int64_t hi = signed_max(width);
+        for (std::int64_t v = lo; v <= hi; ++v) {
+            EXPECT_EQ(sign_extend(to_bits(v, width), width), v)
+                << "width=" << width << " v=" << v;
+        }
+    }
+}
+
+TEST(bitops, signed_range)
+{
+    EXPECT_EQ(signed_min(8), -128);
+    EXPECT_EQ(signed_max(8), 127);
+    EXPECT_EQ(signed_min(4), -8);
+    EXPECT_EQ(signed_max(4), 7);
+}
+
+TEST(bitops, clamp_signed)
+{
+    EXPECT_EQ(clamp_signed(300, 8), 127);
+    EXPECT_EQ(clamp_signed(-300, 8), -128);
+    EXPECT_EQ(clamp_signed(5, 8), 5);
+}
+
+TEST(bitops, fits_signed)
+{
+    EXPECT_TRUE(fits_signed(127, 8));
+    EXPECT_FALSE(fits_signed(128, 8));
+    EXPECT_TRUE(fits_signed(-128, 8));
+    EXPECT_FALSE(fits_signed(-129, 8));
+}
+
+TEST(bitops, hamming)
+{
+    EXPECT_EQ(hamming(0, 0), 0);
+    EXPECT_EQ(hamming(0xff, 0x00), 8);
+    EXPECT_EQ(hamming(0b1010, 0b0101), 4);
+}
+
+TEST(bitops, truncate_lsbs_matches_masking)
+{
+    // Truncation keeps the top bits and zeroes the dropped LSBs.
+    for (int keep = 1; keep <= 8; ++keep) {
+        for (std::int64_t v = -128; v <= 127; ++v) {
+            const std::int64_t t = truncate_lsbs(v, 8, keep);
+            const std::int64_t mask =
+                static_cast<std::int64_t>(~low_mask(8 - keep));
+            EXPECT_EQ(t, v & mask) << "keep=" << keep << " v=" << v;
+        }
+    }
+}
+
+TEST(bitops, truncate_lsbs_idempotent)
+{
+    for (std::int64_t v = -128; v <= 127; ++v) {
+        const std::int64_t once = truncate_lsbs(v, 8, 4);
+        EXPECT_EQ(truncate_lsbs(once, 8, 4), once);
+    }
+}
+
+TEST(fixed_point, from_double_round_trip)
+{
+    const fixed_format fmt{16, 8};
+    const fixed_point fp = fixed_point::from_double(1.5, fmt);
+    EXPECT_DOUBLE_EQ(fp.to_double(), 1.5);
+    EXPECT_EQ(fp.raw(), 384);
+}
+
+TEST(fixed_point, saturation_on_overflow)
+{
+    const fixed_format fmt{8, 4};
+    const fixed_point hi = fixed_point::from_double(100.0, fmt);
+    EXPECT_DOUBLE_EQ(hi.to_double(), fmt.max_value());
+    const fixed_point lo = fixed_point::from_double(-100.0, fmt);
+    EXPECT_DOUBLE_EQ(lo.to_double(), fmt.min_value());
+}
+
+TEST(fixed_point, wrap_overflow_mode)
+{
+    const fixed_format fmt{8, 0};
+    const fixed_point fp =
+        fixed_point::from_double(130.0, fmt, rounding::nearest,
+                                 overflow::wrap);
+    EXPECT_EQ(fp.raw(), 130 - 256);
+}
+
+TEST(fixed_point, rounding_modes)
+{
+    EXPECT_EQ(round_scaled(2.5, rounding::nearest), 3);
+    EXPECT_EQ(round_scaled(-2.5, rounding::nearest), -3);
+    EXPECT_EQ(round_scaled(2.5, rounding::nearest_even), 2);
+    EXPECT_EQ(round_scaled(3.5, rounding::nearest_even), 4);
+    EXPECT_EQ(round_scaled(2.7, rounding::truncate), 2);
+    EXPECT_EQ(round_scaled(-2.7, rounding::truncate), -2);
+}
+
+TEST(fixed_point, exact_add_and_mul)
+{
+    const fixed_format fmt{8, 4};
+    const fixed_point a = fixed_point::from_double(1.25, fmt);
+    const fixed_point b = fixed_point::from_double(2.5, fmt);
+    EXPECT_DOUBLE_EQ(a.add(b).to_double(), 3.75);
+    EXPECT_DOUBLE_EQ(a.sub(b).to_double(), -1.25);
+    EXPECT_DOUBLE_EQ(a.mul(b).to_double(), 3.125);
+    EXPECT_EQ(a.mul(b).format().width, 16);
+    EXPECT_EQ(a.mul(b).format().frac_bits, 8);
+}
+
+TEST(fixed_point, add_requires_matching_frac)
+{
+    const fixed_point a = fixed_point::from_double(1.0, {8, 4});
+    const fixed_point b = fixed_point::from_double(1.0, {8, 2});
+    EXPECT_THROW((void)a.add(b), std::invalid_argument);
+}
+
+TEST(fixed_point, convert_rounding)
+{
+    // 1.375 in Q.4 = raw 22; to Q.1: 2.75 units -> nearest 3 (1.5).
+    const fixed_point a = fixed_point::from_double(1.375, {16, 4});
+    EXPECT_DOUBLE_EQ(a.convert({16, 1}).to_double(), 1.5);
+    EXPECT_DOUBLE_EQ(
+        a.convert({16, 1}, rounding::truncate).to_double(), 1.0);
+    // Widening conversion is exact.
+    EXPECT_DOUBLE_EQ(a.convert({24, 8}).to_double(), 1.375);
+}
+
+TEST(fixed_point, convert_negative_truncate_toward_zero)
+{
+    const fixed_point a = fixed_point::from_double(-1.375, {16, 4});
+    EXPECT_DOUBLE_EQ(
+        a.convert({16, 1}, rounding::truncate).to_double(), -1.0);
+}
+
+TEST(fixed_point, truncated_gates_lsbs)
+{
+    const fixed_point a = fixed_point::from_raw(0x00ff, {16, 0});
+    EXPECT_EQ(a.truncated(8).raw(), 0x00ff & ~0xff);
+}
+
+TEST(fixed_point, invalid_formats_throw)
+{
+    EXPECT_THROW((void)fixed_point::from_raw(0, {1, 0}),
+                 std::invalid_argument);
+    EXPECT_THROW((void)fixed_point::from_raw(0, {64, 0}),
+                 std::invalid_argument);
+    EXPECT_THROW((void)fixed_point::from_raw(200, {8, 0}),
+                 std::out_of_range);
+}
+
+TEST(fixed_point, format_limits)
+{
+    const fixed_format fmt{8, 4};
+    EXPECT_DOUBLE_EQ(fmt.lsb(), 1.0 / 16.0);
+    EXPECT_DOUBLE_EQ(fmt.max_value(), 127.0 / 16.0);
+    EXPECT_DOUBLE_EQ(fmt.min_value(), -128.0 / 16.0);
+}
+
+} // namespace
+} // namespace dvafs

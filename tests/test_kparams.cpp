@@ -1,0 +1,117 @@
+#include "energy/kparams.h"
+
+#include <gtest/gtest.h>
+
+namespace dvafs {
+namespace {
+
+class kparams_test : public ::testing::Test {
+protected:
+    static const kparam_extraction& extraction()
+    {
+        static dvafs_multiplier mult(16);
+        static const kparam_extraction kx = extract_kparams(
+            mult, tech_40nm_lp(), {.vectors = 600, .seed = 3});
+        return kx;
+    }
+};
+
+TEST_F(kparams_test, table_covers_quarter_precisions)
+{
+    const auto& t = extraction().table;
+    ASSERT_EQ(t.size(), 4U);
+    EXPECT_EQ(t[0].bits, 4);
+    EXPECT_EQ(t[1].bits, 8);
+    EXPECT_EQ(t[2].bits, 12);
+    EXPECT_EQ(t[3].bits, 16);
+}
+
+TEST_F(kparams_test, full_precision_row_is_identity)
+{
+    const k_factors& k16 = k_for_bits(extraction().table, 16);
+    EXPECT_NEAR(k16.k0, 1.0, 1e-6);
+    // k2/k4 may deviate by the sliver of slack the full-precision path
+    // leaves inside the 2 ns period.
+    EXPECT_NEAR(k16.k2, 1.0, 0.01);
+    EXPECT_NEAR(k16.k3, 1.0, 1e-6);
+    EXPECT_NEAR(k16.k4, 1.0, 0.02); // vdd solve may clip at nominal
+    EXPECT_EQ(k16.n, 1);
+}
+
+TEST_F(kparams_test, k0_monotone_and_meaningful)
+{
+    const auto& t = extraction().table;
+    EXPECT_GT(k_for_bits(t, 4).k0, k_for_bits(t, 8).k0);
+    EXPECT_GT(k_for_bits(t, 8).k0, k_for_bits(t, 12).k0);
+    EXPECT_GT(k_for_bits(t, 12).k0, 0.99);
+    // Direction of Table I: strong activity reduction at 4 b.
+    EXPECT_GT(k_for_bits(t, 4).k0, 5.0);
+    EXPECT_EQ(k_for_bits(t, 4).k1, k_for_bits(t, 4).k0);
+}
+
+TEST_F(kparams_test, k3_below_k0_and_n_set)
+{
+    const auto& t = extraction().table;
+    EXPECT_LT(k_for_bits(t, 4).k3, k_for_bits(t, 4).k0);
+    EXPECT_LT(k_for_bits(t, 8).k3, k_for_bits(t, 8).k0);
+    EXPECT_GT(k_for_bits(t, 4).k3, 1.0);
+    EXPECT_EQ(k_for_bits(t, 4).n, 4);
+    EXPECT_EQ(k_for_bits(t, 8).n, 2);
+    EXPECT_EQ(k_for_bits(t, 12).n, 1);
+}
+
+TEST_F(kparams_test, voltage_factors_ordered)
+{
+    const auto& t = extraction().table;
+    // k2 (DVAS) grows as precision falls; k4 (DVAFS) grows faster.
+    EXPECT_GE(k_for_bits(t, 4).k2, k_for_bits(t, 8).k2);
+    EXPECT_GE(k_for_bits(t, 8).k2, k_for_bits(t, 12).k2 - 1e-9);
+    EXPECT_GT(k_for_bits(t, 4).k4, k_for_bits(t, 4).k2);
+    EXPECT_GT(k_for_bits(t, 8).k4, 1.0);
+}
+
+TEST_F(kparams_test, das_operating_points_consistent)
+{
+    const auto& das = extraction().das;
+    ASSERT_EQ(das.size(), 4U);
+    for (const mult_operating_point& op : das) {
+        EXPECT_EQ(op.f_mhz, 500.0);
+        EXPECT_EQ(op.n, 1);
+        EXPECT_DOUBLE_EQ(op.v_das, 1.1);
+        EXPECT_LE(op.v_dvas, 1.1);
+        EXPECT_GT(op.mean_cap_ff, 0.0);
+        EXPECT_GT(op.crit_path_ps, 0.0);
+        // Slack = period - path must match.
+        EXPECT_NEAR(op.slack_ns, 2.0 - op.crit_path_ps * 1e-3, 1e-9);
+    }
+}
+
+TEST_F(kparams_test, dvafs_operating_points_scale_frequency)
+{
+    const auto& dv = extraction().dvafs;
+    ASSERT_EQ(dv.size(), 3U);
+    for (const mult_operating_point& op : dv) {
+        EXPECT_NEAR(op.f_mhz * op.n, 500.0, 1e-9);
+        EXPECT_LE(op.v_dvafs, op.v_dvas + 1e-9);
+    }
+    // Paper Fig. 2c anchors: ~0.9 V at 2x8, 0.7-0.75 V at 4x4.
+    for (const mult_operating_point& op : dv) {
+        if (op.n == 2) {
+            EXPECT_NEAR(op.v_dvafs, 0.89, 0.05);
+        }
+        if (op.n == 4) {
+            EXPECT_NEAR(op.v_dvafs, 0.75, 0.06);
+        }
+    }
+}
+
+TEST_F(kparams_test, slack_grows_as_precision_falls)
+{
+    const auto& das = extraction().das;
+    // das[] is ordered 4, 8, 12, 16 bits.
+    EXPECT_GT(das[0].slack_ns, das[1].slack_ns);
+    EXPECT_GT(das[1].slack_ns, das[2].slack_ns);
+}
+
+} // namespace
+} // namespace dvafs

@@ -1,0 +1,146 @@
+#include "envision/layer_runner.h"
+
+#include "cnn/zoo.h"
+
+#include <gtest/gtest.h>
+
+namespace dvafs {
+namespace {
+
+layer_workload make_workload(std::uint64_t macs, int wb, int ib,
+                             double sp_w = 0.0, double sp_i = 0.0)
+{
+    layer_workload w;
+    w.name = "layer";
+    w.is_conv = true;
+    w.macs = macs;
+    w.weight_bits = wb;
+    w.input_bits = ib;
+    w.weight_sparsity = sp_w;
+    w.input_sparsity = sp_i;
+    return w;
+}
+
+class layer_runner_test : public ::testing::Test {
+protected:
+    envision_model model;
+    layer_runner runner{model};
+};
+
+TEST_F(layer_runner_test, mode_selection_policy)
+{
+    EXPECT_EQ(runner.select_mode(make_workload(1000, 3, 1)).mode,
+              sw_mode::w4x4);
+    EXPECT_EQ(runner.select_mode(make_workload(1000, 5, 4)).mode,
+              sw_mode::w2x8);
+    EXPECT_EQ(runner.select_mode(make_workload(1000, 7, 7)).mode,
+              sw_mode::w2x8);
+    EXPECT_EQ(runner.select_mode(make_workload(1000, 9, 8)).mode,
+              sw_mode::w1x16);
+}
+
+TEST_F(layer_runner_test, mode_selection_sets_vf_point)
+{
+    const envision_mode m = runner.select_mode(make_workload(1000, 3, 1));
+    EXPECT_DOUBLE_EQ(m.f_mhz, 50.0);
+    EXPECT_DOUBLE_EQ(m.vdd, 0.65);
+    const envision_mode m2 = runner.select_mode(make_workload(1000, 5, 6));
+    EXPECT_DOUBLE_EQ(m2.f_mhz, 100.0);
+    EXPECT_DOUBLE_EQ(m2.vdd, 0.80);
+}
+
+TEST_F(layer_runner_test, cycles_follow_macs_and_parallelism)
+{
+    // 256 MACs x 0.73 utilization x N per cycle.
+    const layer_workload w16 = make_workload(1'000'000, 16, 16);
+    const layer_run r16 = runner.run_layer(w16);
+    EXPECT_NEAR(r16.cycles, 1e6 / (256.0 * 0.73), 1.0);
+
+    const layer_workload w4 = make_workload(1'000'000, 4, 4);
+    const layer_run r4 = runner.run_layer(w4);
+    EXPECT_NEAR(r4.cycles, 1e6 / (256.0 * 0.73 * 4.0), 1.0);
+}
+
+TEST_F(layer_runner_test, low_precision_layer_uses_less_energy)
+{
+    const layer_run hi = runner.run_layer(make_workload(10'000'000, 16, 16));
+    const layer_run lo = runner.run_layer(make_workload(10'000'000, 4, 4));
+    EXPECT_LT(lo.energy_mj, hi.energy_mj);
+    // Same MAC count, constant GOPS across the VF ladder -> same runtime.
+    EXPECT_NEAR(lo.time_ms, hi.time_ms, hi.time_ms * 0.01);
+}
+
+TEST_F(layer_runner_test, lenet_table3_shape)
+{
+    // The Table III LeNet rows: conv1 at 3/1 bits -> 4x4 mode at high
+    // efficiency; conv2 at 4/6 bits -> 2x8 mode.
+    std::vector<layer_workload> layers;
+    layers.push_back(make_workload(300'000, 3, 1, 0.35, 0.87));
+    layers.back().name = "LeNet1";
+    layers.push_back(make_workload(1'600'000, 4, 6, 0.26, 0.55));
+    layers.back().name = "LeNet2";
+    const network_run run = runner.run_network("LeNet-5", layers);
+
+    ASSERT_EQ(run.layers.size(), 2U);
+    EXPECT_EQ(run.layers[0].mode.mode, sw_mode::w4x4);
+    EXPECT_EQ(run.layers[1].mode.mode, sw_mode::w2x8);
+    // Paper: LeNet1 5.6 mW @ 13.6 TOPS/W; LeNet2 29 mW @ 2.6 TOPS/W.
+    EXPECT_NEAR(run.layers[0].report.power_mw, 5.6, 3.0);
+    EXPECT_GT(run.layers[0].report.tops_per_w, 6.0);
+    EXPECT_NEAR(run.layers[1].report.power_mw, 29.0, 10.0);
+    // Network totals positive and consistent.
+    EXPECT_GT(run.fps, 0.0);
+    EXPECT_NEAR(run.total_mmacs, 1.9, 0.05);
+    EXPECT_GT(run.tops_per_w, 1.0);
+}
+
+TEST_F(layer_runner_test, network_totals_are_sums)
+{
+    std::vector<layer_workload> layers{make_workload(1'000'000, 8, 8),
+                                       make_workload(2'000'000, 8, 8)};
+    const network_run run = runner.run_network("x", layers);
+    EXPECT_NEAR(run.total_time_ms,
+                run.layers[0].time_ms + run.layers[1].time_ms, 1e-12);
+    EXPECT_NEAR(run.total_energy_mj,
+                run.layers[0].energy_mj + run.layers[1].energy_mj, 1e-12);
+    EXPECT_NEAR(run.fps, 1000.0 / run.total_time_ms, 1e-9);
+}
+
+TEST_F(layer_runner_test, explicit_mode_override)
+{
+    const layer_workload w = make_workload(1'000'000, 4, 4);
+    envision_mode forced;
+    forced.mode = sw_mode::w1x16;
+    forced.weight_bits = 4;
+    forced.input_bits = 4;
+    forced.f_mhz = 200.0;
+    forced.vdd = 1.03;
+    const layer_run r = runner.run_layer(w, forced);
+    EXPECT_EQ(r.mode.mode, sw_mode::w1x16);
+    // Forced 1x16 runs 4x fewer MACs/cycle than the auto 4x4 choice.
+    const layer_run auto_r = runner.run_layer(w);
+    EXPECT_NEAR(r.cycles / auto_r.cycles, 4.0, 0.01);
+}
+
+TEST_F(layer_runner_test, full_lenet_pipeline_via_zoo)
+{
+    auto workloads = extract_workloads(make_lenet5());
+    // Attach the paper's LeNet precisions to the two conv layers and keep
+    // FCs at 8 bit.
+    workloads[0].weight_bits = 3;
+    workloads[0].input_bits = 1;
+    workloads[1].weight_bits = 4;
+    workloads[1].input_bits = 6;
+    for (std::size_t i = 2; i < workloads.size(); ++i) {
+        workloads[i].weight_bits = 8;
+        workloads[i].input_bits = 8;
+    }
+    const network_run run = runner.run_network("LeNet-5", workloads);
+    EXPECT_EQ(run.layers.size(), 5U);
+    // Paper Table III reports ~3 TOPS/W and ~25 mW average on LeNet-5.
+    EXPECT_GT(run.tops_per_w, 1.0);
+    EXPECT_LT(run.avg_power_mw, 80.0);
+}
+
+} // namespace
+} // namespace dvafs

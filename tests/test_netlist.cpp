@@ -1,0 +1,119 @@
+#include "circuit/netlist.h"
+
+#include <gtest/gtest.h>
+
+namespace dvafs {
+namespace {
+
+TEST(netlist, inputs_and_names)
+{
+    netlist nl;
+    const net_id a = nl.add_input("a");
+    const net_id b = nl.add_input("b");
+    EXPECT_EQ(nl.inputs().size(), 2U);
+    EXPECT_EQ(nl.input("a"), a);
+    EXPECT_EQ(nl.input("b"), b);
+    EXPECT_THROW((void)nl.input("c"), std::out_of_range);
+    EXPECT_THROW((void)nl.add_input("a"), std::invalid_argument);
+}
+
+TEST(netlist, constants_are_shared)
+{
+    netlist nl;
+    EXPECT_EQ(nl.add_const(false), nl.add_const(false));
+    EXPECT_EQ(nl.add_const(true), nl.add_const(true));
+    EXPECT_NE(nl.add_const(false), nl.add_const(true));
+    EXPECT_EQ(nl.const0(), nl.add_const(false));
+    EXPECT_EQ(nl.const1(), nl.add_const(true));
+}
+
+TEST(netlist, fanin_must_exist)
+{
+    netlist nl;
+    const net_id a = nl.add_input("a");
+    EXPECT_THROW((void)nl.add_gate(gate_kind::not_g, a + 10),
+                 std::out_of_range);
+}
+
+TEST(netlist, construction_order_is_topological)
+{
+    netlist nl;
+    const net_id a = nl.add_input("a");
+    const net_id n1 = nl.not_g(a);
+    const net_id n2 = nl.and_g(a, n1);
+    EXPECT_GT(n1, a);
+    EXPECT_GT(n2, n1);
+}
+
+TEST(netlist, constant_folding_and)
+{
+    netlist nl;
+    const net_id a = nl.add_input("a");
+    const net_id c0 = nl.add_const(false);
+    const net_id c1 = nl.add_const(true);
+    EXPECT_EQ(nl.and_g(a, c0), c0);
+    EXPECT_EQ(nl.and_g(a, c1), a);
+    EXPECT_EQ(nl.and_g(c0, a), c0);
+    EXPECT_EQ(nl.or_g(a, c1), c1);
+    EXPECT_EQ(nl.or_g(a, c0), a);
+    EXPECT_EQ(nl.xor_g(a, c0), a);
+}
+
+TEST(netlist, constant_folding_three_input)
+{
+    netlist nl;
+    const net_id a = nl.add_input("a");
+    const net_id b = nl.add_input("b");
+    const net_id c0 = nl.add_const(false);
+    const net_id c1 = nl.add_const(true);
+    EXPECT_EQ(nl.and3_g(a, b, c0), c0);
+    EXPECT_EQ(nl.or3_g(a, b, c1), c1);
+    EXPECT_EQ(nl.mux_g(a, b, c0), a);
+    EXPECT_EQ(nl.mux_g(a, b, c1), b);
+    EXPECT_EQ(nl.mux_g(a, a, b), a);
+    // maj with a constant reduces to and/or.
+    const net_id m0 = nl.maj_g(a, b, c0);
+    EXPECT_EQ(nl.at(m0).kind, gate_kind::and_g);
+    const net_id m1 = nl.maj_g(a, b, c1);
+    EXPECT_EQ(nl.at(m1).kind, gate_kind::or_g);
+}
+
+TEST(netlist, logic_gate_count_excludes_plumbing)
+{
+    netlist nl;
+    const net_id a = nl.add_input("a");
+    const net_id b = nl.add_input("b");
+    nl.add_const(true);
+    const net_id n = nl.and_g(a, b);
+    nl.buf(n);
+    EXPECT_EQ(nl.logic_gate_count(), 1U);
+}
+
+TEST(netlist, outputs_registry)
+{
+    netlist nl;
+    const net_id a = nl.add_input("a");
+    const net_id n = nl.not_g(a);
+    nl.mark_output("out", n);
+    EXPECT_EQ(nl.output("out"), n);
+    EXPECT_THROW((void)nl.output("nope"), std::out_of_range);
+}
+
+TEST(netlist, fanin_counts)
+{
+    EXPECT_EQ(fanin_count(gate_kind::input), 0);
+    EXPECT_EQ(fanin_count(gate_kind::constant), 0);
+    EXPECT_EQ(fanin_count(gate_kind::not_g), 1);
+    EXPECT_EQ(fanin_count(gate_kind::and_g), 2);
+    EXPECT_EQ(fanin_count(gate_kind::maj_g), 3);
+    EXPECT_EQ(fanin_count(gate_kind::mux_g), 3);
+}
+
+TEST(netlist, kind_names)
+{
+    EXPECT_STREQ(to_string(gate_kind::and_g), "and");
+    EXPECT_STREQ(to_string(gate_kind::maj_g), "maj");
+}
+
+} // namespace
+} // namespace dvafs

@@ -1,0 +1,105 @@
+#include "cnn/network.h"
+
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+namespace dvafs {
+namespace {
+
+network tiny_net()
+{
+    network net("tiny", {1, 8, 8});
+    net.add(std::make_unique<conv_layer>("conv1", 2, 1, 3, 1, 1));
+    net.add(std::make_unique<relu_layer>("relu1"));
+    net.add(std::make_unique<maxpool_layer>("pool1", 2, 2));
+    net.add(std::make_unique<fc_layer>("fc2", 4, 2 * 4 * 4));
+    pcg32 rng(1);
+    for (std::size_t i = 0; i < net.depth(); ++i) {
+        if (auto* w = net.at(i).weights()) {
+            for (float& v : *w) {
+                v = static_cast<float>(rng.gaussian(0.0, 0.3));
+            }
+        }
+    }
+    return net;
+}
+
+TEST(network, forward_shapes)
+{
+    const network net = tiny_net();
+    EXPECT_EQ(net.depth(), 4U);
+    EXPECT_EQ(net.output_shape(), (tensor_shape{4, 1, 1}));
+    tensor in({1, 8, 8});
+    const tensor out = net.forward(in, false);
+    EXPECT_EQ(out.shape(), (tensor_shape{4, 1, 1}));
+}
+
+TEST(network, rejects_wrong_input_shape)
+{
+    const network net = tiny_net();
+    tensor bad({1, 4, 4});
+    EXPECT_THROW((void)net.forward(bad, false), std::invalid_argument);
+}
+
+TEST(network, weighted_layers_are_conv_and_fc)
+{
+    const network net = tiny_net();
+    const auto idx = net.weighted_layers();
+    ASSERT_EQ(idx.size(), 2U);
+    EXPECT_EQ(idx[0], 0U);
+    EXPECT_EQ(idx[1], 3U);
+}
+
+TEST(network, total_macs_sums_layers)
+{
+    const network net = tiny_net();
+    // conv: 8*8 out * 2 filters * 1*3*3 + fc: 4*32.
+    EXPECT_EQ(net.total_macs(), 8ULL * 8 * 2 * 9 + 4ULL * 32);
+}
+
+TEST(network, activations_capture_every_layer)
+{
+    const network net = tiny_net();
+    tensor in({1, 8, 8});
+    std::vector<tensor> acts;
+    net.forward(in, false, &acts);
+    ASSERT_EQ(acts.size(), net.depth());
+    EXPECT_EQ(acts[0].shape(), (tensor_shape{2, 8, 8}));
+    EXPECT_EQ(acts[2].shape(), (tensor_shape{2, 4, 4}));
+}
+
+TEST(network, quant_settings_apply_only_when_enabled)
+{
+    network net = tiny_net();
+    pcg32 rng(3);
+    tensor in({1, 8, 8});
+    for (float& v : in.flat()) {
+        v = static_cast<float>(rng.uniform(0.0, 1.0));
+    }
+    const tensor base = net.forward(in, false);
+    net.quant(0).weight_bits = 2;
+    const tensor still_base = net.forward(in, false);
+    for (std::size_t i = 0; i < base.size(); ++i) {
+        EXPECT_EQ(base.flat()[i], still_base.flat()[i]);
+    }
+    const tensor quant = net.forward(in, true);
+    bool differs = false;
+    for (std::size_t i = 0; i < base.size(); ++i) {
+        differs |= (base.flat()[i] != quant.flat()[i]);
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(network, clear_quant_resets)
+{
+    network net = tiny_net();
+    net.quant(0).weight_bits = 3;
+    net.quant(3).input_bits = 5;
+    net.clear_quant();
+    EXPECT_EQ(net.quant(0).weight_bits, 0);
+    EXPECT_EQ(net.quant(3).input_bits, 0);
+}
+
+} // namespace
+} // namespace dvafs

@@ -1,0 +1,86 @@
+#include "simd/power_domains.h"
+
+#include <gtest/gtest.h>
+
+namespace dvafs {
+namespace {
+
+class power_domains_test : public ::testing::Test {
+protected:
+    static dvafs_multiplier& mult()
+    {
+        static dvafs_multiplier m(16);
+        return m;
+    }
+    const tech_model& tech = tech_40nm_lp();
+};
+
+TEST_F(power_domains_test, das_keeps_everything_nominal)
+{
+    const domain_voltages dv = make_operating_point(
+        scaling_regime::das, sw_mode::w1x16, 8, mult(), tech);
+    EXPECT_DOUBLE_EQ(dv.f_mhz, 500.0);
+    EXPECT_DOUBLE_EQ(dv.v_as, tech.vdd_nom);
+    EXPECT_DOUBLE_EQ(dv.v_nas, tech.vdd_nom);
+    EXPECT_DOUBLE_EQ(dv.v_mem, tech.vdd_nom);
+    EXPECT_EQ(dv.das_bits, 8);
+}
+
+TEST_F(power_domains_test, dvas_lowers_only_as)
+{
+    const domain_voltages dv = make_operating_point(
+        scaling_regime::dvas, sw_mode::w1x16, 4, mult(), tech);
+    EXPECT_DOUBLE_EQ(dv.f_mhz, 500.0);
+    EXPECT_LT(dv.v_as, tech.vdd_nom);
+    EXPECT_DOUBLE_EQ(dv.v_nas, tech.vdd_nom);
+    EXPECT_DOUBLE_EQ(dv.v_mem, tech.vdd_nom);
+}
+
+TEST_F(power_domains_test, dvafs_lowers_everything_but_mem)
+{
+    const domain_voltages dv = make_operating_point(
+        scaling_regime::dvafs, sw_mode::w4x4, 4, mult(), tech);
+    EXPECT_DOUBLE_EQ(dv.f_mhz, 125.0);
+    EXPECT_LT(dv.v_as, 0.85);
+    EXPECT_LT(dv.v_nas, 0.85);
+    EXPECT_DOUBLE_EQ(dv.v_mem, tech.vdd_nom);
+}
+
+TEST_F(power_domains_test, dvafs_voltage_ordering_with_n)
+{
+    const domain_voltages dv2 = make_operating_point(
+        scaling_regime::dvafs, sw_mode::w2x8, 8, mult(), tech);
+    const domain_voltages dv4 = make_operating_point(
+        scaling_regime::dvafs, sw_mode::w4x4, 4, mult(), tech);
+    EXPECT_GT(dv2.f_mhz, dv4.f_mhz);
+    EXPECT_GT(dv2.v_as, dv4.v_as);
+    EXPECT_GT(dv2.v_nas, dv4.v_nas);
+    // Table II anchors: 2x8 -> ~0.9/0.9, 4x4 -> ~0.8/0.7.
+    EXPECT_NEAR(dv2.v_nas, 0.90, 0.04);
+    EXPECT_NEAR(dv4.v_nas, 0.79, 0.04);
+    EXPECT_NEAR(dv4.v_as, 0.75, 0.06);
+}
+
+TEST_F(power_domains_test, das_in_subword_mode_rejected)
+{
+    EXPECT_THROW((void)make_operating_point(scaling_regime::das,
+                                            sw_mode::w2x8, 8, mult(), tech),
+                 std::invalid_argument);
+}
+
+TEST_F(power_domains_test, throughput_parameter_scales_frequency)
+{
+    const domain_voltages dv = make_operating_point(
+        scaling_regime::dvafs, sw_mode::w2x8, 8, mult(), tech, 250.0);
+    EXPECT_DOUBLE_EQ(dv.f_mhz, 125.0);
+}
+
+TEST_F(power_domains_test, regime_names)
+{
+    EXPECT_STREQ(to_string(scaling_regime::das), "DAS");
+    EXPECT_STREQ(to_string(scaling_regime::dvas), "DVAS");
+    EXPECT_STREQ(to_string(scaling_regime::dvafs), "DVAFS");
+}
+
+} // namespace
+} // namespace dvafs

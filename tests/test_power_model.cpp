@@ -1,0 +1,156 @@
+// The paper's equations (1)-(3) and Table I defaults.
+
+#include "energy/power_model.h"
+
+#include <gtest/gtest.h>
+
+namespace dvafs {
+namespace {
+
+power_plant plant()
+{
+    power_plant p;
+    p.alpha_c_as_pf = 1.0;
+    p.alpha_c_nas_pf = 0.5;
+    p.f_mhz = 500.0;
+    p.vdd = 1.1;
+    return p;
+}
+
+TEST(power_model, table1_has_all_precisions)
+{
+    const auto& t = paper_table1();
+    ASSERT_EQ(t.size(), 4U);
+    EXPECT_EQ(k_for_bits(t, 4).k0, 12.5);
+    EXPECT_EQ(k_for_bits(t, 8).k0, 3.5);
+    EXPECT_EQ(k_for_bits(t, 12).k0, 1.4);
+    EXPECT_EQ(k_for_bits(t, 16).k0, 1.0);
+    EXPECT_EQ(k_for_bits(t, 4).n, 4);
+    EXPECT_EQ(k_for_bits(t, 16).n, 1);
+    EXPECT_THROW((void)k_for_bits(t, 5), std::out_of_range);
+}
+
+TEST(power_model, das_full_precision_is_reference)
+{
+    const k_factors& k16 = k_for_bits(paper_table1(), 16);
+    const power_breakdown b = das_power(plant(), k16);
+    // P = (1.0 + 0.5) pF * 500 MHz * 1.21 V^2 * 1e-3 = 0.9075 mW... in
+    // the model's units: pF*MHz*V^2*1e-3 -> mW.
+    EXPECT_NEAR(b.total_mw(), 1.5 * 500.0 * 1.21 * 1e-3, 1e-9);
+}
+
+TEST(power_model, das_only_scales_as_part)
+{
+    const power_plant p = plant();
+    const k_factors& k4 = k_for_bits(paper_table1(), 4);
+    const power_breakdown b16 =
+        das_power(p, k_for_bits(paper_table1(), 16));
+    const power_breakdown b4 = das_power(p, k4);
+    EXPECT_NEAR(b4.nas_mw, b16.nas_mw, 1e-12);
+    EXPECT_NEAR(b4.as_mw, b16.as_mw / 12.5, 1e-12);
+}
+
+TEST(power_model, dvas_beats_das_at_low_precision)
+{
+    const power_plant p = plant();
+    const k_factors& k4 = k_for_bits(paper_table1(), 4);
+    EXPECT_LT(dvas_power(p, k4).total_mw(), das_power(p, k4).total_mw());
+}
+
+TEST(power_model, dvafs_beats_dvas_at_low_precision)
+{
+    const power_plant p = plant();
+    const k_factors& k4 = k_for_bits(paper_table1(), 4);
+    EXPECT_LT(dvafs_power(p, k4).total_mw(),
+              dvas_power(p, k4).total_mw());
+}
+
+TEST(power_model, dvafs_scales_nas_too)
+{
+    const power_plant p = plant();
+    const k_factors& k4 = k_for_bits(paper_table1(), 4);
+    const power_breakdown das4 = das_power(p, k4);
+    const power_breakdown dvafs4 = dvafs_power(p, k4);
+    // nas drops by f/N and (V/k5)^2 -- the distinguishing feature of
+    // DVAFS (Sec. II-C).
+    EXPECT_LT(dvafs4.nas_mw, das4.nas_mw / 3.0);
+}
+
+TEST(power_model, energy_per_word_constant_throughput)
+{
+    const power_plant p = plant();
+    const k_factors& k4 = k_for_bits(paper_table1(), 4);
+    const power_breakdown b = dvafs_power(p, k4);
+    // At f/N with N words/cycle, throughput equals the 16 b case; energy
+    // per word uses the actual frequency and words/cycle.
+    const double e4 = b.energy_per_word_pj(p.f_mhz / k4.n, k4.n);
+    const power_breakdown b16 =
+        das_power(p, k_for_bits(paper_table1(), 16));
+    const double e16 = b16.energy_per_word_pj(p.f_mhz, 1);
+    // Paper Fig. 3a: >90% reduction at 4x4b.
+    EXPECT_LT(e4, 0.12 * e16);
+}
+
+TEST(power_model, dvafs_16b_equals_das_16b)
+{
+    // At full precision every k is 1 and N = 1: the three regimes agree.
+    const power_plant p = plant();
+    const k_factors& k16 = k_for_bits(paper_table1(), 16);
+    EXPECT_NEAR(dvafs_power(p, k16).total_mw(),
+                das_power(p, k16).total_mw(), 1e-12);
+    EXPECT_NEAR(dvas_power(p, k16).total_mw(),
+                das_power(p, k16).total_mw(), 1e-12);
+}
+
+TEST(power_model, k1_interpolation_hits_table_points)
+{
+    const auto& t = paper_table1();
+    EXPECT_DOUBLE_EQ(interpolate_k1(t, 4.0), 12.5);
+    EXPECT_DOUBLE_EQ(interpolate_k1(t, 8.0), 3.5);
+    EXPECT_DOUBLE_EQ(interpolate_k1(t, 16.0), 1.0);
+}
+
+TEST(power_model, k1_interpolation_monotone_between_points)
+{
+    const auto& t = paper_table1();
+    double prev = interpolate_k1(t, 2.0);
+    for (double b = 2.5; b <= 16.0; b += 0.5) {
+        const double k = interpolate_k1(t, b);
+        EXPECT_LE(k, prev) << "bits=" << b;
+        EXPECT_GE(k, 1.0 - 1e-12);
+        prev = k;
+    }
+}
+
+TEST(power_model, k1_interpolation_extrapolates_below_4b)
+{
+    const auto& t = paper_table1();
+    EXPECT_GT(interpolate_k1(t, 2.0), 12.5);
+    EXPECT_DOUBLE_EQ(interpolate_k1(t, 20.0), 1.0); // clamped above
+}
+
+TEST(power_model, monotone_in_precision_all_regimes)
+{
+    const power_plant p = plant();
+    const auto& table = paper_table1();
+    double prev_das = 1e18;
+    double prev_dvas = 1e18;
+    double prev_dvafs = 1e18;
+    for (const int bits : {16, 12, 8, 4}) {
+        const k_factors& k = k_for_bits(table, bits);
+        const double das = das_power(p, k).total_mw();
+        const double dvas = dvas_power(p, k).total_mw();
+        const double dvafs = dvafs_power(p, k).total_mw();
+        EXPECT_LE(das, prev_das);
+        EXPECT_LE(dvas, prev_dvas);
+        EXPECT_LE(dvafs, prev_dvafs);
+        EXPECT_LE(dvas, das + 1e-12);
+        EXPECT_LE(dvafs, dvas + 1e-12);
+        prev_das = das;
+        prev_dvas = dvas;
+        prev_dvafs = dvafs;
+    }
+}
+
+} // namespace
+} // namespace dvafs

@@ -1,0 +1,104 @@
+#include "simd/assembler.h"
+
+#include <gtest/gtest.h>
+
+namespace dvafs {
+namespace {
+
+TEST(assembler, assembles_basic_program)
+{
+    const program p = assemble(R"(
+        # setup
+        li r1, 0
+        li r2, 4
+      loop:
+        vload v0, r1, 0
+        vmac a0, v0, v1
+        addi r1, r1, 8
+        addi r2, r2, -1
+        bnez r2, loop
+        vsat v2, a0, 4
+        halt
+    )");
+    ASSERT_EQ(p.size(), 9U);
+    EXPECT_EQ(p[0].op, opcode::li);
+    EXPECT_EQ(p[2].op, opcode::vload);
+    EXPECT_EQ(p[3].op, opcode::vmac);
+    // bnez at index 6 targets "loop" at index 2: offset -4.
+    EXPECT_EQ(p[6].op, opcode::bnez);
+    EXPECT_EQ(p[6].imm, -4);
+    EXPECT_EQ(p[8].op, opcode::halt);
+}
+
+TEST(assembler, numeric_branch_offsets)
+{
+    const program p = assemble("bnez r1, -2\nhalt\n");
+    EXPECT_EQ(p[0].imm, -2);
+}
+
+TEST(assembler, comments_and_blank_lines_ignored)
+{
+    const program p = assemble("\n# nothing\n   \nnop # trailing\n");
+    ASSERT_EQ(p.size(), 1U);
+    EXPECT_EQ(p[0].op, opcode::nop);
+}
+
+TEST(assembler, setmode_and_vector_ops)
+{
+    const program p = assemble(R"(
+        setmode 2
+        vbcast v1, r4
+        vadd v2, v0, v1
+        vmul v3, v2, v1
+        vclr a1
+        vstore v3, r2, 8
+        lw r5, r6, 3
+    )");
+    EXPECT_EQ(p[0].op, opcode::setmode);
+    EXPECT_EQ(p[0].imm, 2);
+    EXPECT_EQ(p[1].op, opcode::vbcast);
+    EXPECT_EQ(p[2].op, opcode::vadd);
+    EXPECT_EQ(p[3].op, opcode::vmul);
+    EXPECT_EQ(p[4].op, opcode::vclr);
+    EXPECT_EQ(p[5].op, opcode::vstore);
+    EXPECT_EQ(p[6].op, opcode::lw);
+}
+
+TEST(assembler, errors_are_line_numbered)
+{
+    try {
+        (void)assemble("nop\nbogus r1, r2\n");
+        FAIL() << "expected throw";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    }
+}
+
+TEST(assembler, rejects_bad_operands)
+{
+    EXPECT_THROW((void)assemble("li r9, 0"), std::runtime_error);
+    EXPECT_THROW((void)assemble("li x1, 0"), std::runtime_error);
+    EXPECT_THROW((void)assemble("li r1"), std::runtime_error);
+    EXPECT_THROW((void)assemble("li r1, abc"), std::runtime_error);
+    EXPECT_THROW((void)assemble("setmode 3"), std::runtime_error);
+    EXPECT_THROW((void)assemble("vmac a4, v0, v1"), std::runtime_error);
+    EXPECT_THROW((void)assemble("dup:\ndup:\n"), std::runtime_error);
+}
+
+TEST(assembler, disassemble_round_trip)
+{
+    const std::string src = "li r1, 5\nvload v0, r1, 0\nhalt\n";
+    const program p1 = assemble(src);
+    const program p2 = assemble(disassemble(p1));
+    ASSERT_EQ(p1.size(), p2.size());
+    for (std::size_t i = 0; i < p1.size(); ++i) {
+        EXPECT_EQ(p1[i].op, p2[i].op);
+        EXPECT_EQ(p1[i].rd, p2[i].rd);
+        EXPECT_EQ(p1[i].ra, p2[i].ra);
+        EXPECT_EQ(p1[i].rb, p2[i].rb);
+        EXPECT_EQ(p1[i].imm, p2[i].imm);
+    }
+}
+
+} // namespace
+} // namespace dvafs

@@ -1,0 +1,235 @@
+#include "simd/processor.h"
+
+#include "simd/assembler.h"
+
+#include <gtest/gtest.h>
+
+namespace dvafs {
+namespace {
+
+simd_processor make_proc(int sw = 4)
+{
+    return simd_processor(sw, 1024);
+}
+
+TEST(simd_processor, scalar_ops_and_halt)
+{
+    simd_processor p = make_proc();
+    p.load_program(assemble(R"(
+        li r1, 5
+        addi r2, r1, 3
+        addi r3, r2, -10
+        halt
+    )"));
+    const simd_stats& st = p.run();
+    EXPECT_EQ(p.reg(1), 5);
+    EXPECT_EQ(p.reg(2), 8);
+    EXPECT_EQ(p.reg(3), -2);
+    EXPECT_EQ(st.cycles, 4U);
+    EXPECT_EQ(st.instructions, 4U);
+}
+
+TEST(simd_processor, branch_loop_counts)
+{
+    simd_processor p = make_proc();
+    p.load_program(assemble(R"(
+        li r1, 0
+        li r2, 5
+      loop:
+        addi r1, r1, 2
+        addi r2, r2, -1
+        bnez r2, loop
+        halt
+    )"));
+    p.run();
+    EXPECT_EQ(p.reg(1), 10);
+    EXPECT_EQ(p.reg(2), 0);
+}
+
+TEST(simd_processor, vload_vstore_round_trip)
+{
+    simd_processor p = make_proc(4);
+    for (std::uint32_t i = 0; i < 4; ++i) {
+        p.memory().poke(16 + i, static_cast<std::uint16_t>(100 + i));
+    }
+    p.load_program(assemble(R"(
+        li r1, 16
+        li r2, 32
+        vload v0, r1, 0
+        vstore v0, r2, 0
+        halt
+    )"));
+    p.run();
+    for (std::uint32_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(p.memory().peek(32 + i), 100 + i);
+    }
+}
+
+TEST(simd_processor, lw_sign_extends)
+{
+    simd_processor p = make_proc();
+    p.memory().poke(3, 0xffff);
+    p.load_program(assemble("li r1, 0\nlw r2, r1, 3\nhalt\n"));
+    p.run();
+    EXPECT_EQ(p.reg(2), -1);
+}
+
+TEST(simd_processor, vbcast_packs_lanes)
+{
+    simd_processor p = make_proc(2);
+    domain_voltages dv;
+    dv.mode = sw_mode::w4x4;
+    p.set_operating_point(dv);
+    p.load_program(assemble("li r1, 3\nvbcast v0, r1\nhalt\n"));
+    p.run();
+    // Each 16-bit lane slot holds four packed copies of 3.
+    for (const std::uint16_t w : p.vreg(0)) {
+        EXPECT_EQ(w, 0x3333);
+    }
+}
+
+TEST(simd_processor, vmul_lane_semantics_all_modes)
+{
+    for (const sw_mode mode : all_sw_modes) {
+        simd_processor p = make_proc(2);
+        domain_voltages dv;
+        dv.mode = mode;
+        p.set_operating_point(dv);
+        const int lb = lane_bits(mode);
+        // a = 3 per lane, b = -2 per lane: product -6 in each lane.
+        p.load_program(assemble(R"(
+            li r1, 3
+            li r2, -2
+            vbcast v0, r1
+            vbcast v1, r2
+            vmul v2, v0, v1
+            halt
+        )"));
+        p.run();
+        for (const std::uint16_t w : p.vreg(2)) {
+            for (const std::int32_t lane : unpack_lanes(w, mode)) {
+                EXPECT_EQ(lane, -6) << to_string(mode) << " lb=" << lb;
+            }
+        }
+    }
+}
+
+TEST(simd_processor, vmac_vsat_pipeline)
+{
+    simd_processor p = make_proc(2);
+    p.load_program(assemble(R"(
+        li r1, 10
+        li r2, 3
+        vbcast v0, r1
+        vbcast v1, r2
+        vclr a0
+        vmac a0, v0, v1
+        vmac a0, v0, v1
+        vsat v2, a0, 1
+        halt
+    )"));
+    p.run();
+    // acc = 2 * 30 = 60; >> 1 = 30.
+    for (const std::uint16_t w : p.vreg(2)) {
+        EXPECT_EQ(static_cast<std::int16_t>(w), 30);
+    }
+}
+
+TEST(simd_processor, setmode_changes_lane_count)
+{
+    simd_processor p = make_proc(1);
+    p.load_program(assemble(R"(
+        setmode 1
+        li r1, 7
+        vbcast v0, r1
+        halt
+    )"));
+    p.run();
+    EXPECT_EQ(p.vreg(0)[0], 0x0707);
+    EXPECT_EQ(p.operating_point().mode, sw_mode::w2x8);
+}
+
+TEST(simd_processor, oob_vector_access_throws)
+{
+    simd_processor p = make_proc(4);
+    p.load_program(assemble("li r1, 1022\nvload v0, r1, 0\nhalt\n"));
+    EXPECT_THROW(p.run(), std::runtime_error);
+}
+
+TEST(simd_processor, running_off_program_throws)
+{
+    simd_processor p = make_proc();
+    p.load_program(assemble("nop\n"));
+    EXPECT_THROW(p.run(), std::runtime_error);
+}
+
+TEST(simd_processor, cycle_limit_enforced)
+{
+    simd_processor p = make_proc();
+    p.load_program(assemble("li r1, 1\nloop:\nbnez r1, loop\nhalt\n"));
+    EXPECT_THROW(p.run(100), std::runtime_error);
+}
+
+TEST(simd_processor, energy_split_across_domains)
+{
+    simd_processor p = make_proc(4);
+    p.load_program(assemble(R"(
+        li r1, 16
+        vload v0, r1, 0
+        vmac a0, v0, v0
+        halt
+    )"));
+    const simd_stats& st = p.run();
+    EXPECT_GT(st.ledger.pj(power_domain::nas), 0.0);
+    EXPECT_GT(st.ledger.pj(power_domain::as), 0.0);
+    EXPECT_GT(st.ledger.pj(power_domain::mem), 0.0);
+    EXPECT_EQ(st.vector_macs, 1U);
+    EXPECT_EQ(st.words_processed, 4U); // 4 lanes, 1x16 mode
+}
+
+TEST(simd_processor, subword_mode_multiplies_words_processed)
+{
+    simd_processor p = make_proc(4);
+    domain_voltages dv;
+    dv.mode = sw_mode::w4x4;
+    dv.das_bits = 4;
+    p.set_operating_point(dv);
+    p.load_program(assemble("vmac a0, v0, v1\nhalt\n"));
+    const simd_stats& st = p.run();
+    EXPECT_EQ(st.words_processed, 16U); // 4 lanes x 4 subwords
+}
+
+TEST(simd_processor, voltage_scaling_reduces_energy)
+{
+    const auto run_at = [](double v_as, double v_nas) {
+        simd_processor p(4, 1024);
+        domain_voltages dv;
+        dv.v_as = v_as;
+        dv.v_nas = v_nas;
+        p.set_operating_point(dv);
+        p.load_program(assemble("vmac a0, v0, v1\nvmac a1, v2, v3\nhalt\n"));
+        return p.run().ledger.total_pj();
+    };
+    EXPECT_LT(run_at(0.8, 0.9), run_at(1.1, 1.1));
+}
+
+TEST(simd_processor, activity_divisor_fallback_table)
+{
+    const simd_energy_model em;
+    EXPECT_DOUBLE_EQ(em.activity_divisor(sw_mode::w1x16, 16), 1.0);
+    EXPECT_DOUBLE_EQ(em.activity_divisor(sw_mode::w1x16, 4), 12.5);
+    EXPECT_DOUBLE_EQ(em.activity_divisor(sw_mode::w2x8, 8), 1.82);
+    EXPECT_DOUBLE_EQ(em.activity_divisor(sw_mode::w4x4, 4), 3.2);
+    // DAS inside a subword mode composes divisors.
+    EXPECT_GT(em.activity_divisor(sw_mode::w2x8, 4), 1.82);
+}
+
+TEST(simd_processor, activity_override_wins)
+{
+    simd_energy_model em;
+    em.activity_override[{sw_mode::w1x16, 4}] = 99.0;
+    EXPECT_DOUBLE_EQ(em.activity_divisor(sw_mode::w1x16, 4), 99.0);
+}
+
+} // namespace
+} // namespace dvafs

@@ -1,0 +1,70 @@
+#include "cnn/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace dvafs {
+namespace {
+
+TEST(tensor, shape_and_indexing)
+{
+    tensor t({2, 3, 4});
+    EXPECT_EQ(t.size(), 24U);
+    EXPECT_EQ(t.shape().elements(), 24U);
+    t.at(1, 2, 3) = 7.0F;
+    EXPECT_EQ(t.at(1, 2, 3), 7.0F);
+    EXPECT_EQ(t.at(0, 0, 0), 0.0F);
+}
+
+TEST(tensor, flat_view_is_chw)
+{
+    tensor t({2, 2, 2});
+    t.at(0, 0, 0) = 1.0F;
+    t.at(0, 0, 1) = 2.0F;
+    t.at(0, 1, 0) = 3.0F;
+    t.at(1, 0, 0) = 5.0F;
+    EXPECT_EQ(t.flat()[0], 1.0F);
+    EXPECT_EQ(t.flat()[1], 2.0F);
+    EXPECT_EQ(t.flat()[2], 3.0F);
+    EXPECT_EQ(t.flat()[4], 5.0F);
+}
+
+TEST(tensor, sparsity_counts_exact_zeros)
+{
+    tensor t({1, 2, 2});
+    t.at(0, 0, 0) = 0.0F;
+    t.at(0, 0, 1) = 1.0F;
+    t.at(0, 1, 0) = 0.0F;
+    t.at(0, 1, 1) = -2.0F;
+    EXPECT_DOUBLE_EQ(t.sparsity(), 0.5);
+}
+
+TEST(tensor, max_abs)
+{
+    tensor t({1, 1, 3});
+    t.at(0, 0, 0) = -4.0F;
+    t.at(0, 0, 1) = 3.0F;
+    EXPECT_DOUBLE_EQ(t.max_abs(), 4.0);
+}
+
+TEST(tensor, argmax_first_max_wins)
+{
+    tensor t({3, 1, 1});
+    t.at(0, 0, 0) = 1.0F;
+    t.at(1, 0, 0) = 5.0F;
+    t.at(2, 0, 0) = 5.0F;
+    EXPECT_EQ(argmax(t), 1);
+}
+
+TEST(tensor, shape_to_string)
+{
+    EXPECT_EQ((tensor_shape{3, 224, 224}).to_string(), "3x224x224");
+}
+
+TEST(tensor, empty_default)
+{
+    const tensor t;
+    EXPECT_EQ(t.size(), 1U); // 1x1x1 default shape
+}
+
+} // namespace
+} // namespace dvafs

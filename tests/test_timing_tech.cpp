@@ -1,0 +1,217 @@
+#include "circuit/tech.h"
+#include "circuit/timing.h"
+
+#include "circuit/cells.h"
+#include "mult/dvafs_mult.h"
+
+#include <gtest/gtest.h>
+
+namespace dvafs {
+namespace {
+
+TEST(tech, delay_scale_is_one_at_nominal)
+{
+    for (const tech_model* t : {&tech_40nm_lp(), &tech_28nm_fdsoi()}) {
+        EXPECT_NEAR(t->delay_scale(t->vdd_nom), 1.0, 1e-12);
+    }
+}
+
+TEST(tech, delay_increases_as_voltage_drops)
+{
+    const tech_model& t = tech_40nm_lp();
+    double prev = t.delay_scale(t.vdd_nom);
+    for (double v = t.vdd_nom - 0.05; v > t.vth + 0.1; v -= 0.05) {
+        const double d = t.delay_scale(v);
+        EXPECT_GT(d, prev);
+        prev = d;
+    }
+}
+
+TEST(tech, delay_below_threshold_throws)
+{
+    const tech_model& t = tech_40nm_lp();
+    EXPECT_THROW((void)t.delay_scale(t.vth), std::domain_error);
+}
+
+TEST(tech, solve_voltage_inverts_delay_scale)
+{
+    const tech_model& t = tech_40nm_lp();
+    for (const double ratio : {1.2, 1.5, 2.0, 3.0}) {
+        const double v = t.solve_voltage(ratio);
+        if (v > t.vmin + 1e-6) {
+            EXPECT_NEAR(t.delay_scale(v), ratio, 1e-3);
+        }
+    }
+}
+
+TEST(tech, solve_voltage_clamps)
+{
+    const tech_model& t = tech_40nm_lp();
+    EXPECT_DOUBLE_EQ(t.solve_voltage(1.0), t.vdd_nom);
+    EXPECT_DOUBLE_EQ(t.solve_voltage(0.5), t.vdd_nom);
+    EXPECT_DOUBLE_EQ(t.solve_voltage(1e9), t.vmin);
+}
+
+TEST(tech, paper_anchor_40nm_dvas)
+{
+    // A 2x delay budget (the paper's DAS-4b slack) solves to ~0.9 V.
+    const tech_model& t = tech_40nm_lp();
+    EXPECT_NEAR(t.solve_voltage(2.0), 0.90, 0.03);
+}
+
+TEST(tech, paper_anchor_40nm_dvafs)
+{
+    // An 8x budget (125 MHz clock, short subword path) reaches the 0.7 V
+    // floor region, matching the paper's 0.7-0.75 V.
+    const tech_model& t = tech_40nm_lp();
+    const double v = t.solve_voltage(8.0);
+    EXPECT_LE(v, 0.75);
+    EXPECT_GE(v, t.vmin);
+}
+
+TEST(tech, paper_anchor_28nm_vf_points)
+{
+    // Envision's measured VF anchors: 100 MHz @ 0.80 V and 50 MHz @ 0.65 V
+    // relative to 200 MHz @ 1.03 V -- budgets of 2x and 4x with path
+    // shortening; the plain frequency budgets should land close.
+    const tech_model& t = tech_28nm_fdsoi();
+    EXPECT_NEAR(t.solve_voltage(2.0), 0.80, 0.06);
+    EXPECT_NEAR(t.solve_voltage(4.0), 0.67, 0.07);
+}
+
+TEST(tech, gate_caps_positive_for_logic)
+{
+    const tech_model& t = tech_40nm_lp();
+    EXPECT_EQ(t.gate_cap_ff(gate_kind::constant), 0.0);
+    EXPECT_GT(t.gate_cap_ff(gate_kind::and_g), 0.0);
+    EXPECT_GT(t.gate_cap_ff(gate_kind::xor_g),
+              t.gate_cap_ff(gate_kind::nand_g));
+}
+
+TEST(tech, toggle_energy)
+{
+    EXPECT_DOUBLE_EQ(tech_model::toggle_energy_fj(2.0, 1.0), 2.0);
+    EXPECT_DOUBLE_EQ(tech_model::toggle_energy_fj(2.0, 0.5), 0.5);
+}
+
+TEST(timing, chain_depth_accumulates)
+{
+    netlist nl;
+    net_id n = nl.add_input("a");
+    for (int i = 0; i < 10; ++i) {
+        n = nl.add_gate(gate_kind::not_g, n);
+    }
+    const tech_model& t = tech_40nm_lp();
+    const timing_analyzer sta(nl, t);
+    const timing_report rep = sta.analyze(t.vdd_nom);
+    EXPECT_NEAR(rep.critical_path_ps,
+                10.0 * t.gate_delay_ps(gate_kind::not_g, t.vdd_nom), 1e-9);
+    EXPECT_EQ(rep.endpoint, n);
+    EXPECT_EQ(rep.active_gates, 10U);
+}
+
+TEST(timing, path_scales_with_voltage)
+{
+    netlist nl;
+    net_id n = nl.add_input("a");
+    for (int i = 0; i < 5; ++i) {
+        n = nl.add_gate(gate_kind::nand_g, n, n);
+    }
+    const tech_model& t = tech_40nm_lp();
+    const timing_analyzer sta(nl, t);
+    const double at_nom = sta.analyze(t.vdd_nom).critical_path_ps;
+    const double at_low = sta.analyze(0.9).critical_path_ps;
+    EXPECT_NEAR(at_low / at_nom, t.delay_scale(0.9), 1e-9);
+}
+
+TEST(timing, static_cone_excluded_in_mode_analysis)
+{
+    // Two parallel chains; tying one input makes its chain static and the
+    // critical path follows the other (shorter) chain.
+    netlist nl;
+    const net_id a = nl.add_input("a");
+    const net_id b = nl.add_input("b");
+    net_id long_chain = a;
+    for (int i = 0; i < 8; ++i) {
+        long_chain = nl.add_gate(gate_kind::not_g, long_chain);
+    }
+    net_id short_chain = b;
+    for (int i = 0; i < 2; ++i) {
+        short_chain = nl.add_gate(gate_kind::not_g, short_chain);
+    }
+    const tech_model& t = tech_40nm_lp();
+    const timing_analyzer sta(nl, t);
+    const double full = sta.analyze(t.vdd_nom).critical_path_ps;
+    const double mode =
+        sta.analyze_mode(t.vdd_nom, {{a, false}}).critical_path_ps;
+    EXPECT_GT(full, mode);
+    EXPECT_NEAR(mode, 2.0 * t.gate_delay_ps(gate_kind::not_g, t.vdd_nom),
+                1e-9);
+}
+
+TEST(timing, slack_is_period_minus_path)
+{
+    netlist nl;
+    net_id n = nl.add_input("a");
+    n = nl.add_gate(gate_kind::not_g, n);
+    const tech_model& t = tech_40nm_lp();
+    const timing_analyzer sta(nl, t);
+    const double path = sta.analyze(t.vdd_nom).critical_path_ps;
+    EXPECT_NEAR(sta.slack_ps(2000.0, t.vdd_nom, {}), 2000.0 - path, 1e-9);
+}
+
+TEST(timing, violations_appear_below_solved_voltage)
+{
+    // Two registered endpoints of different depths: dropping the supply
+    // below the vf solution for the period must fail the deep endpoint
+    // first, the shallow one later.
+    netlist nl;
+    const net_id a = nl.add_input("a");
+    net_id deep = a;
+    for (int i = 0; i < 20; ++i) {
+        deep = nl.add_gate(gate_kind::nand_g, deep, deep);
+    }
+    net_id shallow = a;
+    for (int i = 0; i < 5; ++i) {
+        shallow = nl.add_gate(gate_kind::nand_g, shallow, shallow);
+    }
+    nl.mark_output("deep", deep);
+    nl.mark_output("shallow", shallow);
+
+    const tech_model& t = tech_40nm_lp();
+    const timing_analyzer sta(nl, t);
+    const double path = sta.analyze(t.vdd_nom).critical_path_ps;
+    const double period = path * 1.5; // comfortable at nominal
+    EXPECT_EQ(sta.violations(period, t.vdd_nom, {}), 0U);
+
+    // The exact voltage where the critical path meets the period.
+    const double v_solved = t.solve_voltage(period / path);
+    EXPECT_EQ(sta.violations(period, v_solved + 1e-4, {}), 0U);
+    // Far enough below: the deep endpoint violates, the shallow survives.
+    const double v_bad = v_solved - 0.08;
+    if (v_bad > t.vth + 0.05) {
+        EXPECT_EQ(sta.violations(period, v_bad, {}), 1U);
+    }
+}
+
+TEST(timing, dvafs_solved_voltages_are_violation_free)
+{
+    // End-to-end guard on the paper's core safety claim: the multiplier at
+    // the controller-solved DVAFS voltage has zero timing violations at
+    // the scaled clock; 60 mV lower it does not.
+    dvafs_multiplier m(16);
+    const tech_model& t = tech_40nm_lp();
+    const timing_analyzer sta(m.net(), t);
+    const auto ties = m.tied_inputs(sw_mode::w4x4, 4);
+    const double period = 8000.0; // 125 MHz
+    const double cp = m.mode_critical_path_ps(t, t.vdd_nom, sw_mode::w4x4,
+                                              4);
+    const double v = t.solve_voltage(period / cp);
+    EXPECT_EQ(sta.violations(period, v + 1e-3, ties), 0U);
+    if (v - 0.06 > t.vth + 0.05 && v > t.vmin + 0.055) {
+        EXPECT_GT(sta.violations(period, v - 0.06, ties), 0U);
+    }
+}
+
+} // namespace
+} // namespace dvafs

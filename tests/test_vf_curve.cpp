@@ -1,0 +1,73 @@
+#include "energy/vf_curve.h"
+
+#include <gtest/gtest.h>
+
+namespace dvafs {
+namespace {
+
+TEST(vf_curve, nominal_frequency_from_path)
+{
+    const vf_curve vf(tech_40nm_lp(), 2000.0); // 2 ns -> 500 MHz
+    EXPECT_NEAR(vf.nominal_f_mhz(), 500.0, 1e-9);
+    EXPECT_NEAR(vf.f_max_mhz(1.1), 500.0, 1e-6);
+}
+
+TEST(vf_curve, f_max_drops_with_voltage)
+{
+    const vf_curve vf(tech_40nm_lp(), 2000.0);
+    EXPECT_LT(vf.f_max_mhz(0.9), vf.f_max_mhz(1.0));
+    EXPECT_LT(vf.f_max_mhz(1.0), vf.f_max_mhz(1.1));
+}
+
+TEST(vf_curve, v_min_for_round_trip)
+{
+    const vf_curve vf(tech_40nm_lp(), 2000.0);
+    for (const double f : {450.0, 300.0, 200.0}) {
+        const double v = vf.v_min_for(f);
+        if (v > tech_40nm_lp().vmin + 1e-6) {
+            EXPECT_GE(vf.f_max_mhz(v) + 1e-6, f);
+        }
+    }
+}
+
+TEST(vf_curve, v_min_at_nominal_frequency)
+{
+    const vf_curve vf(tech_40nm_lp(), 2000.0);
+    EXPECT_DOUBLE_EQ(vf.v_min_for(500.0), 1.1);
+}
+
+TEST(vf_curve, overclock_throws)
+{
+    const vf_curve vf(tech_40nm_lp(), 2000.0);
+    EXPECT_THROW((void)vf.v_min_for(600.0), std::domain_error);
+}
+
+TEST(vf_curve, bad_path_throws)
+{
+    EXPECT_THROW(vf_curve(tech_40nm_lp(), 0.0), std::invalid_argument);
+}
+
+TEST(vf_curve, rel_power_cubic_ish_scaling)
+{
+    // P ~ f V^2: halving f lowers V too, so power falls by more than 2x.
+    const vf_curve vf(tech_40nm_lp(), 2000.0);
+    const operating_point half = vf.at_frequency(250.0);
+    EXPECT_LT(half.rel_power, 0.5);
+    EXPECT_GT(half.rel_power, 0.1);
+}
+
+TEST(vf_curve, sample_is_monotone)
+{
+    const vf_curve vf(tech_40nm_lp(), 2000.0);
+    const auto pts = vf.sample(8);
+    ASSERT_EQ(pts.size(), 8U);
+    for (std::size_t i = 1; i < pts.size(); ++i) {
+        EXPECT_GT(pts[i].f_mhz, pts[i - 1].f_mhz);
+        EXPECT_GE(pts[i].vdd + 1e-9, pts[i - 1].vdd);
+        EXPECT_GT(pts[i].rel_power, pts[i - 1].rel_power);
+    }
+    EXPECT_THROW((void)vf.sample(1), std::invalid_argument);
+}
+
+} // namespace
+} // namespace dvafs

@@ -1,0 +1,69 @@
+#include "mult/wallace_mult.h"
+
+#include "mult/array_mult.h"
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+namespace dvafs {
+namespace {
+
+class wallace_mult_test : public ::testing::TestWithParam<int> {};
+
+TEST_P(wallace_mult_test, exhaustive_signed)
+{
+    const int w = GetParam();
+    wallace_multiplier m(w);
+    const std::int64_t lo = -(1LL << (w - 1));
+    const std::int64_t hi = (1LL << (w - 1)) - 1;
+    for (std::int64_t a = lo; a <= hi; ++a) {
+        for (std::int64_t b = lo; b <= hi; ++b) {
+            ASSERT_EQ(m.simulate(a, b), a * b)
+                << "w=" << w << " a=" << a << " b=" << b;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(widths, wallace_mult_test,
+                         ::testing::Values(2, 3, 4, 5, 6));
+
+TEST(wallace_mult, random_16b)
+{
+    wallace_multiplier m(16);
+    pcg32 rng(17);
+    for (int i = 0; i < 1500; ++i) {
+        const std::int64_t a = rng.range(-32768, 32767);
+        const std::int64_t b = rng.range(-32768, 32767);
+        EXPECT_EQ(m.simulate(a, b), a * b);
+    }
+}
+
+TEST(wallace_mult, corner_cases_16b)
+{
+    wallace_multiplier m(16);
+    for (const std::int64_t a : {-32768LL, -1LL, 0LL, 1LL, 32767LL}) {
+        for (const std::int64_t b : {-32768LL, -1LL, 0LL, 1LL, 32767LL}) {
+            EXPECT_EQ(m.simulate(a, b), a * b) << a << "*" << b;
+        }
+    }
+}
+
+TEST(wallace_mult, shallower_than_array)
+{
+    // The whole point of tree multipliers: logarithmic reduction depth.
+    wallace_multiplier wm(8);
+    array_multiplier am(8);
+    const tech_model& t = tech_40nm_lp();
+    EXPECT_LT(wm.critical_path_ps(t, t.vdd_nom),
+              am.critical_path_ps(t, t.vdd_nom));
+}
+
+TEST(wallace_mult, is_signed_metadata)
+{
+    wallace_multiplier m(8);
+    EXPECT_TRUE(m.is_signed());
+    EXPECT_EQ(m.width(), 8);
+}
+
+} // namespace
+} // namespace dvafs

@@ -1,0 +1,66 @@
+#include "cnn/workload.h"
+
+#include "cnn/zoo.h"
+
+#include <gtest/gtest.h>
+
+namespace dvafs {
+namespace {
+
+TEST(workload, lenet_layer_macs)
+{
+    const auto w = extract_workloads(make_lenet5());
+    ASSERT_EQ(w.size(), 5U);
+    // conv1: 28x28 out, 6 filters, 1x5x5 kernel.
+    EXPECT_EQ(w[0].macs, 28ULL * 28 * 6 * 25);
+    // conv2: 10x10 out, 16 filters, 6x5x5 kernel.
+    EXPECT_EQ(w[1].macs, 10ULL * 10 * 16 * 6 * 25);
+    // fc3: 120 x 400.
+    EXPECT_EQ(w[2].macs, 120ULL * 400);
+    EXPECT_EQ(w[3].macs, 84ULL * 120);
+    EXPECT_EQ(w[4].macs, 10ULL * 84);
+}
+
+TEST(workload, total_mmacs)
+{
+    const auto w = extract_workloads(make_lenet5());
+    double manual = 0.0;
+    for (const layer_workload& l : w) {
+        manual += static_cast<double>(l.macs) * 1e-6;
+    }
+    EXPECT_DOUBLE_EQ(total_mmacs(w), manual);
+    // The canonical LeNet-5 topology is ~0.42 MMACs/frame. (The paper's
+    // Table III reports 0.3 + 1.6 MMACs for its two CONV layers -- a
+    // larger LeNet variant; see EXPERIMENTS.md.)
+    EXPECT_GT(total_mmacs(w), 0.3);
+    EXPECT_LT(total_mmacs(w), 0.6);
+}
+
+TEST(workload, lenet_conv_layers_exact_counts)
+{
+    const auto w = extract_workloads(make_lenet5());
+    EXPECT_NEAR(static_cast<double>(w[0].macs) * 1e-6, 0.1176, 1e-6);
+    EXPECT_NEAR(static_cast<double>(w[1].macs) * 1e-6, 0.24, 1e-6);
+}
+
+TEST(workload, element_counts)
+{
+    const auto w = extract_workloads(make_lenet5());
+    EXPECT_EQ(w[0].input_elems, 28ULL * 28);
+    EXPECT_EQ(w[0].output_elems, 6ULL * 28 * 28);
+    EXPECT_EQ(w[0].weight_count, 6ULL * 25);
+}
+
+TEST(workload, defaults_are_full_precision_dense)
+{
+    const auto w = extract_workloads(make_lenet5());
+    for (const layer_workload& l : w) {
+        EXPECT_EQ(l.weight_bits, 16);
+        EXPECT_EQ(l.input_bits, 16);
+        EXPECT_EQ(l.weight_sparsity, 0.0);
+        EXPECT_EQ(l.input_sparsity, 0.0);
+    }
+}
+
+} // namespace
+} // namespace dvafs
