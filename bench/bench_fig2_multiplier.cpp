@@ -11,7 +11,9 @@ using namespace dvafs;
 int main()
 {
     const tech_model& tech = tech_40nm_lp();
-    dvafs_multiplier mult(16);
+    // Shared immutable structure; the extraction farms its seven operating
+    // points over the threaded 64-lane sweep engine.
+    const dvafs_multiplier& mult = *netlist_cache::global().dvafs(16);
     kparam_extraction_config cfg;
     cfg.vectors = 2000;
     const kparam_extraction kx = extract_kparams(mult, tech, cfg);
@@ -91,6 +93,17 @@ int main()
                        fmt_fixed(op.mean_cap_ff / full, 3), dvafs_a});
         }
         t.print(std::cout);
+    }
+
+    print_banner(std::cout, "engine view -- merged operating-point records "
+                            "(64-lane batched sweep)");
+    {
+        sim_engine_config ecfg;
+        ecfg.vectors = 2000;
+        const sim_engine engine(ecfg);
+        const sweep_report rep =
+            engine.run(mult, tech, kparam_sweep_points(16));
+        print_sweep_report(std::cout, rep, 16);
     }
 
     std::cout << "\ngate count: " << mult.gate_count()

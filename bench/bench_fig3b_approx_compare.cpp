@@ -16,7 +16,8 @@ using namespace dvafs;
 namespace {
 
 // Mean switched energy per word [fJ] of a structural multiplier over a
-// random signed/unsigned stream at the given supply.
+// random signed/unsigned stream at the given supply. The whole stream runs
+// through the 64-lane batched engine (one netlist pass per 64 vectors).
 double measure_fj(structural_multiplier& m, bool is_signed, double vdd,
                   std::uint64_t seed)
 {
@@ -24,18 +25,18 @@ double measure_fj(structural_multiplier& m, bool is_signed, double vdd,
     pcg32 rng(seed);
     m.reset_stats();
     const int w = m.width();
-    for (int i = 0; i < 1200; ++i) {
-        std::int64_t a;
-        std::int64_t b;
+    std::vector<std::int64_t> a(1200);
+    std::vector<std::int64_t> b(1200);
+    for (std::size_t i = 0; i < a.size(); ++i) {
         if (is_signed) {
-            a = sign_extend(rng.next_u64(), w);
-            b = sign_extend(rng.next_u64(), w);
+            a[i] = sign_extend(rng.next_u64(), w);
+            b[i] = sign_extend(rng.next_u64(), w);
         } else {
-            a = static_cast<std::int64_t>(rng.next_u64() & low_mask(w));
-            b = static_cast<std::int64_t>(rng.next_u64() & low_mask(w));
+            a[i] = static_cast<std::int64_t>(rng.next_u64() & low_mask(w));
+            b[i] = static_cast<std::int64_t>(rng.next_u64() & low_mask(w));
         }
-        m.simulate(a, b);
     }
+    m.simulate_batch(a.data(), b.data(), a.size());
     return tech_model::toggle_energy_fj(m.mean_switched_cap_ff(tech), vdd);
 }
 
@@ -58,7 +59,7 @@ int main()
 
     // DVAFS (this work): full V/f scaling at constant throughput.
     {
-        dvafs_multiplier mult(16);
+        const dvafs_multiplier& mult = *netlist_cache::global().dvafs(16);
         kparam_extraction_config cfg;
         cfg.vectors = 1200;
         const kparam_extraction kx = extract_kparams(mult, tech, cfg);

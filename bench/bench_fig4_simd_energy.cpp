@@ -50,7 +50,9 @@ double run_point(int sw, const point& pt, const dvafs_multiplier& mult,
 int main()
 {
     const tech_model& tech = tech_40nm_lp();
-    dvafs_multiplier mult(16);
+    // Shared cached structure; extraction runs on the threaded batched
+    // sweep engine.
+    const dvafs_multiplier& mult = *netlist_cache::global().dvafs(16);
     kparam_extraction_config cfg;
     cfg.vectors = 1500;
     const kparam_extraction kx = extract_kparams(mult, tech, cfg);

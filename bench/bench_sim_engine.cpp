@@ -1,0 +1,94 @@
+// Micro-benchmark of the gate-level simulation engines (harness health;
+// tracked in the perf trajectory, not a paper figure): vectors/second of
+// the scalar levelized simulator vs the 64-lane bit-parallel engine on the
+// 16-bit DVAFS multiplier netlist, plus the threaded operating-point sweep.
+
+#include "core/dvafs.h"
+
+#include <chrono>
+#include <iostream>
+
+using namespace dvafs;
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+double seconds_since(clock_type::time_point t0)
+{
+    return std::chrono::duration<double>(clock_type::now() - t0).count();
+}
+
+} // namespace
+
+int main()
+{
+    const tech_model& tech = tech_40nm_lp();
+    const auto shared = netlist_cache::global().dvafs(16);
+    dvafs_multiplier scalar_m(16);
+    dvafs_multiplier batch_m(16);
+
+    // Identical operand stream for both engines.
+    const std::size_t n = 20000;
+    pcg32 rng(12345);
+    std::vector<std::uint64_t> a(n);
+    std::vector<std::uint64_t> b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        a[i] = rng.next_u64() & 0xffff;
+        b[i] = rng.next_u64() & 0xffff;
+    }
+
+    print_banner(std::cout, "gate-level simulation throughput -- 16b DVAFS "
+                            "multiplier netlist");
+
+    const auto t_scalar = clock_type::now();
+    std::uint64_t sink = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        sink ^= scalar_m.simulate_packed(a[i], b[i]);
+    }
+    const double s_scalar = seconds_since(t_scalar);
+
+    std::vector<std::uint64_t> out(n);
+    const auto t_batch = clock_type::now();
+    batch_m.simulate_packed_batch(a.data(), b.data(), n, out.data());
+    const double s_batch = seconds_since(t_batch);
+    for (std::size_t i = 0; i < n; ++i) {
+        sink ^= out[i];
+    }
+
+    if (batch_m.total_toggles() != scalar_m.total_toggles()) {
+        std::cout << "ERROR: engines disagree on toggle counts\n";
+        return 1;
+    }
+
+    const double vps_scalar = static_cast<double>(n) / s_scalar;
+    const double vps_batch = static_cast<double>(n) / s_batch;
+    ascii_table t({"engine", "vectors", "time[ms]", "vectors/s", "speedup"});
+    t.add_row({"scalar logic_sim", std::to_string(n),
+               fmt_fixed(s_scalar * 1e3, 1), fmt_sci(vps_scalar, 2), "1.0"});
+    t.add_row({"64-lane logic_sim64", std::to_string(n),
+               fmt_fixed(s_batch * 1e3, 1), fmt_sci(vps_batch, 2),
+               fmt_fixed(vps_batch / vps_scalar, 1)});
+    t.print(std::cout);
+    std::cout << "(toggle accounting bit-identical: "
+              << batch_m.total_toggles() << " toggles; checksum "
+              << (sink & 0xffff) << ")\n";
+
+    print_banner(std::cout, "threaded operating-point sweep -- Table I "
+                            "grid, 2000 vectors/point");
+    sim_engine_config cfg;
+    cfg.vectors = 2000;
+    for (const unsigned threads : {1U, 2U, 4U}) {
+        sim_engine_config c = cfg;
+        c.threads = threads;
+        const sim_engine engine(c);
+        const auto t0 = clock_type::now();
+        const sweep_report rep =
+            engine.run(*shared, tech, kparam_sweep_points(16));
+        const double s = seconds_since(t0);
+        std::cout << threads << " thread(s): " << fmt_fixed(s * 1e3, 1)
+                  << " ms for " << rep.points.size() << " points\n";
+    }
+
+    return vps_batch / vps_scalar >= 10.0 ? 0 : 2;
+}

@@ -3,6 +3,7 @@
 // Layering (bottom to top):
 //   circuit/   gate-level netlists, logic simulation, timing, technology
 //   mult/      exact + approximate multipliers; the DVAFS multiplier
+//   sim/       64-lane batched sweeps: operating-point grids, thread pool
 //   energy/    the paper's power equations, k-parameter extraction, VF
 //   simd/      the DVAFS-compatible SIMD vector processor
 //   cnn/       quantized CNN inference and per-layer precision analysis
@@ -42,6 +43,10 @@
 #include "energy/kparams.h"
 #include "energy/power_model.h"
 #include "energy/vf_curve.h"
+
+#include "sim/engine.h"
+#include "sim/result.h"
+#include "sim/sweep.h"
 
 #include "simd/assembler.h"
 #include "simd/isa.h"

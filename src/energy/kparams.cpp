@@ -1,52 +1,12 @@
 #include "energy/kparams.h"
 
-#include "util/rng.h"
+#include "sim/engine.h"
 
 #include <stdexcept>
 
 namespace dvafs {
 
-namespace {
-
-double measure_activity(dvafs_multiplier& m, sw_mode mode, int keep_bits,
-                        const tech_model& tech,
-                        const kparam_extraction_config& cfg)
-{
-    m.set_das_precision(m.width());
-    m.set_mode(mode);
-    if (mode == sw_mode::w1x16 && keep_bits < m.width()) {
-        m.set_das_precision(keep_bits);
-    }
-    pcg32 rng(cfg.seed);
-    const std::uint64_t mask = low_mask(m.width());
-    // Warm up the simulator state with the first vector, then count
-    // transitions over an identical stream for every configuration --
-    // without this, stale state from a previous mode pollutes the first
-    // transition and the full-precision reference would not be exactly
-    // reproducible.
-    m.simulate_packed(rng.next_u64() & mask, rng.next_u64() & mask);
-    m.reset_stats();
-    for (std::uint64_t i = 0; i < cfg.vectors; ++i) {
-        std::uint64_t a = rng.next_u64() & mask;
-        std::uint64_t b = rng.next_u64() & mask;
-        if (mode != sw_mode::w1x16 && keep_bits < m.lane_width(mode)) {
-            // Per-lane DAS truncation inside a subword mode is a data
-            // contract (the paper's 2x1-8b / 4x1-4b settings).
-            a = subword_truncate(static_cast<std::uint16_t>(a), mode,
-                                 keep_bits);
-            b = subword_truncate(static_cast<std::uint16_t>(b), mode,
-                                 keep_bits);
-        }
-        m.simulate_packed(a, b);
-    }
-    const double cap = m.mean_switched_cap_ff(tech);
-    m.set_das_precision(m.width());
-    return cap;
-}
-
-} // namespace
-
-kparam_extraction extract_kparams(dvafs_multiplier& mult,
+kparam_extraction extract_kparams(const dvafs_multiplier& mult,
                                   const tech_model& tech,
                                   const kparam_extraction_config& cfg)
 {
@@ -56,21 +16,37 @@ kparam_extraction extract_kparams(dvafs_multiplier& mult,
 
     // Full-precision reference: 1xW at the nominal voltage; clock period at
     // the target throughput (1 word/cycle).
-    const double cap_full =
-        measure_activity(mult, sw_mode::w1x16, w, tech, cfg);
     const double f_full = cfg.throughput_mops; // 1 word/cycle
     const double period_full_ps = 1e6 / f_full;
 
+    // Measure every operating point through the batched 64-lane engine:
+    // identical seeded operand stream per point (the warm-up + reset
+    // contract keeps the full-precision reference exactly reproducible),
+    // independent points farmed across the thread pool.
+    sim_engine_config ecfg;
+    ecfg.threads = cfg.threads;
+    ecfg.vectors = cfg.vectors;
+    ecfg.seed = cfg.seed;
+    ecfg.throughput_mops = cfg.throughput_mops;
+    const sim_engine engine(ecfg);
+    const sweep_report rep =
+        engine.run(mult, tech, kparam_sweep_points(w));
+
+    const sim_point_result* full = rep.find(sw_mode::w1x16, w);
+    if (full == nullptr) {
+        throw std::logic_error("extract_kparams: missing reference point");
+    }
+    const double cap_full = full->mean_cap_ff;
+
     // --- DAS / DVAS: 1xW mode, truncated to 4/8/12/16 (quarter multiples) --
     for (int keep = q; keep <= w; keep += q) {
+        const sim_point_result* p = rep.find(sw_mode::w1x16, keep);
         mult_operating_point op;
         op.bits = keep;
         op.mode = sw_mode::w1x16;
         op.n = 1;
-        op.mean_cap_ff =
-            measure_activity(mult, sw_mode::w1x16, keep, tech, cfg);
-        op.crit_path_ps = mult.mode_critical_path_ps(
-            tech, tech.vdd_nom, sw_mode::w1x16, keep);
+        op.mean_cap_ff = p->mean_cap_ff;
+        op.crit_path_ps = p->crit_path_ps;
         op.f_mhz = f_full;
         op.slack_ns = (period_full_ps - op.crit_path_ps) * 1e-3;
         op.v_das = tech.vdd_nom;
@@ -81,13 +57,14 @@ kparam_extraction extract_kparams(dvafs_multiplier& mult,
 
     // --- DVAFS: subword modes at constant throughput ------------------------
     for (const sw_mode mode : all_sw_modes) {
+        const int lane_w = w / lane_count(mode);
+        const sim_point_result* p = rep.find(mode, lane_w);
         mult_operating_point op;
         op.mode = mode;
         op.n = lane_count(mode);
-        op.bits = w / op.n;
-        op.mean_cap_ff = measure_activity(mult, mode, op.bits, tech, cfg);
-        op.crit_path_ps = mult.mode_critical_path_ps(
-            tech, tech.vdd_nom, mode, op.bits);
+        op.bits = lane_w;
+        op.mean_cap_ff = p->mean_cap_ff;
+        op.crit_path_ps = p->crit_path_ps;
         op.f_mhz = f_full / op.n; // N words/cycle at constant throughput
         const double period_ps = 1e6 / op.f_mhz;
         op.slack_ns = (period_ps - op.crit_path_ps) * 1e-3;

@@ -16,6 +16,8 @@ struct kparam_extraction_config {
     std::uint64_t vectors = 2000; // random input transitions per mode
     std::uint64_t seed = 42;
     double throughput_mops = 500.0; // constant-throughput target (words/s)
+    unsigned threads = 0; // sweep workers; 0 = hardware default. Results
+                          // are identical for any thread count.
 };
 
 // Measured operating point of the multiplier in one configuration.
@@ -41,7 +43,7 @@ struct kparam_extraction {
     std::vector<k_factors> table;            // measured Table I
 };
 
-kparam_extraction extract_kparams(dvafs_multiplier& mult,
+kparam_extraction extract_kparams(const dvafs_multiplier& mult,
                                   const tech_model& tech,
                                   const kparam_extraction_config& cfg = {});
 

@@ -50,9 +50,10 @@ std::int64_t truncated_multiplier::functional(std::int64_t a,
     return ta * tb;
 }
 
-void truncated_multiplier::drive(std::int64_t a, std::int64_t b)
+std::vector<bool> truncated_multiplier::input_vector(std::int64_t a,
+                                                     std::int64_t b) const
 {
-    structural_multiplier::drive(
+    return structural_multiplier::input_vector(
         truncate_lsbs(a, width(), width() - trunc_),
         truncate_lsbs(b, width(), width() - trunc_));
 }

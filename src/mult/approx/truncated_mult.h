@@ -35,7 +35,8 @@ public:
     std::vector<std::pair<net_id, bool>> tied_inputs(int t) const;
 
 private:
-    void drive(std::int64_t a, std::int64_t b) override;
+    std::vector<bool> input_vector(std::int64_t a,
+                                   std::int64_t b) const override;
 
     int trunc_ = 0;
 };

@@ -3,6 +3,7 @@
 #include "fixedpoint/bitops.h"
 #include "mult/booth.h"
 
+#include <algorithm>
 #include <array>
 #include <map>
 #include <stdexcept>
@@ -304,30 +305,68 @@ void dvafs_multiplier::set_das_precision(int keep_bits)
     das_keep_ = keep_bits;
 }
 
-int dvafs_multiplier::das_level() const noexcept
-{
-    return (width() - das_keep_) / (width() / 4);
-}
-
-void dvafs_multiplier::drive(std::int64_t a, std::int64_t b)
+std::vector<bool> dvafs_multiplier::input_vector_for(sw_mode m,
+                                                     int das_keep_bits,
+                                                     std::uint64_t a,
+                                                     std::uint64_t b) const
 {
     const int w = width();
-    const int t = w - das_keep_;
+    const int t = w - das_keep_bits;
     std::vector<bool> v(nl_.inputs().size(), false);
     // Hardware contract: the truncated LSBs arrive gated to zero.
-    const std::uint64_t ab = to_bits(a, w) & ~low_mask(t);
-    const std::uint64_t bb = to_bits(b, w) & ~low_mask(t);
+    const std::uint64_t ab = (a & low_mask(w)) & ~low_mask(t);
+    const std::uint64_t bb = (b & low_mask(w)) & ~low_mask(t);
     for (int i = 0; i < w; ++i) {
         v[static_cast<std::size_t>(i)] = bit_of(ab, i) != 0;
         v[static_cast<std::size_t>(w + i)] = bit_of(bb, i) != 0;
     }
     // Mode select: 00 = 1xW, 01 = 2x, 10 = 4x (s0 then s1).
-    v[static_cast<std::size_t>(2 * w)] = (mode_ == sw_mode::w2x8);
-    v[static_cast<std::size_t>(2 * w + 1)] = (mode_ == sw_mode::w4x4);
-    const int lvl = das_level();
+    v[static_cast<std::size_t>(2 * w)] = (m == sw_mode::w2x8);
+    v[static_cast<std::size_t>(2 * w + 1)] = (m == sw_mode::w4x4);
+    const int lvl = t / (w / 4);
     v[static_cast<std::size_t>(2 * w + 2)] = (lvl & 1) != 0;
     v[static_cast<std::size_t>(2 * w + 3)] = (lvl & 2) != 0;
-    sim_->apply(v);
+    return v;
+}
+
+std::vector<bool> dvafs_multiplier::input_vector(std::int64_t a,
+                                                 std::int64_t b) const
+{
+    const int w = width();
+    return input_vector_for(mode_, das_keep_, to_bits(a, w), to_bits(b, w));
+}
+
+void dvafs_multiplier::pack_input_words(
+    sw_mode m, int das_keep_bits, const std::uint64_t* a,
+    const std::uint64_t* b, int count,
+    std::vector<std::uint64_t>& words) const
+{
+    const int w = width();
+    const int t = w - das_keep_bits;
+    const std::uint64_t keep = low_mask(w) & ~low_mask(t);
+    words.assign(nl_.inputs().size(), 0);
+    for (int lane = 0; lane < count; ++lane) {
+        const std::uint64_t ab = a[lane] & keep;
+        const std::uint64_t bb = b[lane] & keep;
+        const std::uint64_t bit = 1ULL << lane;
+        for (int i = 0; i < w; ++i) {
+            if (bit_of(ab, i)) {
+                words[static_cast<std::size_t>(i)] |= bit;
+            }
+            if (bit_of(bb, i)) {
+                words[static_cast<std::size_t>(w + i)] |= bit;
+            }
+        }
+    }
+    // Select inputs are constant across the batch; lanes beyond `count`
+    // are ignored by the simulator, so a full broadcast is safe.
+    const int lvl = t / (w / 4);
+    words[static_cast<std::size_t>(2 * w)] =
+        m == sw_mode::w2x8 ? ~0ULL : 0ULL;
+    words[static_cast<std::size_t>(2 * w + 1)] =
+        m == sw_mode::w4x4 ? ~0ULL : 0ULL;
+    words[static_cast<std::size_t>(2 * w + 2)] = (lvl & 1) ? ~0ULL : 0ULL;
+    words[static_cast<std::size_t>(2 * w + 3)] = (lvl & 2) ? ~0ULL : 0ULL;
 }
 
 std::uint64_t dvafs_multiplier::simulate_packed(std::uint64_t a,
@@ -338,6 +377,26 @@ std::uint64_t dvafs_multiplier::simulate_packed(std::uint64_t a,
     const std::int64_t sb = sign_extend(b, w);
     drive(sa, sb);
     return sim_->read_bus(out_bus_);
+}
+
+void dvafs_multiplier::simulate_packed_batch(const std::uint64_t* a,
+                                             const std::uint64_t* b,
+                                             std::size_t n,
+                                             std::uint64_t* out)
+{
+    std::vector<std::uint64_t> words;
+    for (std::size_t done = 0; done < n;) {
+        const int count =
+            static_cast<int>(std::min<std::size_t>(64, n - done));
+        pack_input_words(mode_, das_keep_, a + done, b + done, count, words);
+        sim64_->apply(words, count);
+        if (out != nullptr) {
+            for (int lane = 0; lane < count; ++lane) {
+                out[done + lane] = sim64_->read_bus(out_bus_, lane);
+            }
+        }
+        done += static_cast<std::size_t>(count);
+    }
 }
 
 std::uint64_t dvafs_multiplier::functional_packed(std::uint64_t a,

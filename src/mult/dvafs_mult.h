@@ -63,6 +63,13 @@ public:
     // DAS precision before driving the netlist (hardware contract).
     std::uint64_t simulate_packed(std::uint64_t a, std::uint64_t b);
 
+    // Batched lane-wise multiply through the 64-lane simulator: n packed
+    // operand pairs, products in `out` when non-null. Statistics accumulate
+    // as n consecutive simulate_packed() calls would (on the 64-lane
+    // engine's counters; see structural_multiplier::simulate_batch).
+    void simulate_packed_batch(const std::uint64_t* a, const std::uint64_t* b,
+                               std::size_t n, std::uint64_t* out = nullptr);
+
     // Expected result computed arithmetically (must match simulate_packed).
     std::uint64_t functional_packed(std::uint64_t a, std::uint64_t b) const;
 
@@ -87,9 +94,27 @@ public:
         return width() / lane_count(m);
     }
 
+    // Primary-input vector driving packed operands a, b under an explicit
+    // (mode, DAS precision) -- independent of set_mode()/set_das_precision()
+    // state, so sweep workers can share one const multiplier across threads,
+    // each driving its own simulator over net(). Operand LSBs below the DAS
+    // precision are gated to zero exactly as in hardware.
+    std::vector<bool> input_vector_for(sw_mode m, int das_keep_bits,
+                                       std::uint64_t a,
+                                       std::uint64_t b) const;
+
+    // Packs `count` (1..64) operand pairs straight into 64-lane input words
+    // (one uint64 per primary input, lane v = vector v) for logic_sim64 --
+    // the hot-path equivalent of calling input_vector_for per vector
+    // without the per-vector allocation. `words` is resized and zeroed.
+    void pack_input_words(sw_mode m, int das_keep_bits,
+                          const std::uint64_t* a, const std::uint64_t* b,
+                          int count,
+                          std::vector<std::uint64_t>& words) const;
+
 private:
-    void drive(std::int64_t a, std::int64_t b) override;
-    int das_level() const noexcept; // truncated bits t = W - das_keep_
+    std::vector<bool> input_vector(std::int64_t a,
+                                   std::int64_t b) const override;
 
     bus mode_bus_; // two mode selects: (s0, s1); 00=1xW, 01=2x, 10=4x
     bus das_bus_;  // two precision selects: t = (W/4) * (d0 + 2*d1)

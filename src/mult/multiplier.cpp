@@ -2,6 +2,7 @@
 
 #include "fixedpoint/bitops.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace dvafs {
@@ -9,9 +10,11 @@ namespace dvafs {
 void structural_multiplier::finalize()
 {
     sim_ = std::make_unique<logic_sim>(nl_);
+    sim64_ = std::make_unique<logic_sim64>(nl_);
 }
 
-void structural_multiplier::drive(std::int64_t a, std::int64_t b)
+std::vector<bool> structural_multiplier::input_vector(std::int64_t a,
+                                                      std::int64_t b) const
 {
     const auto& ins = nl_.inputs();
     std::vector<bool> v(ins.size(), false);
@@ -22,7 +25,7 @@ void structural_multiplier::drive(std::int64_t a, std::int64_t b)
         v[static_cast<std::size_t>(i)] = bit_of(ab, i) != 0;
         v[static_cast<std::size_t>(width_ + i)] = bit_of(bb, i) != 0;
     }
-    sim_->apply(v);
+    return v;
 }
 
 std::int64_t structural_multiplier::simulate(std::int64_t a, std::int64_t b)
@@ -37,6 +40,41 @@ std::int64_t structural_multiplier::simulate(std::int64_t a, std::int64_t b)
                    : static_cast<std::int64_t>(raw);
 }
 
+void structural_multiplier::simulate_batch(const std::int64_t* a,
+                                           const std::int64_t* b,
+                                           std::size_t n, std::int64_t* out)
+{
+    if (!sim64_) {
+        throw std::logic_error("structural_multiplier: not finalized");
+    }
+    const std::size_t n_in = nl_.inputs().size();
+    const int out_width = static_cast<int>(out_bus_.size());
+    std::vector<std::uint64_t> words(n_in);
+    for (std::size_t done = 0; done < n;) {
+        const int count =
+            static_cast<int>(std::min<std::size_t>(64, n - done));
+        std::fill(words.begin(), words.end(), 0);
+        for (int lane = 0; lane < count; ++lane) {
+            const std::vector<bool> v =
+                input_vector(a[done + lane], b[done + lane]);
+            for (std::size_t i = 0; i < n_in; ++i) {
+                words[i] |= static_cast<std::uint64_t>(v[i] ? 1 : 0) << lane;
+            }
+        }
+        sim64_->apply(words, count);
+        if (out != nullptr) {
+            for (int lane = 0; lane < count; ++lane) {
+                const std::uint64_t raw =
+                    sim64_->read_bus(out_bus_, lane);
+                out[done + lane] =
+                    signed_ ? sign_extend(raw, out_width)
+                            : static_cast<std::int64_t>(raw);
+            }
+        }
+        done += static_cast<std::size_t>(count);
+    }
+}
+
 std::int64_t structural_multiplier::functional(std::int64_t a,
                                                std::int64_t b) const
 {
@@ -45,9 +83,8 @@ std::int64_t structural_multiplier::functional(std::int64_t a,
 
 double structural_multiplier::mean_switched_cap_ff(const tech_model& t) const
 {
-    const std::uint64_t n = sim_->transitions();
-    return n ? sim_->switched_capacitance_ff(t) / static_cast<double>(n)
-             : 0.0;
+    const std::uint64_t n = transitions();
+    return n ? switched_capacitance_ff(t) / static_cast<double>(n) : 0.0;
 }
 
 double structural_multiplier::critical_path_ps(const tech_model& t,

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 namespace dvafs {
 
@@ -35,17 +36,39 @@ public:
     // multiplier's width (signed or unsigned per is_signed()).
     std::int64_t simulate(std::int64_t a, std::int64_t b);
 
+    // Batched variant: evaluates n operand pairs through the 64-lane
+    // simulator (one levelized pass per 64 vectors) and, when `out` is
+    // non-null, stores the n products. Switching statistics accumulate
+    // exactly as n consecutive simulate() calls would; the scalar and
+    // batched engines keep separate last-vector state, so do not interleave
+    // the two paths within one measurement (reset_stats() between them).
+    void simulate_batch(const std::int64_t* a, const std::int64_t* b,
+                        std::size_t n, std::int64_t* out = nullptr);
+
     // Pure-arithmetic result this design is *supposed* to produce (for the
     // exact designs this is the true product; approximate designs override).
     virtual std::int64_t functional(std::int64_t a, std::int64_t b) const;
 
     // -- switching-activity statistics --------------------------------------
-    void reset_stats() { sim_->reset_stats(); }
-    std::uint64_t total_toggles() const { return sim_->total_toggles(); }
-    std::uint64_t transitions() const { return sim_->transitions(); }
+    // Counters sum over the scalar and 64-lane engines, so either path (or
+    // both, sequentially) contributes to the same energy accounting.
+    void reset_stats()
+    {
+        sim_->reset_stats();
+        sim64_->reset_stats();
+    }
+    std::uint64_t total_toggles() const
+    {
+        return sim_->total_toggles() + sim64_->total_toggles();
+    }
+    std::uint64_t transitions() const
+    {
+        return sim_->transitions() + sim64_->transitions();
+    }
     double switched_capacitance_ff(const tech_model& t) const
     {
-        return sim_->switched_capacitance_ff(t);
+        return sim_->switched_capacitance_ff(t)
+               + sim64_->switched_capacitance_ff(t);
     }
     // Mean switched capacitance per applied input transition [fF].
     double mean_switched_cap_ff(const tech_model& t) const;
@@ -66,14 +89,24 @@ protected:
     void finalize();
 
     // Assembles the full primary-input vector for operands a, b. Subclasses
-    // with extra control inputs (modes) override extra_inputs().
-    virtual void drive(std::int64_t a, std::int64_t b);
+    // with extra control inputs (modes, precision selects) override it.
+    // Const so that batch drivers and thread-shared sweep workers can build
+    // stimuli without mutating the multiplier.
+    virtual std::vector<bool> input_vector(std::int64_t a,
+                                           std::int64_t b) const;
+
+    // Drives one input vector through the scalar simulator.
+    void drive(std::int64_t a, std::int64_t b)
+    {
+        sim_->apply(input_vector(a, b));
+    }
 
     netlist nl_;
     bus a_bus_;
     bus b_bus_;
     bus out_bus_;
     std::unique_ptr<logic_sim> sim_;
+    std::unique_ptr<logic_sim64> sim64_;
 
 private:
     std::string name_;

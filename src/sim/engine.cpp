@@ -1,0 +1,168 @@
+#include "sim/engine.h"
+
+#include "circuit/logic_sim.h"
+#include "fixedpoint/bitops.h"
+#include "util/rng.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+
+namespace dvafs {
+
+sim_point_result sim_engine::measure(const dvafs_multiplier& mult,
+                                     const tech_model& tech,
+                                     const operating_point_spec& spec) const
+{
+    const int w = mult.width();
+    const int lane_w = mult.lane_width(spec.mode);
+    if (spec.keep_bits < 1 || spec.keep_bits > lane_w) {
+        throw std::invalid_argument("sim_engine: keep_bits out of range");
+    }
+    // Structural DAS gating applies in 1xW; in subword modes precision is a
+    // data contract (per-lane truncated operands), as in the paper's SIMD
+    // processor. This mirrors energy/kparams measure semantics exactly.
+    const bool is_1x = spec.mode == sw_mode::w1x16;
+    const int das_keep = is_1x ? spec.keep_bits : w;
+    const bool truncate_data = !is_1x && spec.keep_bits < lane_w;
+
+    logic_sim64 sim(mult.net());
+    pcg32 rng(cfg_.seed);
+    const std::uint64_t mask = low_mask(w);
+    std::vector<std::uint64_t> words;
+    std::array<std::uint64_t, 64> a{};
+    std::array<std::uint64_t, 64> b{};
+
+    // Warm-up vector: establishes a mode-clean baseline state, then the
+    // counted stream starts -- the same contract as the scalar extraction.
+    // Draws are sequenced (a before b) so the stream is compiler-portable.
+    a[0] = rng.next_u64() & mask;
+    b[0] = rng.next_u64() & mask;
+    mult.pack_input_words(spec.mode, das_keep, a.data(), b.data(), 1, words);
+    sim.apply(words, 1);
+    sim.reset_stats();
+
+    for (std::uint64_t done = 0; done < cfg_.vectors;) {
+        const int count = static_cast<int>(
+            std::min<std::uint64_t>(64, cfg_.vectors - done));
+        for (int lane = 0; lane < count; ++lane) {
+            std::uint64_t av = rng.next_u64() & mask;
+            std::uint64_t bv = rng.next_u64() & mask;
+            if (truncate_data) {
+                av = subword_truncate(static_cast<std::uint16_t>(av),
+                                      spec.mode, spec.keep_bits);
+                bv = subword_truncate(static_cast<std::uint16_t>(bv),
+                                      spec.mode, spec.keep_bits);
+            }
+            a[static_cast<std::size_t>(lane)] = av;
+            b[static_cast<std::size_t>(lane)] = bv;
+        }
+        mult.pack_input_words(spec.mode, das_keep, a.data(), b.data(), count,
+                              words);
+        sim.apply(words, count);
+        done += static_cast<std::uint64_t>(count);
+    }
+
+    sim_point_result r;
+    r.spec = spec;
+    r.vectors = sim.transitions();
+    r.toggles = sim.total_toggles();
+    r.mean_cap_ff =
+        r.vectors ? sim.switched_capacitance_ff(tech)
+                        / static_cast<double>(r.vectors)
+                  : 0.0;
+    r.lanes = lane_count(spec.mode);
+    r.f_mhz = spec.f_mhz > 0.0
+                  ? spec.f_mhz
+                  : cfg_.throughput_mops / static_cast<double>(r.lanes);
+    if (cfg_.with_timing) {
+        r.crit_path_ps = mult.mode_critical_path_ps(
+            tech, tech.vdd_nom, spec.mode, spec.keep_bits);
+        if (spec.vdd > 0.0) {
+            r.vdd = spec.vdd;
+        } else {
+            // DVAFS rule: scale the supply into the slack left by the
+            // active cone at this point's clock period.
+            const double period_ps = 1e6 / r.f_mhz;
+            r.vdd = r.crit_path_ps > 0.0
+                        ? tech.solve_voltage(period_ps / r.crit_path_ps)
+                        : tech.vdd_nom;
+        }
+    } else {
+        r.vdd = spec.vdd > 0.0 ? spec.vdd : tech.vdd_nom;
+    }
+    return r;
+}
+
+sweep_report sim_engine::run(
+    const dvafs_multiplier& mult, const tech_model& tech,
+    const std::vector<operating_point_spec>& specs) const
+{
+    sweep_report rep;
+    rep.points.resize(specs.size());
+    if (specs.empty()) {
+        return rep;
+    }
+
+    unsigned n_threads = cfg_.threads != 0
+                             ? cfg_.threads
+                             : std::thread::hardware_concurrency();
+    if (n_threads == 0) {
+        n_threads = 1;
+    }
+    n_threads = static_cast<unsigned>(
+        std::min<std::size_t>(n_threads, specs.size()));
+
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr first_error;
+    std::mutex error_mu;
+    const auto worker = [&] {
+        for (std::size_t i; (i = next.fetch_add(1)) < specs.size();) {
+            try {
+                rep.points[i] = measure(mult, tech, specs[i]);
+            } catch (...) {
+                const std::lock_guard<std::mutex> lock(error_mu);
+                if (!first_error) {
+                    first_error = std::current_exception();
+                }
+            }
+        }
+    };
+
+    if (n_threads <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(n_threads);
+        for (unsigned t = 0; t < n_threads; ++t) {
+            pool.emplace_back(worker);
+        }
+        for (std::thread& t : pool) {
+            t.join();
+        }
+    }
+    if (first_error) {
+        std::rethrow_exception(first_error);
+    }
+    return rep;
+}
+
+netlist_cache& netlist_cache::global()
+{
+    static netlist_cache cache;
+    return cache;
+}
+
+std::shared_ptr<const dvafs_multiplier> netlist_cache::dvafs(int width)
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = dvafs_[width];
+    if (!slot) {
+        slot = std::make_shared<const dvafs_multiplier>(width);
+    }
+    return slot;
+}
+
+} // namespace dvafs

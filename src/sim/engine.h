@@ -1,0 +1,79 @@
+// Multithreaded operating-point sweep engine.
+//
+// Each sweep point is an independent measurement: a fresh logic_sim64 over
+// the *shared* multiplier netlist, driven with an identical seeded operand
+// stream (the same stream for every point, as the k-parameter extraction
+// requires), plus an active-cone timing pass. Points are farmed across a
+// std::thread pool; results are written by point index, so the output is
+// bit-identical for any thread count -- determinism is asserted in
+// tests/test_sim_engine.cpp.
+//
+// Building a W-bit DVAFS netlist is the expensive part of standing up a
+// measurement (~10k gate constructions), so netlist_cache shares one
+// immutable structure per key across all engines, threads and benches.
+
+#pragma once
+
+#include "circuit/tech.h"
+#include "mult/dvafs_mult.h"
+#include "sim/result.h"
+#include "sim/sweep.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace dvafs {
+
+struct sim_engine_config {
+    unsigned threads = 0;            // worker threads; 0 = hardware default
+    std::uint64_t vectors = 2000;    // input transitions per point
+    std::uint64_t seed = 42;         // operand stream seed (shared by points)
+    double throughput_mops = 500.0;  // constant-throughput rule for f
+    bool with_timing = true;         // run the active-cone STA per point
+};
+
+class sim_engine {
+public:
+    explicit sim_engine(sim_engine_config cfg = {}) : cfg_(cfg) {}
+
+    // Measures every spec against `mult`'s netlist. The multiplier is only
+    // read (netlist, input layout, timing); its own simulators and mode
+    // state are untouched, so one instance may serve concurrent runs.
+    sweep_report run(const dvafs_multiplier& mult, const tech_model& tech,
+                     const std::vector<operating_point_spec>& specs) const;
+
+    // One point: the unit of work the pool farms out. Exposed for tests
+    // and for callers that only need a single configuration.
+    sim_point_result measure(const dvafs_multiplier& mult,
+                             const tech_model& tech,
+                             const operating_point_spec& spec) const;
+
+    const sim_engine_config& config() const noexcept { return cfg_; }
+
+private:
+    sim_engine_config cfg_;
+};
+
+// Keyed cache of built gate-level structures. Entries are immutable once
+// published and shared by reference; the key is the structure family plus
+// width (currently only the DVAFS multiplier family is cached).
+class netlist_cache {
+public:
+    static netlist_cache& global();
+
+    // The W-bit DVAFS multiplier, built once per width per process.
+    // Entries live for the whole process (there is deliberately no eviction:
+    // callers hold bare references into the cache).
+    std::shared_ptr<const dvafs_multiplier> dvafs(int width);
+
+private:
+    netlist_cache() = default;
+
+    std::mutex mu_;
+    std::map<int, std::shared_ptr<const dvafs_multiplier>> dvafs_;
+};
+
+} // namespace dvafs

@@ -1,0 +1,50 @@
+#include "sim/result.h"
+
+#include "util/table.h"
+
+#include <ostream>
+
+namespace dvafs {
+
+const sim_point_result* sweep_report::find(sw_mode mode,
+                                           int keep_bits) const noexcept
+{
+    for (const sim_point_result& p : points) {
+        if (p.spec.mode == mode && p.spec.keep_bits == keep_bits) {
+            return &p;
+        }
+    }
+    return nullptr;
+}
+
+double sweep_report::relative_energy(const sim_point_result& p,
+                                     int width) const
+{
+    const sim_point_result* ref = find(sw_mode::w1x16, width);
+    if (ref == nullptr || ref->energy_pj_per_word() <= 0.0) {
+        return 1.0;
+    }
+    return p.energy_pj_per_word() / ref->energy_pj_per_word();
+}
+
+void print_sweep_report(std::ostream& os, const sweep_report& rep,
+                        int width)
+{
+    ascii_table t({"point", "lanes", "cap/word[fF]", "crit.path[ps]",
+                   "V", "f[MHz]", "E/word[pJ]", "rel.E", "MOPS"});
+    for (const sim_point_result& p : rep.points) {
+        t.add_row({p.spec.label(), std::to_string(p.lanes),
+                   fmt_fixed(p.mean_cap_ff
+                                 / static_cast<double>(
+                                     p.lanes < 1 ? 1 : p.lanes),
+                             2),
+                   fmt_fixed(p.crit_path_ps, 0), fmt_fixed(p.vdd, 2),
+                   fmt_fixed(p.f_mhz, 0),
+                   fmt_fixed(p.energy_pj_per_word(), 3),
+                   fmt_fixed(rep.relative_energy(p, width), 3),
+                   fmt_fixed(p.throughput_mops(), 0)});
+    }
+    t.print(os);
+}
+
+} // namespace dvafs

@@ -1,0 +1,62 @@
+// Merged records produced by the sweep engine.
+//
+// One sim_point_result per operating point: switching activity (exact
+// toggle counts from the 64-lane simulator), timing of the active cone,
+// the resolved supply/frequency, and derived energy-per-word / throughput.
+// A sweep_report merges the points of one run and feeds the tabular
+// reporting used by energy_report-style outputs and the benches.
+
+#pragma once
+
+#include "sim/sweep.h"
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace dvafs {
+
+struct sim_point_result {
+    operating_point_spec spec;
+
+    // -- measured -----------------------------------------------------------
+    std::uint64_t vectors = 0;  // input transitions measured
+    std::uint64_t toggles = 0;  // summed net toggles over the stream
+    double mean_cap_ff = 0.0;   // switched capacitance per transition [fF]
+    double crit_path_ps = 0.0;  // active-cone critical path at Vnom [ps]
+
+    // -- resolved operating conditions --------------------------------------
+    double vdd = 0.0;    // supply used for the energy figure [V]
+    double f_mhz = 0.0;  // clock [MHz]
+    int lanes = 1;       // words per cycle (subword parallelism)
+
+    // Dynamic energy per computed word: C_mean * Vdd^2 / lanes [pJ].
+    double energy_pj_per_word() const noexcept
+    {
+        return mean_cap_ff * vdd * vdd * 1e-3
+               / static_cast<double>(lanes < 1 ? 1 : lanes);
+    }
+    // Words per second at the resolved clock [MOPS].
+    double throughput_mops() const noexcept
+    {
+        return f_mhz * static_cast<double>(lanes < 1 ? 1 : lanes);
+    }
+};
+
+struct sweep_report {
+    std::vector<sim_point_result> points;
+
+    // First point matching (mode, keep_bits); nullptr when absent.
+    const sim_point_result* find(sw_mode mode, int keep_bits) const noexcept;
+
+    // Energy of `p` normalized to the 1xW full-precision point (the paper's
+    // relative-energy axis); returns 1.0 when the reference is absent.
+    double relative_energy(const sim_point_result& p, int width) const;
+};
+
+// Tabular rendering (one row per point: mode, precision, activity, energy,
+// throughput) in the style of core/energy_report.
+void print_sweep_report(std::ostream& os, const sweep_report& rep,
+                        int width);
+
+} // namespace dvafs

@@ -1,0 +1,335 @@
+// Differential tests of the 64-lane bit-parallel simulator against the
+// scalar reference oracle, plus determinism of the threaded sweep engine.
+
+#include "sim/engine.h"
+
+#include "circuit/logic_sim.h"
+#include "circuit/tech.h"
+#include "energy/kparams.h"
+#include "fixedpoint/bitops.h"
+#include "mult/booth_wallace_mult.h"
+#include "mult/dvafs_mult.h"
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dvafs {
+namespace {
+
+// Random netlist over every gate kind: `n_inputs` primary inputs followed
+// by `n_gates` gates whose fanins are drawn from all earlier nets.
+netlist random_netlist(int n_inputs, int n_gates, std::uint64_t seed)
+{
+    pcg32 rng(seed);
+    netlist nl;
+    for (int i = 0; i < n_inputs; ++i) {
+        nl.add_input("i" + std::to_string(i));
+    }
+    nl.add_const(false);
+    nl.add_const(true);
+    const gate_kind kinds[] = {
+        gate_kind::buf,    gate_kind::not_g,  gate_kind::and_g,
+        gate_kind::or_g,   gate_kind::xor_g,  gate_kind::nand_g,
+        gate_kind::nor_g,  gate_kind::xnor_g, gate_kind::and3_g,
+        gate_kind::or3_g,  gate_kind::mux_g,  gate_kind::maj_g,
+    };
+    for (int g = 0; g < n_gates; ++g) {
+        const gate_kind k =
+            kinds[rng.bounded(static_cast<std::uint32_t>(std::size(kinds)))];
+        const auto pick = [&] {
+            return static_cast<net_id>(
+                rng.bounded(static_cast<std::uint32_t>(nl.size())));
+        };
+        nl.add_gate(k, pick(),
+                    fanin_count(k) >= 2 ? pick() : no_net,
+                    fanin_count(k) >= 3 ? pick() : no_net);
+    }
+    return nl;
+}
+
+// Applies an identical random vector stream to both simulators, the 64-lane
+// side split into batches of the given sizes, and asserts bit-exact values,
+// per-net toggles, switched capacitance and transition counts.
+void run_differential(const netlist& nl, const std::vector<int>& batches,
+                      std::uint64_t seed)
+{
+    const std::size_t n_in = nl.inputs().size();
+    logic_sim scalar(nl);
+    logic_sim64 wide(nl);
+    pcg32 rng(seed);
+
+    for (const int count : batches) {
+        ASSERT_GE(count, 1);
+        ASSERT_LE(count, 64);
+        std::vector<std::uint64_t> words(n_in, 0);
+        std::vector<std::vector<bool>> vectors;
+        for (int lane = 0; lane < count; ++lane) {
+            std::vector<bool> v(n_in);
+            for (std::size_t i = 0; i < n_in; ++i) {
+                v[i] = rng.bernoulli(0.5);
+                words[i] |= static_cast<std::uint64_t>(v[i] ? 1 : 0)
+                            << lane;
+            }
+            vectors.push_back(std::move(v));
+        }
+        for (const std::vector<bool>& v : vectors) {
+            scalar.apply(v);
+        }
+        wide.apply(words, count);
+
+        // Final-lane values match the scalar state after the same stream.
+        for (net_id id = 0; id < nl.size(); ++id) {
+            ASSERT_EQ(wide.value(id, count - 1), scalar.value(id))
+                << "net " << id;
+        }
+    }
+
+    ASSERT_EQ(wide.transitions(), scalar.transitions());
+    for (net_id id = 0; id < nl.size(); ++id) {
+        ASSERT_EQ(wide.toggles(id), scalar.toggles(id)) << "net " << id;
+    }
+    ASSERT_EQ(wide.total_toggles(), scalar.total_toggles());
+    const tech_model& tech = tech_40nm_lp();
+    ASSERT_DOUBLE_EQ(wide.switched_capacitance_ff(tech),
+                     scalar.switched_capacitance_ff(tech));
+}
+
+TEST(logic_sim64, matches_scalar_on_random_netlists)
+{
+    for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+        const netlist nl = random_netlist(12, 300, seed);
+        run_differential(nl, {64, 64, 64}, seed * 7 + 1);
+    }
+}
+
+TEST(logic_sim64, matches_scalar_with_ragged_batches)
+{
+    const netlist nl = random_netlist(10, 200, 11);
+    // Partial batches, single-vector batches, and full words interleaved.
+    run_differential(nl, {1, 7, 64, 3, 1, 30, 64, 5}, 99);
+}
+
+TEST(logic_sim64, reset_stats_keeps_boundary_transition)
+{
+    const netlist nl = random_netlist(8, 100, 5);
+    logic_sim scalar(nl);
+    logic_sim64 wide(nl);
+    pcg32 rng(21);
+
+    std::vector<bool> v(nl.inputs().size());
+    std::vector<std::uint64_t> words(nl.inputs().size(), 0);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        v[i] = rng.bernoulli(0.5);
+        words[i] = v[i] ? 1 : 0;
+    }
+    scalar.apply(v);
+    wide.apply(words, 1);
+    scalar.reset_stats();
+    wide.reset_stats();
+
+    // The next vector still counts its transition against the pre-reset
+    // state (warm-up contract of the k-parameter extraction).
+    std::fill(words.begin(), words.end(), 0);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        v[i] = !v[i];
+        words[i] = v[i] ? 1 : 0;
+    }
+    scalar.apply(v);
+    wide.apply(words, 1);
+    EXPECT_EQ(scalar.transitions(), 1U);
+    EXPECT_EQ(wide.transitions(), 1U);
+    for (net_id id = 0; id < nl.size(); ++id) {
+        ASSERT_EQ(wide.toggles(id), scalar.toggles(id)) << "net " << id;
+    }
+}
+
+TEST(simulate_batch, products_match_scalar_simulate)
+{
+    booth_wallace_multiplier scalar_m(12);
+    booth_wallace_multiplier batch_m(12);
+    pcg32 rng(31);
+    const std::size_t n = 150; // forces a ragged final batch
+    std::vector<std::int64_t> a(n);
+    std::vector<std::int64_t> b(n);
+    std::vector<std::int64_t> got(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        a[i] = sign_extend(rng.next_u64(), 12);
+        b[i] = sign_extend(rng.next_u64(), 12);
+    }
+    batch_m.simulate_batch(a.data(), b.data(), n, got.data());
+    for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(got[i], scalar_m.simulate(a[i], b[i])) << "pair " << i;
+        ASSERT_EQ(got[i], a[i] * b[i]);
+    }
+    // Identical stream on separate engines: identical activity accounting.
+    EXPECT_EQ(batch_m.total_toggles(), scalar_m.total_toggles());
+    EXPECT_EQ(batch_m.transitions(), scalar_m.transitions());
+    const tech_model& tech = tech_40nm_lp();
+    EXPECT_DOUBLE_EQ(batch_m.switched_capacitance_ff(tech),
+                     scalar_m.switched_capacitance_ff(tech));
+}
+
+TEST(simulate_batch, dvafs_packed_batch_matches_scalar_all_modes)
+{
+    for (const sw_mode mode : all_sw_modes) {
+        dvafs_multiplier scalar_m(8);
+        dvafs_multiplier batch_m(8);
+        scalar_m.set_mode(mode);
+        batch_m.set_mode(mode);
+        pcg32 rng(47);
+        const std::size_t n = 130;
+        std::vector<std::uint64_t> a(n);
+        std::vector<std::uint64_t> b(n);
+        std::vector<std::uint64_t> got(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            a[i] = rng.next_u64() & 0xff;
+            b[i] = rng.next_u64() & 0xff;
+        }
+        batch_m.simulate_packed_batch(a.data(), b.data(), n, got.data());
+        for (std::size_t i = 0; i < n; ++i) {
+            ASSERT_EQ(got[i], scalar_m.simulate_packed(a[i], b[i]))
+                << to_string(mode) << " pair " << i;
+            ASSERT_EQ(got[i], batch_m.functional_packed(a[i], b[i]));
+        }
+        EXPECT_EQ(batch_m.total_toggles(), scalar_m.total_toggles())
+            << to_string(mode);
+    }
+}
+
+TEST(sim_engine, results_independent_of_thread_count)
+{
+    const dvafs_multiplier& mult = *netlist_cache::global().dvafs(16);
+    const tech_model& tech = tech_40nm_lp();
+    const std::vector<operating_point_spec> specs = kparam_sweep_points(16);
+
+    sim_engine_config c1;
+    c1.threads = 1;
+    c1.vectors = 256;
+    sim_engine_config c4 = c1;
+    c4.threads = 4;
+
+    const sweep_report r1 = sim_engine(c1).run(mult, tech, specs);
+    const sweep_report r4 = sim_engine(c4).run(mult, tech, specs);
+    ASSERT_EQ(r1.points.size(), specs.size());
+    ASSERT_EQ(r4.points.size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        EXPECT_EQ(r1.points[i].toggles, r4.points[i].toggles);
+        EXPECT_EQ(r1.points[i].vectors, r4.points[i].vectors);
+        EXPECT_DOUBLE_EQ(r1.points[i].mean_cap_ff,
+                         r4.points[i].mean_cap_ff);
+        EXPECT_DOUBLE_EQ(r1.points[i].crit_path_ps,
+                         r4.points[i].crit_path_ps);
+        EXPECT_DOUBLE_EQ(r1.points[i].vdd, r4.points[i].vdd);
+    }
+}
+
+TEST(sim_engine, matches_single_point_measure)
+{
+    const dvafs_multiplier& mult = *netlist_cache::global().dvafs(16);
+    const tech_model& tech = tech_40nm_lp();
+    sim_engine_config cfg;
+    cfg.threads = 2;
+    cfg.vectors = 200;
+    const sim_engine engine(cfg);
+    const std::vector<operating_point_spec> specs = kparam_sweep_points(16);
+    const sweep_report rep = engine.run(mult, tech, specs);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const sim_point_result solo = engine.measure(mult, tech, specs[i]);
+        EXPECT_EQ(rep.points[i].toggles, solo.toggles) << specs[i].label();
+        EXPECT_DOUBLE_EQ(rep.points[i].mean_cap_ff, solo.mean_cap_ff);
+    }
+}
+
+TEST(sim_engine, engine_activity_matches_scalar_extraction_loop)
+{
+    // Re-creates the scalar k-parameter measurement loop (warm-up, reset,
+    // counted stream) with logic_sim + simulate_packed and checks the
+    // engine's 64-lane measurement reproduces the mean switched
+    // capacitance bit for bit.
+    const tech_model& tech = tech_40nm_lp();
+    sim_engine_config cfg;
+    cfg.vectors = 300;
+    cfg.seed = 5;
+    const sim_engine engine(cfg);
+    const dvafs_multiplier& shared = *netlist_cache::global().dvafs(16);
+
+    for (const operating_point_spec& spec :
+         {operating_point_spec{sw_mode::w1x16, 8, 0.0, 0.0},
+          operating_point_spec{sw_mode::w4x4, 4, 0.0, 0.0}}) {
+        dvafs_multiplier scalar_m(16);
+        scalar_m.set_das_precision(16);
+        scalar_m.set_mode(spec.mode);
+        if (spec.mode == sw_mode::w1x16 && spec.keep_bits < 16) {
+            scalar_m.set_das_precision(spec.keep_bits);
+        }
+        pcg32 rng(cfg.seed);
+        const std::uint64_t mask = low_mask(16);
+        const std::uint64_t wa = rng.next_u64() & mask;
+        const std::uint64_t wb = rng.next_u64() & mask;
+        scalar_m.simulate_packed(wa, wb);
+        scalar_m.reset_stats();
+        for (std::uint64_t i = 0; i < cfg.vectors; ++i) {
+            const std::uint64_t a = rng.next_u64() & mask;
+            const std::uint64_t b = rng.next_u64() & mask;
+            scalar_m.simulate_packed(a, b);
+        }
+        const double scalar_cap = scalar_m.mean_switched_cap_ff(tech);
+
+        const sim_point_result r = engine.measure(shared, tech, spec);
+        EXPECT_DOUBLE_EQ(r.mean_cap_ff, scalar_cap) << spec.label();
+        EXPECT_EQ(r.vectors, cfg.vectors);
+    }
+}
+
+TEST(sim_engine, netlist_cache_shares_structures)
+{
+    const auto a = netlist_cache::global().dvafs(16);
+    const auto b = netlist_cache::global().dvafs(16);
+    EXPECT_EQ(a.get(), b.get());
+    EXPECT_NE(a.get(), netlist_cache::global().dvafs(8).get());
+}
+
+TEST(sweep_grid, kparam_points_cover_table1)
+{
+    const auto pts = kparam_sweep_points(16);
+    ASSERT_EQ(pts.size(), 6U); // 4 DAS precisions + 2x8 + 4x4
+    EXPECT_EQ(pts[0].keep_bits, 4);
+    EXPECT_EQ(pts[3].keep_bits, 16);
+    EXPECT_EQ(pts[4].mode, sw_mode::w2x8);
+    EXPECT_EQ(pts[5].mode, sw_mode::w4x4);
+}
+
+TEST(sweep_grid, cross_product_grid)
+{
+    sweep_grid_config g;
+    g.width = 16;
+    g.voltages = {1.1, 0.9};
+    g.frequencies = {500.0};
+    const auto pts = make_sweep_grid(g);
+    // (4 DAS + 2 subword) per voltage x frequency combination.
+    EXPECT_EQ(pts.size(), 12U);
+    for (const auto& p : pts) {
+        EXPECT_EQ(p.f_mhz, 500.0);
+    }
+}
+
+TEST(kparams, extraction_independent_of_thread_count)
+{
+    const dvafs_multiplier& mult = *netlist_cache::global().dvafs(16);
+    kparam_extraction_config c1{.vectors = 200, .seed = 7, .threads = 1};
+    kparam_extraction_config c3 = c1;
+    c3.threads = 3;
+    const kparam_extraction k1 = extract_kparams(mult, tech_40nm_lp(), c1);
+    const kparam_extraction k3 = extract_kparams(mult, tech_40nm_lp(), c3);
+    ASSERT_EQ(k1.table.size(), k3.table.size());
+    for (std::size_t i = 0; i < k1.table.size(); ++i) {
+        EXPECT_DOUBLE_EQ(k1.table[i].k0, k3.table[i].k0);
+        EXPECT_DOUBLE_EQ(k1.table[i].k3, k3.table[i].k3);
+        EXPECT_DOUBLE_EQ(k1.table[i].k4, k3.table[i].k4);
+    }
+}
+
+} // namespace
+} // namespace dvafs
