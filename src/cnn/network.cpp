@@ -41,6 +41,29 @@ tensor network::forward(const tensor& input, bool use_quant,
     return x;
 }
 
+tensor network::forward(const tensor& input,
+                        const std::vector<layer_quant>& quant,
+                        std::vector<tensor>* activations) const
+{
+    if (quant.size() != layers_.size()) {
+        throw std::invalid_argument(
+            "network::forward: quant overlay size mismatch");
+    }
+    if (!(input.shape() == input_shape_)) {
+        throw std::invalid_argument("network::forward: input shape "
+                                    + input.shape().to_string()
+                                    + " != " + input_shape_.to_string());
+    }
+    tensor x = input;
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+        x = layers_[i]->forward(x, quant[i]);
+        if (activations != nullptr) {
+            activations->push_back(x);
+        }
+    }
+    return x;
+}
+
 std::uint64_t network::total_macs() const
 {
     std::uint64_t total = 0;

@@ -47,6 +47,15 @@ public:
     tensor forward(const tensor& input, bool use_quant,
                    std::vector<tensor>* activations = nullptr) const;
 
+    // Forward pass with an external quant overlay (one entry per layer)
+    // instead of the stored settings. This is the const sweep path: the
+    // precision planner probes many configurations against one immutable
+    // network shared across threads (the sim_engine const-read contract)
+    // without ever touching its state.
+    tensor forward(const tensor& input,
+                   const std::vector<layer_quant>& quant,
+                   std::vector<tensor>* activations = nullptr) const;
+
     // Total multiply-accumulates of one forward pass.
     std::uint64_t total_macs() const;
 

@@ -39,16 +39,26 @@ double relative_accuracy(const network& net, const teacher_dataset& data)
            / static_cast<double>(data.inputs.size());
 }
 
+double relative_accuracy(const network& net, const teacher_dataset& data,
+                         const std::vector<layer_quant>& overlay)
+{
+    if (data.inputs.empty()) {
+        throw std::invalid_argument("relative_accuracy: empty dataset");
+    }
+    std::size_t agree = 0;
+    for (std::size_t i = 0; i < data.inputs.size(); ++i) {
+        const tensor out = net.forward(data.inputs[i], overlay);
+        agree += (argmax(out) == data.labels[i]);
+    }
+    return static_cast<double>(agree)
+           / static_cast<double>(data.inputs.size());
+}
+
 std::vector<layer_quant_requirement>
-sweep_layer_precision(network& net, const teacher_dataset& data,
+sweep_layer_precision(const network& net, const teacher_dataset& data,
                       const quant_sweep_config& cfg)
 {
-    // Save current settings to restore afterwards.
-    std::vector<layer_quant> saved;
-    for (std::size_t i = 0; i < net.depth(); ++i) {
-        saved.push_back(net.quant(i));
-    }
-    net.clear_quant();
+    std::vector<layer_quant> overlay(net.depth());
 
     std::vector<layer_quant_requirement> out;
     for (const std::size_t li : net.weighted_layers()) {
@@ -59,9 +69,9 @@ sweep_layer_precision(network& net, const teacher_dataset& data,
         // Weights: quantize only this layer's weights.
         req.min_weight_bits = cfg.max_bits;
         for (int bits = 1; bits <= cfg.max_bits; ++bits) {
-            net.clear_quant();
-            net.quant(li).weight_bits = bits;
-            if (relative_accuracy(net, data) >= cfg.target_accuracy) {
+            overlay[li] = layer_quant{.weight_bits = bits, .input_bits = 0};
+            if (relative_accuracy(net, data, overlay)
+                >= cfg.target_accuracy) {
                 req.min_weight_bits = bits;
                 break;
             }
@@ -69,20 +79,36 @@ sweep_layer_precision(network& net, const teacher_dataset& data,
         // Inputs: quantize only this layer's input feature map.
         req.min_input_bits = cfg.max_bits;
         for (int bits = 1; bits <= cfg.max_bits; ++bits) {
-            net.clear_quant();
-            net.quant(li).input_bits = bits;
-            if (relative_accuracy(net, data) >= cfg.target_accuracy) {
+            overlay[li] = layer_quant{.weight_bits = 0, .input_bits = bits};
+            if (relative_accuracy(net, data, overlay)
+                >= cfg.target_accuracy) {
                 req.min_input_bits = bits;
                 break;
             }
         }
+        overlay[li] = layer_quant{};
         out.push_back(req);
     }
-
-    for (std::size_t i = 0; i < net.depth(); ++i) {
-        net.quant(i) = saved[i];
-    }
     return out;
+}
+
+std::vector<layer_quant>
+requirements_overlay(const network& net,
+                     const std::vector<layer_quant_requirement>& req)
+{
+    std::vector<layer_quant> overlay(net.depth());
+    for (const layer_quant_requirement& r : req) {
+        overlay.at(r.layer_index).weight_bits = r.min_weight_bits;
+        overlay.at(r.layer_index).input_bits = r.min_input_bits;
+    }
+    return overlay;
+}
+
+double requirements_accuracy(const network& net,
+                             const std::vector<layer_quant_requirement>& req,
+                             const teacher_dataset& data)
+{
+    return relative_accuracy(net, data, requirements_overlay(net, req));
 }
 
 double apply_requirements(network& net,
@@ -98,12 +124,14 @@ double apply_requirements(network& net,
 }
 
 std::vector<layer_quant_requirement>
-refine_requirements(network& net, std::vector<layer_quant_requirement> reqs,
+refine_requirements(const network& net,
+                    std::vector<layer_quant_requirement> reqs,
                     const teacher_dataset& data,
                     const quant_sweep_config& cfg)
 {
     for (int round = 0; round < cfg.max_bits; ++round) {
-        if (apply_requirements(net, reqs, data) >= cfg.target_accuracy) {
+        if (requirements_accuracy(net, reqs, data)
+            >= cfg.target_accuracy) {
             break;
         }
         bool changed = false;
@@ -121,7 +149,6 @@ refine_requirements(network& net, std::vector<layer_quant_requirement> reqs,
             break; // everything saturated at max_bits
         }
     }
-    net.clear_quant();
     return reqs;
 }
 

@@ -38,6 +38,11 @@ teacher_dataset make_teacher_dataset(const network& net,
 // (uses the network's current per-layer quant settings).
 double relative_accuracy(const network& net, const teacher_dataset& data);
 
+// Same metric with an external quant overlay (one entry per layer) instead
+// of the stored settings -- the const probing path the sweeps run on.
+double relative_accuracy(const network& net, const teacher_dataset& data,
+                         const std::vector<layer_quant>& overlay);
+
 // Result of the per-layer sweep: minimal bits per weighted layer.
 struct layer_quant_requirement {
     std::string layer_name;
@@ -48,10 +53,22 @@ struct layer_quant_requirement {
 
 // For each weighted layer independently: quantize only that layer's weights
 // (resp. inputs) and find the smallest precision meeting the target.
-// Restores the network's quant settings afterwards.
+// Probes run on a quant overlay; the network is never mutated.
 std::vector<layer_quant_requirement>
-sweep_layer_precision(network& net, const teacher_dataset& data,
+sweep_layer_precision(const network& net, const teacher_dataset& data,
                       const quant_sweep_config& cfg);
+
+// The quant overlay encoding a requirement set (identity for layers
+// without a requirement).
+std::vector<layer_quant>
+requirements_overlay(const network& net,
+                     const std::vector<layer_quant_requirement>& req);
+
+// Joint relative accuracy at a requirement set, without touching the
+// network's stored quant settings.
+double requirements_accuracy(const network& net,
+                             const std::vector<layer_quant_requirement>& req,
+                             const teacher_dataset& data);
 
 // Applies the sweep result to the network's quant settings and returns the
 // achieved joint relative accuracy.
@@ -65,7 +82,8 @@ double apply_requirements(network& net,
 // bumps every layer still below cfg.max_bits by one bit per round, which
 // preserves the layer-to-layer precision profile of the sweep.
 std::vector<layer_quant_requirement>
-refine_requirements(network& net, std::vector<layer_quant_requirement> reqs,
+refine_requirements(const network& net,
+                    std::vector<layer_quant_requirement> reqs,
                     const teacher_dataset& data,
                     const quant_sweep_config& cfg);
 

@@ -69,4 +69,5 @@
 #include "core/controller.h"
 #include "core/energy_report.h"
 #include "core/mode.h"
+#include "core/pareto.h"
 #include "core/planner.h"

@@ -1,0 +1,356 @@
+#include "core/pareto.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace dvafs {
+
+std::vector<std::size_t>
+pareto_front(const std::vector<std::vector<double>>& criteria)
+{
+    const std::size_t n = criteria.size();
+    std::vector<std::size_t> front;
+    for (std::size_t i = 0; i < n; ++i) {
+        bool dominated = false;
+        for (std::size_t j = 0; j < n && !dominated; ++j) {
+            if (j == i) {
+                continue;
+            }
+            bool le_all = true;
+            bool lt_any = false;
+            for (std::size_t k = 0; k < criteria[i].size(); ++k) {
+                if (criteria[j][k] > criteria[i][k]) {
+                    le_all = false;
+                    break;
+                }
+                lt_any |= criteria[j][k] < criteria[i][k];
+            }
+            // Exact duplicates: only the lowest index survives.
+            dominated = le_all && (lt_any || j < i);
+        }
+        if (!dominated) {
+            front.push_back(i);
+        }
+    }
+    return front;
+}
+
+// -- frontier_config ----------------------------------------------------------
+
+std::string frontier_config::key(const tech_model& tech,
+                                 const envision_calibration& cal) const
+{
+    // `threads` is deliberately absent: measurements are bit-identical for
+    // any worker count (the sim_engine contract, asserted in test_pareto),
+    // so planners differing only in thread count share one entry.
+    std::ostringstream os;
+    os.precision(12);
+    os << "w" << width << "|n" << vectors << "|s" << seed << "|f";
+    for (const double f : f_grid_mhz) {
+        os << ":" << f;
+    }
+    os << "|v";
+    for (const double v : vdd_grid) {
+        os << ":" << v;
+    }
+    os << "|" << tech.name << ":" << tech.vdd_nom << ":" << tech.vth << ":"
+       << tech.alpha << ":" << tech.vmin << ":" << tech.unit_delay_ps << ":"
+       << tech.unit_cap_ff;
+    os << "|cal:" << cal.f_nom_mhz << ":" << cal.v_nom;
+    return os.str();
+}
+
+// -- mode frontier ------------------------------------------------------------
+
+bool mode_frontier::on_frontier(std::size_t point_index) const noexcept
+{
+    return std::find(pareto.begin(), pareto.end(), point_index)
+           != pareto.end();
+}
+
+namespace {
+
+// Supply/timing resolution of one measured configuration at frequency f:
+// returns the operating voltage, or 0 when the point is infeasible. A
+// requested supply of 0 derives the smallest feasible voltage.
+double resolve_vdd(const tech_model& tech, const envision_calibration& cal,
+                   double crit_path_ps, double f_mhz, double requested_v)
+{
+    const double period_ps = 1e6 / f_mhz;
+    // Chip floor: the measured VF curve (SRAM/periphery margins).
+    const double v_curve = cal.voltage_for_frequency(f_mhz);
+    double vdd;
+    if (requested_v <= 0.0) {
+        // Active-cone requirement: scale the supply into the timing slack.
+        const double v_cone =
+            crit_path_ps > 0.0 && period_ps > crit_path_ps
+                ? tech.solve_voltage(period_ps / crit_path_ps)
+                : tech.vdd_nom;
+        vdd = std::max(v_curve, v_cone);
+    } else {
+        vdd = requested_v;
+    }
+    if (vdd > tech.vdd_nom + 1e-9 || vdd + 1e-9 < v_curve) {
+        return 0.0;
+    }
+    // The active cone must meet timing at this supply.
+    if (crit_path_ps * tech.delay_scale(vdd) > period_ps * (1.0 + 1e-9)) {
+        return 0.0;
+    }
+    return vdd;
+}
+
+} // namespace
+
+mode_frontier measure_mode_frontier(const frontier_config& cfg,
+                                    const tech_model& tech,
+                                    const envision_calibration& cal)
+{
+    if (cfg.width < 8 || cfg.width % 4 != 0) {
+        throw std::invalid_argument("measure_mode_frontier: bad width");
+    }
+    if (cfg.f_grid_mhz.empty()) {
+        throw std::invalid_argument("measure_mode_frontier: empty f grid");
+    }
+
+    const std::shared_ptr<const dvafs_multiplier> mult =
+        netlist_cache::global().dvafs(cfg.width);
+    sim_engine_config ec;
+    ec.threads = cfg.threads;
+    ec.vectors = cfg.vectors;
+    ec.seed = cfg.seed;
+    const sim_engine engine(ec);
+
+    // One gate-level measurement per (mode, keep_bits); the (V, f) axes are
+    // expanded analytically below, so the sweep cost is independent of the
+    // grid resolution. One group per subword family, all farmed through a
+    // single shared pool.
+    const int q = cfg.width / 4;
+    std::vector<std::vector<operating_point_spec>> groups;
+    for (const sw_mode m : all_sw_modes) {
+        std::vector<operating_point_spec> g;
+        const int lane = cfg.width / lane_count(m);
+        for (int keep = q; keep <= lane; keep += q) {
+            g.push_back({m, keep, 0.0, 0.0});
+        }
+        groups.push_back(std::move(g));
+    }
+    const std::vector<sweep_report> reps =
+        engine.run_batch(*mult, tech, groups);
+
+    // Reference: 1xW at full precision (the last point of the 1xW group).
+    const sim_point_result& ref = reps[0].points.back();
+    if (ref.mean_cap_ff <= 0.0) {
+        throw std::runtime_error(
+            "measure_mode_frontier: zero reference activity");
+    }
+
+    mode_frontier mf;
+    mf.config = cfg;
+
+    // Frequency ladder descending, so among energy-identical points the
+    // faster one wins the stable Pareto tie-break.
+    std::vector<double> fs = cfg.f_grid_mhz;
+    std::sort(fs.begin(), fs.end(), std::greater<double>());
+    // Always expand the nominal clock: the 1xW full-precision point there
+    // is the planner's baseline reference (activity divisor 1).
+    if (std::find(fs.begin(), fs.end(), cal.f_nom_mhz) == fs.end()) {
+        fs.insert(fs.begin(), cal.f_nom_mhz);
+    }
+
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        for (std::size_t i = 0; i < groups[g].size(); ++i) {
+            const sim_point_result& base = reps[g].points[i];
+            for (const double f : fs) {
+                for (const double v : cfg.vdd_grid) {
+                    const double vdd = resolve_vdd(tech, cal,
+                                                   base.crit_path_ps, f, v);
+                    if (vdd <= 0.0) {
+                        continue;
+                    }
+                    frontier_point fp;
+                    fp.spec = groups[g][i];
+                    fp.spec.vdd = vdd;
+                    fp.spec.f_mhz = f;
+                    fp.vdd = vdd;
+                    fp.f_mhz = f;
+                    fp.lanes = lane_count(fp.spec.mode);
+                    fp.precision_bits = fp.spec.keep_bits;
+                    fp.mean_cap_ff = base.mean_cap_ff;
+                    fp.crit_path_ps = base.crit_path_ps;
+                    fp.activity_divisor =
+                        base.mean_cap_ff > 0.0
+                            ? ref.mean_cap_ff / base.mean_cap_ff
+                            : 1.0;
+                    const bool dup =
+                        std::any_of(mf.points.begin(), mf.points.end(),
+                                    [&](const frontier_point& p) {
+                                        return p.spec == fp.spec;
+                                    });
+                    if (!dup) {
+                        mf.points.push_back(fp);
+                    }
+                }
+            }
+        }
+    }
+    if (mf.points.empty()) {
+        throw std::runtime_error(
+            "measure_mode_frontier: no feasible operating point");
+    }
+
+    // Nominal reference point: 1xW @ full precision @ f_nom.
+    mf.nominal = mf.points.size();
+    for (std::size_t i = 0; i < mf.points.size(); ++i) {
+        const frontier_point& p = mf.points[i];
+        if (p.spec.mode == sw_mode::w1x16
+            && p.precision_bits == cfg.width && p.f_mhz == cal.f_nom_mhz) {
+            mf.nominal = i;
+            break;
+        }
+    }
+    if (mf.nominal == mf.points.size()) {
+        throw std::runtime_error(
+            "measure_mode_frontier: nominal point infeasible");
+    }
+
+    // Componentwise dominance, sound for every layer objective: energy of
+    // any layer is monotone in (vdd, cap) and anti-monotone in (lanes,
+    // precision, f) -- f through runtime only.
+    std::vector<std::vector<double>> criteria;
+    criteria.reserve(mf.points.size());
+    for (const frontier_point& p : mf.points) {
+        criteria.push_back({p.vdd, p.mean_cap_ff,
+                            -static_cast<double>(p.lanes),
+                            -static_cast<double>(p.precision_bits),
+                            -p.f_mhz});
+    }
+    mf.pareto = pareto_front(criteria);
+    return mf;
+}
+
+// -- frontier cache -----------------------------------------------------------
+
+frontier_cache& frontier_cache::global()
+{
+    static frontier_cache cache;
+    return cache;
+}
+
+std::shared_ptr<const mode_frontier>
+frontier_cache::get(const frontier_config& cfg, const tech_model& tech,
+                    const envision_calibration& cal)
+{
+    const std::string key = cfg.key(tech, cal);
+    {
+        const std::lock_guard<std::mutex> lock(mu_);
+        const auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            return it->second;
+        }
+    }
+    // Measure outside the lock: a frontier sweep is seconds of work and
+    // concurrent first callers must not serialize behind one mutex. The
+    // duplicated effort on a true race is bounded by the thread count, and
+    // publication keeps the first entry, so all callers share one result.
+    auto measured = std::make_shared<const mode_frontier>(
+        measure_mode_frontier(cfg, tech, cal));
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto [it, inserted] = entries_.emplace(key, std::move(measured));
+    (void)inserted;
+    return it->second;
+}
+
+// -- layer frontier -----------------------------------------------------------
+
+bool layer_frontier::contains(const operating_point_spec& spec) const
+    noexcept
+{
+    return std::any_of(points.begin(), points.end(),
+                       [&](const layer_frontier_point& p) {
+                           return p.spec == spec;
+                       });
+}
+
+// -- budgeted selection -------------------------------------------------------
+
+std::vector<std::size_t>
+select_frontier_points(const std::vector<layer_frontier>& frontiers,
+                       double budget, double resolution)
+{
+    if (budget < 0.0 || resolution <= 0.0) {
+        throw std::invalid_argument(
+            "select_frontier_points: bad budget/resolution");
+    }
+    for (const layer_frontier& f : frontiers) {
+        if (f.points.empty()) {
+            throw std::invalid_argument(
+                "select_frontier_points: empty layer frontier for "
+                + f.layer_name);
+        }
+    }
+
+    // Knapsack-style DP over the discretized loss budget. Losses round up
+    // (conservative: the discretized plan never exceeds the real budget by
+    // more than it claims), energies stay exact.
+    const int max_units = 100000;
+    if (budget / resolution > max_units) {
+        throw std::invalid_argument(
+            "select_frontier_points: budget/resolution too fine (raise "
+            "budget_resolution)");
+    }
+    const int b_total =
+        static_cast<int>(std::floor(budget / resolution + 1e-9));
+    const auto units = [&](double loss) {
+        return static_cast<int>(std::ceil(loss / resolution - 1e-9));
+    };
+
+    const double inf = std::numeric_limits<double>::infinity();
+    const std::size_t n = frontiers.size();
+    // dp[b]: minimal energy over processed layers with <= b loss units.
+    std::vector<double> dp(static_cast<std::size_t>(b_total) + 1, 0.0);
+    // choice[layer][b]: selected point index at that state.
+    std::vector<std::vector<int>> choice(
+        n, std::vector<int>(static_cast<std::size_t>(b_total) + 1, -1));
+
+    for (std::size_t li = 0; li < n; ++li) {
+        std::vector<double> ndp(dp.size(), inf);
+        for (int b = 0; b <= b_total; ++b) {
+            for (std::size_t pi = 0; pi < frontiers[li].points.size();
+                 ++pi) {
+                const layer_frontier_point& p = frontiers[li].points[pi];
+                const int u = units(p.accuracy_loss);
+                if (u > b || dp[static_cast<std::size_t>(b - u)] == inf) {
+                    continue;
+                }
+                const double e =
+                    dp[static_cast<std::size_t>(b - u)] + p.energy_mj;
+                if (e < ndp[static_cast<std::size_t>(b)]) {
+                    ndp[static_cast<std::size_t>(b)] = e;
+                    choice[li][static_cast<std::size_t>(b)] =
+                        static_cast<int>(pi);
+                }
+            }
+        }
+        dp = std::move(ndp);
+    }
+    if (dp[static_cast<std::size_t>(b_total)] == inf) {
+        throw std::invalid_argument(
+            "select_frontier_points: no selection meets the budget");
+    }
+
+    // Reconstruct backwards from the full budget.
+    std::vector<std::size_t> picked(n, 0);
+    int b = b_total;
+    for (std::size_t li = n; li-- > 0;) {
+        const int pi = choice[li][static_cast<std::size_t>(b)];
+        picked[li] = static_cast<std::size_t>(pi);
+        b -= units(frontiers[li].points[picked[li]].accuracy_loss);
+    }
+    return picked;
+}
+
+} // namespace dvafs

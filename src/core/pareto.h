@@ -1,0 +1,151 @@
+// Measured Pareto-frontier search over DVAFS operating points.
+//
+// The paper's deployment flow (Sec. V, Table III) assigns every CNN layer an
+// operating point (subword mode x voltage x frequency). PR 1's three-mode
+// heuristic hardcodes that choice; this module instead *measures* the
+// energy-accuracy space with the gate-level sweep engine and searches it:
+//
+//  1. mode_frontier -- each (mode, keep_bits) configuration of the DVAFS
+//     multiplier is measured once through sim_engine (switched capacitance,
+//     active-cone critical path), then expanded over the chip's frequency
+//     ladder and supply grid. Infeasible points (supply below the VF curve
+//     or the active cone missing timing) are discarded, dominated points
+//     are pruned, and the result is cached per configuration key
+//     (frontier_cache, mirroring netlist_cache).
+//  2. layer_frontier -- mode-frontier points are mapped onto one layer's
+//     workload: energy from the Envision decomposition with the *measured*
+//     activity divisor, accuracy loss from quant_analysis probing on the
+//     teacher dataset. Dominated points are pruned again per layer.
+//  3. precision_planner (core/planner.h) selects one point per layer by
+//     dynamic programming over the layer frontiers under a network
+//     accuracy budget.
+
+#pragma once
+
+#include "circuit/tech.h"
+#include "envision/envision.h"
+#include "sim/engine.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dvafs {
+
+// -- generic Pareto extraction ------------------------------------------------
+
+// Indices of the non-dominated rows of a criteria matrix (all criteria
+// minimized). Row i is dominated when some row j is <= in every column and
+// < in at least one. Deterministic: indices are returned in ascending
+// order; exact duplicates keep the lowest index only.
+std::vector<std::size_t>
+pareto_front(const std::vector<std::vector<double>>& criteria);
+
+// -- measured mode frontier ---------------------------------------------------
+
+// One measured hardware operating point, expanded to explicit (V, f).
+struct frontier_point {
+    operating_point_spec spec;      // mode, keep_bits, resolved V and f
+    double vdd = 0.0;               // supply [V]
+    double f_mhz = 0.0;             // clock [MHz]
+    int lanes = 1;                  // words per cycle
+    int precision_bits = 16;        // usable per-operand bits (= keep_bits)
+    double mean_cap_ff = 0.0;       // measured switched cap per transition
+    double crit_path_ps = 0.0;      // active-cone critical path at Vnom
+    double activity_divisor = 1.0;  // cap(1x16 @ full) / cap(this point)
+};
+
+struct frontier_config {
+    int width = 16;                 // multiplier width (netlist_cache key)
+    std::uint64_t vectors = 600;    // input transitions per measured config
+    std::uint64_t seed = 42;        // operand stream seed
+    unsigned threads = 0;           // sweep workers; 0 = hardware default
+    // Chip frequency ladder (Table III) and candidate supplies. A supply of
+    // 0 means "derived": the larger of the chip VF-curve voltage and the
+    // active-cone timing requirement at that frequency.
+    std::vector<double> f_grid_mhz = {50.0, 100.0, 200.0};
+    std::vector<double> vdd_grid = {0.0};
+    // Cache key for frontier_cache (tech/calibration are keyed by name and
+    // anchor values).
+    std::string key(const tech_model& tech,
+                    const envision_calibration& cal) const;
+};
+
+// The measured (mode x voltage x frequency) space of one multiplier.
+struct mode_frontier {
+    frontier_config config;
+    std::vector<frontier_point> points;  // feasible points, stable order
+    std::vector<std::size_t> pareto;     // indices of non-dominated points
+
+    // Index of the nominal reference point (1xW @ full precision @ f_nom);
+    // its activity divisor is 1 by construction.
+    std::size_t nominal = 0;
+
+    bool on_frontier(std::size_t point_index) const noexcept;
+};
+
+// Measures the frontier: one gate-level sweep per (mode, keep_bits) family
+// -- farmed through sim_engine::run_batch over a single thread pool -- then
+// analytic expansion over the (V, f) grid. Deterministic for any thread
+// count (the engine contract).
+mode_frontier measure_mode_frontier(const frontier_config& cfg,
+                                    const tech_model& tech,
+                                    const envision_calibration& cal);
+
+// Keyed cache of measured frontiers, sharing one immutable result per
+// configuration across planners, threads and benches (the netlist_cache
+// pattern; entries live for the whole process).
+class frontier_cache {
+public:
+    static frontier_cache& global();
+
+    std::shared_ptr<const mode_frontier>
+    get(const frontier_config& cfg, const tech_model& tech,
+        const envision_calibration& cal);
+
+private:
+    frontier_cache() = default;
+
+    std::mutex mu_;
+    std::map<std::string, std::shared_ptr<const mode_frontier>> entries_;
+};
+
+// -- per-layer frontier -------------------------------------------------------
+
+// One mode-frontier point mapped onto a layer workload.
+struct layer_frontier_point {
+    std::size_t mode_point = 0;   // index into mode_frontier.points
+    operating_point_spec spec;    // the measured point's identity
+    double activity_divisor = 1.0;
+    envision_mode mode;           // resolved per-layer operating mode
+    double energy_mj = 0.0;       // layer energy at this point (per frame)
+    double time_ms = 0.0;         // layer runtime (per frame)
+    double accuracy_loss = 0.0;   // measured network-accuracy drop
+};
+
+struct layer_frontier {
+    std::string layer_name;
+    std::size_t layer_index = 0;  // index into the network's layers
+    int required_bits = 16;       // the quant sweep's max(weight, input)
+    // Non-dominated (energy, accuracy-loss) points, energy ascending.
+    std::vector<layer_frontier_point> points;
+
+    bool contains(const operating_point_spec& spec) const noexcept;
+};
+
+// -- budgeted selection (dynamic programming) ---------------------------------
+
+// Picks one point per layer minimizing total energy subject to
+// sum(accuracy_loss) <= budget. Losses are discretized at `resolution`
+// (conservatively, rounding each loss up), which makes the selection exact
+// over the discretized problem and bit-identical across platforms and
+// thread counts. Returns one index into each frontier's `points`. Throws
+// std::invalid_argument when a frontier is empty.
+std::vector<std::size_t>
+select_frontier_points(const std::vector<layer_frontier>& frontiers,
+                       double budget, double resolution = 0.0025);
+
+} // namespace dvafs

@@ -104,12 +104,22 @@ double envision_model::activity_divisor(sw_mode mode, int weight_bits,
 
 envision_report envision_model::evaluate(const envision_mode& m) const
 {
+    return evaluate_with_divisor(
+        m, activity_divisor(m.mode, m.weight_bits, m.input_bits));
+}
+
+envision_report
+envision_model::evaluate_with_divisor(const envision_mode& m,
+                                      double divisor) const
+{
     if (m.weight_sparsity < 0.0 || m.weight_sparsity > 1.0
         || m.input_sparsity < 0.0 || m.input_sparsity > 1.0) {
         throw std::invalid_argument("envision_model: bad sparsity");
     }
-    const double div =
-        activity_divisor(m.mode, m.weight_bits, m.input_bits);
+    if (divisor <= 0.0) {
+        throw std::invalid_argument("envision_model: bad activity divisor");
+    }
+    const double div = divisor;
     const double fr = m.f_mhz / cal_.f_nom_mhz;
     const double vr = m.vdd / cal_.v_nom;
     const double scale = fr * vr * vr;

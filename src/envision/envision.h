@@ -56,6 +56,13 @@ public:
     // Power/efficiency at an explicit operating point.
     envision_report evaluate(const envision_mode& m) const;
 
+    // Same decomposition with an externally supplied MAC-array activity
+    // divisor -- e.g. one measured gate-level by the Pareto frontier
+    // (core/pareto.h) instead of the closed-form k-parameter model. A
+    // divisor of 1 reproduces the nominal 1x16b array power.
+    envision_report evaluate_with_divisor(const envision_mode& m,
+                                          double divisor) const;
+
     // Convenience constructors for the paper's two experiment axes:
     //  * constant frequency (Fig. 8a): f = 200 MHz; the supply follows the
     //    shortened active-cone critical path (DAS keeps V nominal).

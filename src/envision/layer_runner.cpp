@@ -25,6 +25,21 @@ envision_mode layer_runner::select_mode(const layer_workload& w) const
     return m;
 }
 
+envision_mode layer_runner::select_mode(const layer_workload& w,
+                                        const frontier_point& p) const
+{
+    envision_mode m;
+    m.mode = p.spec.mode;
+    const int cap = std::min(lane_bits(m.mode), p.precision_bits);
+    m.weight_bits = std::max(1, std::min(w.weight_bits, cap));
+    m.input_bits = std::max(1, std::min(w.input_bits, cap));
+    m.f_mhz = p.f_mhz;
+    m.vdd = p.vdd;
+    m.weight_sparsity = w.weight_sparsity;
+    m.input_sparsity = w.input_sparsity;
+    return m;
+}
+
 layer_run layer_runner::run_layer(const layer_workload& w) const
 {
     return run_layer(w, select_mode(w));
@@ -33,11 +48,26 @@ layer_run layer_runner::run_layer(const layer_workload& w) const
 layer_run layer_runner::run_layer(const layer_workload& w,
                                   const envision_mode& m) const
 {
+    return finish_layer(w, m, model_.evaluate(m));
+}
+
+layer_run layer_runner::run_layer(const layer_workload& w,
+                                  const envision_mode& m,
+                                  double activity_divisor) const
+{
+    return finish_layer(w, m,
+                        model_.evaluate_with_divisor(m, activity_divisor));
+}
+
+layer_run layer_runner::finish_layer(const layer_workload& w,
+                                     const envision_mode& m,
+                                     const envision_report& report) const
+{
     const envision_calibration& cal = model_.calibration();
     layer_run run;
     run.name = w.name;
     run.mode = m;
-    run.report = model_.evaluate(m);
+    run.report = report;
     run.mmacs = static_cast<double>(w.macs) * 1e-6;
     // N MACs per unit per cycle at utilization; sparsity does not shorten
     // runtime on Envision (guarded units idle but the schedule is static).
@@ -48,6 +78,24 @@ layer_run layer_runner::run_layer(const layer_workload& w,
     run.time_ms = run.cycles / (m.f_mhz * 1e3);
     run.energy_mj = run.report.power_mw * run.time_ms * 1e-3;
     return run;
+}
+
+network_metrics derive_network_metrics(double total_mmacs,
+                                       double total_time_ms,
+                                       double total_energy_mj)
+{
+    network_metrics m;
+    if (total_time_ms > 0.0) {
+        m.fps = 1000.0 / total_time_ms;
+        m.avg_power_mw = total_energy_mj / total_time_ms * 1e3;
+    }
+    if (total_energy_mj > 0.0) {
+        // 2 ops per MAC; mJ -> TOPS/W: ops / (energy [J]) = ops/J;
+        // (2 * MACs * 1e6) / (mJ * 1e-3 J) / 1e12 [T].
+        m.tops_per_w = 2.0 * total_mmacs * 1e6
+                       / (total_energy_mj * 1e-3) / 1e12;
+    }
+    return m;
 }
 
 network_run
@@ -63,16 +111,11 @@ layer_runner::run_network(const std::string& name,
         nr.total_time_ms += lr.time_ms;
         nr.total_energy_mj += lr.energy_mj;
     }
-    if (nr.total_time_ms > 0.0) {
-        nr.fps = 1000.0 / nr.total_time_ms;
-        nr.avg_power_mw = nr.total_energy_mj / nr.total_time_ms * 1e3;
-    }
-    if (nr.total_energy_mj > 0.0) {
-        // 2 ops per MAC; mJ -> TOPS/W: ops / (energy [J]) = ops/J;
-        // (2 * MACs * 1e6) / (mJ * 1e-3 J) / 1e12 [T].
-        nr.tops_per_w = 2.0 * nr.total_mmacs * 1e6
-                        / (nr.total_energy_mj * 1e-3) / 1e12;
-    }
+    const network_metrics m = derive_network_metrics(
+        nr.total_mmacs, nr.total_time_ms, nr.total_energy_mj);
+    nr.fps = m.fps;
+    nr.avg_power_mw = m.avg_power_mw;
+    nr.tops_per_w = m.tops_per_w;
     return nr;
 }
 

@@ -5,6 +5,7 @@
 #pragma once
 
 #include "cnn/workload.h"
+#include "core/pareto.h"
 #include "envision/envision.h"
 
 #include <string>
@@ -33,6 +34,19 @@ struct network_run {
     double tops_per_w = 0.0;     // effective ops / energy
 };
 
+// Network-level metrics derived from the summed per-layer figures --
+// shared by network_run and the planner's network_plan so the formulas
+// cannot diverge.
+struct network_metrics {
+    double fps = 0.0;
+    double avg_power_mw = 0.0;
+    double tops_per_w = 0.0;
+};
+
+network_metrics derive_network_metrics(double total_mmacs,
+                                       double total_time_ms,
+                                       double total_energy_mj);
+
 class layer_runner {
 public:
     explicit layer_runner(const envision_model& model) : model_(model) {}
@@ -42,14 +56,31 @@ public:
     // voltages from the chip VF curve -- the per-layer policy of Table III.
     envision_mode select_mode(const layer_workload& w) const;
 
+    // Frontier-driven resolution: maps a measured operating point
+    // (core/pareto.h) onto the layer -- adopts the point's mode, supply
+    // and clock, clamps the layer's precisions to the point's usable bits,
+    // and attaches the workload's sparsity levels.
+    envision_mode select_mode(const layer_workload& w,
+                              const frontier_point& p) const;
+
     layer_run run_layer(const layer_workload& w) const;
     layer_run run_layer(const layer_workload& w,
                         const envision_mode& m) const;
+    // Same with an externally measured MAC-array activity divisor (the
+    // frontier point's gate-level figure) instead of the closed-form
+    // k-parameter model.
+    layer_run run_layer(const layer_workload& w, const envision_mode& m,
+                        double activity_divisor) const;
 
     network_run run_network(const std::string& name,
                             const std::vector<layer_workload>& layers) const;
 
+    const envision_model& model() const noexcept { return model_; }
+
 private:
+    layer_run finish_layer(const layer_workload& w, const envision_mode& m,
+                           const envision_report& report) const;
+
     const envision_model& model_;
 };
 

@@ -9,6 +9,7 @@
 #include <atomic>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 
 namespace dvafs {
 
@@ -100,10 +101,25 @@ sweep_report sim_engine::run(
     const dvafs_multiplier& mult, const tech_model& tech,
     const std::vector<operating_point_spec>& specs) const
 {
-    sweep_report rep;
-    rep.points.resize(specs.size());
-    if (specs.empty()) {
-        return rep;
+    return run_batch(mult, tech, {specs}).front();
+}
+
+std::vector<sweep_report> sim_engine::run_batch(
+    const dvafs_multiplier& mult, const tech_model& tech,
+    const std::vector<std::vector<operating_point_spec>>& groups) const
+{
+    std::vector<sweep_report> reps(groups.size());
+    // Flat work list over all groups; slots are preallocated so workers
+    // write results by (group, index) without synchronization.
+    std::vector<std::pair<std::size_t, std::size_t>> work;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        reps[g].points.resize(groups[g].size());
+        for (std::size_t i = 0; i < groups[g].size(); ++i) {
+            work.emplace_back(g, i);
+        }
+    }
+    if (work.empty()) {
+        return reps;
     }
 
     unsigned n_threads = cfg_.threads != 0
@@ -113,15 +129,16 @@ sweep_report sim_engine::run(
         n_threads = 1;
     }
     n_threads = static_cast<unsigned>(
-        std::min<std::size_t>(n_threads, specs.size()));
+        std::min<std::size_t>(n_threads, work.size()));
 
     std::atomic<std::size_t> next{0};
     std::exception_ptr first_error;
     std::mutex error_mu;
     const auto worker = [&] {
-        for (std::size_t i; (i = next.fetch_add(1)) < specs.size();) {
+        for (std::size_t w; (w = next.fetch_add(1)) < work.size();) {
+            const auto [g, i] = work[w];
             try {
-                rep.points[i] = measure(mult, tech, specs[i]);
+                reps[g].points[i] = measure(mult, tech, groups[g][i]);
             } catch (...) {
                 const std::lock_guard<std::mutex> lock(error_mu);
                 if (!first_error) {
@@ -146,7 +163,7 @@ sweep_report sim_engine::run(
     if (first_error) {
         std::rethrow_exception(first_error);
     }
-    return rep;
+    return reps;
 }
 
 netlist_cache& netlist_cache::global()

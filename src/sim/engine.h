@@ -51,6 +51,16 @@ public:
                              const tech_model& tech,
                              const operating_point_spec& spec) const;
 
+    // Batched multi-group run: one sweep_report per group, all points of
+    // all groups farmed over a single shared thread pool. Equivalent to
+    // calling run() once per group (results are bit-identical, for any
+    // thread count), but multi-layer callers -- the Pareto planner sweeps
+    // one group per subword family -- pay the pool spin-up only once.
+    std::vector<sweep_report>
+    run_batch(const dvafs_multiplier& mult, const tech_model& tech,
+              const std::vector<std::vector<operating_point_spec>>& groups)
+        const;
+
     const sim_engine_config& config() const noexcept { return cfg_; }
 
 private:

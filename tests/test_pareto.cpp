@@ -1,0 +1,273 @@
+// Unit tests of the measured Pareto-frontier machinery (core/pareto.h):
+// dominance extraction, the budgeted DP selector, the measured mode
+// frontier and its process-wide cache.
+
+#include "core/pareto.h"
+
+#include <gtest/gtest.h>
+
+#include <initializer_list>
+#include <limits>
+#include <utility>
+
+namespace dvafs {
+namespace {
+
+// -- pareto_front -------------------------------------------------------------
+
+TEST(pareto_front, keeps_non_dominated_rows)
+{
+    // (energy, loss): rows 0 and 2 form the frontier; row 1 is dominated
+    // by row 0, row 3 by everything.
+    const std::vector<std::vector<double>> c = {
+        {1.0, 0.5}, {2.0, 0.5}, {0.5, 1.0}, {3.0, 2.0}};
+    EXPECT_EQ(pareto_front(c), (std::vector<std::size_t>{0, 2}));
+}
+
+TEST(pareto_front, duplicate_rows_keep_lowest_index)
+{
+    const std::vector<std::vector<double>> c = {
+        {1.0, 1.0}, {1.0, 1.0}, {1.0, 1.0}};
+    EXPECT_EQ(pareto_front(c), (std::vector<std::size_t>{0}));
+}
+
+TEST(pareto_front, empty_and_singleton)
+{
+    EXPECT_TRUE(pareto_front({}).empty());
+    EXPECT_EQ(pareto_front({{3.0, 4.0}}),
+              (std::vector<std::size_t>{0}));
+}
+
+TEST(pareto_front, incomparable_rows_all_survive)
+{
+    const std::vector<std::vector<double>> c = {
+        {1.0, 3.0}, {2.0, 2.0}, {3.0, 1.0}};
+    EXPECT_EQ(pareto_front(c), (std::vector<std::size_t>{0, 1, 2}));
+}
+
+// -- select_frontier_points ---------------------------------------------------
+
+layer_frontier make_frontier(const char* name,
+                             std::initializer_list<std::pair<double, double>>
+                                 energy_loss)
+{
+    layer_frontier lf;
+    lf.layer_name = name;
+    for (const auto& [e, l] : energy_loss) {
+        layer_frontier_point p;
+        p.energy_mj = e;
+        p.accuracy_loss = l;
+        lf.points.push_back(p);
+    }
+    return lf;
+}
+
+TEST(select_frontier_points, zero_budget_picks_cheapest_lossless)
+{
+    const std::vector<layer_frontier> fls = {
+        make_frontier("a", {{5.0, 0.0}, {3.0, 0.0}, {1.0, 0.1}}),
+        make_frontier("b", {{2.0, 0.0}, {1.0, 0.2}}),
+    };
+    const auto sel = select_frontier_points(fls, 0.0);
+    EXPECT_EQ(sel, (std::vector<std::size_t>{1, 0}));
+}
+
+TEST(select_frontier_points, budget_buys_the_best_tradeoff)
+{
+    // With 0.1 of budget the DP must spend it on layer a (saves 2.0), not
+    // on layer b (saves 1.0).
+    const std::vector<layer_frontier> fls = {
+        make_frontier("a", {{3.0, 0.0}, {1.0, 0.1}}),
+        make_frontier("b", {{2.0, 0.0}, {1.0, 0.1}}),
+    };
+    const auto sel = select_frontier_points(fls, 0.1);
+    EXPECT_EQ(sel, (std::vector<std::size_t>{1, 0}));
+    // Twice the budget buys both downgrades.
+    const auto sel2 = select_frontier_points(fls, 0.2);
+    EXPECT_EQ(sel2, (std::vector<std::size_t>{1, 1}));
+}
+
+TEST(select_frontier_points, relaxing_budget_never_raises_energy)
+{
+    const std::vector<layer_frontier> fls = {
+        make_frontier("a", {{4.0, 0.0}, {2.5, 0.04}, {1.0, 0.15}}),
+        make_frontier("b", {{3.0, 0.0}, {1.5, 0.08}}),
+        make_frontier("c", {{2.0, 0.0}, {0.5, 0.02}}),
+    };
+    double prev = std::numeric_limits<double>::infinity();
+    for (const double budget : {0.0, 0.02, 0.05, 0.1, 0.2, 0.5}) {
+        const auto sel = select_frontier_points(fls, budget);
+        double e = 0.0;
+        double loss = 0.0;
+        for (std::size_t i = 0; i < fls.size(); ++i) {
+            e += fls[i].points[sel[i]].energy_mj;
+            loss += fls[i].points[sel[i]].accuracy_loss;
+        }
+        EXPECT_LE(e, prev) << "budget " << budget;
+        EXPECT_LE(loss, budget + 1e-12) << "budget " << budget;
+        prev = e;
+    }
+}
+
+TEST(select_frontier_points, rejects_bad_inputs)
+{
+    const std::vector<layer_frontier> ok = {
+        make_frontier("a", {{1.0, 0.0}})};
+    EXPECT_THROW((void)select_frontier_points(ok, -0.1),
+                 std::invalid_argument);
+    EXPECT_THROW((void)select_frontier_points(ok, 0.1, 0.0),
+                 std::invalid_argument);
+    EXPECT_THROW((void)select_frontier_points({layer_frontier{}}, 0.1),
+                 std::invalid_argument);
+    // No zero-loss point and no budget to pay for the lossy one.
+    const std::vector<layer_frontier> lossy = {
+        make_frontier("a", {{1.0, 0.5}})};
+    EXPECT_THROW((void)select_frontier_points(lossy, 0.0),
+                 std::invalid_argument);
+    EXPECT_NO_THROW((void)select_frontier_points(lossy, 0.5));
+}
+
+// -- measured mode frontier ---------------------------------------------------
+
+frontier_config small_config(unsigned threads = 0)
+{
+    frontier_config cfg;
+    cfg.vectors = 200;
+    cfg.threads = threads;
+    return cfg;
+}
+
+class mode_frontier_test : public ::testing::Test {
+protected:
+    static const mode_frontier& mf()
+    {
+        static const mode_frontier m = measure_mode_frontier(
+            small_config(), tech_28nm_fdsoi(),
+            default_envision_calibration());
+        return m;
+    }
+};
+
+TEST_F(mode_frontier_test, every_point_is_feasible)
+{
+    const tech_model& tech = tech_28nm_fdsoi();
+    const envision_calibration& cal = default_envision_calibration();
+    ASSERT_FALSE(mf().points.empty());
+    for (const frontier_point& p : mf().points) {
+        // Chip VF floor and active-cone timing both hold.
+        EXPECT_GE(p.vdd + 1e-9, cal.voltage_for_frequency(p.f_mhz))
+            << p.spec.label();
+        EXPECT_LE(p.crit_path_ps * tech.delay_scale(p.vdd),
+                  1e6 / p.f_mhz * (1.0 + 1e-9))
+            << p.spec.label();
+        EXPECT_GT(p.mean_cap_ff, 0.0);
+        EXPECT_GT(p.activity_divisor, 0.0);
+        EXPECT_EQ(p.lanes, lane_count(p.spec.mode));
+        EXPECT_EQ(p.precision_bits, p.spec.keep_bits);
+    }
+}
+
+TEST_F(mode_frontier_test, nominal_reference_has_unit_divisor)
+{
+    ASSERT_LT(mf().nominal, mf().points.size());
+    const frontier_point& nom = mf().points[mf().nominal];
+    EXPECT_EQ(nom.spec.mode, sw_mode::w1x16);
+    EXPECT_EQ(nom.precision_bits, 16);
+    EXPECT_DOUBLE_EQ(nom.f_mhz,
+                     default_envision_calibration().f_nom_mhz);
+    EXPECT_DOUBLE_EQ(nom.activity_divisor, 1.0);
+}
+
+TEST_F(mode_frontier_test, reduced_precision_reduces_activity)
+{
+    // Activity divisors must grow monotonically as precision shrinks in
+    // 1x16 (the DAS columns of Table I) and every subword mode must beat
+    // full precision.
+    double div16 = 0.0;
+    double div4 = 0.0;
+    for (const frontier_point& p : mf().points) {
+        if (p.spec.mode == sw_mode::w1x16 && p.f_mhz == 200.0) {
+            if (p.precision_bits == 16) {
+                div16 = p.activity_divisor;
+            }
+            if (p.precision_bits == 4) {
+                div4 = p.activity_divisor;
+            }
+        }
+    }
+    EXPECT_DOUBLE_EQ(div16, 1.0);
+    EXPECT_GT(div4, 4.0); // paper Table I: k0(4b) = 12.5, measured ~8
+}
+
+TEST_F(mode_frontier_test, frontier_members_are_points)
+{
+    ASSERT_FALSE(mf().pareto.empty());
+    for (const std::size_t pi : mf().pareto) {
+        ASSERT_LT(pi, mf().points.size());
+        EXPECT_TRUE(mf().on_frontier(pi));
+    }
+}
+
+TEST(mode_frontier, bit_identical_across_thread_counts)
+{
+    const mode_frontier a = measure_mode_frontier(
+        small_config(1), tech_28nm_fdsoi(),
+        default_envision_calibration());
+    const mode_frontier b = measure_mode_frontier(
+        small_config(3), tech_28nm_fdsoi(),
+        default_envision_calibration());
+    ASSERT_EQ(a.points.size(), b.points.size());
+    for (std::size_t i = 0; i < a.points.size(); ++i) {
+        EXPECT_TRUE(a.points[i].spec == b.points[i].spec);
+        EXPECT_EQ(a.points[i].mean_cap_ff, b.points[i].mean_cap_ff);
+        EXPECT_EQ(a.points[i].crit_path_ps, b.points[i].crit_path_ps);
+        EXPECT_EQ(a.points[i].vdd, b.points[i].vdd);
+        EXPECT_EQ(a.points[i].activity_divisor,
+                  b.points[i].activity_divisor);
+    }
+    EXPECT_EQ(a.pareto, b.pareto);
+    EXPECT_EQ(a.nominal, b.nominal);
+}
+
+TEST(mode_frontier, rejects_bad_config)
+{
+    frontier_config bad = small_config();
+    bad.width = 10;
+    EXPECT_THROW((void)measure_mode_frontier(
+                     bad, tech_28nm_fdsoi(),
+                     default_envision_calibration()),
+                 std::invalid_argument);
+    frontier_config no_f = small_config();
+    no_f.f_grid_mhz.clear();
+    EXPECT_THROW((void)measure_mode_frontier(
+                     no_f, tech_28nm_fdsoi(),
+                     default_envision_calibration()),
+                 std::invalid_argument);
+}
+
+TEST(frontier_cache, shares_one_measurement_per_key)
+{
+    const frontier_config cfg = small_config();
+    const auto a = frontier_cache::global().get(
+        cfg, tech_28nm_fdsoi(), default_envision_calibration());
+    const auto b = frontier_cache::global().get(
+        cfg, tech_28nm_fdsoi(), default_envision_calibration());
+    EXPECT_EQ(a.get(), b.get());
+
+    frontier_config other = cfg;
+    other.vectors = 150;
+    const auto c = frontier_cache::global().get(
+        other, tech_28nm_fdsoi(), default_envision_calibration());
+    EXPECT_NE(a.get(), c.get());
+
+    // Thread count is not part of the identity: measurements are
+    // bit-identical for any worker count, so the entry is shared.
+    frontier_config threaded = cfg;
+    threaded.threads = 4;
+    const auto d = frontier_cache::global().get(
+        threaded, tech_28nm_fdsoi(), default_envision_calibration());
+    EXPECT_EQ(a.get(), d.get());
+}
+
+} // namespace
+} // namespace dvafs

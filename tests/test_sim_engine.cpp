@@ -283,6 +283,78 @@ TEST(sim_engine, engine_activity_matches_scalar_extraction_loop)
     }
 }
 
+TEST(sim_engine, run_batch_matches_per_group_runs)
+{
+    const dvafs_multiplier& mult = *netlist_cache::global().dvafs(16);
+    const tech_model& tech = tech_40nm_lp();
+    sim_engine_config cfg;
+    cfg.threads = 3;
+    cfg.vectors = 200;
+    const sim_engine engine(cfg);
+
+    // Three groups of different sizes (one empty), all through one pool.
+    const std::vector<std::vector<operating_point_spec>> groups = {
+        kparam_sweep_points(16),
+        {},
+        {{sw_mode::w4x4, 4, 0.0, 0.0}, {sw_mode::w2x8, 8, 0.0, 0.0}},
+    };
+    const std::vector<sweep_report> batch =
+        engine.run_batch(mult, tech, groups);
+    ASSERT_EQ(batch.size(), groups.size());
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        const sweep_report solo = engine.run(mult, tech, groups[g]);
+        ASSERT_EQ(batch[g].points.size(), groups[g].size());
+        for (std::size_t i = 0; i < groups[g].size(); ++i) {
+            EXPECT_EQ(batch[g].points[i].toggles, solo.points[i].toggles)
+                << groups[g][i].label();
+            EXPECT_DOUBLE_EQ(batch[g].points[i].mean_cap_ff,
+                             solo.points[i].mean_cap_ff);
+            EXPECT_DOUBLE_EQ(batch[g].points[i].crit_path_ps,
+                             solo.points[i].crit_path_ps);
+        }
+    }
+}
+
+TEST(sim_engine, run_batch_independent_of_thread_count)
+{
+    const dvafs_multiplier& mult = *netlist_cache::global().dvafs(16);
+    const tech_model& tech = tech_40nm_lp();
+    const std::vector<std::vector<operating_point_spec>> groups = {
+        kparam_sweep_points(16),
+        {{sw_mode::w1x16, 8, 0.9, 250.0}},
+    };
+    sim_engine_config c1;
+    c1.threads = 1;
+    c1.vectors = 128;
+    sim_engine_config c5 = c1;
+    c5.threads = 5;
+    const auto r1 = sim_engine(c1).run_batch(mult, tech, groups);
+    const auto r5 = sim_engine(c5).run_batch(mult, tech, groups);
+    ASSERT_EQ(r1.size(), r5.size());
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        for (std::size_t i = 0; i < groups[g].size(); ++i) {
+            EXPECT_EQ(r1[g].points[i].toggles, r5[g].points[i].toggles);
+            EXPECT_DOUBLE_EQ(r1[g].points[i].mean_cap_ff,
+                             r5[g].points[i].mean_cap_ff);
+            EXPECT_DOUBLE_EQ(r1[g].points[i].vdd, r5[g].points[i].vdd);
+        }
+    }
+}
+
+TEST(sim_engine, run_batch_propagates_errors)
+{
+    const dvafs_multiplier& mult = *netlist_cache::global().dvafs(16);
+    sim_engine_config cfg;
+    cfg.vectors = 16;
+    const sim_engine engine(cfg);
+    // keep_bits beyond the lane width must surface, not vanish in a pool.
+    const std::vector<std::vector<operating_point_spec>> groups = {
+        {{sw_mode::w4x4, 9, 0.0, 0.0}},
+    };
+    EXPECT_THROW((void)engine.run_batch(mult, tech_40nm_lp(), groups),
+                 std::invalid_argument);
+}
+
 TEST(sim_engine, netlist_cache_shares_structures)
 {
     const auto a = netlist_cache::global().dvafs(16);
