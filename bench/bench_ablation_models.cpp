@@ -38,8 +38,9 @@ double mem_share(const memory_energy_params& mp, sw_mode mode, int das)
 
 } // namespace
 
-int main()
+int main(int argc, char** argv)
 {
+    bench_reporter report("ablation_models", argc, argv);
     print_banner(std::cout,
                  "Ablation (a): memory energy model -- bit-aware vs fixed "
                  "cost [pJ of memory energy per processed word]");
@@ -141,6 +142,8 @@ int main()
                      "region keep toggling, capping k0 near 3 instead of "
                      "8+ -- the paper's 12.5 is unreachable by data "
                      "truncation alone.\n";
+        report.add("structural_gating_k0", full / with_gating, "-");
+        report.add("data_truncation_k0", full / data_only, "-");
     }
-    return 0;
+    return report.write() ? 0 : 4;
 }

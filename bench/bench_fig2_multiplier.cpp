@@ -8,8 +8,9 @@
 
 using namespace dvafs;
 
-int main()
+int main(int argc, char** argv)
 {
+    bench_reporter report("fig2_multiplier", argc, argv);
     const tech_model& tech = tech_40nm_lp();
     // Shared immutable structure; the extraction farms its seven operating
     // points over the threaded 64-lane sweep engine.
@@ -109,5 +110,22 @@ int main()
     std::cout << "\ngate count: " << mult.gate_count()
               << " (monolithic 16b Booth-Wallace: "
               << booth_wallace_multiplier(16).gate_count() << ")\n";
-    return 0;
+
+    // Headline Fig. 2 numbers for the JSON trajectory.
+    const double full_cap = kx.das.back().mean_cap_ff;
+    for (const mult_operating_point& op : kx.das) {
+        const std::string p = "das" + std::to_string(op.bits);
+        report.add(p + ".slack_ns", op.slack_ns, "ns");
+        report.add(p + ".v_dvas", op.v_dvas, "V");
+        report.add(p + ".rel_activity", op.mean_cap_ff / full_cap, "-");
+    }
+    for (const mult_operating_point& dv : kx.dvafs) {
+        const std::string p = "dvafs" + std::to_string(dv.n) + "x";
+        report.add(p + ".f_mhz", dv.f_mhz, "MHz");
+        report.add(p + ".v_dvafs", dv.v_dvafs, "V");
+        report.add(p + ".rel_activity", dv.mean_cap_ff / full_cap, "-");
+    }
+    report.add("gate_count", static_cast<double>(mult.gate_count()),
+               "gates");
+    return report.write() ? 0 : 4;
 }

@@ -35,8 +35,9 @@ double measure_baseline_pj(const tech_model& tech)
 
 } // namespace
 
-int main()
+int main(int argc, char** argv)
 {
+    bench_reporter report("fig3a_energy_accuracy", argc, argv);
     const tech_model& tech = tech_40nm_lp();
     const dvafs_multiplier& mult = *netlist_cache::global().dvafs(16);
     kparam_extraction_config cfg;
@@ -95,5 +96,10 @@ int main()
     }
     std::cout << "dynamic range 16b -> 4x4b: " << fmt_fixed(e16 / e4, 1)
               << "x (paper: ~20x)\n";
-    return 0;
+
+    report.add("reconfigurable_16b_pj", full_pj, "pJ");
+    report.add("baseline_16b_pj", base_pj, "pJ");
+    report.add("overhead", full_pj / base_pj - 1.0, "-");
+    report.add("dynamic_range_16b_to_4x4b", e16 / e4, "x");
+    return report.write() ? 0 : 4;
 }

@@ -50,8 +50,9 @@ void print_axis(const envision_model& model, bool constant_throughput)
 
 } // namespace
 
-int main()
+int main(int argc, char** argv)
 {
+    bench_reporter report("fig8_envision", argc, argv);
     const envision_model model;
 
     print_banner(std::cout,
@@ -101,6 +102,13 @@ int main()
         t.add_row({"4x4b sparse CONV [TOPS/W]",
                    fmt_fixed(best_sparse.tops_per_w, 1), ">10"});
         t.print(std::cout);
+
+        report.add("nominal_16b_power_mw", nom.power_mw, "mW");
+        report.add("nominal_16b_tops_per_w", nom.tops_per_w, "TOPS/W");
+        report.add("dvafs_4x4_76gops_tops_per_w", best.tops_per_w,
+                   "TOPS/W");
+        report.add("dvafs_4x4_sparse_tops_per_w", best_sparse.tops_per_w,
+                   "TOPS/W");
     }
-    return 0;
+    return report.write() ? 0 : 4;
 }

@@ -87,7 +87,8 @@ void print_plan(const network_plan& np)
 // searched plan beats the heuristic under the measured accounting.
 bool compare_policies(const network& net,
                       const std::vector<layer_quant_requirement>& reqs,
-                      const std::vector<layer_sparsity>& sp)
+                      const std::vector<layer_sparsity>& sp,
+                      bench_reporter& report)
 {
     const envision_model model;
     network_plan plans[3];
@@ -112,13 +113,22 @@ bool compare_policies(const network& net,
     std::cout << net.name() << ": searched/heuristic (measured accounting) "
               << fmt_percent(searched / heur, 1) << " ("
               << fmt_fixed(heur / searched, 2) << "x better)\n\n";
+    report.add(net.name() + ".heuristic_measured_uj", heur * 1e3, "uJ");
+    report.add(net.name() + ".frontier_search_uj", searched * 1e3, "uJ");
+    report.add(net.name() + ".searched_vs_heuristic", heur / searched,
+               "x");
+    report.add(net.name() + ".savings_factor",
+               plans[static_cast<int>(plan_policy::frontier_search)]
+                   .savings_factor,
+               "x");
     return searched < heur;
 }
 
 } // namespace
 
-int main()
+int main(int argc, char** argv)
 {
+    bench_reporter report("pareto_planner", argc, argv);
     int wins = 0;
     int networks = 0;
 
@@ -135,7 +145,7 @@ int main()
             net, sweep_layer_precision(net, data, qcfg), data, qcfg);
         const auto sp = measure_sparsity(net, data);
         ++networks;
-        wins += compare_policies(net, reqs, sp);
+        wins += compare_policies(net, reqs, sp, report);
     }
 
     print_banner(std::cout, "AlexNet (full topology) -- Table III "
@@ -154,7 +164,7 @@ int main()
                   {6, 6, 0.30, 0.70},
                   {7, 7, 0.25, 0.60}});
         ++networks;
-        wins += compare_policies(net, reqs, sp);
+        wins += compare_policies(net, reqs, sp, report);
     }
 
     print_banner(std::cout, "VGG16 (full topology) -- Table III "
@@ -177,11 +187,15 @@ int main()
         }
         const auto [reqs, sp] = make_requirements(net, profile);
         ++networks;
-        wins += compare_policies(net, reqs, sp);
+        wins += compare_policies(net, reqs, sp, report);
     }
 
     std::cout << "searched plan wins on " << wins << "/" << networks
               << " networks at equal accuracy budget\n";
+    report.add("searched_wins", wins, "networks");
+    if (!report.write()) {
+        return 4;
+    }
     if (wins == 0) {
         std::cerr << "FAIL: frontier search never beat the heuristic\n";
         return 1;

@@ -21,8 +21,9 @@ double seconds_since(clock_type::time_point t0)
 
 } // namespace
 
-int main()
+int main(int argc, char** argv)
 {
+    bench_reporter report("sim_engine", argc, argv);
     const tech_model& tech = tech_40nm_lp();
     const auto shared = netlist_cache::global().dvafs(16);
     dvafs_multiplier scalar_m(16);
@@ -88,7 +89,15 @@ int main()
         const double s = seconds_since(t0);
         std::cout << threads << " thread(s): " << fmt_fixed(s * 1e3, 1)
                   << " ms for " << rep.points.size() << " points\n";
+        report.add("sweep_ms." + std::to_string(threads) + "_threads",
+                   s * 1e3, "ms");
     }
 
+    report.add("scalar_vectors_per_s", vps_scalar, "1/s");
+    report.add("batch64_vectors_per_s", vps_batch, "1/s");
+    report.add("batch64_speedup", vps_batch / vps_scalar, "x");
+    if (!report.write()) {
+        return 4;
+    }
     return vps_batch / vps_scalar >= 10.0 ? 0 : 2;
 }

@@ -8,8 +8,9 @@
 
 using namespace dvafs;
 
-int main()
+int main(int argc, char** argv)
 {
+    bench_reporter report("table1_kparams", argc, argv);
     const tech_model& tech = tech_40nm_lp();
     dvafs_multiplier mult(16);
     kparam_extraction_config cfg;
@@ -47,5 +48,14 @@ int main()
 
     std::cout << "\nmeasured table (standalone):\n";
     print_kparams(std::cout, kx);
-    return 0;
+
+    for (const int bits : {4, 8, 12, 16}) {
+        const k_factors& k = k_for_bits(kx.table, bits);
+        const std::string p = std::to_string(bits) + "b";
+        report.add(p + ".k0", k.k0, "-");
+        report.add(p + ".k2", k.k2, "-");
+        report.add(p + ".k3", k.k3, "-");
+        report.add(p + ".k4", k.k4, "-");
+    }
+    return report.write() ? 0 : 4;
 }

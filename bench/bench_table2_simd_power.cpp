@@ -21,8 +21,9 @@ struct setup {
 
 } // namespace
 
-int main()
+int main(int argc, char** argv)
 {
+    bench_reporter report("table2_simd_power", argc, argv);
     const tech_model& tech = tech_40nm_lp();
     dvafs_multiplier mult(16);
     kparam_extraction_config cfg;
@@ -68,11 +69,14 @@ int main()
                        fmt_percent(st.ledger.share(power_domain::as), 0),
                        fmt_fixed(st.power_mw(dv.f_mhz), 1),
                        fmt_fixed(sw == 8 ? s.paper_p8 : s.paper_p64, 0)});
+            report.add("sw" + std::to_string(sw) + "." + s.name
+                           + ".power_mw",
+                       st.power_mw(dv.f_mhz), "mW");
         }
         t.print(std::cout);
         std::cout << '\n';
     }
     std::cout << "paper shares for reference -- SW=8 1x16b: 31/46/23; "
                  "4x4b: 47/44/9. SW=64 1x16b: 31/32/37; 4x4b: 53/33/14.\n";
-    return 0;
+    return report.write() ? 0 : 4;
 }

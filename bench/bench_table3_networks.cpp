@@ -24,7 +24,7 @@ struct table3_row {
 };
 
 void run_rows(const layer_runner& runner, const char* network_name,
-              const std::vector<table3_row>& rows)
+              const std::vector<table3_row>& rows, bench_reporter& report)
 {
     ascii_table t({"layer", "mode", "f[MHz]", "V[V]", "wght[b]", "in[b]",
                    "MMACs", "P[mW] model", "P[mW] paper", "TOPS/W model",
@@ -69,12 +69,17 @@ void run_rows(const layer_runner& runner, const char* network_name,
               << fmt_fixed(avg_mw, 1) << " mW, "
               << fmt_fixed(tops_w, 2) << " TOPS/W, "
               << fmt_fixed(1000.0 / total_time_ms, 1) << " fps\n\n";
+    const std::string p = network_name;
+    report.add(p + ".avg_power_mw", avg_mw, "mW");
+    report.add(p + ".tops_per_w", tops_w, "TOPS/W");
+    report.add(p + ".fps", 1000.0 / total_time_ms, "fps");
 }
 
 } // namespace
 
-int main()
+int main(int argc, char** argv)
 {
+    bench_reporter report("table3_networks", argc, argv);
     const envision_model model;
     const layer_runner runner(model);
 
@@ -83,7 +88,8 @@ int main()
     // VGG1 plus the VGG2-13 aggregate, as the paper groups them.
     run_rows(runner, "VGG16",
              {{"VGG1", 5, 4, 0.05, 0.10, 87, 25, 2.1},
-              {"VGG2-13", 5, 6, 0.50, 0.56, 15259, 27, 2.15}});
+              {"VGG2-13", 5, 6, 0.50, 0.56, 15259, 27, 2.15}},
+             report);
 
     print_banner(std::cout, "Table III -- AlexNet on Envision "
                             "(paper totals: 44 mW, 1.8 TOPS/W, 47 fps)");
@@ -91,13 +97,15 @@ int main()
              {{"AlexNet1", 7, 4, 0.21, 0.29, 104, 37, 2.7},
               {"AlexNet2", 7, 7, 0.19, 0.89, 224, 20, 3.8},
               {"AlexNet3", 8, 9, 0.11, 0.82, 150, 52, 1.0},
-              {"AlexNet4-5", 9, 8, 0.04, 0.72, 112, 60, 0.85}});
+              {"AlexNet4-5", 9, 8, 0.04, 0.72, 112, 60, 0.85}},
+             report);
 
     print_banner(std::cout, "Table III -- LeNet-5 on Envision "
                             "(paper totals: 25 mW, 3 TOPS/W, 13 kfps)");
     run_rows(runner, "LeNet-5",
              {{"LeNet1", 3, 1, 0.35, 0.87, 0.3, 5.6, 13.6},
-              {"LeNet2", 4, 6, 0.26, 0.55, 1.6, 29, 2.6}});
+              {"LeNet2", 4, 6, 0.26, 0.55, 1.6, 29, 2.6}},
+             report);
 
     // Topology cross-check: the workload numbers above must match the
     // published-topology MAC counts from the zoo.
@@ -121,5 +129,5 @@ int main()
                    "1.9 (larger LeNet variant; see EXPERIMENTS.md)"});
         t.print(std::cout);
     }
-    return 0;
+    return report.write() ? 0 : 4;
 }

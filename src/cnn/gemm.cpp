@@ -1,0 +1,178 @@
+#include "cnn/gemm.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace dvafs {
+
+namespace {
+
+// Register tile: MR x NR double accumulators. Sized so the full-tile
+// kernel's accumulators plus one broadcast value and one B-row segment fit
+// the 16 baseline x86-64 vector registers (4x8 doubles = 8 two-lane SSE2
+// registers, or 4 AVX2 registers where the compiler has them).
+constexpr std::size_t MR = 4;
+constexpr std::size_t NR = 8;
+
+// Full MR x NR tile with compile-time trip counts so the inner j loop
+// vectorizes; k stays the sequential outer reduction (the bit-compat
+// contract in gemm.h).
+void tile_full(const float* a, const float* b, const float* bias, float* c,
+               std::size_t k, std::size_t n, std::size_t m0, std::size_t n0)
+{
+    double acc[MR][NR];
+    for (std::size_t i = 0; i < MR; ++i) {
+        const double init = bias != nullptr
+                                ? static_cast<double>(bias[m0 + i])
+                                : 0.0;
+        for (std::size_t j = 0; j < NR; ++j) {
+            acc[i][j] = init;
+        }
+    }
+    for (std::size_t r = 0; r < k; ++r) {
+        const float* brow = b + r * n + n0;
+        double bd[NR];
+        for (std::size_t j = 0; j < NR; ++j) {
+            bd[j] = static_cast<double>(brow[j]);
+        }
+        for (std::size_t i = 0; i < MR; ++i) {
+            const double av = static_cast<double>(a[(m0 + i) * k + r]);
+            for (std::size_t j = 0; j < NR; ++j) {
+                acc[i][j] += av * bd[j];
+            }
+        }
+    }
+    for (std::size_t i = 0; i < MR; ++i) {
+        float* crow = c + (m0 + i) * n + n0;
+        for (std::size_t j = 0; j < NR; ++j) {
+            crow[j] = static_cast<float>(acc[i][j]);
+        }
+    }
+}
+
+// Edge tile with runtime trip counts (mb <= MR, nb <= NR).
+void tile_edge(const float* a, const float* b, const float* bias, float* c,
+               std::size_t k, std::size_t n, std::size_t m0, std::size_t n0,
+               std::size_t mb, std::size_t nb)
+{
+    double acc[MR][NR];
+    for (std::size_t i = 0; i < mb; ++i) {
+        const double init = bias != nullptr
+                                ? static_cast<double>(bias[m0 + i])
+                                : 0.0;
+        for (std::size_t j = 0; j < nb; ++j) {
+            acc[i][j] = init;
+        }
+    }
+    for (std::size_t r = 0; r < k; ++r) {
+        const float* brow = b + r * n + n0;
+        for (std::size_t i = 0; i < mb; ++i) {
+            const double av = static_cast<double>(a[(m0 + i) * k + r]);
+            for (std::size_t j = 0; j < nb; ++j) {
+                acc[i][j] += av * static_cast<double>(brow[j]);
+            }
+        }
+    }
+    for (std::size_t i = 0; i < mb; ++i) {
+        float* crow = c + (m0 + i) * n + n0;
+        for (std::size_t j = 0; j < nb; ++j) {
+            crow[j] = static_cast<float>(acc[i][j]);
+        }
+    }
+}
+
+} // namespace
+
+void gemm_blocked(const float* a, const float* b, const float* bias,
+                  float* c, std::size_t m, std::size_t k, std::size_t n)
+{
+    for (std::size_t m0 = 0; m0 < m; m0 += MR) {
+        const std::size_t mb = std::min(MR, m - m0);
+        std::size_t n0 = 0;
+        if (mb == MR) {
+            for (; n0 + NR <= n; n0 += NR) {
+                tile_full(a, b, bias, c, k, n, m0, n0);
+            }
+        }
+        for (; n0 < n; n0 += NR) {
+            tile_edge(a, b, bias, c, k, n, m0, n0, mb,
+                      std::min(NR, n - n0));
+        }
+    }
+}
+
+void im2col(const tensor& x, int kernel, int stride, int pad,
+            const tensor_shape& out_shape, std::vector<float>& cols)
+{
+    const tensor_shape& is = x.shape();
+    const std::size_t n = static_cast<std::size_t>(out_shape.h)
+                          * static_cast<std::size_t>(out_shape.w);
+    const std::size_t rows = static_cast<std::size_t>(is.c)
+                             * static_cast<std::size_t>(kernel)
+                             * static_cast<std::size_t>(kernel);
+    cols.resize(rows * n);
+
+    const std::span<const float> xf = x.flat();
+    const std::size_t plane = static_cast<std::size_t>(is.h)
+                              * static_cast<std::size_t>(is.w);
+    std::size_t r = 0;
+    for (int c = 0; c < is.c; ++c) {
+        const float* src_plane =
+            xf.data() + static_cast<std::size_t>(c) * plane;
+        for (int ky = 0; ky < kernel; ++ky) {
+            for (int kx = 0; kx < kernel; ++kx, ++r) {
+                float* dst = cols.data() + r * n;
+                for (int oy = 0; oy < out_shape.h; ++oy) {
+                    const int y = oy * stride + ky - pad;
+                    if (y < 0 || y >= is.h) {
+                        std::memset(dst, 0,
+                                    static_cast<std::size_t>(out_shape.w)
+                                        * sizeof(float));
+                        dst += out_shape.w;
+                        continue;
+                    }
+                    const float* src =
+                        src_plane + static_cast<std::size_t>(y)
+                                        * static_cast<std::size_t>(is.w);
+                    int ox = 0;
+                    // Leading taps left of the image.
+                    for (; ox < out_shape.w
+                           && ox * stride + kx - pad < 0;
+                         ++ox) {
+                        *dst++ = 0.0F;
+                    }
+                    // In-image taps: contiguous when stride == 1. The
+                    // last in-bounds ox solves ox*stride + kx - pad <=
+                    // is.w - 1; a negative numerator means every tap is
+                    // right of the image (C++ division truncates toward
+                    // zero, so it must not reach the division).
+                    const int last_in = is.w - 1 - kx + pad;
+                    const int in_end =
+                        last_in < 0 ? 0 : last_in / stride + 1;
+                    const int run = std::min(out_shape.w, in_end);
+                    if (stride == 1) {
+                        const int count = run - ox;
+                        if (count > 0) {
+                            std::memcpy(
+                                dst, src + (ox + kx - pad),
+                                static_cast<std::size_t>(count)
+                                    * sizeof(float));
+                            dst += count;
+                            ox = run;
+                        }
+                    } else {
+                        for (; ox < run; ++ox) {
+                            *dst++ = src[ox * stride + kx - pad];
+                        }
+                    }
+                    // Trailing taps right of the image.
+                    for (; ox < out_shape.w; ++ox) {
+                        *dst++ = 0.0F;
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace dvafs

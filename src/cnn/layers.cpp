@@ -1,5 +1,6 @@
 #include "cnn/layers.h"
 
+#include "cnn/gemm.h"
 #include "fixedpoint/quantize.h"
 
 #include <algorithm>
@@ -10,16 +11,27 @@ namespace dvafs {
 
 namespace {
 
-// Fake-quantizes a copy of `t` to `bits` (no-op for bits <= 0).
-tensor quantized_copy(const tensor& t, int bits)
+// Returns `t` itself when bits <= 0 (the common unquantized case: no copy,
+// no pass); otherwise fills `scratch` with a fake-quantized copy.
+const tensor& maybe_quantized(const tensor& t, int bits, tensor& scratch)
 {
-    tensor out = t;
-    if (bits > 0) {
-        fake_quantize_inplace(out.flat(), bits);
+    if (bits <= 0) {
+        return t;
     }
-    return out;
+    scratch = t;
+    fake_quantize_inplace(scratch.flat(), bits);
+    return scratch;
 }
 
+// Per-thread im2col scratch: capacity persists across forward calls, so
+// steady-state sweeps stop allocating on the hot path.
+std::vector<float>& im2col_scratch()
+{
+    thread_local std::vector<float> cols;
+    return cols;
+}
+
+// Uncached per-call weight quantization -- the reference path only.
 std::vector<float> quantized_weights(const std::vector<float>& w, int bits)
 {
     std::vector<float> out = w;
@@ -30,6 +42,28 @@ std::vector<float> quantized_weights(const std::vector<float>& w, int bits)
 }
 
 } // namespace
+
+const std::vector<float>& quantized_weight_cache::get(
+    const std::vector<float>& w, int bits) const
+{
+    if (bits <= 0) {
+        return w;
+    }
+    const std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = by_bits_[bits];
+    if (!slot) {
+        auto q = std::make_unique<std::vector<float>>(w);
+        fake_quantize_inplace(*q, bits);
+        slot = std::move(q);
+    }
+    return *slot;
+}
+
+void quantized_weight_cache::invalidate() const noexcept
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    by_bits_.clear();
+}
 
 conv_layer::conv_layer(std::string name, int filters, int channels,
                        int kernel, int stride, int pad)
@@ -62,7 +96,31 @@ tensor_shape conv_layer::out_shape(const tensor_shape& in) const
 tensor conv_layer::forward(const tensor& in, const layer_quant& q) const
 {
     const tensor_shape os = out_shape(in.shape());
-    const tensor x = quantized_copy(in, q.input_bits);
+    tensor xq;
+    const tensor& x = maybe_quantized(in, q.input_bits, xq);
+    const std::vector<float>& w = wcache_.get(w_, q.weight_bits);
+
+    // Weights are stored [F][C][K][K]: already the M x K row-major GEMM
+    // operand with K indexed in (c, ky, kx) order, matching im2col rows.
+    std::vector<float>& cols = im2col_scratch();
+    im2col(x, k_, s_, p_, os, cols);
+
+    tensor out(os);
+    gemm_blocked(w.data(), cols.data(), b_.data(), out.flat().data(),
+                 static_cast<std::size_t>(f_),
+                 static_cast<std::size_t>(c_) * static_cast<std::size_t>(k_)
+                     * static_cast<std::size_t>(k_),
+                 static_cast<std::size_t>(os.h)
+                     * static_cast<std::size_t>(os.w));
+    return out;
+}
+
+tensor conv_layer::reference_forward(const tensor& in,
+                                     const layer_quant& q) const
+{
+    const tensor_shape os = out_shape(in.shape());
+    tensor xq;
+    const tensor& x = maybe_quantized(in, q.input_bits, xq);
     const std::vector<float> w = quantized_weights(w_, q.weight_bits);
 
     tensor out(os);
@@ -119,7 +177,10 @@ std::uint64_t conv_layer::macs(const tensor_shape& in) const
 
 tensor relu_layer::forward(const tensor& in, const layer_quant& q) const
 {
-    tensor out = quantized_copy(in, q.input_bits);
+    tensor out = in;
+    if (q.input_bits > 0) {
+        fake_quantize_inplace(out.flat(), q.input_bits);
+    }
     for (float& v : out.flat()) {
         v = std::max(v, 0.0F);
     }
@@ -142,7 +203,8 @@ tensor_shape maxpool_layer::out_shape(const tensor_shape& in) const
 
 tensor maxpool_layer::forward(const tensor& in, const layer_quant& q) const
 {
-    const tensor x = quantized_copy(in, q.input_bits);
+    tensor xq;
+    const tensor& x = maybe_quantized(in, q.input_bits, xq);
     const tensor_shape os = out_shape(in.shape());
     tensor out(os);
     for (int c = 0; c < os.c; ++c) {
@@ -185,7 +247,23 @@ tensor_shape fc_layer::out_shape(const tensor_shape& in) const
 
 tensor fc_layer::forward(const tensor& in, const layer_quant& q) const
 {
-    const tensor x = quantized_copy(in, q.input_bits);
+    tensor xq;
+    const tensor& x = maybe_quantized(in, q.input_bits, xq);
+    const std::vector<float>& w = wcache_.get(w_, q.weight_bits);
+    tensor out(out_shape(in.shape()));
+    // Matrix-vector as GEMM with n = 1: the flattened input is the single
+    // column of B.
+    gemm_blocked(w.data(), x.flat().data(), b_.data(), out.flat().data(),
+                 static_cast<std::size_t>(out_),
+                 static_cast<std::size_t>(in_), 1);
+    return out;
+}
+
+tensor fc_layer::reference_forward(const tensor& in,
+                                   const layer_quant& q) const
+{
+    tensor xq;
+    const tensor& x = maybe_quantized(in, q.input_bits, xq);
     const std::vector<float> w = quantized_weights(w_, q.weight_bits);
     tensor out(out_shape(in.shape()));
     const std::span<const float> xf = x.flat();

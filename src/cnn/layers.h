@@ -11,7 +11,9 @@
 
 #include "cnn/tensor.h"
 
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -21,6 +23,28 @@ namespace dvafs {
 struct layer_quant {
     int weight_bits = 0;
     int input_bits = 0;
+
+    bool operator==(const layer_quant&) const = default;
+};
+
+// Thread-safe per-layer cache of fake-quantized weight vectors, keyed by
+// bit-width: the sweep probes each (layer, bits) pair against the whole
+// dataset, so the quantization pass runs once per pair instead of once per
+// forward call. get() with bits <= 0 returns the original vector -- no
+// copy, no pass. Entries live until invalidate(), which every mutable
+// weights() access calls; invalidating concurrently with a forward pass is
+// a data race on the caller, same as mutating weights mid-forward.
+class quantized_weight_cache {
+public:
+    const std::vector<float>& get(const std::vector<float>& w,
+                                  int bits) const;
+    void invalidate() const noexcept;
+
+private:
+    mutable std::mutex mu_;
+    // unique_ptr entries: references stay stable as the map grows.
+    mutable std::map<int, std::unique_ptr<const std::vector<float>>>
+        by_bits_;
 };
 
 class layer {
@@ -30,10 +54,19 @@ public:
     virtual tensor_shape out_shape(const tensor_shape& in) const = 0;
     // `q` quantizes this layer's weights and its input feature map.
     virtual tensor forward(const tensor& in, const layer_quant& q) const = 0;
+    // The pre-GEMM naive loops, kept as the differential-testing baseline
+    // (bit-compatible with forward(); see gemm.h). Also re-quantizes
+    // weights per call, so benches can time the uncached path.
+    virtual tensor reference_forward(const tensor& in,
+                                     const layer_quant& q) const
+    {
+        return forward(in, q);
+    }
     // Multiply-accumulates per forward pass (0 for relu/pool).
     virtual std::uint64_t macs(const tensor_shape& in) const = 0;
     virtual std::size_t weight_count() const noexcept { return 0; }
     // Mutable access for weight-generation and quantization sweeps.
+    // Implementations drop cached quantized weights before returning.
     virtual std::vector<float>* weights() noexcept { return nullptr; }
     virtual const std::vector<float>* weights() const noexcept
     {
@@ -51,12 +84,18 @@ public:
     const std::string& name() const noexcept override { return name_; }
     tensor_shape out_shape(const tensor_shape& in) const override;
     tensor forward(const tensor& in, const layer_quant& q) const override;
+    tensor reference_forward(const tensor& in,
+                             const layer_quant& q) const override;
     std::uint64_t macs(const tensor_shape& in) const override;
     std::size_t weight_count() const noexcept override
     {
         return w_.size();
     }
-    std::vector<float>* weights() noexcept override { return &w_; }
+    std::vector<float>* weights() noexcept override
+    {
+        wcache_.invalidate();
+        return &w_;
+    }
     const std::vector<float>* weights() const noexcept override
     {
         return &w_;
@@ -78,6 +117,7 @@ private:
     int p_;
     std::vector<float> w_; // [F][C][K][K]
     std::vector<float> b_; // [F]
+    quantized_weight_cache wcache_;
 };
 
 // -- ReLU ----------------------------------------------------------------------
@@ -118,12 +158,18 @@ public:
     const std::string& name() const noexcept override { return name_; }
     tensor_shape out_shape(const tensor_shape& in) const override;
     tensor forward(const tensor& in, const layer_quant& q) const override;
+    tensor reference_forward(const tensor& in,
+                             const layer_quant& q) const override;
     std::uint64_t macs(const tensor_shape& in) const override;
     std::size_t weight_count() const noexcept override
     {
         return w_.size();
     }
-    std::vector<float>* weights() noexcept override { return &w_; }
+    std::vector<float>* weights() noexcept override
+    {
+        wcache_.invalidate();
+        return &w_;
+    }
     const std::vector<float>* weights() const noexcept override
     {
         return &w_;
@@ -138,6 +184,7 @@ private:
     int in_;
     std::vector<float> w_; // [out][in]
     std::vector<float> b_;
+    quantized_weight_cache wcache_;
 };
 
 } // namespace dvafs

@@ -64,6 +64,44 @@ tensor network::forward(const tensor& input,
     return x;
 }
 
+tensor network::forward_from(std::size_t first, const tensor& x,
+                             const std::vector<layer_quant>& quant) const
+{
+    if (quant.size() != layers_.size()) {
+        throw std::invalid_argument(
+            "network::forward_from: quant overlay size mismatch");
+    }
+    if (first > layers_.size()) {
+        throw std::invalid_argument(
+            "network::forward_from: start index out of range");
+    }
+    tensor a = x;
+    for (std::size_t i = first; i < layers_.size(); ++i) {
+        a = layers_[i]->forward(a, quant[i]);
+    }
+    return a;
+}
+
+tensor network::reference_forward(
+    const tensor& input, const std::vector<layer_quant>& quant) const
+{
+    if (quant.size() != layers_.size()) {
+        throw std::invalid_argument(
+            "network::reference_forward: quant overlay size mismatch");
+    }
+    if (!(input.shape() == input_shape_)) {
+        throw std::invalid_argument(
+            "network::reference_forward: input shape "
+            + input.shape().to_string() + " != "
+            + input_shape_.to_string());
+    }
+    tensor x = input;
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+        x = layers_[i]->reference_forward(x, quant[i]);
+    }
+    return x;
+}
+
 std::uint64_t network::total_macs() const
 {
     std::uint64_t total = 0;

@@ -56,6 +56,20 @@ public:
                    const std::vector<layer_quant>& quant,
                    std::vector<tensor>* activations = nullptr) const;
 
+    // Runs only layers [first, depth) on `x`, the activation *entering*
+    // layer `first`, under the overlay. This is the suffix path of the
+    // memoized batch_evaluator (cnn/quant_analysis.h): when an overlay
+    // perturbs no layer before `first`, the prefix activations are
+    // bit-identical to a cached base run and need not be recomputed.
+    tensor forward_from(std::size_t first, const tensor& x,
+                        const std::vector<layer_quant>& quant) const;
+
+    // End-to-end pass through layer::reference_forward (the pre-GEMM naive
+    // loops, per-call weight quantization): the differential baseline for
+    // tests and the speedup benches.
+    tensor reference_forward(const tensor& input,
+                             const std::vector<layer_quant>& quant) const;
+
     // Total multiply-accumulates of one forward pass.
     std::uint64_t total_macs() const;
 

@@ -1,8 +1,10 @@
 #include "cnn/quant_analysis.h"
 
 #include "fixedpoint/quantize.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
+#include <numeric>
 #include <stdexcept>
 
 namespace dvafs {
@@ -19,59 +21,113 @@ teacher_dataset make_teacher_dataset(const network& net,
             const double g = rng.gaussian(0.25, 0.35);
             v = static_cast<float>(std::max(0.0, std::min(1.0, g)));
         }
-        data.labels.push_back(argmax(net.forward(x, /*use_quant=*/false)));
         data.inputs.push_back(std::move(x));
     }
+    // Inputs are drawn serially (the RNG stream fixes them); only the
+    // teacher forward passes fan out.
+    data.labels.resize(data.inputs.size());
+    parallel_for(data.inputs.size(), cfg.threads, [&](std::size_t i) {
+        data.labels[i] =
+            argmax(net.forward(data.inputs[i], /*use_quant=*/false));
+    });
     return data;
 }
 
-double relative_accuracy(const network& net, const teacher_dataset& data)
+// -- batch_evaluator ---------------------------------------------------------
+
+batch_evaluator::batch_evaluator(const network& net,
+                                 const teacher_dataset& data,
+                                 unsigned threads)
+    : net_(net), data_(data), threads_(threads),
+      base_(net.depth()) // default base: the float network
 {
-    if (data.inputs.empty()) {
-        throw std::invalid_argument("relative_accuracy: empty dataset");
-    }
-    std::size_t agree = 0;
-    for (std::size_t i = 0; i < data.inputs.size(); ++i) {
-        const tensor out = net.forward(data.inputs[i], /*use_quant=*/true);
-        agree += (argmax(out) == data.labels[i]);
-    }
-    return static_cast<double>(agree)
-           / static_cast<double>(data.inputs.size());
 }
 
-double relative_accuracy(const network& net, const teacher_dataset& data,
-                         const std::vector<layer_quant>& overlay)
+void batch_evaluator::set_base(std::vector<layer_quant> base)
 {
-    if (data.inputs.empty()) {
-        throw std::invalid_argument("relative_accuracy: empty dataset");
+    if (base.size() != net_.depth()) {
+        throw std::invalid_argument(
+            "batch_evaluator: base overlay size mismatch");
     }
-    std::size_t agree = 0;
-    for (std::size_t i = 0; i < data.inputs.size(); ++i) {
-        const tensor out = net.forward(data.inputs[i], overlay);
-        agree += (argmax(out) == data.labels[i]);
+    if (base == base_) {
+        return; // keep the cache
     }
-    return static_cast<double>(agree)
-           / static_cast<double>(data.inputs.size());
+    base_ = std::move(base);
+    cache_built_ = false;
+    acts_.clear();
+}
+
+void batch_evaluator::ensure_cache() const
+{
+    if (cache_built_) {
+        return;
+    }
+    acts_.assign(data_.inputs.size(), {});
+    parallel_for(data_.inputs.size(), threads_, [&](std::size_t i) {
+        acts_[i].reserve(net_.depth());
+        net_.forward(data_.inputs[i], base_, &acts_[i]);
+    });
+    cache_built_ = true;
+}
+
+std::size_t batch_evaluator::suffix_start(
+    const std::vector<layer_quant>& overlay) const
+{
+    std::size_t p = 0;
+    while (p < base_.size() && overlay[p] == base_[p]) {
+        ++p;
+    }
+    return p;
+}
+
+double batch_evaluator::accuracy(
+    const std::vector<layer_quant>& overlay) const
+{
+    if (data_.inputs.empty()) {
+        throw std::invalid_argument("batch_evaluator: empty dataset");
+    }
+    if (overlay.size() != net_.depth()) {
+        throw std::invalid_argument(
+            "batch_evaluator: overlay size mismatch");
+    }
+    const std::size_t p = suffix_start(overlay);
+    if (p > 0) {
+        ensure_cache();
+    }
+    std::vector<unsigned char> agree(data_.inputs.size(), 0);
+    parallel_for(data_.inputs.size(), threads_, [&](std::size_t i) {
+        int pred;
+        if (p == net_.depth()) {
+            pred = argmax(acts_[i].back());
+        } else {
+            const tensor& start =
+                p == 0 ? data_.inputs[i] : acts_[i][p - 1];
+            pred = argmax(net_.forward_from(p, start, overlay));
+        }
+        agree[i] = pred == data_.labels[i] ? 1 : 0;
+    });
+    const std::size_t n =
+        std::accumulate(agree.begin(), agree.end(), std::size_t{0});
+    return static_cast<double>(n)
+           / static_cast<double>(data_.inputs.size());
 }
 
 std::vector<layer_quant_requirement>
-sweep_layer_precision(const network& net, const teacher_dataset& data,
-                      const quant_sweep_config& cfg)
+batch_evaluator::sweep(const quant_sweep_config& cfg) const
 {
-    std::vector<layer_quant> overlay(net.depth());
+    std::vector<layer_quant> overlay(net_.depth());
 
     std::vector<layer_quant_requirement> out;
-    for (const std::size_t li : net.weighted_layers()) {
+    for (const std::size_t li : net_.weighted_layers()) {
         layer_quant_requirement req;
         req.layer_index = li;
-        req.layer_name = net.at(li).name();
+        req.layer_name = net_.at(li).name();
 
         // Weights: quantize only this layer's weights.
         req.min_weight_bits = cfg.max_bits;
         for (int bits = 1; bits <= cfg.max_bits; ++bits) {
             overlay[li] = layer_quant{.weight_bits = bits, .input_bits = 0};
-            if (relative_accuracy(net, data, overlay)
-                >= cfg.target_accuracy) {
+            if (accuracy(overlay) >= cfg.target_accuracy) {
                 req.min_weight_bits = bits;
                 break;
             }
@@ -80,8 +136,7 @@ sweep_layer_precision(const network& net, const teacher_dataset& data,
         req.min_input_bits = cfg.max_bits;
         for (int bits = 1; bits <= cfg.max_bits; ++bits) {
             overlay[li] = layer_quant{.weight_bits = 0, .input_bits = bits};
-            if (relative_accuracy(net, data, overlay)
-                >= cfg.target_accuracy) {
+            if (accuracy(overlay) >= cfg.target_accuracy) {
                 req.min_input_bits = bits;
                 break;
             }
@@ -92,45 +147,12 @@ sweep_layer_precision(const network& net, const teacher_dataset& data,
     return out;
 }
 
-std::vector<layer_quant>
-requirements_overlay(const network& net,
-                     const std::vector<layer_quant_requirement>& req)
-{
-    std::vector<layer_quant> overlay(net.depth());
-    for (const layer_quant_requirement& r : req) {
-        overlay.at(r.layer_index).weight_bits = r.min_weight_bits;
-        overlay.at(r.layer_index).input_bits = r.min_input_bits;
-    }
-    return overlay;
-}
-
-double requirements_accuracy(const network& net,
-                             const std::vector<layer_quant_requirement>& req,
-                             const teacher_dataset& data)
-{
-    return relative_accuracy(net, data, requirements_overlay(net, req));
-}
-
-double apply_requirements(network& net,
-                          const std::vector<layer_quant_requirement>& req,
-                          const teacher_dataset& data)
-{
-    net.clear_quant();
-    for (const layer_quant_requirement& r : req) {
-        net.quant(r.layer_index).weight_bits = r.min_weight_bits;
-        net.quant(r.layer_index).input_bits = r.min_input_bits;
-    }
-    return relative_accuracy(net, data);
-}
-
 std::vector<layer_quant_requirement>
-refine_requirements(const network& net,
-                    std::vector<layer_quant_requirement> reqs,
-                    const teacher_dataset& data,
-                    const quant_sweep_config& cfg)
+batch_evaluator::refine(std::vector<layer_quant_requirement> reqs,
+                        const quant_sweep_config& cfg) const
 {
     for (int round = 0; round < cfg.max_bits; ++round) {
-        if (requirements_accuracy(net, reqs, data)
+        if (accuracy(requirements_overlay(net_, reqs))
             >= cfg.target_accuracy) {
             break;
         }
@@ -152,19 +174,24 @@ refine_requirements(const network& net,
     return reqs;
 }
 
-std::vector<layer_sparsity> measure_sparsity(const network& net,
-                                             const teacher_dataset& data)
+std::vector<layer_sparsity> batch_evaluator::sparsity() const
 {
-    if (data.inputs.empty()) {
-        throw std::invalid_argument("measure_sparsity: empty dataset");
+    if (data_.inputs.empty()) {
+        throw std::invalid_argument("batch_evaluator: empty dataset");
     }
-    const std::vector<std::size_t> weighted = net.weighted_layers();
+    for (const layer_quant& q : base_) {
+        if (!(q == layer_quant{})) {
+            throw std::logic_error(
+                "batch_evaluator::sparsity: needs the float base");
+        }
+    }
+    const std::vector<std::size_t> weighted = net_.weighted_layers();
     std::vector<layer_sparsity> out(weighted.size());
 
     // Weight sparsity is data-independent.
     for (std::size_t k = 0; k < weighted.size(); ++k) {
-        out[k].layer_name = net.at(weighted[k]).name();
-        const std::vector<float>* w = net.at(weighted[k]).weights();
+        out[k].layer_name = net_.at(weighted[k]).name();
+        const std::vector<float>* w = net_.at(weighted[k]).weights();
         std::size_t zeros = 0;
         for (const float v : *w) {
             zeros += (v == 0.0F);
@@ -175,20 +202,110 @@ std::vector<layer_sparsity> measure_sparsity(const network& net,
 
     // Input sparsity: average over the dataset of each weighted layer's
     // input tensor (the network input for the first layer, the previous
-    // layer's output otherwise -- post-ReLU zeros dominate).
-    for (const tensor& x : data.inputs) {
-        std::vector<tensor> acts;
-        net.forward(x, /*use_quant=*/false, &acts);
+    // layer's output otherwise -- post-ReLU zeros dominate). The float
+    // activations are exactly the evaluator's cached base run; the
+    // reduction stays in input order, so the result is thread-invariant.
+    ensure_cache();
+    for (std::size_t i = 0; i < data_.inputs.size(); ++i) {
         for (std::size_t k = 0; k < weighted.size(); ++k) {
             const std::size_t li = weighted[k];
-            const tensor& input_fm = (li == 0) ? x : acts[li - 1];
+            const tensor& input_fm =
+                (li == 0) ? data_.inputs[i] : acts_[i][li - 1];
             out[k].input_sparsity += input_fm.sparsity();
         }
     }
     for (layer_sparsity& s : out) {
-        s.input_sparsity /= static_cast<double>(data.inputs.size());
+        s.input_sparsity /= static_cast<double>(data_.inputs.size());
     }
     return out;
+}
+
+// -- free functions (thin wrappers over the evaluator / threaded probes) -----
+
+double relative_accuracy(const network& net, const teacher_dataset& data)
+{
+    std::vector<layer_quant> overlay(net.depth());
+    for (std::size_t i = 0; i < net.depth(); ++i) {
+        overlay[i] = net.quant(i);
+    }
+    return relative_accuracy(net, data, overlay);
+}
+
+double relative_accuracy(const network& net, const teacher_dataset& data,
+                         const std::vector<layer_quant>& overlay,
+                         unsigned threads)
+{
+    if (data.inputs.empty()) {
+        throw std::invalid_argument("relative_accuracy: empty dataset");
+    }
+    std::vector<unsigned char> agree(data.inputs.size(), 0);
+    parallel_for(data.inputs.size(), threads, [&](std::size_t i) {
+        agree[i] =
+            argmax(net.forward(data.inputs[i], overlay)) == data.labels[i]
+                ? 1
+                : 0;
+    });
+    const std::size_t n =
+        std::accumulate(agree.begin(), agree.end(), std::size_t{0});
+    return static_cast<double>(n)
+           / static_cast<double>(data.inputs.size());
+}
+
+std::vector<layer_quant_requirement>
+sweep_layer_precision(const network& net, const teacher_dataset& data,
+                      const quant_sweep_config& cfg)
+{
+    const batch_evaluator eval(net, data, cfg.threads);
+    return eval.sweep(cfg);
+}
+
+std::vector<layer_quant>
+requirements_overlay(const network& net,
+                     const std::vector<layer_quant_requirement>& req)
+{
+    std::vector<layer_quant> overlay(net.depth());
+    for (const layer_quant_requirement& r : req) {
+        overlay.at(r.layer_index).weight_bits = r.min_weight_bits;
+        overlay.at(r.layer_index).input_bits = r.min_input_bits;
+    }
+    return overlay;
+}
+
+double requirements_accuracy(const network& net,
+                             const std::vector<layer_quant_requirement>& req,
+                             const teacher_dataset& data, unsigned threads)
+{
+    return relative_accuracy(net, data, requirements_overlay(net, req),
+                             threads);
+}
+
+double apply_requirements(network& net,
+                          const std::vector<layer_quant_requirement>& req,
+                          const teacher_dataset& data)
+{
+    net.clear_quant();
+    for (const layer_quant_requirement& r : req) {
+        net.quant(r.layer_index).weight_bits = r.min_weight_bits;
+        net.quant(r.layer_index).input_bits = r.min_input_bits;
+    }
+    return relative_accuracy(net, data);
+}
+
+std::vector<layer_quant_requirement>
+refine_requirements(const network& net,
+                    std::vector<layer_quant_requirement> reqs,
+                    const teacher_dataset& data,
+                    const quant_sweep_config& cfg)
+{
+    const batch_evaluator eval(net, data, cfg.threads);
+    return eval.refine(std::move(reqs), cfg);
+}
+
+std::vector<layer_sparsity> measure_sparsity(const network& net,
+                                             const teacher_dataset& data)
+{
+    const batch_evaluator eval(net, data);
+    return eval.sparsity();
 }
 
 } // namespace dvafs

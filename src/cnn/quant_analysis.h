@@ -6,6 +6,14 @@
 // quantized configuration scores the fraction of inputs whose argmax
 // matches the teacher's. This is exactly the quantization-noise effect the
 // paper's metric captures, without the proprietary datasets (DESIGN.md §2).
+//
+// The hot path is batch_evaluator: the sweep perturbs one layer at a time,
+// so for a probe whose overlay matches the evaluator's base configuration
+// on layers 0..p-1, the activations entering layer p are bit-identical to
+// the base run's -- only the suffix p..depth-1 is recomputed, from a
+// per-input activation cache. Probes additionally fan out across the
+// dataset on the shared pool discipline of util/parallel.h, so results are
+// bit-identical for any thread count.
 
 #pragma once
 
@@ -23,6 +31,7 @@ struct quant_sweep_config {
     double target_accuracy = 0.99;
     int max_bits = 12;          // sweep upper bound
     std::uint64_t seed = 7;
+    unsigned threads = 0;       // dataset-level workers; 0 = hardware
 };
 
 // A labelled synthetic dataset: inputs plus float-teacher argmax labels.
@@ -34,15 +43,6 @@ struct teacher_dataset {
 teacher_dataset make_teacher_dataset(const network& net,
                                      const quant_sweep_config& cfg);
 
-// Fraction of inputs whose quantized argmax equals the teacher label
-// (uses the network's current per-layer quant settings).
-double relative_accuracy(const network& net, const teacher_dataset& data);
-
-// Same metric with an external quant overlay (one entry per layer) instead
-// of the stored settings -- the const probing path the sweeps run on.
-double relative_accuracy(const network& net, const teacher_dataset& data,
-                         const std::vector<layer_quant>& overlay);
-
 // Result of the per-layer sweep: minimal bits per weighted layer.
 struct layer_quant_requirement {
     std::string layer_name;
@@ -51,9 +51,87 @@ struct layer_quant_requirement {
     int min_input_bits = 0;
 };
 
+// Mean activation sparsity (post-ReLU zeros) per weighted layer's *input*,
+// and quantized input sparsity at the layer's input_bits -- the zero-
+// guarding statistics behind Table III.
+struct layer_sparsity {
+    std::string layer_name;
+    double weight_sparsity = 0.0;
+    double input_sparsity = 0.0;
+};
+
+// Memoized, threaded relative-accuracy evaluator. Holds references to the
+// network and dataset; both must outlive it and stay unmutated (the
+// sim_engine const-read contract -- one immutable network may serve
+// concurrent evaluators).
+class batch_evaluator {
+public:
+    // threads = 0 -> hardware default. Results are bit-identical for any
+    // thread count: per-input outcomes land in preallocated slots and are
+    // reduced in index order.
+    batch_evaluator(const network& net, const teacher_dataset& data,
+                    unsigned threads = 0);
+
+    // Replaces the memoization base overlay (default: no quantization,
+    // i.e. the float network -- what the Fig. 6 sweep reuses). The
+    // per-input activation cache is dropped and lazily rebuilt under the
+    // new base on the next probe that can reuse a prefix.
+    void set_base(std::vector<layer_quant> base);
+    const std::vector<layer_quant>& base() const noexcept { return base_; }
+
+    // Relative accuracy at `overlay`: per input, the cached base
+    // activations cover the longest prefix of layers whose overlay entry
+    // equals the base's; only the remaining suffix is recomputed. Exactly
+    // equal to a full forward at `overlay` (pinned by
+    // tests/test_batch_evaluator.cpp).
+    double accuracy(const std::vector<layer_quant>& overlay) const;
+
+    // The Fig. 6 per-layer sweep: probe-for-probe identical to the naive
+    // full-forward sweep, at O(depth * bits * dataset) suffix cost instead
+    // of O(depth^2 * bits * dataset) full forwards.
+    std::vector<layer_quant_requirement>
+    sweep(const quant_sweep_config& cfg) const;
+
+    // Joint refinement (see refine_requirements below).
+    std::vector<layer_quant_requirement>
+    refine(std::vector<layer_quant_requirement> reqs,
+           const quant_sweep_config& cfg) const;
+
+    // Sparsity statistics from the cached *base* activations; requires the
+    // default (float) base, which is what Table III measures.
+    std::vector<layer_sparsity> sparsity() const;
+
+    const network& net() const noexcept { return net_; }
+    const teacher_dataset& data() const noexcept { return data_; }
+
+private:
+    void ensure_cache() const;
+    std::size_t suffix_start(const std::vector<layer_quant>& overlay) const;
+
+    const network& net_;
+    const teacher_dataset& data_;
+    unsigned threads_;
+    std::vector<layer_quant> base_;
+    mutable bool cache_built_ = false;
+    mutable std::vector<std::vector<tensor>> acts_; // [input][layer]
+};
+
+// Fraction of inputs whose quantized argmax equals the teacher label
+// (uses the network's current per-layer quant settings).
+double relative_accuracy(const network& net, const teacher_dataset& data);
+
+// Same metric with an external quant overlay (one entry per layer) instead
+// of the stored settings -- the const probing path the sweeps run on.
+// One-shot: full forwards, threaded across the dataset (no memoization);
+// threads = 0 is the hardware default, 1 restores serial execution.
+double relative_accuracy(const network& net, const teacher_dataset& data,
+                         const std::vector<layer_quant>& overlay,
+                         unsigned threads = 0);
+
 // For each weighted layer independently: quantize only that layer's weights
 // (resp. inputs) and find the smallest precision meeting the target.
-// Probes run on a quant overlay; the network is never mutated.
+// Probes run on a quant overlay; the network is never mutated. Thin
+// wrapper over batch_evaluator::sweep.
 std::vector<layer_quant_requirement>
 sweep_layer_precision(const network& net, const teacher_dataset& data,
                       const quant_sweep_config& cfg);
@@ -68,7 +146,8 @@ requirements_overlay(const network& net,
 // network's stored quant settings.
 double requirements_accuracy(const network& net,
                              const std::vector<layer_quant_requirement>& req,
-                             const teacher_dataset& data);
+                             const teacher_dataset& data,
+                             unsigned threads = 0);
 
 // Applies the sweep result to the network's quant settings and returns the
 // achieved joint relative accuracy.
@@ -86,15 +165,6 @@ refine_requirements(const network& net,
                     std::vector<layer_quant_requirement> reqs,
                     const teacher_dataset& data,
                     const quant_sweep_config& cfg);
-
-// Mean activation sparsity (post-ReLU zeros) per weighted layer's *input*,
-// and quantized input sparsity at the layer's input_bits -- the zero-
-// guarding statistics behind Table III.
-struct layer_sparsity {
-    std::string layer_name;
-    double weight_sparsity = 0.0;
-    double input_sparsity = 0.0;
-};
 
 std::vector<layer_sparsity> measure_sparsity(const network& net,
                                              const teacher_dataset& data);

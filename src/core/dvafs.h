@@ -12,7 +12,9 @@
 
 #pragma once
 
+#include "util/bench_json.h"
 #include "util/csv.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -55,6 +57,7 @@
 #include "simd/power_domains.h"
 #include "simd/processor.h"
 
+#include "cnn/gemm.h"
 #include "cnn/layers.h"
 #include "cnn/network.h"
 #include "cnn/quant_analysis.h"

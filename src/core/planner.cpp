@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <map>
+#include <optional>
 #include <stdexcept>
 
 namespace dvafs {
@@ -44,11 +45,15 @@ network_plan precision_planner::plan(const network& net,
                                      const quant_sweep_config& cfg) const
 {
     const teacher_dataset data = make_teacher_dataset(net, cfg);
-    const std::vector<layer_quant_requirement> reqs = refine_requirements(
-        net, sweep_layer_precision(net, data, cfg), data, cfg);
-    const std::vector<layer_sparsity> sparsity =
-        measure_sparsity(net, data);
-    return plan_internal(net, reqs, sparsity, &data);
+    // One evaluator serves the sweep, the joint refinement and the
+    // sparsity statistics: its float-activation cache is shared across all
+    // three (sweeps only recompute the perturbed suffix; see
+    // cnn/quant_analysis.h).
+    const batch_evaluator eval(net, data, cfg.threads);
+    const std::vector<layer_quant_requirement> reqs =
+        eval.refine(eval.sweep(cfg), cfg);
+    const std::vector<layer_sparsity> sparsity = eval.sparsity();
+    return plan_internal(net, reqs, sparsity, &data, cfg.threads);
 }
 
 network_plan precision_planner::plan_with_requirements(
@@ -105,13 +110,23 @@ std::vector<layer_frontier>
 precision_planner::layer_frontiers_from_workloads(
     const network& net, const std::vector<layer_quant_requirement>& reqs,
     const std::vector<layer_workload>& workloads,
-    const teacher_dataset* data, double* acc_ref_out) const
+    const teacher_dataset* data, double* acc_ref_out,
+    unsigned threads) const
 {
     const std::shared_ptr<const mode_frontier> mf = frontier();
     const bool price_accuracy =
         data != nullptr && cfg_.accuracy_budget > 0.0;
+    // The downgrade probes all share the requirement configuration as
+    // their prefix: an evaluator based at the requirements overlay only
+    // recomputes each probed layer's suffix (and its base-accuracy pass
+    // doubles as the reference probe).
+    std::optional<batch_evaluator> eval;
+    if (price_accuracy) {
+        eval.emplace(net, *data, threads);
+        eval->set_base(requirements_overlay(net, reqs));
+    }
     const double acc_ref =
-        price_accuracy ? requirements_accuracy(net, reqs, *data) : 1.0;
+        price_accuracy ? eval->accuracy(eval->base()) : 1.0;
     if (acc_ref_out != nullptr && price_accuracy) {
         *acc_ref_out = acc_ref;
     }
@@ -141,7 +156,9 @@ precision_planner::layer_frontiers_from_workloads(
             probe[k].min_input_bits =
                 std::min(probe[k].min_input_bits, precision);
             const double loss = std::max(
-                0.0, acc_ref - requirements_accuracy(net, probe, *data));
+                0.0,
+                acc_ref
+                    - eval->accuracy(requirements_overlay(net, probe)));
             loss_at.emplace(precision, loss);
             return loss;
         };
@@ -198,7 +215,7 @@ precision_planner::layer_frontiers_from_workloads(
 network_plan precision_planner::plan_internal(
     const network& net, const std::vector<layer_quant_requirement>& reqs,
     const std::vector<layer_sparsity>& sparsity,
-    const teacher_dataset* data) const
+    const teacher_dataset* data, unsigned threads) const
 {
     const std::vector<layer_workload> workloads =
         build_workloads(net, reqs, sparsity);
@@ -260,7 +277,7 @@ network_plan precision_planner::plan_internal(
     case plan_policy::frontier_search: {
         const std::vector<layer_frontier> fls =
             layer_frontiers_from_workloads(net, reqs, workloads, data,
-                                           &acc_ref);
+                                           &acc_ref, threads);
         const double budget = np.accuracy_budget;
         const std::vector<std::size_t> sel = select_frontier_points(
             fls, budget, cfg_.budget_resolution);
@@ -301,7 +318,7 @@ network_plan precision_planner::plan_internal(
         np.relative_accuracy =
             !downgraded && !std::isnan(acc_ref)
                 ? acc_ref
-                : requirements_accuracy(net, effective, *data);
+                : requirements_accuracy(net, effective, *data, threads);
     }
 
     finish_plan(np, workloads);

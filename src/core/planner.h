@@ -132,11 +132,14 @@ public:
     std::shared_ptr<const mode_frontier> frontier() const;
 
 private:
+    // `threads` is the dataset-level worker count for accuracy probes
+    // (quant_sweep_config::threads; 0 = hardware default).
     network_plan plan_internal(const network& net,
                                const std::vector<layer_quant_requirement>&
                                    reqs,
                                const std::vector<layer_sparsity>& sparsity,
-                               const teacher_dataset* data) const;
+                               const teacher_dataset* data,
+                               unsigned threads = 0) const;
 
     std::vector<layer_workload> build_workloads(
         const network& net,
@@ -150,7 +153,8 @@ private:
         const network& net,
         const std::vector<layer_quant_requirement>& reqs,
         const std::vector<layer_workload>& workloads,
-        const teacher_dataset* data, double* acc_ref_out) const;
+        const teacher_dataset* data, double* acc_ref_out,
+        unsigned threads = 0) const;
 
     void finish_plan(network_plan& np,
                      const std::vector<layer_workload>& workloads) const;

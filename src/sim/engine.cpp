@@ -2,13 +2,12 @@
 
 #include "circuit/logic_sim.h"
 #include "fixedpoint/bitops.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 #include <algorithm>
 #include <array>
-#include <atomic>
 #include <stdexcept>
-#include <thread>
 #include <utility>
 
 namespace dvafs {
@@ -118,51 +117,10 @@ std::vector<sweep_report> sim_engine::run_batch(
             work.emplace_back(g, i);
         }
     }
-    if (work.empty()) {
-        return reps;
-    }
-
-    unsigned n_threads = cfg_.threads != 0
-                             ? cfg_.threads
-                             : std::thread::hardware_concurrency();
-    if (n_threads == 0) {
-        n_threads = 1;
-    }
-    n_threads = static_cast<unsigned>(
-        std::min<std::size_t>(n_threads, work.size()));
-
-    std::atomic<std::size_t> next{0};
-    std::exception_ptr first_error;
-    std::mutex error_mu;
-    const auto worker = [&] {
-        for (std::size_t w; (w = next.fetch_add(1)) < work.size();) {
-            const auto [g, i] = work[w];
-            try {
-                reps[g].points[i] = measure(mult, tech, groups[g][i]);
-            } catch (...) {
-                const std::lock_guard<std::mutex> lock(error_mu);
-                if (!first_error) {
-                    first_error = std::current_exception();
-                }
-            }
-        }
-    };
-
-    if (n_threads <= 1) {
-        worker();
-    } else {
-        std::vector<std::thread> pool;
-        pool.reserve(n_threads);
-        for (unsigned t = 0; t < n_threads; ++t) {
-            pool.emplace_back(worker);
-        }
-        for (std::thread& t : pool) {
-            t.join();
-        }
-    }
-    if (first_error) {
-        std::rethrow_exception(first_error);
-    }
+    parallel_for(work.size(), cfg_.threads, [&](std::size_t w) {
+        const auto [g, i] = work[w];
+        reps[g].points[i] = measure(mult, tech, groups[g][i]);
+    });
     return reps;
 }
 

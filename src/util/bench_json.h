@@ -1,0 +1,58 @@
+// Machine-readable bench output.
+//
+// Every bench_* target accepts `--json <path>`; when present, the bench
+// writes a JSON array of flat records
+//     {"bench": "...", "metric": "...", "value": <number>, "unit": "..."}
+// alongside its human-readable tables, so CI can archive a benchmark
+// trajectory and gate on regressions (see README "Benchmark output").
+// bench_sim_throughput is the one exception: it links google-benchmark,
+// whose native --benchmark_out does the same job.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dvafs {
+
+struct bench_record {
+    std::string metric;
+    double value = 0.0;
+    std::string unit;
+};
+
+class bench_reporter {
+public:
+    // `bench` names the target (the "bench" field of every record);
+    // argv is scanned for `--json <path>`. Throws std::invalid_argument
+    // when --json is present without a path.
+    bench_reporter(std::string bench, int argc, char** argv);
+
+    // Records a metric (kept even without --json; benches may assert on
+    // their own records).
+    void add(const std::string& metric, double value,
+             const std::string& unit);
+
+    bool enabled() const noexcept { return !path_.empty(); }
+    const std::vector<bench_record>& records() const noexcept
+    {
+        return records_;
+    }
+
+    // Writes the records when --json was given (no-op otherwise). Returns
+    // false and prints to stderr when the file cannot be written.
+    bool write() const;
+
+private:
+    std::string bench_;
+    std::string path_;
+    std::vector<bench_record> records_;
+};
+
+// Scans argv for `--<name> <value>`; returns fallback when absent. Shared
+// by bench flags like --min-speedup. Throws std::invalid_argument on a
+// missing or non-numeric value.
+double bench_flag_double(int argc, char** argv, const std::string& name,
+                         double fallback);
+
+} // namespace dvafs

@@ -1,0 +1,64 @@
+#include "util/parallel.h"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dvafs {
+
+unsigned resolve_threads(unsigned threads, std::size_t count) noexcept
+{
+    unsigned n = threads != 0 ? threads : std::thread::hardware_concurrency();
+    if (n == 0) {
+        n = 1;
+    }
+    if (static_cast<std::size_t>(n) > count) {
+        n = static_cast<unsigned>(count);
+    }
+    return n;
+}
+
+void parallel_for(std::size_t count, unsigned threads,
+                  const std::function<void(std::size_t)>& fn)
+{
+    if (count == 0) {
+        return;
+    }
+    const unsigned n_threads = resolve_threads(threads, count);
+
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr first_error;
+    std::mutex error_mu;
+    const auto worker = [&] {
+        for (std::size_t i; (i = next.fetch_add(1)) < count;) {
+            try {
+                fn(i);
+            } catch (...) {
+                const std::lock_guard<std::mutex> lock(error_mu);
+                if (!first_error) {
+                    first_error = std::current_exception();
+                }
+            }
+        }
+    };
+
+    if (n_threads <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(n_threads);
+        for (unsigned t = 0; t < n_threads; ++t) {
+            pool.emplace_back(worker);
+        }
+        for (std::thread& t : pool) {
+            t.join();
+        }
+    }
+    if (first_error) {
+        std::rethrow_exception(first_error);
+    }
+}
+
+} // namespace dvafs

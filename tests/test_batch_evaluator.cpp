@@ -1,0 +1,232 @@
+// Sweep-equivalence suite: the memoized batch_evaluator must return
+// *identical* layer_quant_requirements and *identical* accuracy at every
+// probed bit-width as the naive full-forward sweep, at 1 and N threads.
+// This pins the prefix-memoization invariant (layers before the perturbed
+// one are bit-identical across the bit loop, so reusing their cached
+// activations changes nothing) and the thread-count invariance of the
+// pool discipline.
+
+#include "cnn/quant_analysis.h"
+
+#include <gtest/gtest.h>
+
+namespace dvafs {
+namespace {
+
+// The pre-PR sweep loop: one serial full forward per probe, no
+// memoization. Kept verbatim as the equivalence baseline.
+double naive_accuracy(const network& net, const teacher_dataset& data,
+                      const std::vector<layer_quant>& overlay)
+{
+    std::size_t agree = 0;
+    for (std::size_t i = 0; i < data.inputs.size(); ++i) {
+        agree +=
+            argmax(net.forward(data.inputs[i], overlay)) == data.labels[i];
+    }
+    return static_cast<double>(agree)
+           / static_cast<double>(data.inputs.size());
+}
+
+std::vector<layer_quant_requirement>
+naive_sweep(const network& net, const teacher_dataset& data,
+            const quant_sweep_config& cfg)
+{
+    std::vector<layer_quant> overlay(net.depth());
+    std::vector<layer_quant_requirement> out;
+    for (const std::size_t li : net.weighted_layers()) {
+        layer_quant_requirement req;
+        req.layer_index = li;
+        req.layer_name = net.at(li).name();
+        req.min_weight_bits = cfg.max_bits;
+        for (int bits = 1; bits <= cfg.max_bits; ++bits) {
+            overlay[li] = layer_quant{.weight_bits = bits, .input_bits = 0};
+            if (naive_accuracy(net, data, overlay)
+                >= cfg.target_accuracy) {
+                req.min_weight_bits = bits;
+                break;
+            }
+        }
+        req.min_input_bits = cfg.max_bits;
+        for (int bits = 1; bits <= cfg.max_bits; ++bits) {
+            overlay[li] = layer_quant{.weight_bits = 0, .input_bits = bits};
+            if (naive_accuracy(net, data, overlay)
+                >= cfg.target_accuracy) {
+                req.min_input_bits = bits;
+                break;
+            }
+        }
+        overlay[li] = layer_quant{};
+        out.push_back(req);
+    }
+    return out;
+}
+
+void expect_same_requirements(
+    const std::vector<layer_quant_requirement>& a,
+    const std::vector<layer_quant_requirement>& b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].layer_name, b[i].layer_name);
+        EXPECT_EQ(a[i].layer_index, b[i].layer_index);
+        EXPECT_EQ(a[i].min_weight_bits, b[i].min_weight_bits)
+            << a[i].layer_name;
+        EXPECT_EQ(a[i].min_input_bits, b[i].min_input_bits)
+            << a[i].layer_name;
+    }
+}
+
+class batch_evaluator_test : public ::testing::Test {
+protected:
+    static const network& net()
+    {
+        static const network n = make_lenet5({.seed = 3});
+        return n;
+    }
+    static quant_sweep_config cfg()
+    {
+        quant_sweep_config c;
+        c.images = 10;
+        c.max_bits = 10;
+        return c;
+    }
+    static const teacher_dataset& data()
+    {
+        static const teacher_dataset d =
+            make_teacher_dataset(net(), cfg());
+        return d;
+    }
+};
+
+TEST_F(batch_evaluator_test, sweep_identical_to_naive_at_1_and_n_threads)
+{
+    const auto want = naive_sweep(net(), data(), cfg());
+    const batch_evaluator serial(net(), data(), 1);
+    const batch_evaluator threaded(net(), data(), 4);
+    expect_same_requirements(serial.sweep(cfg()), want);
+    expect_same_requirements(threaded.sweep(cfg()), want);
+}
+
+TEST_F(batch_evaluator_test, accuracy_identical_at_every_probed_bit_width)
+{
+    const batch_evaluator serial(net(), data(), 1);
+    const batch_evaluator threaded(net(), data(), 4);
+    std::vector<layer_quant> overlay(net().depth());
+    for (const std::size_t li : net().weighted_layers()) {
+        for (int bits = 1; bits <= cfg().max_bits; ++bits) {
+            for (const layer_quant q :
+                 {layer_quant{.weight_bits = bits, .input_bits = 0},
+                  layer_quant{.weight_bits = 0, .input_bits = bits}}) {
+                overlay[li] = q;
+                const double want = naive_accuracy(net(), data(), overlay);
+                EXPECT_EQ(serial.accuracy(overlay), want)
+                    << "layer " << li << " bits " << bits;
+                EXPECT_EQ(threaded.accuracy(overlay), want)
+                    << "layer " << li << " bits " << bits;
+            }
+        }
+        overlay[li] = layer_quant{};
+    }
+}
+
+TEST_F(batch_evaluator_test, refine_identical_to_naive_refinement)
+{
+    // Deliberately too-low starting point so refinement has rounds to run.
+    std::vector<layer_quant_requirement> start;
+    for (const std::size_t li : net().weighted_layers()) {
+        layer_quant_requirement r;
+        r.layer_index = li;
+        r.layer_name = net().at(li).name();
+        r.min_weight_bits = 1;
+        r.min_input_bits = 1;
+        start.push_back(r);
+    }
+
+    // Naive refinement: same loop on naive_accuracy.
+    std::vector<layer_quant_requirement> want = start;
+    for (int round = 0; round < cfg().max_bits; ++round) {
+        if (naive_accuracy(net(), data(),
+                           requirements_overlay(net(), want))
+            >= cfg().target_accuracy) {
+            break;
+        }
+        bool changed = false;
+        for (layer_quant_requirement& r : want) {
+            if (r.min_weight_bits < cfg().max_bits) {
+                ++r.min_weight_bits;
+                changed = true;
+            }
+            if (r.min_input_bits < cfg().max_bits) {
+                ++r.min_input_bits;
+                changed = true;
+            }
+        }
+        if (!changed) {
+            break;
+        }
+    }
+
+    const batch_evaluator serial(net(), data(), 1);
+    const batch_evaluator threaded(net(), data(), 4);
+    expect_same_requirements(serial.refine(start, cfg()), want);
+    expect_same_requirements(threaded.refine(start, cfg()), want);
+}
+
+TEST_F(batch_evaluator_test, non_identity_base_reuses_prefix_exactly)
+{
+    // Base the evaluator at a joint requirement configuration (the
+    // planner's downgrade-probe pattern) and check probes differing in one
+    // deep layer still match the naive full forward.
+    std::vector<layer_quant> base(net().depth());
+    for (const std::size_t li : net().weighted_layers()) {
+        base[li] = {.weight_bits = 7, .input_bits = 7};
+    }
+    batch_evaluator eval(net(), data(), 2);
+    eval.set_base(base);
+
+    EXPECT_EQ(eval.accuracy(base), naive_accuracy(net(), data(), base));
+    const std::vector<std::size_t> weighted = net().weighted_layers();
+    for (const std::size_t li : {weighted[2], weighted.back()}) {
+        std::vector<layer_quant> probe = base;
+        probe[li] = {.weight_bits = 2, .input_bits = 2};
+        EXPECT_EQ(eval.accuracy(probe),
+                  naive_accuracy(net(), data(), probe))
+            << "probe at layer " << li;
+    }
+}
+
+TEST_F(batch_evaluator_test, sparsity_identical_to_free_function)
+{
+    const batch_evaluator serial(net(), data(), 1);
+    const batch_evaluator threaded(net(), data(), 4);
+    const auto a = serial.sparsity();
+    const auto b = threaded.sparsity();
+    const auto c = measure_sparsity(net(), data());
+    ASSERT_EQ(a.size(), b.size());
+    ASSERT_EQ(a.size(), c.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].weight_sparsity, b[i].weight_sparsity);
+        EXPECT_EQ(a[i].input_sparsity, b[i].input_sparsity);
+        EXPECT_EQ(a[i].weight_sparsity, c[i].weight_sparsity);
+        EXPECT_EQ(a[i].input_sparsity, c[i].input_sparsity);
+    }
+}
+
+TEST_F(batch_evaluator_test, rejects_bad_shapes)
+{
+    const batch_evaluator eval(net(), data());
+    EXPECT_THROW((void)eval.accuracy(std::vector<layer_quant>(3)),
+                 std::invalid_argument);
+    batch_evaluator mut(net(), data());
+    EXPECT_THROW(mut.set_base(std::vector<layer_quant>(2)),
+                 std::invalid_argument);
+
+    const teacher_dataset empty;
+    const batch_evaluator no_data(net(), empty);
+    EXPECT_THROW(
+        (void)no_data.accuracy(std::vector<layer_quant>(net().depth())),
+        std::invalid_argument);
+}
+
+} // namespace
+} // namespace dvafs

@@ -1,0 +1,258 @@
+// Differential suite for the im2col + blocked-GEMM forward path: pins the
+// GEMM forward float-equal to reference_forward (the pre-GEMM naive loops)
+// across random shapes, strides and paddings, quantized and not.
+//
+// Equality is exact (==, not near): both paths accumulate in double in
+// ascending k per output (the contract in gemm.h). Signed zeros may differ
+// in sign across the paths; == treats them as equal, which is the
+// documented tolerance.
+
+#include "cnn/gemm.h"
+#include "cnn/layers.h"
+#include "cnn/network.h"
+#include "cnn/zoo.h"
+
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+namespace dvafs {
+namespace {
+
+void fill_gaussian(std::span<float> v, pcg32& rng, double sigma = 0.5)
+{
+    for (float& x : v) {
+        x = static_cast<float>(rng.gaussian(0.0, sigma));
+    }
+}
+
+void expect_float_equal(const tensor& a, const tensor& b,
+                        const std::string& what)
+{
+    ASSERT_EQ(a.shape(), b.shape()) << what;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a.flat()[i], b.flat()[i])
+            << what << " element " << i;
+    }
+}
+
+TEST(gemm, matches_naive_triple_loop)
+{
+    pcg32 rng(11);
+    for (const auto [m, k, n] :
+         {std::array<std::size_t, 3>{1, 1, 1},
+          std::array<std::size_t, 3>{3, 5, 7},
+          std::array<std::size_t, 3>{4, 8, 8},
+          std::array<std::size_t, 3>{5, 9, 17},
+          std::array<std::size_t, 3>{16, 27, 33},
+          std::array<std::size_t, 3>{7, 64, 1}}) {
+        std::vector<float> a(m * k);
+        std::vector<float> b(k * n);
+        std::vector<float> bias(m);
+        fill_gaussian(a, rng);
+        fill_gaussian(b, rng);
+        fill_gaussian(bias, rng);
+
+        std::vector<float> c(m * n);
+        gemm_blocked(a.data(), b.data(), bias.data(), c.data(), m, k, n);
+
+        for (std::size_t i = 0; i < m; ++i) {
+            for (std::size_t j = 0; j < n; ++j) {
+                double acc = bias[i];
+                for (std::size_t r = 0; r < k; ++r) {
+                    acc += static_cast<double>(a[i * k + r])
+                           * static_cast<double>(b[r * n + j]);
+                }
+                ASSERT_EQ(c[i * n + j], static_cast<float>(acc))
+                    << m << "x" << k << "x" << n << " @ (" << i << ","
+                    << j << ")";
+            }
+        }
+    }
+}
+
+TEST(gemm, null_bias_starts_from_zero)
+{
+    const std::vector<float> a = {1.0F, 2.0F};
+    const std::vector<float> b = {3.0F, 4.0F};
+    std::vector<float> c(1);
+    gemm_blocked(a.data(), b.data(), nullptr, c.data(), 1, 2, 1);
+    EXPECT_EQ(c[0], 11.0F);
+}
+
+TEST(im2col, packs_padding_as_zero)
+{
+    tensor x({1, 2, 2});
+    x.at(0, 0, 0) = 1.0F;
+    x.at(0, 0, 1) = 2.0F;
+    x.at(0, 1, 0) = 3.0F;
+    x.at(0, 1, 1) = 4.0F;
+    std::vector<float> cols;
+    // 3x3 kernel, stride 1, pad 1 -> 2x2 output, 9 rows.
+    im2col(x, 3, 1, 1, {1, 2, 2}, cols);
+    ASSERT_EQ(cols.size(), 9U * 4U);
+    // Center tap (ky=1, kx=1) row: the image itself.
+    const float* center = cols.data() + 4 * 4;
+    EXPECT_EQ(center[0], 1.0F);
+    EXPECT_EQ(center[1], 2.0F);
+    EXPECT_EQ(center[2], 3.0F);
+    EXPECT_EQ(center[3], 4.0F);
+    // Top-left tap (ky=0, kx=0): only the bottom-right output pixel sees
+    // the image (pixel (0,0)); the rest read padding.
+    const float* tl = cols.data();
+    EXPECT_EQ(tl[0], 0.0F);
+    EXPECT_EQ(tl[1], 0.0F);
+    EXPECT_EQ(tl[2], 0.0F);
+    EXPECT_EQ(tl[3], 1.0F);
+}
+
+TEST(gemm_forward, conv_matches_reference_across_random_shapes)
+{
+    pcg32 rng(2024);
+    for (int trial = 0; trial < 40; ++trial) {
+        const int c = 1 + static_cast<int>(rng.next_u64() % 4);
+        const int f = 1 + static_cast<int>(rng.next_u64() % 6);
+        const int k = 1 + static_cast<int>(rng.next_u64() % 5);
+        const int s = 1 + static_cast<int>(rng.next_u64() % 3);
+        const int p = static_cast<int>(rng.next_u64() % 3);
+        const int h = k + static_cast<int>(rng.next_u64() % 10);
+        const int w = k + static_cast<int>(rng.next_u64() % 10);
+
+        conv_layer conv("c", f, c, k, s, p);
+        fill_gaussian(*conv.weights(), rng);
+        fill_gaussian(conv.biases(), rng);
+        tensor in({c, h, w});
+        fill_gaussian(in.flat(), rng);
+
+        for (const layer_quant q :
+             {layer_quant{}, layer_quant{.weight_bits = 5, .input_bits = 0},
+              layer_quant{.weight_bits = 0, .input_bits = 4},
+              layer_quant{.weight_bits = 6, .input_bits = 6}}) {
+            const tensor got = conv.forward(in, q);
+            const tensor want = conv.reference_forward(in, q);
+            expect_float_equal(
+                got, want,
+                "conv f=" + std::to_string(f) + " c=" + std::to_string(c)
+                    + " k=" + std::to_string(k) + " s=" + std::to_string(s)
+                    + " p=" + std::to_string(p) + " h="
+                    + std::to_string(h) + " w=" + std::to_string(w)
+                    + " wb=" + std::to_string(q.weight_bits) + " ib="
+                    + std::to_string(q.input_bits));
+        }
+    }
+}
+
+TEST(gemm_forward, conv_matches_reference_when_kernel_exceeds_input)
+{
+    // Regression: with stride > 1 and kernel > w + pad - 1, the last
+    // kernel columns have *no* in-bounds tap for some output columns; the
+    // im2col in-bounds bound must clamp at zero rather than let C++'s
+    // truncating division round a negative numerator up (which packed an
+    // out-of-row pixel instead of padding and broke GEMM == reference).
+    pcg32 rng(31);
+    struct shape {
+        int c, f, k, s, p, h, w;
+    };
+    for (const shape sh : {shape{1, 1, 4, 2, 1, 2, 2},
+                           shape{2, 3, 5, 2, 2, 3, 3},
+                           shape{1, 2, 7, 3, 3, 4, 2},
+                           shape{3, 2, 6, 2, 3, 2, 5}}) {
+        conv_layer conv("c", sh.f, sh.c, sh.k, sh.s, sh.p);
+        fill_gaussian(*conv.weights(), rng);
+        fill_gaussian(conv.biases(), rng);
+        tensor in({sh.c, sh.h, sh.w});
+        fill_gaussian(in.flat(), rng);
+        expect_float_equal(conv.forward(in, {}),
+                           conv.reference_forward(in, {}),
+                           "k=" + std::to_string(sh.k) + " s="
+                               + std::to_string(sh.s) + " p="
+                               + std::to_string(sh.p) + " h="
+                               + std::to_string(sh.h) + " w="
+                               + std::to_string(sh.w));
+    }
+}
+
+TEST(gemm_forward, fc_matches_reference_across_random_shapes)
+{
+    pcg32 rng(77);
+    for (int trial = 0; trial < 20; ++trial) {
+        const int outputs = 1 + static_cast<int>(rng.next_u64() % 40);
+        const int inputs = 1 + static_cast<int>(rng.next_u64() % 80);
+        fc_layer fc("f", outputs, inputs);
+        fill_gaussian(*fc.weights(), rng);
+        fill_gaussian(fc.biases(), rng);
+        tensor in({inputs, 1, 1});
+        fill_gaussian(in.flat(), rng);
+
+        for (const layer_quant q :
+             {layer_quant{}, layer_quant{.weight_bits = 4, .input_bits = 7}}) {
+            expect_float_equal(fc.forward(in, q),
+                               fc.reference_forward(in, q),
+                               "fc " + std::to_string(outputs) + "x"
+                                   + std::to_string(inputs));
+        }
+    }
+}
+
+TEST(gemm_forward, network_forward_matches_reference_end_to_end)
+{
+    const network net = make_lenet5({.seed = 9});
+    const std::vector<layer_quant> overlay(net.depth());
+    std::vector<layer_quant> quantized(net.depth());
+    for (const std::size_t li : net.weighted_layers()) {
+        quantized[li] = {.weight_bits = 6, .input_bits = 5};
+    }
+    pcg32 rng(123);
+    tensor in(net.input_shape());
+    fill_gaussian(in.flat(), rng, 0.3);
+
+    expect_float_equal(net.forward(in, overlay),
+                       net.reference_forward(in, overlay), "float lenet");
+    expect_float_equal(net.forward(in, quantized),
+                       net.reference_forward(in, quantized),
+                       "quantized lenet");
+}
+
+TEST(quantized_weight_cache, mutating_weights_invalidates)
+{
+    conv_layer conv("c", 2, 1, 3, 1, 1);
+    pcg32 rng(5);
+    fill_gaussian(*conv.weights(), rng);
+    tensor in({1, 6, 6});
+    fill_gaussian(in.flat(), rng);
+    const layer_quant q{.weight_bits = 5, .input_bits = 0};
+
+    const tensor first = conv.forward(in, q);
+    // Cached second pass: identical.
+    expect_float_equal(conv.forward(in, q), first, "cached repeat");
+
+    // Mutate the weights through the invalidating accessor: the quantized
+    // path must see the new values, not the stale cache.
+    for (float& w : *conv.weights()) {
+        w += 1.0F;
+    }
+    const tensor after = conv.forward(in, q);
+    expect_float_equal(after, conv.reference_forward(in, q),
+                       "post-mutation");
+    bool any_diff = false;
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        any_diff |= first.flat()[i] != after.flat()[i];
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(quantized_weight_cache, bits_zero_returns_input_without_copy)
+{
+    quantized_weight_cache cache;
+    const std::vector<float> w = {1.0F, -2.0F, 3.0F};
+    // The unquantized case must hand back the very same vector.
+    EXPECT_EQ(&cache.get(w, 0), &w);
+    EXPECT_EQ(&cache.get(w, -3), &w);
+    // Quantized requests come from the cache (stable address, new data).
+    const std::vector<float>& q4 = cache.get(w, 4);
+    EXPECT_NE(&q4, &w);
+    EXPECT_EQ(&cache.get(w, 4), &q4);
+}
+
+} // namespace
+} // namespace dvafs
