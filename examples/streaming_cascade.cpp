@@ -1,0 +1,153 @@
+// The paper's always-on use case as a streaming scenario: a low-precision
+// detector phase (LeNet-5 under a generous accuracy budget on a noisy
+// 30 fps stream) escalating to a full-precision recognizer phase (reduced
+// AlexNet at zero budget, 10 fps). The stream engine re-plans operating
+// points online at the phase boundary -- and on detected accuracy drift --
+// without stalling the stream, and attributes every frame's energy per
+// power domain through the energy ledger.
+
+#include "core/dvafs.h"
+
+#include <iostream>
+
+using namespace dvafs;
+
+namespace {
+
+void print_frame_log(const stream_result& res, const scenario& sc)
+{
+    ascii_table t({"frame", "phase", "plan", "pred", "teach", "t[ms]",
+                   "E[uJ]", "ok"});
+    // Full per-frame log for the interesting frames: phase boundaries,
+    // plan swaps and probe neighborhoods; elide the steady state.
+    int last_version = -1;
+    std::size_t last_phase = static_cast<std::size_t>(-1);
+    std::size_t elided = 0;
+    for (const frame_result& fr : res.frames) {
+        const bool boundary =
+            fr.plan_version != last_version || fr.phase != last_phase;
+        if (!boundary) {
+            ++elided;
+            continue;
+        }
+        if (elided > 0) {
+            t.add_row({"...", "", "", "", "", "", "", ""});
+            elided = 0;
+        }
+        last_version = fr.plan_version;
+        last_phase = fr.phase;
+        t.add_row({std::to_string(fr.frame),
+                   sc.phases[fr.phase].name,
+                   "v" + std::to_string(fr.plan_version),
+                   std::to_string(fr.predicted),
+                   std::to_string(fr.teacher),
+                   fmt_fixed(fr.time_ms, 3),
+                   fmt_fixed(fr.energy_mj * 1e3, 2),
+                   fr.deadline_met ? "y" : "MISS"});
+    }
+    if (elided > 0) {
+        t.add_row({"...", "", "", "", "", "", "", ""});
+    }
+    t.print(std::cout);
+    std::cout << "(one row per plan swap; '...' elides steady-state "
+                 "frames)\n\n";
+}
+
+} // namespace
+
+int main()
+{
+    scenario sc = make_cascade_scenario(make_lenet5({.seed = 2017}),
+                                        make_alexnet_scaled({.seed = 2017}),
+                                        /*detector_frames=*/48,
+                                        /*recognizer_frames=*/16);
+
+    governor_config gcfg;
+    gcfg.sweep.images = 12;
+    gcfg.sweep.max_bits = 10;
+
+    stream_config scfg;
+    scfg.probe_interval = 8;
+    scfg.probe_window = 8;
+    scfg.drift_margin = 0.04;
+
+    const envision_model model;
+    stream_engine engine(model, gcfg, scfg);
+
+    std::cout << "admitting " << sc.networks.size()
+              << " networks (teacher sweep + frontier measurement, "
+                 "cached)..."
+              << std::flush;
+    const stream_result res = engine.run(sc);
+    std::cout << " done (" << fmt_fixed(res.prepare_ms, 0)
+              << " ms admission)\n\n";
+
+    print_banner(std::cout, "re-plan log (the online decisions)");
+    for (const replan_event& ev : res.replans) {
+        std::cout << "  frame " << ev.frame << ": " << to_string(ev.reason)
+                  << " -> plan v" << ev.plan_version << " ("
+                  << ev.plan.network_name << ", budget "
+                  << fmt_percent(ev.accuracy_budget, 1) << ", "
+                  << fmt_fixed(ev.plan.total_time_ms, 3) << " ms/frame, "
+                  << fmt_fixed(ev.plan.total_energy_mj * 1e3, 2)
+                  << " uJ/frame, deadline "
+                  << (ev.plan.deadline_met ? "met" : "MISSED")
+                  << ", planned in " << fmt_fixed(ev.planning_ms, 3)
+                  << " ms)";
+        if (ev.window_accuracy_before >= 0.0) {
+            std::cout << " [window accuracy "
+                      << fmt_percent(ev.window_accuracy_before, 0)
+                      << " -> "
+                      << fmt_percent(ev.window_accuracy_after, 0) << "]";
+        }
+        if (ev.rebuilt_frontiers) {
+            std::cout << " [frontiers rebuilt]";
+        }
+        std::cout << "\n";
+    }
+    std::cout << "\n";
+
+    print_banner(std::cout, "per-frame log");
+    print_frame_log(res, sc);
+
+    print_banner(std::cout, "phase roll-up");
+    {
+        ascii_table t({"phase", "frames", "replans", "fps", "ms/frame",
+                       "uJ/frame", "stream acc", "deadline"});
+        for (const phase_stats& ps : res.phases) {
+            t.add_row({ps.name, std::to_string(ps.frames),
+                       std::to_string(ps.replans),
+                       fmt_fixed(ps.sustained_fps, 1),
+                       fmt_fixed(ps.mean_frame_ms, 3),
+                       fmt_fixed(ps.energy_per_frame_mj * 1e3, 2),
+                       fmt_percent(ps.stream_accuracy, 0),
+                       ps.deadline_met ? "met" : "MISSED"});
+        }
+        t.print(std::cout);
+    }
+
+    print_banner(std::cout, "energy attribution per power domain");
+    {
+        ascii_table t({"domain", "mJ", "share"});
+        for (const power_domain d :
+             {power_domain::as, power_domain::nas, power_domain::mem}) {
+            t.add_row({to_string(d),
+                       fmt_fixed(res.ledger.pj(d) * 1e-9, 3),
+                       fmt_percent(res.ledger.share(d), 1)});
+        }
+        t.add_row({"total", fmt_fixed(res.ledger.total_pj() * 1e-9, 3),
+                   "100%"});
+        t.print(std::cout);
+    }
+
+    std::cout << "\nstream: " << res.frames.size() << " frames, "
+              << fmt_fixed(res.sustained_fps, 1) << " fps sustained, "
+              << fmt_fixed(res.total_energy_mj * 1e3 /
+                               static_cast<double>(res.frames.size()),
+                           2)
+              << " uJ/frame, accuracy "
+              << fmt_percent(res.stream_accuracy, 0) << " vs the float "
+              << "teacher, re-planning spent "
+              << fmt_fixed(res.planning_ms, 2) << " ms total\n";
+    return 0;
+}

@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Documentation checks: Mermaid blocks parse (structurally) and every
+relative markdown link in README.md and docs/ resolves.
+
+No external services or packages -- the Mermaid check is a structural
+lint (fenced block closed, known diagram header, every content line looks
+like a node, an edge, a subgraph or a comment), which catches the
+truncation/typo class of breakage without embedding a real parser.
+
+Exit code 0 = clean, 1 = findings (each printed as file:line: message).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+MERMAID_HEADER = re.compile(
+    r"^\s*(graph|flowchart)\s+(TD|TB|BT|LR|RL)\s*$"
+)
+# A node ("name" or name["label"]), optionally chained by arrows into an
+# edge: A --> B, A -- text --> B["label"], etc.
+MERMAID_NODE = r'[A-Za-z0-9_]+(\["[^"\]]*"\]|\("[^"\)]*"\)|\{"[^"\}]*"\})?'
+MERMAID_LINE = re.compile(
+    r"^\s*{node}(\s*(-->|---|-\.->|==>)(\|[^|]*\|)?\s*{node})*\s*;?\s*$".format(
+        node=MERMAID_NODE
+    )
+)
+MERMAID_OTHER = re.compile(r"^\s*(subgraph\b.*|end|%%.*)\s*$")
+
+MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$")
+
+
+def anchor_of(heading: str) -> str:
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def non_fenced_lines(path: Path):
+    """(line_number, line) pairs outside ``` fences -- code samples are
+    not markdown, so links/headings inside them must not be parsed."""
+    in_fence = False
+    for i, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), 1
+    ):
+        if line.strip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            yield i, line
+
+
+def collect_anchors(path: Path) -> set:
+    anchors = set()
+    for _, line in non_fenced_lines(path):
+        m = HEADING.match(line)
+        if m:
+            anchors.add(anchor_of(m.group(1)))
+    return anchors
+
+
+def check_mermaid(path: Path, findings: list) -> None:
+    lines = path.read_text(encoding="utf-8").splitlines()
+    in_block = False
+    header_seen = False
+    start = 0
+    for i, line in enumerate(lines, 1):
+        stripped = line.strip()
+        if not in_block:
+            if stripped == "```mermaid":
+                in_block, header_seen, start = True, False, i
+            continue
+        if stripped == "```":
+            if not header_seen:
+                findings.append(
+                    f"{path}:{start}: mermaid block has no graph header"
+                )
+            in_block = False
+            continue
+        if not stripped:
+            continue
+        if not header_seen:
+            if MERMAID_HEADER.match(stripped):
+                header_seen = True
+            else:
+                findings.append(
+                    f"{path}:{i}: expected 'graph TD/LR/...' header, got "
+                    f"'{stripped}'"
+                )
+                header_seen = True  # report once per block
+            continue
+        if not (MERMAID_LINE.match(stripped) or MERMAID_OTHER.match(stripped)):
+            findings.append(
+                f"{path}:{i}: unparseable mermaid line: '{stripped}'"
+            )
+    if in_block:
+        findings.append(f"{path}:{start}: unterminated mermaid block")
+
+
+def check_links(path: Path, findings: list) -> None:
+    for i, line in non_fenced_lines(path):
+        for m in MD_LINK.finditer(line):
+            target = m.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            target, _, fragment = target.partition("#")
+            if not target:  # same-file anchor
+                dest = path
+            else:
+                dest = (path.parent / target).resolve()
+                if not dest.exists():
+                    findings.append(
+                        f"{path}:{i}: broken link '{m.group(1)}'"
+                    )
+                    continue
+            if fragment and dest.suffix == ".md":
+                if anchor_of(fragment) not in collect_anchors(dest):
+                    findings.append(
+                        f"{path}:{i}: broken anchor '#{fragment}' in "
+                        f"'{m.group(1)}'"
+                    )
+
+
+def main() -> int:
+    files = [ROOT / "README.md"] + sorted((ROOT / "docs").glob("*.md"))
+    findings = []
+    for f in files:
+        if not f.exists():
+            findings.append(f"{f}: missing")
+            continue
+        check_mermaid(f, findings)
+        check_links(f, findings)
+    for finding in findings:
+        print(finding)
+    print(
+        f"checked {len(files)} files: "
+        + ("FAIL" if findings else "ok")
+    )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,7 @@
 //   cnn/       quantized CNN inference and per-layer precision analysis
 //   envision/  the Envision chip model
 //   core/      modes, run-time controller, layer-wise precision planner
+//   runtime/   streaming scenario engine: online per-frame re-planning
 
 #pragma once
 
@@ -74,3 +75,8 @@
 #include "core/mode.h"
 #include "core/pareto.h"
 #include "core/planner.h"
+
+#include "runtime/adaptive_governor.h"
+#include "runtime/scenario.h"
+#include "runtime/stream_engine.h"
+#include "runtime/stream_scheduler.h"

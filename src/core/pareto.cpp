@@ -264,6 +264,20 @@ frontier_cache::get(const frontier_config& cfg, const tech_model& tech,
     return it->second;
 }
 
+std::shared_ptr<const mode_frontier>
+frontier_cache::refresh(const frontier_config& cfg, const tech_model& tech,
+                        const envision_calibration& cal)
+{
+    const std::string key = cfg.key(tech, cal);
+    // Measure outside the lock (same rationale as get()); publication
+    // replaces whatever entry the key held.
+    auto measured = std::make_shared<const mode_frontier>(
+        measure_mode_frontier(cfg, tech, cal));
+    const std::lock_guard<std::mutex> lock(mu_);
+    entries_[key] = measured;
+    return measured;
+}
+
 // -- layer frontier -----------------------------------------------------------
 
 bool layer_frontier::contains(const operating_point_spec& spec) const
@@ -304,8 +318,11 @@ select_frontier_points(const std::vector<layer_frontier>& frontiers,
     }
     const int b_total =
         static_cast<int>(std::floor(budget / resolution + 1e-9));
+    // Clamped at zero: a (hand-built) negative loss is "free", never a
+    // negative index into the DP table.
     const auto units = [&](double loss) {
-        return static_cast<int>(std::ceil(loss / resolution - 1e-9));
+        return std::max(
+            0, static_cast<int>(std::ceil(loss / resolution - 1e-9)));
     };
 
     const double inf = std::numeric_limits<double>::infinity();
@@ -351,6 +368,189 @@ select_frontier_points(const std::vector<layer_frontier>& frontiers,
         b -= units(frontiers[li].points[picked[li]].accuracy_loss);
     }
     return picked;
+}
+
+frontier_selection select_frontier_points_budgeted(
+    const std::vector<layer_frontier>& frontiers, double accuracy_budget,
+    double latency_budget_ms, double resolution, double time_resolution_ms)
+{
+    const auto summarize = [&](std::vector<std::size_t> indices,
+                               bool feasible) {
+        frontier_selection sel;
+        sel.indices = std::move(indices);
+        sel.feasible = feasible;
+        for (std::size_t li = 0; li < frontiers.size(); ++li) {
+            const layer_frontier_point& p =
+                frontiers[li].points[sel.indices[li]];
+            sel.accuracy_loss += p.accuracy_loss;
+            sel.time_ms += p.time_ms;
+            sel.energy_mj += p.energy_mj;
+        }
+        return sel;
+    };
+
+    if (accuracy_budget < 0.0 || resolution <= 0.0
+        || time_resolution_ms < 0.0 || !std::isfinite(accuracy_budget)
+        || !std::isfinite(latency_budget_ms)) {
+        // Non-finite budgets would turn the discretization into NaN
+        // arithmetic (e.g. a phase with target_fps = 0 yields an infinite
+        // deadline); fail loudly instead.
+        throw std::invalid_argument(
+            "select_frontier_points_budgeted: bad budget/resolution");
+    }
+    for (const layer_frontier& f : frontiers) {
+        if (f.points.empty()) {
+            throw std::invalid_argument(
+                "select_frontier_points_budgeted: empty layer frontier "
+                "for "
+                + f.layer_name);
+        }
+    }
+
+    const auto fastest_fallback = [&]() {
+        // Per-layer minimum-time selection (ties by energy, then index)
+        // -- the governor's "always have a plan" guarantee on any
+        // infeasibility. The caller sees feasible = false.
+        std::vector<std::size_t> fastest(frontiers.size(), 0);
+        for (std::size_t li = 0; li < frontiers.size(); ++li) {
+            for (std::size_t pi = 1; pi < frontiers[li].points.size();
+                 ++pi) {
+                const layer_frontier_point& p = frontiers[li].points[pi];
+                const layer_frontier_point& best =
+                    frontiers[li].points[fastest[li]];
+                if (p.time_ms < best.time_ms
+                    || (p.time_ms == best.time_ms
+                        && p.energy_mj < best.energy_mj)) {
+                    fastest[li] = pi;
+                }
+            }
+        }
+        return summarize(std::move(fastest), false);
+    };
+
+    // Unit costs clamp at zero: a (hand-built) negative loss or time is
+    // "free", never a negative index into the DP tables.
+    const auto loss_units = [&](double loss) {
+        return std::max(
+            0, static_cast<int>(std::ceil(loss / resolution - 1e-9)));
+    };
+    const int max_units = 100000;
+    if (accuracy_budget / resolution > max_units) {
+        throw std::invalid_argument(
+            "select_frontier_points_budgeted: budget/resolution too fine");
+    }
+    const int b_total =
+        static_cast<int>(std::floor(accuracy_budget / resolution + 1e-9));
+
+    // Uniform infeasibility semantics for both latency spellings (<= 0 =
+    // unconstrained, and any positive deadline): an unmeetable *accuracy*
+    // budget returns the fallback instead of the 1-D DP's throw.
+    std::int64_t min_loss_units = 0;
+    for (const layer_frontier& f : frontiers) {
+        int best = loss_units(f.points[0].accuracy_loss);
+        for (const layer_frontier_point& p : f.points) {
+            best = std::min(best, loss_units(p.accuracy_loss));
+        }
+        min_loss_units += best;
+    }
+    if (min_loss_units > b_total) {
+        return fastest_fallback();
+    }
+
+    if (latency_budget_ms <= 0.0) {
+        return summarize(
+            select_frontier_points(frontiers, accuracy_budget, resolution),
+            true);
+    }
+    const double tres = time_resolution_ms > 0.0 ? time_resolution_ms
+                                                 : latency_budget_ms / 256.0;
+
+    // 2-D knapsack DP over (loss units, time units). Both costs round up
+    // (conservative: the discretized plan never exceeds either real
+    // budget), energies stay exact. State space is layers x ~40 loss bins
+    // x ~257 time bins -- microseconds, which is what makes an online
+    // re-plan against cached frontiers cheap enough to run per phase.
+    if (latency_budget_ms / tres > max_units) {
+        throw std::invalid_argument(
+            "select_frontier_points_budgeted: budget/resolution too fine");
+    }
+    const int t_total =
+        static_cast<int>(std::floor(latency_budget_ms / tres + 1e-9));
+    // The per-axis caps do not bound the *product*; cap the state count
+    // too, or a fine 2-D grid turns the dp/choice tables into a multi-GB
+    // allocation instead of an error.
+    const std::int64_t max_states = 1000000;
+    if ((static_cast<std::int64_t>(b_total) + 1)
+            * (static_cast<std::int64_t>(t_total) + 1)
+        > max_states) {
+        throw std::invalid_argument(
+            "select_frontier_points_budgeted: budget/resolution grid too "
+            "large (coarsen a resolution)");
+    }
+    const auto time_units = [&](double ms) {
+        return std::max(0,
+                        static_cast<int>(std::ceil(ms / tres - 1e-9)));
+    };
+
+    const double inf = std::numeric_limits<double>::infinity();
+    const std::size_t n = frontiers.size();
+    const std::size_t cols = static_cast<std::size_t>(t_total) + 1;
+    const std::size_t states = (static_cast<std::size_t>(b_total) + 1)
+                               * cols;
+    const auto state = [&](int b, int t) {
+        return static_cast<std::size_t>(b) * cols
+               + static_cast<std::size_t>(t);
+    };
+    // dp[state]: minimal energy over processed layers within (b, t) units.
+    std::vector<double> dp(states, 0.0);
+    std::vector<std::vector<int>> choice(n, std::vector<int>(states, -1));
+
+    for (std::size_t li = 0; li < n; ++li) {
+        // Per-point unit costs are state-independent: hoist them out of
+        // the (b, t) loops (this DP is the online re-plan hot path).
+        const std::size_t npts = frontiers[li].points.size();
+        std::vector<int> lu(npts);
+        std::vector<int> tu(npts);
+        for (std::size_t pi = 0; pi < npts; ++pi) {
+            lu[pi] = loss_units(frontiers[li].points[pi].accuracy_loss);
+            tu[pi] = time_units(frontiers[li].points[pi].time_ms);
+        }
+        std::vector<double> ndp(states, inf);
+        for (int b = 0; b <= b_total; ++b) {
+            for (int t = 0; t <= t_total; ++t) {
+                for (std::size_t pi = 0; pi < npts; ++pi) {
+                    if (lu[pi] > b || tu[pi] > t
+                        || dp[state(b - lu[pi], t - tu[pi])] == inf) {
+                        continue;
+                    }
+                    const double e = dp[state(b - lu[pi], t - tu[pi])]
+                                     + frontiers[li].points[pi].energy_mj;
+                    if (e < ndp[state(b, t)]) {
+                        ndp[state(b, t)] = e;
+                        choice[li][state(b, t)] = static_cast<int>(pi);
+                    }
+                }
+            }
+        }
+        dp = std::move(ndp);
+    }
+
+    if (dp[state(b_total, t_total)] == inf) {
+        // No selection meets both budgets.
+        return fastest_fallback();
+    }
+
+    // Reconstruct backwards from the full budgets.
+    std::vector<std::size_t> picked(n, 0);
+    int b = b_total;
+    int t = t_total;
+    for (std::size_t li = n; li-- > 0;) {
+        const int pi = choice[li][state(b, t)];
+        picked[li] = static_cast<std::size_t>(pi);
+        b -= loss_units(frontiers[li].points[picked[li]].accuracy_loss);
+        t -= time_units(frontiers[li].points[picked[li]].time_ms);
+    }
+    return summarize(std::move(picked), true);
 }
 
 } // namespace dvafs

@@ -18,7 +18,12 @@
 //     teacher dataset. Dominated points are pruned again per layer.
 //  3. precision_planner (core/planner.h) selects one point per layer by
 //     dynamic programming over the layer frontiers under a network
-//     accuracy budget.
+//     accuracy budget -- select_frontier_points (accuracy only) for the
+//     offline flow, select_frontier_points_budgeted (accuracy + frame
+//     latency, with a minimum-time fallback) for the streaming runtime's
+//     online re-plans (src/runtime/).
+//
+// Docs: docs/architecture.md (data flow), docs/glossary.md (terms).
 
 #pragma once
 
@@ -106,6 +111,14 @@ public:
     get(const frontier_config& cfg, const tech_model& tech,
         const envision_calibration& cal);
 
+    // Re-measures a configuration through sim_engine and replaces the
+    // cached entry (the streaming governor's frontier-refresh hook, e.g.
+    // after a calibration update). Readers holding the old shared_ptr are
+    // unaffected; new get() calls see the fresh measurement.
+    std::shared_ptr<const mode_frontier>
+    refresh(const frontier_config& cfg, const tech_model& tech,
+            const envision_calibration& cal);
+
 private:
     frontier_cache() = default;
 
@@ -147,5 +160,34 @@ struct layer_frontier {
 std::vector<std::size_t>
 select_frontier_points(const std::vector<layer_frontier>& frontiers,
                        double budget, double resolution = 0.0025);
+
+// Result of a latency-constrained selection (the streaming runtime's
+// re-plan DP). `feasible` is false when no selection satisfies both
+// budgets; the returned indices are then the per-layer minimum-time
+// fallback (ties broken by energy, then index) so the governor always has
+// a plan to swap in.
+struct frontier_selection {
+    std::vector<std::size_t> indices;  // one per frontier
+    bool feasible = true;
+    double accuracy_loss = 0.0;        // sum over selected points
+    double time_ms = 0.0;
+    double energy_mj = 0.0;
+};
+
+// Two-budget generalization of select_frontier_points: minimizes total
+// energy subject to sum(accuracy_loss) <= accuracy_budget AND
+// sum(time_ms) <= latency_budget_ms. A non-positive latency budget means
+// unconstrained (delegates to the 1-D DP above, so offline plans are
+// unchanged). Times are discretized at `time_resolution_ms` (0 = budget /
+// 256), rounding up like the losses, so the selection is exact over the
+// discretized problem and bit-identical across platforms and thread
+// counts. Unlike select_frontier_points, *any* infeasibility -- latency,
+// accuracy, or their combination, under either latency spelling --
+// returns the fallback instead of throwing. Throws std::invalid_argument
+// on an empty frontier or bad resolutions.
+frontier_selection select_frontier_points_budgeted(
+    const std::vector<layer_frontier>& frontiers, double accuracy_budget,
+    double latency_budget_ms, double resolution = 0.0025,
+    double time_resolution_ms = 0.0);
 
 } // namespace dvafs

@@ -33,9 +33,29 @@ layer_plan make_layer_plan(const layer_workload& w, const layer_run& lr)
     lp.weight_bits = w.weight_bits;
     lp.input_bits = w.input_bits;
     lp.mode = lr.mode;
+    lp.report = lr.report;
     lp.power_mw = lr.report.power_mw;
     lp.energy_mj = lr.energy_mj;
     lp.time_ms = lr.time_ms;
+    return lp;
+}
+
+// Shared by the offline frontier_search path and the streaming
+// plan_from_frontiers: runs the layer at the selected frontier point and
+// reports the data-contract precision actually scheduled (the requirement
+// clamped to the point's usable bits).
+layer_plan assemble_frontier_layer(const layer_runner& runner,
+                                   const layer_workload& w,
+                                   const layer_frontier_point& p)
+{
+    const layer_run lr = runner.run_layer(w, p.mode, p.activity_divisor);
+    layer_plan lp = make_layer_plan(w, lr);
+    lp.weight_bits = std::min(w.weight_bits,
+                              std::max(1, p.spec.keep_bits));
+    lp.input_bits = std::min(w.input_bits, std::max(1, p.spec.keep_bits));
+    lp.point = p.spec;
+    lp.activity_divisor = p.activity_divisor;
+    lp.accuracy_loss = p.accuracy_loss;
     return lp;
 }
 
@@ -61,6 +81,43 @@ network_plan precision_planner::plan_with_requirements(
     const std::vector<layer_sparsity>& sparsity) const
 {
     return plan_internal(net, reqs, sparsity, nullptr);
+}
+
+network_plan precision_planner::plan_from_frontiers(
+    const network& net, const std::vector<layer_quant_requirement>& reqs,
+    const std::vector<layer_sparsity>& sparsity,
+    const std::vector<layer_frontier>& frontiers, double accuracy_budget,
+    double latency_budget_ms) const
+{
+    const std::vector<layer_workload> workloads =
+        build_workloads(net, reqs, sparsity);
+    if (frontiers.size() != workloads.size()) {
+        throw std::invalid_argument(
+            "precision_planner: frontier count mismatch");
+    }
+
+    network_plan np;
+    np.network_name = net.name();
+    np.policy = plan_policy::frontier_search;
+    np.accuracy_budget = accuracy_budget;
+    np.latency_budget_ms = latency_budget_ms;
+
+    const frontier_selection sel = select_frontier_points_budgeted(
+        frontiers, accuracy_budget, latency_budget_ms,
+        cfg_.budget_resolution);
+    np.planned_accuracy_loss = sel.accuracy_loss;
+    np.deadline_met = sel.feasible;
+
+    for (std::size_t k = 0; k < frontiers.size(); ++k) {
+        np.layers.push_back(assemble_frontier_layer(
+            runner_, workloads[k], frontiers[k].points[sel.indices[k]]));
+    }
+
+    finish_plan(np, workloads);
+    if (latency_budget_ms > 0.0 && np.total_time_ms > latency_budget_ms) {
+        np.deadline_met = false;
+    }
+    return np;
 }
 
 std::shared_ptr<const mode_frontier> precision_planner::frontier() const
@@ -187,12 +244,19 @@ precision_planner::layer_frontiers_from_workloads(
             candidates.push_back(c);
         }
 
-        // Per-layer Pareto prune over (energy, accuracy loss), then order
-        // by energy for the DP's stable tie-breaks.
+        // Per-layer Pareto prune over (energy, accuracy loss) -- plus
+        // runtime when the config keeps the time criterion for the
+        // streaming re-plan DP -- then order by energy for the DP's
+        // stable tie-breaks.
         std::vector<std::vector<double>> criteria;
         criteria.reserve(candidates.size());
         for (const layer_frontier_point& c : candidates) {
-            criteria.push_back({c.energy_mj, c.accuracy_loss});
+            if (cfg_.time_pareto) {
+                criteria.push_back(
+                    {c.energy_mj, c.accuracy_loss, c.time_ms});
+            } else {
+                criteria.push_back({c.energy_mj, c.accuracy_loss});
+            }
         }
         std::vector<std::size_t> front = pareto_front(criteria);
         std::sort(front.begin(), front.end(),
@@ -282,21 +346,8 @@ network_plan precision_planner::plan_internal(
         const std::vector<std::size_t> sel = select_frontier_points(
             fls, budget, cfg_.budget_resolution);
         for (std::size_t k = 0; k < fls.size(); ++k) {
-            const layer_frontier_point& p = fls[k].points[sel[k]];
-            const layer_workload& w = workloads[k];
-            const layer_run lr =
-                runner_.run_layer(w, p.mode, p.activity_divisor);
-            layer_plan lp = make_layer_plan(w, lr);
-            // Report the data-contract precision actually scheduled: the
-            // requirement clamped to the point's usable bits.
-            lp.weight_bits = std::min(w.weight_bits,
-                                      std::max(1, p.spec.keep_bits));
-            lp.input_bits = std::min(w.input_bits,
-                                     std::max(1, p.spec.keep_bits));
-            lp.point = p.spec;
-            lp.activity_divisor = p.activity_divisor;
-            lp.accuracy_loss = p.accuracy_loss;
-            np.layers.push_back(lp);
+            np.layers.push_back(assemble_frontier_layer(
+                runner_, workloads[k], fls[k].points[sel[k]]));
         }
         break;
     }

@@ -53,6 +53,13 @@ struct planner_config {
     double accuracy_budget = 0.0;
     // Discretization of the budget DP (see select_frontier_points).
     double budget_resolution = 0.0025;
+    // Keep per-layer runtime as a third Pareto criterion when building
+    // layer frontiers. Offline planning prunes over (energy, accuracy
+    // loss) only; the streaming runtime sets this so latency-budgeted
+    // re-plans (plan_from_frontiers) can trade energy for speed -- a
+    // faster-but-costlier point must survive the prune to be selectable
+    // under a deadline.
+    bool time_pareto = false;
     // Gate-level sweep behind the measured frontier (cached process-wide).
     frontier_config frontier;
 };
@@ -70,6 +77,10 @@ struct layer_plan {
     double power_mw = 0.0;
     double energy_mj = 0.0;    // per frame
     double time_ms = 0.0;
+    // Full power decomposition behind power_mw (AS array / guarding /
+    // fixed logic / memory) -- the split the streaming runtime's energy
+    // ledger attributes per frame and per power domain.
+    envision_report report;
 };
 
 struct network_plan {
@@ -87,6 +98,15 @@ struct network_plan {
     // baseline), for the headline savings factor.
     double baseline_energy_mj = 0.0;
     double savings_factor = 1.0;
+    // Streaming re-plan fields (plan_from_frontiers): the per-frame
+    // latency budget the DP ran under (0 = unconstrained, the offline
+    // path), whether the selection met it, and the first-order sum of the
+    // selected points' measured accuracy losses (the budget the DP
+    // actually spent; relative_accuracy stays the *measured joint* value
+    // and is not recomputed on the microsecond re-plan path).
+    double latency_budget_ms = 0.0;
+    bool deadline_met = true;
+    double planned_accuracy_loss = 0.0;
 };
 
 class precision_planner {
@@ -127,6 +147,21 @@ public:
         const std::vector<layer_quant_requirement>& reqs,
         const std::vector<layer_sparsity>& sparsity,
         const teacher_dataset* data = nullptr) const;
+
+    // Streaming re-plan API (src/runtime/): assembles a plan by DP over
+    // *precomputed* layer frontiers under an accuracy and a per-frame
+    // latency budget -- no sweeps, no dataset probes, no gate-level
+    // measurement, so a re-plan against cached frontiers costs
+    // microseconds (the adaptive governor's hot path). When no selection
+    // meets both budgets the per-layer minimum-time fallback is returned
+    // with deadline_met = false. Build the frontiers with `time_pareto`
+    // set, or fast points may have been pruned before the DP sees them.
+    network_plan plan_from_frontiers(
+        const network& net,
+        const std::vector<layer_quant_requirement>& reqs,
+        const std::vector<layer_sparsity>& sparsity,
+        const std::vector<layer_frontier>& frontiers,
+        double accuracy_budget, double latency_budget_ms) const;
 
     // The shared measured mode frontier (via frontier_cache).
     std::shared_ptr<const mode_frontier> frontier() const;

@@ -176,6 +176,16 @@ envision_mode envision_model::at_constant_frequency(scaling_regime regime,
     return m;
 }
 
+double domain_mw(const envision_report& r, power_domain d) noexcept
+{
+    switch (d) {
+    case power_domain::as: return r.as_mw;
+    case power_domain::nas: return r.guard_mw + r.fixed_mw;
+    case power_domain::mem: return r.mem_mw;
+    }
+    return 0.0;
+}
+
 envision_mode envision_model::at_constant_throughput(scaling_regime regime,
                                                      sw_mode mode,
                                                      int bits) const

@@ -6,6 +6,7 @@
 
 #pragma once
 
+#include "energy/energy_ledger.h" // power_domain
 #include "envision/calibration.h"
 #include "mult/subword.h"
 #include "simd/power_domains.h" // scaling_regime
@@ -36,6 +37,12 @@ struct envision_report {
     double tops_per_w = 0.0;
     double energy_per_op_pj = 0.0;
 };
+
+// Power of one runtime supply domain inside a report: `as` is the
+// accuracy-scalable MAC array, `nas` the non-scalable logic (guarding +
+// fixed control), `mem` the memories -- the split the streaming runtime's
+// energy_ledger attributes per frame. The three domains sum to power_mw.
+double domain_mw(const envision_report& r, power_domain d) noexcept;
 
 class envision_model {
 public:

@@ -1,0 +1,229 @@
+#include "runtime/adaptive_governor.h"
+
+#include "runtime/wallclock.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+namespace dvafs {
+
+namespace {
+
+planner_config search_config(const governor_config& cfg)
+{
+    planner_config pc;
+    pc.policy = plan_policy::frontier_search;
+    // The frontiers are priced for *any* phase budget up front (points
+    // below a layer's requirement carry their measured loss); each re-plan
+    // DP then constrains by the phase's own budget.
+    pc.accuracy_budget = 1.0;
+    pc.budget_resolution = cfg.budget_resolution;
+    pc.time_pareto = true;
+    pc.frontier = cfg.frontier;
+    return pc;
+}
+
+planner_config boot_config(const governor_config& cfg)
+{
+    planner_config pc;
+    pc.policy = plan_policy::heuristic_measured;
+    pc.frontier = cfg.frontier;
+    return pc;
+}
+
+// FNV-1a over each weighted layer's count and a head sample of its
+// weights: cheap even for the full-topology zoo networks, and any seed
+// or pruning difference perturbs the very first values.
+std::uint64_t weight_digest_of(const network& net)
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    const auto mix = [&h](std::uint64_t v) {
+        for (int b = 0; b < 8; ++b) {
+            h ^= (v >> (8 * b)) & 0xffU;
+            h *= 1099511628211ULL;
+        }
+    };
+    for (const std::size_t li : net.weighted_layers()) {
+        const std::vector<float>* w = net.at(li).weights();
+        if (w == nullptr) {
+            continue;
+        }
+        mix(w->size());
+        const std::size_t sample = std::min<std::size_t>(w->size(), 64);
+        for (std::size_t i = 0; i < sample; ++i) {
+            std::uint32_t bits;
+            static_assert(sizeof(bits) == sizeof(float));
+            std::memcpy(&bits, &(*w)[i], sizeof(bits));
+            mix(bits);
+        }
+    }
+    return h;
+}
+
+} // namespace
+
+const char* to_string(replan_reason r) noexcept
+{
+    switch (r) {
+    case replan_reason::startup: return "startup";
+    case replan_reason::phase_change: return "phase-change";
+    case replan_reason::drift: return "drift";
+    case replan_reason::refresh: return "refresh";
+    }
+    return "?";
+}
+
+adaptive_governor::adaptive_governor(const envision_model& model,
+                                     governor_config cfg)
+    : model_(model), cfg_(cfg), planner_(model_, search_config(cfg_)),
+      boot_planner_(model_, boot_config(cfg_))
+{
+}
+
+bool adaptive_governor::prepared(const network& net) const
+{
+    return states_.find(net.name()) != states_.end();
+}
+
+adaptive_governor::network_state&
+adaptive_governor::prepare_mutable(const network& net)
+{
+    const auto it = states_.find(net.name());
+    if (it != states_.end()) {
+        // State is keyed by name so a governor survives its networks
+        // being rebuilt between runs (same seeds => same network). Guard
+        // against a *different* network reusing the name with the
+        // fingerprint captured at prepare time -- on every hit, not just
+        // on a new address: the cached pointer may dangle and a freed
+        // block can be reused, so address identity proves nothing.
+        if (it->second.depth != net.depth()
+            || it->second.total_macs != net.total_macs()
+            || it->second.weight_digest != weight_digest_of(net)) {
+            throw std::invalid_argument(
+                "adaptive_governor: two different networks named "
+                + net.name());
+        }
+        it->second.net = &net;
+        return it->second;
+    }
+
+    network_state st;
+    st.net = &net;
+    st.depth = net.depth();
+    st.total_macs = net.total_macs();
+    st.weight_digest = weight_digest_of(net);
+    st.data = make_teacher_dataset(net, cfg_.sweep);
+    const batch_evaluator eval(net, st.data, cfg_.sweep.threads);
+    st.reqs = eval.refine(eval.sweep(cfg_.sweep), cfg_.sweep);
+    st.sparsity = eval.sparsity();
+    st.reference_accuracy = requirements_accuracy(net, st.reqs, st.data,
+                                                  cfg_.sweep.threads);
+    rebuild_frontiers(st);
+    st.fallback = boot_planner_.plan_with_requirements(net, st.reqs,
+                                                       st.sparsity);
+    return states_.emplace(net.name(), std::move(st)).first->second;
+}
+
+const adaptive_governor::network_state&
+adaptive_governor::prepare(const network& net)
+{
+    return prepare_mutable(net);
+}
+
+void adaptive_governor::rebuild_frontiers(network_state& st)
+{
+    st.frontiers = planner_.layer_frontiers(*st.net, st.reqs, st.sparsity,
+                                            &st.data);
+}
+
+double adaptive_governor::effective_budget(const network& net,
+                                           const scenario_phase& ph) const
+{
+    const auto it = budget_override_.find(net.name() + "/" + ph.name);
+    return it != budget_override_.end()
+               ? std::min(it->second, ph.accuracy_budget)
+               : ph.accuracy_budget;
+}
+
+replan_event adaptive_governor::replan(const network& net,
+                                       const scenario_phase& ph,
+                                       replan_reason reason,
+                                       std::uint64_t frame)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    const network_state& st = prepare(net);
+    replan_event ev;
+    ev.reason = reason;
+    ev.plan_version = ++version_;
+    ev.frame = frame;
+    ev.accuracy_budget = effective_budget(net, ph);
+    ev.plan = planner_.plan_from_frontiers(net, st.reqs, st.sparsity,
+                                           st.frontiers,
+                                           ev.accuracy_budget,
+                                           1000.0 / ph.target_fps);
+    ev.planning_ms = elapsed_ms_since(t0);
+    return ev;
+}
+
+replan_event adaptive_governor::escalate(const network& net,
+                                         const scenario_phase& ph,
+                                         std::uint64_t frame)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    network_state& st = prepare_mutable(net);
+    const std::string key = net.name() + "/" + ph.name;
+    const double cur = effective_budget(net, ph);
+    bool rebuilt = false;
+    if (cur >= cfg_.budget_resolution) {
+        // Stage one: spend less accuracy. Below one DP resolution step a
+        // budget is indistinguishable from zero, so floor it.
+        const double next = cur / 2.0;
+        budget_override_[key] =
+            next >= cfg_.budget_resolution ? next : 0.0;
+    } else {
+        // Stage two: the requirements themselves underestimate the live
+        // stream -- raise every layer by one bit and re-price the cached
+        // frontiers. Bounded: bits cap at the frontier width, and once
+        // every requirement is saturated there is nothing left to buy, so
+        // skip the (expensive) rebuild instead of re-measuring a no-op.
+        const int width = cfg_.frontier.width;
+        bool changed = false;
+        for (layer_quant_requirement& r : st.reqs) {
+            changed |= r.min_weight_bits < width || r.min_input_bits < width;
+            r.min_weight_bits = std::min(width, r.min_weight_bits + 1);
+            r.min_input_bits = std::min(width, r.min_input_bits + 1);
+        }
+        if (changed) {
+            rebuild_frontiers(st);
+            st.reference_accuracy = requirements_accuracy(
+                net, st.reqs, st.data, cfg_.sweep.threads);
+            st.fallback = boot_planner_.plan_with_requirements(
+                net, st.reqs, st.sparsity);
+            rebuilt = true;
+        }
+    }
+    replan_event ev = replan(net, ph, replan_reason::drift, frame);
+    ev.rebuilt_frontiers = rebuilt;
+    ev.planning_ms = elapsed_ms_since(t0);
+    return ev;
+}
+
+replan_event adaptive_governor::refresh_frontier(const network& net,
+                                                 const scenario_phase& ph,
+                                                 std::uint64_t frame)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    network_state& st = prepare_mutable(net);
+    frontier_cache::global().refresh(planner_.config().frontier,
+                                     tech_28nm_fdsoi(),
+                                     model_.calibration());
+    rebuild_frontiers(st);
+    replan_event ev = replan(net, ph, replan_reason::refresh, frame);
+    ev.rebuilt_frontiers = true;
+    ev.planning_ms = elapsed_ms_since(t0);
+    return ev;
+}
+
+} // namespace dvafs

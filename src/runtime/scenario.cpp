@@ -1,0 +1,97 @@
+#include "runtime/scenario.h"
+
+#include "util/rng.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace dvafs {
+
+std::size_t scenario::total_frames() const noexcept
+{
+    std::size_t n = 0;
+    for (const scenario_phase& ph : phases) {
+        n += ph.frames > 0 ? static_cast<std::size_t>(ph.frames) : 0;
+    }
+    return n;
+}
+
+void scenario::validate() const
+{
+    if (phases.empty()) {
+        throw std::invalid_argument("scenario: no phases");
+    }
+    for (const scenario_phase& ph : phases) {
+        if (ph.network >= networks.size()) {
+            throw std::invalid_argument("scenario: phase '" + ph.name
+                                        + "' names network "
+                                        + std::to_string(ph.network)
+                                        + " of "
+                                        + std::to_string(networks.size()));
+        }
+        if (ph.frames <= 0) {
+            throw std::invalid_argument("scenario: phase '" + ph.name
+                                        + "' has no frames");
+        }
+        if (ph.target_fps <= 0.0) {
+            throw std::invalid_argument("scenario: phase '" + ph.name
+                                        + "' has no frame rate");
+        }
+    }
+}
+
+tensor make_stream_frame(const network& net, const scenario_phase& ph,
+                         std::uint64_t stream_seed,
+                         std::uint64_t frame_index)
+{
+    // Per-frame seeding (splitmix-style mix of seed and index) keeps every
+    // frame's stream independent of how frames are batched across
+    // scheduler calls and threads.
+    std::uint64_t z = stream_seed + 0x9e3779b97f4a7c15ULL * (frame_index + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    pcg32 rng(z ^ (z >> 31));
+
+    tensor x(net.input_shape());
+    for (float& v : x.flat()) {
+        // The teacher-dataset distribution (image-like: non-negative,
+        // moderately sparse) plus the phase's additive sensor noise.
+        const double g = rng.gaussian(ph.input_mean, ph.input_spread);
+        double pixel = std::max(0.0, std::min(1.0, g));
+        if (ph.input_noise > 0.0) {
+            pixel += ph.input_noise * rng.gaussian();
+        }
+        v = static_cast<float>(pixel);
+    }
+    return x;
+}
+
+scenario make_cascade_scenario(network detector, network recognizer,
+                               int detector_frames, int recognizer_frames)
+{
+    scenario sc;
+    sc.name = "cascade";
+    sc.networks.push_back(std::move(detector));
+    sc.networks.push_back(std::move(recognizer));
+
+    scenario_phase detect;
+    detect.name = "detect";
+    detect.network = 0;
+    detect.frames = detector_frames;
+    detect.target_fps = 30.0;
+    detect.accuracy_budget = 0.10; // always-on: trade accuracy for energy
+    detect.input_noise = 0.15;     // degraded sensor stream
+    sc.phases.push_back(detect);
+
+    scenario_phase recognize;
+    recognize.name = "recognize";
+    recognize.network = 1;
+    recognize.frames = recognizer_frames;
+    recognize.target_fps = 10.0;
+    recognize.accuracy_budget = 0.0; // full precision requirement
+    sc.phases.push_back(recognize);
+    return sc;
+}
+
+} // namespace dvafs

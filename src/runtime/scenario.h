@@ -1,0 +1,68 @@
+// Streaming scenario descriptions for the DVAFS runtime (src/runtime/).
+//
+// A scenario is a sequence of *phases*, each naming a network, an accuracy
+// budget, a frame-rate target and a synthetic input-stream distribution --
+// the workload shape of the paper's always-on use cases (Sec. V): a
+// low-precision detector watching a cheap stream, escalating to a
+// full-precision recognizer when something happens. The stream engine
+// (stream_engine.h) executes phases frame-by-frame; the adaptive governor
+// (adaptive_governor.h) re-plans operating points at every phase boundary
+// and on detected accuracy drift.
+
+#pragma once
+
+#include "cnn/network.h"
+#include "cnn/tensor.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dvafs {
+
+// One streaming phase: `frames` frames of `networks[network]` arriving at
+// `target_fps` (per-frame deadline = 1000 / target_fps ms), planned under
+// `accuracy_budget` extra accuracy loss.
+struct scenario_phase {
+    std::string name;
+    std::size_t network = 0;      // index into scenario::networks
+    int frames = 32;
+    double target_fps = 30.0;
+    double accuracy_budget = 0.0;
+    // Input-stream distribution: pixel = clamp(gaussian(mean, spread)) +
+    // noise * gaussian(0, 1). `noise` models sensor degradation within a
+    // phase -- quantization hurts noisy inputs more than the clean teacher
+    // sweep predicted, which is what the drift probes detect.
+    double input_mean = 0.25;
+    double input_spread = 0.35;
+    double input_noise = 0.0;
+};
+
+struct scenario {
+    std::string name;
+    std::vector<network> networks; // owned; phases index into this
+    std::vector<scenario_phase> phases;
+    std::uint64_t stream_seed = 99;
+
+    std::size_t total_frames() const noexcept;
+    // Throws std::invalid_argument on out-of-range network indices,
+    // empty phases or non-positive frame rates.
+    void validate() const;
+};
+
+// Deterministic synthetic input for global frame `frame_index` of phase
+// `ph`: the RNG is seeded from (stream_seed, frame_index), so generation
+// is independent of batching order and thread count (the scheduler's
+// bit-identity contract).
+tensor make_stream_frame(const network& net, const scenario_phase& ph,
+                         std::uint64_t stream_seed,
+                         std::uint64_t frame_index);
+
+// The canonical two-phase cascade of the example and the runtime bench:
+// an always-on low-precision detector phase (generous accuracy budget,
+// high frame rate, noisy stream) escalating to a full-precision recognizer
+// phase (zero budget, lower frame rate).
+scenario make_cascade_scenario(network detector, network recognizer,
+                               int detector_frames, int recognizer_frames);
+
+} // namespace dvafs

@@ -1,0 +1,218 @@
+#include "runtime/stream_engine.h"
+
+#include "runtime/wallclock.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace dvafs {
+
+stream_result stream_engine::run(const scenario& sc)
+{
+    sc.validate();
+    stream_result res;
+
+    // Admission: the slow per-network planning state (teacher sweep,
+    // frontiers, boot plan) is built before the first frame arrives, so
+    // in-stream re-plans only ever pay the DP.
+    {
+        const auto t0 = std::chrono::steady_clock::now();
+        for (const network& net : sc.networks) {
+            governor_.prepare(net);
+        }
+        res.prepare_ms = elapsed_ms_since(t0);
+    }
+
+    std::uint64_t g = 0; // global frame index
+    const network* prev_net = nullptr;
+    network_plan active;
+    int active_version = 0;
+    bool has_pending = false;
+    replan_event pending;
+    std::uint64_t activate_at = 0;
+
+    for (std::size_t pi = 0; pi < sc.phases.size(); ++pi) {
+        const scenario_phase& ph = sc.phases[pi];
+        const network& net = sc.networks[ph.network];
+        const double period_ms = 1000.0 / ph.target_fps;
+
+        // Phase boundary: issue a re-plan. It activates
+        // replan_latency_frames later; until then the stream keeps running
+        // on the previous plan (same network) or the incoming network's
+        // heuristic boot plan (network switch) -- never stalls.
+        replan_event ev = governor_.replan(
+            net, ph,
+            g == 0 ? replan_reason::startup : replan_reason::phase_change,
+            g);
+        res.planning_ms += ev.planning_ms;
+        int phase_replans = 1;
+        if (g == 0 || cfg_.replan_latency_frames <= 0) {
+            active = ev.plan;
+            active_version = ev.plan_version;
+            has_pending = false;
+        } else {
+            if (&net != prev_net) {
+                active = governor_.prepare(net).fallback;
+                active_version = 0;
+            }
+            pending = ev;
+            has_pending = true;
+            activate_at =
+                g + static_cast<std::uint64_t>(cfg_.replan_latency_frames);
+        }
+        res.replans.push_back(std::move(ev));
+
+        const std::size_t phase_first = res.frames.size();
+        const std::uint64_t phase_end =
+            g + static_cast<std::uint64_t>(ph.frames);
+        const bool probing = cfg_.probe_interval > 0
+                             && cfg_.probe_window > 0;
+        std::uint64_t next_probe =
+            probing ? g + static_cast<std::uint64_t>(cfg_.probe_interval)
+                    : phase_end;
+        int escalations = 0;
+
+        while (g < phase_end) {
+            if (has_pending && g >= activate_at) {
+                active = pending.plan;
+                active_version = pending.plan_version;
+                has_pending = false;
+            }
+            // Admit up to max_in_flight frames, but never across a plan
+            // activation or a probe boundary (both are frame-indexed, so
+            // batching cannot change any outcome).
+            std::uint64_t batch_end = std::min(
+                phase_end,
+                g + static_cast<std::uint64_t>(
+                        std::max(1, cfg_.max_in_flight)));
+            if (has_pending) {
+                batch_end = std::min(batch_end, activate_at);
+            }
+            if (next_probe > g) {
+                batch_end = std::min(batch_end, next_probe);
+            }
+
+            std::vector<tensor> frames;
+            frames.reserve(static_cast<std::size_t>(batch_end - g));
+            for (std::uint64_t f = g; f < batch_end; ++f) {
+                frames.push_back(
+                    make_stream_frame(net, ph, sc.stream_seed, f));
+            }
+            scheduler_.run_batch(net, active, frames, g, pi,
+                                 active_version, period_ms, res.frames,
+                                 res.ledger);
+            g = batch_end;
+
+            if (!probing || g != next_probe || g >= phase_end) {
+                continue;
+            }
+            next_probe += static_cast<std::uint64_t>(cfg_.probe_interval);
+
+            // Drift probe: score the most recent frames *served by the
+            // active plan* against their float-teacher argmaxes -- a swap
+            // inside the window would otherwise blame the new plan for
+            // the old plan's misses -- and only once the active plan has
+            // served a full window.
+            std::size_t window = 0;
+            std::size_t hits = 0;
+            for (std::size_t i = res.frames.size();
+                 i-- > phase_first
+                 && window < static_cast<std::size_t>(cfg_.probe_window);) {
+                if (res.frames[i].plan_version != active_version) {
+                    break;
+                }
+                ++window;
+                hits += res.frames[i].predicted == res.frames[i].teacher;
+            }
+            if (window < static_cast<std::size_t>(cfg_.probe_window)) {
+                continue;
+            }
+            const double window_accuracy =
+                static_cast<double>(hits) / static_cast<double>(window);
+            // The accuracy floor: the governor's *current* reference
+            // (stage-two escalations update it) minus the loss the DP
+            // knowingly spent.
+            const double floor = governor_.prepare(net).reference_accuracy
+                                 - active.planned_accuracy_loss;
+            if (has_pending || escalations >= cfg_.max_escalations_per_phase
+                || window_accuracy >= floor - cfg_.drift_margin) {
+                continue;
+            }
+
+            replan_event dev = governor_.escalate(net, ph, g);
+            // Verify the escalation on the live window: the probe's
+            // batch_evaluator is based at the outgoing overlay, so pricing
+            // the candidate recomputes only the layers it changed.
+            {
+                std::vector<tensor> wframes;
+                std::vector<int> wlabels;
+                for (std::size_t i = res.frames.size() - window;
+                     i < res.frames.size(); ++i) {
+                    wframes.push_back(make_stream_frame(
+                        net, ph, sc.stream_seed, res.frames[i].frame));
+                    wlabels.push_back(res.frames[i].teacher);
+                }
+                const window_probe probe(net, std::move(wframes),
+                                         std::move(wlabels),
+                                         plan_overlay(net, active),
+                                         cfg_.threads);
+                dev.window_accuracy_before = probe.accuracy();
+                dev.window_accuracy_after =
+                    probe.accuracy(plan_overlay(net, dev.plan));
+            }
+            res.planning_ms += dev.planning_ms;
+            pending = dev;
+            has_pending = true;
+            activate_at =
+                g + static_cast<std::uint64_t>(
+                        std::max(0, cfg_.replan_latency_frames));
+            ++escalations;
+            ++phase_replans;
+            res.replans.push_back(std::move(dev));
+        }
+
+        // Phase roll-up.
+        phase_stats ps;
+        ps.name = ph.name;
+        ps.frames = res.frames.size() - phase_first;
+        ps.replans = phase_replans;
+        std::size_t hits = 0;
+        std::size_t deadline_hits = 0;
+        for (std::size_t i = phase_first; i < res.frames.size(); ++i) {
+            const frame_result& fr = res.frames[i];
+            ps.mean_frame_ms += fr.time_ms;
+            ps.energy_per_frame_mj += fr.energy_mj;
+            hits += fr.predicted == fr.teacher;
+            deadline_hits += fr.deadline_met;
+        }
+        const double n = static_cast<double>(ps.frames);
+        ps.mean_frame_ms /= n;
+        ps.energy_per_frame_mj /= n;
+        ps.stream_accuracy = static_cast<double>(hits) / n;
+        ps.deadline_hit_rate = static_cast<double>(deadline_hits) / n;
+        ps.sustained_fps =
+            std::min(ph.target_fps, 1000.0 / ps.mean_frame_ms);
+        ps.deadline_met = active.total_time_ms <= period_ms;
+        res.phases.push_back(ps);
+
+        prev_net = &net;
+    }
+
+    // Stream roll-up.
+    std::size_t hits = 0;
+    for (const frame_result& fr : res.frames) {
+        res.mean_frame_ms += fr.time_ms;
+        res.total_energy_mj += fr.energy_mj;
+        hits += fr.predicted == fr.teacher;
+    }
+    const double n = static_cast<double>(res.frames.size());
+    res.mean_frame_ms /= n;
+    res.stream_accuracy = static_cast<double>(hits) / n;
+    for (const phase_stats& ps : res.phases) {
+        res.sustained_fps +=
+            ps.sustained_fps * static_cast<double>(ps.frames) / n;
+    }
+    return res;
+}
+
+} // namespace dvafs

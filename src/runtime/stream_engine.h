@@ -1,0 +1,105 @@
+// The streaming scenario engine: executes a multi-network scenario
+// frame-by-frame under per-phase latency and energy budgets, re-planning
+// operating points online.
+//
+// Timeline model (deterministic -- wall clock never feeds back into
+// decisions, so a run is bit-identical across thread counts, and two
+// freshly constructed engines given the same scenario produce identical
+// results; note that governor adaptation -- drift-tightened budgets,
+// escalated requirements -- deliberately persists across run() calls on
+// one engine, so a *repeat* run on the same engine starts from what the
+// governor learned):
+//
+//  * Frames of phase p arrive at target_fps; each frame's modeled service
+//    time is its plan's total_time_ms.
+//  * A phase boundary (or a drift detection) *issues* a re-plan; the new
+//    plan activates `replan_latency_frames` frames later. Interim frames
+//    keep streaming on the previous plan -- or, when the phase switched
+//    networks, on the incoming network's heuristic boot plan -- so the
+//    stream never stalls. The governor's measured planning_ms is reported
+//    (bench_runtime_stream gates it against the frame period) but never
+//    consulted.
+//  * Every probe_interval frames the engine scores the last probe_window
+//    frames' predictions against their float-teacher argmaxes; when that
+//    window accuracy drops more than drift_margin below the phase's
+//    planned accuracy floor, the governor escalates.
+//
+// Energy is ledger-attributed per power domain (AS / NAS / MEM) for every
+// frame from the active plan's envision power decomposition.
+
+#pragma once
+
+#include "energy/energy_ledger.h"
+#include "envision/envision.h"
+#include "runtime/adaptive_governor.h"
+#include "runtime/scenario.h"
+#include "runtime/stream_scheduler.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dvafs {
+
+struct stream_config {
+    unsigned threads = 0;          // forward-pass workers (0 = hardware)
+    int max_in_flight = 4;         // frames batched per scheduler call
+    int probe_interval = 16;       // frames between drift probes
+    int probe_window = 8;          // frames scored per probe
+    double drift_margin = 0.05;    // tolerated drop below the accuracy floor
+    int replan_latency_frames = 2; // frames served on the old plan while a
+                                   // re-plan is in flight
+    int max_escalations_per_phase = 3;
+};
+
+// Per-phase roll-up of the frame log.
+struct phase_stats {
+    std::string name;
+    std::size_t frames = 0;
+    int replans = 0;               // events issued during this phase
+    double mean_frame_ms = 0.0;    // modeled service time
+    double sustained_fps = 0.0;    // min(target, 1000 / mean_frame_ms)
+    double energy_per_frame_mj = 0.0;
+    double stream_accuracy = 0.0;  // fraction of frames matching teacher
+    double deadline_hit_rate = 0.0;
+    bool deadline_met = true;      // the active plan met the frame period
+};
+
+struct stream_result {
+    std::vector<frame_result> frames;   // the per-frame log
+    std::vector<replan_event> replans;  // every governor decision
+    std::vector<phase_stats> phases;
+    energy_ledger ledger;               // per-domain attribution, all frames
+    double total_energy_mj = 0.0;
+    double mean_frame_ms = 0.0;
+    double sustained_fps = 0.0;         // frame-weighted across phases
+    double stream_accuracy = 0.0;
+    double prepare_ms = 0.0;            // measured admission cost (startup)
+    double planning_ms = 0.0;           // measured re-plan cost, summed
+};
+
+class stream_engine {
+public:
+    stream_engine(const envision_model& model, governor_config gcfg = {},
+                  stream_config scfg = {})
+        : governor_(model, gcfg), scheduler_(scfg.threads), cfg_(scfg)
+    {
+    }
+
+    // Prepares every scenario network (admission), then streams all
+    // phases. The scenario must outlive the call; networks are only read.
+    // An engine may run several scenarios: governor state is cached by
+    // network name, and a rebuilt network re-binds under its name when
+    // its structural fingerprint matches (same seeds, same network).
+    stream_result run(const scenario& sc);
+
+    adaptive_governor& governor() noexcept { return governor_; }
+    const stream_config& config() const noexcept { return cfg_; }
+
+private:
+    adaptive_governor governor_;
+    stream_scheduler scheduler_;
+    stream_config cfg_;
+};
+
+} // namespace dvafs

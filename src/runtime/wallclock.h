@@ -1,0 +1,18 @@
+// Measured wall-clock helper shared by the governor and the stream
+// engine. Reporting only: the runtime's determinism contract is that
+// measured time never feeds back into any decision.
+
+#pragma once
+
+#include <chrono>
+
+namespace dvafs {
+
+inline double elapsed_ms_since(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace dvafs

@@ -6,6 +6,13 @@
 // frequency. Grids are plain data; the threaded engine in sim/engine.h
 // measures every point over an identical input stream and sim/result.h
 // merges the records into energy/error/throughput reports.
+//
+// operating_point_spec doubles as the identity of a measured point
+// everywhere above this layer: the Pareto frontier (core/pareto.h) keys
+// its measurements on it, planner layer_plans carry it, and the streaming
+// runtime swaps specs when the governor re-plans. Vdd/f of 0 mean
+// "derive from the tech model" (nominal supply / constant-throughput
+// clock); see docs/glossary.md for the keep_bits semantics per mode.
 
 #pragma once
 

@@ -4,9 +4,10 @@
 // writes a JSON array of flat records
 //     {"bench": "...", "metric": "...", "value": <number>, "unit": "..."}
 // alongside its human-readable tables, so CI can archive a benchmark
-// trajectory and gate on regressions (see README "Benchmark output").
-// bench_sim_throughput is the one exception: it links google-benchmark,
-// whose native --benchmark_out does the same job.
+// trajectory and gate on regressions. The full schema -- field
+// conventions, units, gate exit codes, which benches CI uploads -- lives
+// in docs/bench_schema.md. bench_sim_throughput is the one exception: it
+// links google-benchmark, whose native --benchmark_out does the same job.
 
 #pragma once
 

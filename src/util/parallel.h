@@ -1,10 +1,13 @@
 // Shared thread-pool discipline for data-parallel loops.
 //
-// One contract, used by sim_engine::run_batch and the CNN batch_evaluator:
-// work items are claimed off an atomic counter, every item writes its
-// result into a preallocated per-index slot (so the outcome is
-// bit-identical for any thread count), and the first worker exception is
-// rethrown on the caller's thread after the pool joins.
+// One contract, used by sim_engine::run_batch, the CNN batch_evaluator
+// and the streaming runtime's frame scheduler: work items are claimed off
+// an atomic counter, every item writes its result into a preallocated
+// per-index slot (so the outcome is bit-identical for any thread count),
+// and the first worker exception is rethrown on the caller's thread after
+// the pool joins. Every repo-wide determinism claim -- threaded sweeps,
+// dataset fan-out, batched frame streams -- reduces to this contract plus
+// "reduce in index order afterwards".
 
 #pragma once
 

@@ -8,6 +8,7 @@
 
 #include <initializer_list>
 #include <limits>
+#include <tuple>
 #include <utility>
 
 namespace dvafs {
@@ -125,6 +126,154 @@ TEST(select_frontier_points, rejects_bad_inputs)
     EXPECT_THROW((void)select_frontier_points(lossy, 0.0),
                  std::invalid_argument);
     EXPECT_NO_THROW((void)select_frontier_points(lossy, 0.5));
+}
+
+// -- select_frontier_points_budgeted ------------------------------------------
+
+layer_frontier make_timed_frontier(
+    const char* name,
+    std::initializer_list<std::tuple<double, double, double>>
+        energy_loss_time)
+{
+    layer_frontier lf;
+    lf.layer_name = name;
+    for (const auto& [e, l, t] : energy_loss_time) {
+        layer_frontier_point p;
+        p.energy_mj = e;
+        p.accuracy_loss = l;
+        p.time_ms = t;
+        lf.points.push_back(p);
+    }
+    return lf;
+}
+
+TEST(select_frontier_points_budgeted, unconstrained_matches_1d_dp)
+{
+    const std::vector<layer_frontier> fls = {
+        make_timed_frontier("a", {{1.0, 0.0, 5.0}, {0.4, 0.08, 2.0}}),
+        make_timed_frontier("b", {{2.0, 0.0, 8.0}, {0.9, 0.05, 3.0}})};
+    for (const double budget : {0.0, 0.06, 0.2}) {
+        const frontier_selection sel =
+            select_frontier_points_budgeted(fls, budget, 0.0);
+        EXPECT_EQ(sel.indices, select_frontier_points(fls, budget));
+        EXPECT_TRUE(sel.feasible);
+    }
+}
+
+TEST(select_frontier_points_budgeted, deadline_forces_faster_points)
+{
+    // Unconstrained, the cheap-but-slow points win; under a 6 ms deadline
+    // only the fast points fit.
+    const std::vector<layer_frontier> fls = {
+        make_timed_frontier("a", {{1.0, 0.0, 5.0}, {3.0, 0.0, 1.0}}),
+        make_timed_frontier("b", {{2.0, 0.0, 8.0}, {5.0, 0.0, 2.0}})};
+    const frontier_selection loose =
+        select_frontier_points_budgeted(fls, 0.0, 100.0);
+    EXPECT_TRUE(loose.feasible);
+    EXPECT_EQ(loose.indices, (std::vector<std::size_t>{0, 0}));
+    const frontier_selection tight =
+        select_frontier_points_budgeted(fls, 0.0, 6.0);
+    EXPECT_TRUE(tight.feasible);
+    EXPECT_EQ(tight.indices, (std::vector<std::size_t>{1, 1}));
+    EXPECT_LE(tight.time_ms, 6.0);
+    EXPECT_GE(tight.energy_mj, loose.energy_mj);
+}
+
+TEST(select_frontier_points_budgeted, mixed_budgets_interact)
+{
+    // The fast point of layer a costs accuracy; affordable only when the
+    // accuracy budget pays for it.
+    const std::vector<layer_frontier> fls = {
+        make_timed_frontier("a", {{1.0, 0.0, 5.0}, {0.8, 0.05, 1.0}}),
+        make_timed_frontier("b", {{2.0, 0.0, 3.0}})};
+    const frontier_selection no_acc =
+        select_frontier_points_budgeted(fls, 0.0, 5.0);
+    EXPECT_FALSE(no_acc.feasible); // 5+3 > 5 and the fast point is lossy
+    const frontier_selection paid =
+        select_frontier_points_budgeted(fls, 0.05, 5.0);
+    EXPECT_TRUE(paid.feasible);
+    EXPECT_EQ(paid.indices, (std::vector<std::size_t>{1, 0}));
+}
+
+TEST(select_frontier_points_budgeted,
+     accuracy_infeasibility_falls_back_in_both_latency_spellings)
+{
+    // Every point of layer b is lossy and the budget is zero: the 1-D DP
+    // throws here, but the budgeted selector's contract is "always have
+    // a plan" -- under an explicit deadline *and* unconstrained.
+    const std::vector<layer_frontier> fls = {
+        make_timed_frontier("a", {{1.0, 0.0, 5.0}, {3.0, 0.0, 2.0}}),
+        make_timed_frontier("b", {{2.0, 0.1, 4.0}})};
+    EXPECT_THROW((void)select_frontier_points(fls, 0.0),
+                 std::invalid_argument);
+    for (const double latency : {0.0, 1e9}) {
+        const frontier_selection sel =
+            select_frontier_points_budgeted(fls, 0.0, latency);
+        EXPECT_FALSE(sel.feasible);
+        EXPECT_EQ(sel.indices, (std::vector<std::size_t>{1, 0}));
+    }
+}
+
+TEST(select_frontier_points_budgeted, rejects_non_finite_budgets)
+{
+    const std::vector<layer_frontier> fls = {
+        make_timed_frontier("a", {{1.0, 0.0, 5.0}})};
+    const double inf = std::numeric_limits<double>::infinity();
+    EXPECT_THROW((void)select_frontier_points_budgeted(fls, 0.0, inf),
+                 std::invalid_argument);
+    EXPECT_THROW((void)select_frontier_points_budgeted(fls, inf, 1.0),
+                 std::invalid_argument);
+}
+
+TEST(select_frontier_points_budgeted, negative_costs_are_treated_as_free)
+{
+    // Hand-built frontiers may carry a negative loss (reference minus
+    // measured accuracy before clamping); it must never index the DP
+    // tables out of bounds.
+    const std::vector<layer_frontier> fls = {
+        make_timed_frontier("a", {{1.0, -0.05, 5.0}, {0.5, 0.1, -2.0}})};
+    const frontier_selection sel =
+        select_frontier_points_budgeted(fls, 0.0, 10.0);
+    EXPECT_TRUE(sel.feasible);
+    EXPECT_EQ(sel.indices, (std::vector<std::size_t>{0}));
+    EXPECT_EQ(select_frontier_points(fls, 0.0),
+              (std::vector<std::size_t>{0}));
+}
+
+TEST(select_frontier_points_budgeted, infeasible_returns_fastest_fallback)
+{
+    const std::vector<layer_frontier> fls = {
+        make_timed_frontier("a", {{1.0, 0.0, 5.0}, {3.0, 0.0, 2.0}}),
+        make_timed_frontier("b", {{2.0, 0.0, 4.0}})};
+    const frontier_selection sel =
+        select_frontier_points_budgeted(fls, 0.0, 1.0);
+    EXPECT_FALSE(sel.feasible);
+    // Per-layer minimum time, regardless of energy.
+    EXPECT_EQ(sel.indices, (std::vector<std::size_t>{1, 0}));
+    EXPECT_DOUBLE_EQ(sel.time_ms, 6.0);
+}
+
+TEST(select_frontier_points_budgeted, relaxing_deadline_never_raises_energy)
+{
+    const std::vector<layer_frontier> fls = {
+        make_timed_frontier("a",
+                            {{1.0, 0.0, 5.0},
+                             {2.0, 0.0, 3.0},
+                             {4.0, 0.0, 1.0}}),
+        make_timed_frontier("b", {{2.0, 0.0, 6.0}, {3.5, 0.0, 2.0}})};
+    double prev = std::numeric_limits<double>::infinity();
+    // Fixed time resolution so selections at different deadlines solve the
+    // same discretized problem.
+    for (const double deadline : {3.0, 5.0, 7.0, 9.0, 11.0, 20.0}) {
+        const frontier_selection sel = select_frontier_points_budgeted(
+            fls, 0.0, deadline, 0.0025, 0.01);
+        if (!sel.feasible) {
+            continue;
+        }
+        EXPECT_LE(sel.time_ms, deadline + 1e-12);
+        EXPECT_LE(sel.energy_mj, prev) << "deadline " << deadline;
+        prev = sel.energy_mj;
+    }
 }
 
 // -- measured mode frontier ---------------------------------------------------

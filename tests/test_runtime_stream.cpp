@@ -1,0 +1,412 @@
+// Tests of the streaming runtime (src/runtime/): scenario plumbing,
+// scheduler overlays and ledger attribution, phase-transition determinism
+// across thread counts, latency-budget monotonicity and the governor's
+// infeasible-deadline fallback.
+
+#include "core/dvafs.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace dvafs {
+namespace {
+
+// Small shared config: LeNet-5 with a reduced teacher sweep so a full
+// engine run stays in test-suite time.
+governor_config small_governor()
+{
+    governor_config g;
+    g.sweep.images = 8;
+    g.sweep.max_bits = 8;
+    return g;
+}
+
+scenario two_phase_scenario()
+{
+    scenario sc;
+    sc.name = "test";
+    sc.networks.push_back(make_lenet5({.seed = 7}));
+    scenario_phase loose;
+    loose.name = "loose";
+    loose.frames = 20;
+    loose.target_fps = 25.0;
+    loose.accuracy_budget = 0.08;
+    loose.input_noise = 0.2;
+    sc.phases.push_back(loose);
+    scenario_phase tight = loose;
+    tight.name = "tight";
+    tight.frames = 12;
+    tight.accuracy_budget = 0.0;
+    tight.input_noise = 0.0;
+    sc.phases.push_back(tight);
+    return sc;
+}
+
+// -- scenario -----------------------------------------------------------------
+
+TEST(scenario, validate_rejects_bad_descriptions)
+{
+    scenario sc;
+    EXPECT_THROW(sc.validate(), std::invalid_argument); // no phases
+    sc.networks.push_back(make_lenet5({.seed = 7}));
+    scenario_phase ph;
+    ph.name = "p";
+    ph.network = 1; // out of range
+    sc.phases.push_back(ph);
+    EXPECT_THROW(sc.validate(), std::invalid_argument);
+    sc.phases[0].network = 0;
+    sc.phases[0].frames = 0;
+    EXPECT_THROW(sc.validate(), std::invalid_argument);
+    sc.phases[0].frames = 4;
+    sc.phases[0].target_fps = 0.0;
+    EXPECT_THROW(sc.validate(), std::invalid_argument);
+    sc.phases[0].target_fps = 30.0;
+    EXPECT_NO_THROW(sc.validate());
+    EXPECT_EQ(sc.total_frames(), 4U);
+}
+
+TEST(scenario, stream_frames_depend_only_on_seed_and_index)
+{
+    const network net = make_lenet5({.seed = 7});
+    scenario_phase ph;
+    const tensor a = make_stream_frame(net, ph, 42, 5);
+    const tensor b = make_stream_frame(net, ph, 42, 5);
+    const tensor c = make_stream_frame(net, ph, 42, 6);
+    const tensor d = make_stream_frame(net, ph, 43, 5);
+    ASSERT_EQ(a.size(), b.size());
+    bool differs_c = false;
+    bool differs_d = false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.flat()[i], b.flat()[i]);
+        differs_c |= a.flat()[i] != c.flat()[i];
+        differs_d |= a.flat()[i] != d.flat()[i];
+    }
+    EXPECT_TRUE(differs_c);
+    EXPECT_TRUE(differs_d);
+}
+
+// -- scheduler ----------------------------------------------------------------
+
+TEST(stream_scheduler, overlay_maps_plan_bits_onto_weighted_layers)
+{
+    const network net = make_lenet5({.seed = 7});
+    const envision_model model;
+    const precision_planner planner(model);
+    const quant_sweep_config qcfg{.images = 6, .max_bits = 8, .seed = 3};
+    const network_plan plan = planner.plan(net, qcfg);
+
+    const std::vector<layer_quant> overlay = plan_overlay(net, plan);
+    ASSERT_EQ(overlay.size(), net.depth());
+    const std::vector<std::size_t> weighted = net.weighted_layers();
+    ASSERT_EQ(weighted.size(), plan.layers.size());
+    for (std::size_t k = 0; k < weighted.size(); ++k) {
+        EXPECT_EQ(overlay[weighted[k]].weight_bits,
+                  plan.layers[k].weight_bits);
+        EXPECT_EQ(overlay[weighted[k]].input_bits,
+                  plan.layers[k].input_bits);
+    }
+    for (std::size_t i = 0; i < overlay.size(); ++i) {
+        if (std::find(weighted.begin(), weighted.end(), i)
+            == weighted.end()) {
+            EXPECT_EQ(overlay[i], layer_quant{});
+        }
+    }
+}
+
+TEST(stream_scheduler, ledger_attribution_matches_plan_energy)
+{
+    const network net = make_lenet5({.seed = 7});
+    const envision_model model;
+    const precision_planner planner(model);
+    const quant_sweep_config qcfg{.images = 6, .max_bits = 8, .seed = 3};
+    const network_plan plan = planner.plan(net, qcfg);
+
+    scenario_phase ph;
+    std::vector<tensor> frames;
+    for (std::uint64_t f = 0; f < 3; ++f) {
+        frames.push_back(make_stream_frame(net, ph, 11, f));
+    }
+    const stream_scheduler sched(1);
+    std::vector<frame_result> out;
+    energy_ledger ledger;
+    sched.run_batch(net, plan, frames, 0, 0, 1, 40.0, out, ledger);
+
+    ASSERT_EQ(out.size(), 3U);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        EXPECT_EQ(out[i].frame, i);
+        EXPECT_DOUBLE_EQ(out[i].energy_mj, plan.total_energy_mj);
+        EXPECT_DOUBLE_EQ(out[i].time_ms, plan.total_time_ms);
+    }
+    // Per-domain attribution sums back to the plan's frame energy
+    // (1 mJ = 1e9 pJ); every domain carries some of it.
+    EXPECT_NEAR(ledger.total_pj(), 3.0 * plan.total_energy_mj * 1e9,
+                3.0 * plan.total_energy_mj * 1e9 * 1e-9);
+    for (const power_domain d :
+         {power_domain::as, power_domain::nas, power_domain::mem}) {
+        EXPECT_GT(ledger.pj(d), 0.0);
+    }
+}
+
+// -- determinism --------------------------------------------------------------
+
+// Same stream + seed => bit-identical per-frame plans, predictions and
+// energies at 1 and N threads (measured planning_ms is wall clock and is
+// the one field excluded).
+TEST(stream_engine, phase_transitions_bit_identical_across_threads)
+{
+    const envision_model model;
+    stream_result results[2];
+    const unsigned thread_counts[2] = {1, 3};
+    for (int r = 0; r < 2; ++r) {
+        governor_config g = small_governor();
+        g.sweep.threads = thread_counts[r];
+        stream_config s;
+        s.threads = thread_counts[r];
+        s.probe_interval = 6;
+        s.probe_window = 6;
+        s.drift_margin = 0.02;
+        const scenario sc = two_phase_scenario();
+        stream_engine engine(model, g, s);
+        results[r] = engine.run(sc);
+    }
+    const stream_result& a = results[0];
+    const stream_result& b = results[1];
+
+    ASSERT_EQ(a.frames.size(), b.frames.size());
+    for (std::size_t i = 0; i < a.frames.size(); ++i) {
+        EXPECT_EQ(a.frames[i].frame, b.frames[i].frame);
+        EXPECT_EQ(a.frames[i].phase, b.frames[i].phase);
+        EXPECT_EQ(a.frames[i].plan_version, b.frames[i].plan_version);
+        EXPECT_EQ(a.frames[i].predicted, b.frames[i].predicted);
+        EXPECT_EQ(a.frames[i].teacher, b.frames[i].teacher);
+        EXPECT_EQ(a.frames[i].time_ms, b.frames[i].time_ms);
+        EXPECT_EQ(a.frames[i].energy_mj, b.frames[i].energy_mj);
+    }
+    ASSERT_EQ(a.replans.size(), b.replans.size());
+    for (std::size_t i = 0; i < a.replans.size(); ++i) {
+        EXPECT_EQ(a.replans[i].reason, b.replans[i].reason);
+        EXPECT_EQ(a.replans[i].plan_version, b.replans[i].plan_version);
+        EXPECT_EQ(a.replans[i].frame, b.replans[i].frame);
+        EXPECT_EQ(a.replans[i].accuracy_budget,
+                  b.replans[i].accuracy_budget);
+        EXPECT_EQ(a.replans[i].plan.total_energy_mj,
+                  b.replans[i].plan.total_energy_mj);
+        EXPECT_EQ(a.replans[i].plan.total_time_ms,
+                  b.replans[i].plan.total_time_ms);
+        EXPECT_EQ(a.replans[i].window_accuracy_before,
+                  b.replans[i].window_accuracy_before);
+        EXPECT_EQ(a.replans[i].window_accuracy_after,
+                  b.replans[i].window_accuracy_after);
+        ASSERT_EQ(a.replans[i].plan.layers.size(),
+                  b.replans[i].plan.layers.size());
+        for (std::size_t k = 0; k < a.replans[i].plan.layers.size();
+             ++k) {
+            EXPECT_EQ(a.replans[i].plan.layers[k].point,
+                      b.replans[i].plan.layers[k].point);
+        }
+    }
+    for (const power_domain d :
+         {power_domain::as, power_domain::nas, power_domain::mem}) {
+        EXPECT_EQ(a.ledger.pj(d), b.ledger.pj(d));
+    }
+    EXPECT_EQ(a.total_energy_mj, b.total_energy_mj);
+    EXPECT_EQ(a.stream_accuracy, b.stream_accuracy);
+}
+
+// The noisy loose phase must provoke at least one drift escalation, and
+// escalations must tighten the effective budget.
+TEST(stream_engine, drift_escalation_tightens_the_budget)
+{
+    const envision_model model;
+    governor_config g = small_governor();
+    stream_config s;
+    s.probe_interval = 6;
+    s.probe_window = 6;
+    s.drift_margin = 0.02;
+    const scenario sc = two_phase_scenario();
+    stream_engine engine(model, g, s);
+    EXPECT_FALSE(engine.governor().prepared(sc.networks[0]));
+    const stream_result res = engine.run(sc);
+    EXPECT_TRUE(engine.governor().prepared(sc.networks[0]));
+    // Every re-plan event carries a fresh plan version.
+    EXPECT_EQ(static_cast<std::size_t>(
+                  engine.governor().versions_issued()),
+              res.replans.size());
+
+    bool saw_drift = false;
+    double last_budget = sc.phases[0].accuracy_budget;
+    for (const replan_event& ev : res.replans) {
+        if (ev.reason != replan_reason::drift || ev.frame >= 20) {
+            continue;
+        }
+        saw_drift = true;
+        EXPECT_LT(ev.accuracy_budget, last_budget);
+        last_budget = ev.accuracy_budget;
+        // The engine verified the escalation on the live window.
+        EXPECT_GE(ev.window_accuracy_before, 0.0);
+        EXPECT_GE(ev.window_accuracy_after, ev.window_accuracy_before);
+    }
+    EXPECT_TRUE(saw_drift);
+}
+
+// -- latency budgets ----------------------------------------------------------
+
+class latency_budget_test : public ::testing::Test {
+protected:
+    static void SetUpTestSuite()
+    {
+        net_ = new network(make_lenet5({.seed = 7}));
+        model_ = new envision_model();
+        governor_ = new adaptive_governor(*model_, small_governor());
+        governor_->prepare(*net_);
+    }
+    static void TearDownTestSuite()
+    {
+        delete governor_;
+        governor_ = nullptr;
+        delete model_;
+        model_ = nullptr;
+        delete net_;
+        net_ = nullptr;
+    }
+
+    static network* net_;
+    static envision_model* model_;
+    static adaptive_governor* governor_;
+};
+
+network* latency_budget_test::net_ = nullptr;
+envision_model* latency_budget_test::model_ = nullptr;
+adaptive_governor* latency_budget_test::governor_ = nullptr;
+
+// Tighter latency budget never lowers fps: each feasible plan fits its
+// deadline, and relaxing the deadline never raises energy.
+TEST_F(latency_budget_test, tighter_deadline_never_lowers_fps)
+{
+    const auto& frontiers = governor_->prepare(*net_).frontiers;
+    double prev_energy = -1.0;
+    for (const double deadline : {0.01, 0.02, 0.05, 0.2, 1.0}) {
+        const frontier_selection sel = select_frontier_points_budgeted(
+            frontiers, 0.0, deadline, 0.0025, 1e-4);
+        if (!sel.feasible) {
+            continue;
+        }
+        EXPECT_LE(sel.time_ms, deadline + 1e-12);
+        const double fps = 1000.0 / sel.time_ms;
+        EXPECT_GE(fps + 1e-9, 1000.0 / deadline);
+        if (prev_energy >= 0.0) {
+            EXPECT_GE(prev_energy + 1e-12, sel.energy_mj)
+                << "deadline " << deadline;
+        }
+        prev_energy = sel.energy_mj;
+    }
+    ASSERT_GE(prev_energy, 0.0) << "no deadline was feasible";
+}
+
+// A frontier refresh re-measures the shared mode frontier and rebuilds
+// the cached layer frontiers; measurement is seeded-deterministic, so the
+// refreshed plan equals a plain re-plan point for point.
+TEST_F(latency_budget_test, frontier_refresh_is_deterministic)
+{
+    scenario_phase ph;
+    ph.name = "steady";
+    ph.frames = 4;
+    ph.target_fps = 25.0;
+    const replan_event before =
+        governor_->replan(*net_, ph, replan_reason::phase_change, 0);
+    const replan_event refreshed =
+        governor_->refresh_frontier(*net_, ph, 4);
+    EXPECT_EQ(refreshed.reason, replan_reason::refresh);
+    EXPECT_TRUE(refreshed.rebuilt_frontiers);
+    EXPECT_GT(refreshed.plan_version, before.plan_version);
+    EXPECT_EQ(refreshed.plan.total_energy_mj,
+              before.plan.total_energy_mj);
+    EXPECT_EQ(refreshed.plan.total_time_ms, before.plan.total_time_ms);
+    ASSERT_EQ(refreshed.plan.layers.size(), before.plan.layers.size());
+    for (std::size_t k = 0; k < before.plan.layers.size(); ++k) {
+        EXPECT_EQ(refreshed.plan.layers[k].point,
+                  before.plan.layers[k].point);
+    }
+}
+
+// The governor's cache is keyed by network name: a rebuilt same-seed
+// network re-binds (second run works after the first scenario died), but
+// a *different* network stealing the name is rejected.
+TEST(stream_engine, engine_reuse_across_rebuilt_scenarios)
+{
+    const envision_model model;
+    governor_config g = small_governor();
+    stream_config s;
+    s.probe_interval = 0;
+    stream_engine engine(model, g, s);
+
+    stream_result first;
+    {
+        scenario sc = two_phase_scenario();
+        first = engine.run(sc);
+    } // first scenario (and its networks) destroyed here
+    scenario sc2 = two_phase_scenario();
+    const stream_result second = engine.run(sc2);
+    ASSERT_EQ(first.frames.size(), second.frames.size());
+    for (std::size_t i = 0; i < first.frames.size(); ++i) {
+        EXPECT_EQ(first.frames[i].predicted, second.frames[i].predicted);
+        EXPECT_EQ(first.frames[i].energy_mj, second.frames[i].energy_mj);
+    }
+
+    // A structurally different network stealing the name is rejected...
+    network impostor(sc2.networks[0].name(),
+                     sc2.networks[0].input_shape());
+    EXPECT_THROW(engine.governor().prepare(impostor),
+                 std::invalid_argument);
+    // ...and so is the same architecture built from a different seed
+    // (the weight digest differs, so the cached sweeps do not apply).
+    const network reseeded = make_lenet5({.seed = 12345});
+    EXPECT_THROW(engine.governor().prepare(reseeded),
+                 std::invalid_argument);
+}
+
+// An impossible frame rate falls back to the minimum-time plan with
+// deadline_met = false -- and the stream keeps running on it.
+TEST_F(latency_budget_test, infeasible_deadline_falls_back)
+{
+    scenario_phase ph;
+    ph.name = "impossible";
+    ph.frames = 8;
+    ph.target_fps = 1e9;
+    ph.accuracy_budget = 0.0;
+    const replan_event ev =
+        governor_->replan(*net_, ph, replan_reason::phase_change, 0);
+    EXPECT_FALSE(ev.plan.deadline_met);
+    EXPECT_GT(ev.plan.total_time_ms, 1000.0 / ph.target_fps);
+    // Fallback = per-layer fastest: no other selection can be faster.
+    const auto& frontiers = governor_->prepare(*net_).frontiers;
+    double fastest = 0.0;
+    for (const layer_frontier& lf : frontiers) {
+        double best = lf.points.front().time_ms;
+        for (const layer_frontier_point& p : lf.points) {
+            best = std::min(best, p.time_ms);
+        }
+        fastest += best;
+    }
+    EXPECT_NEAR(ev.plan.total_time_ms, fastest, fastest * 1e-9);
+
+    scenario sc;
+    sc.networks.push_back(make_lenet5({.seed = 7}));
+    sc.phases.push_back(ph);
+    governor_config g = small_governor();
+    stream_config s;
+    s.probe_interval = 0; // no drift probes: isolate the fallback path
+    const envision_model model;
+    stream_engine engine(model, g, s);
+    const stream_result res = engine.run(sc);
+    ASSERT_EQ(res.frames.size(), 8U);
+    EXPECT_FALSE(res.phases[0].deadline_met);
+    for (const frame_result& fr : res.frames) {
+        EXPECT_FALSE(fr.deadline_met);
+    }
+}
+
+} // namespace
+} // namespace dvafs
