@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Merge bench --json outputs into one baseline file.
+
+Usage: collect_bench.py OUT.json IN1.json [IN2.json ...]
+
+Every bench_* target writes a flat JSON array of
+{"bench", "metric", "value", "unit"} records (docs/bench_schema.md).
+This script concatenates the inputs, sorts records by (bench, metric) so
+the merged file diffs cleanly between refreshes, and writes the result.
+CI's bench-release job runs it over the uploaded artifacts to produce the
+refresh candidate for the checked-in BENCH_sim.json baseline; refreshing
+the baseline is a deliberate commit, never automatic.
+
+Exit codes: 0 ok, 1 usage, 2 malformed input.
+"""
+
+import json
+import sys
+
+
+def fail(msg: str, code: int) -> "None":
+    print(f"collect_bench: {msg}", file=sys.stderr)
+    sys.exit(code)
+
+
+def main(argv: list) -> int:
+    if len(argv) < 3:
+        fail("usage: collect_bench.py OUT.json IN1.json [IN2.json ...]", 1)
+    out_path, in_paths = argv[1], argv[2:]
+
+    records = []
+    for path in in_paths:
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                data = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            fail(f"cannot read {path}: {e}", 2)
+        if not isinstance(data, list):
+            fail(f"{path}: expected a JSON array of records", 2)
+        for rec in data:
+            missing = {"bench", "metric", "value", "unit"} - set(rec)
+            if missing:
+                fail(f"{path}: record missing {sorted(missing)}", 2)
+            records.append(
+                {
+                    "bench": rec["bench"],
+                    "metric": rec["metric"],
+                    "value": rec["value"],
+                    "unit": rec["unit"],
+                }
+            )
+
+    records.sort(key=lambda r: (r["bench"], r["metric"]))
+    with open(out_path, "w", encoding="utf-8") as f:
+        json.dump(records, f, indent=2)
+        f.write("\n")
+    print(f"collect_bench: wrote {len(records)} records to {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

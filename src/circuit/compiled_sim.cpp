@@ -1,0 +1,423 @@
+#include "circuit/compiled_sim.h"
+
+#include "circuit/gate_kinds.h"
+#include "circuit/logic_sim.h"
+#include "circuit/tech.h"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+namespace dvafs {
+
+// -- compilation --------------------------------------------------------------
+
+compiled_schedule
+compile_netlist(const netlist& nl,
+                const std::vector<std::pair<net_id, bool>>& tied)
+{
+    const auto& gates = nl.gates();
+    const auto& ins = nl.inputs();
+
+    compiled_schedule s;
+    s.net_count = nl.size();
+    s.input_count = ins.size();
+
+    std::vector<std::int8_t> tie(s.net_count, -1);
+    for (const auto& [id, value] : tied) {
+        if (nl.at(id).kind != gate_kind::input) {
+            throw std::invalid_argument(
+                "compile_netlist: tied net is not a primary input");
+        }
+        tie[id] = value ? 1 : 0;
+    }
+
+    // Three-valued constant propagation: the single folding oracle shared
+    // with find_static_gates and the timing analyzer's active cone.
+    const std::vector<std::uint8_t> val = propagate_constants(nl, tied);
+
+    // Levelize the surviving gates (construction order is topological, so
+    // one forward pass suffices; folded fanins sit at level 0), then sort
+    // by (level, kind, id): within a level gates are independent, so
+    // kind-grouping is free, and processing runs in this order keeps every
+    // fanin evaluated before its reader even when same-kind runs merge
+    // across level boundaries.
+    std::vector<std::uint32_t> level(s.net_count, 0);
+    std::vector<net_id> order;
+    for (std::size_t i = 0; i < s.net_count; ++i) {
+        const gate& g = gates[i];
+        if (g.kind == gate_kind::input || g.kind == gate_kind::constant
+            || val[i] != ternary_x) {
+            continue;
+        }
+        const int arity = gate_kind_arity(g.kind);
+        std::uint32_t lv = level[g.in0];
+        if (arity >= 2) {
+            lv = std::max(lv, level[g.in1]);
+        }
+        if (arity >= 3) {
+            lv = std::max(lv, level[g.in2]);
+        }
+        level[i] = lv + 1;
+        order.push_back(static_cast<net_id>(i));
+    }
+    std::sort(order.begin(), order.end(), [&](net_id a, net_id b) {
+        if (level[a] != level[b]) {
+            return level[a] < level[b];
+        }
+        if (gates[a].kind != gates[b].kind) {
+            return gates[a].kind < gates[b].kind;
+        }
+        return a < b;
+    });
+
+    // Dense renumbering, hot to cold: scheduled gates in schedule order
+    // (a gate's dense id == its schedule position), then live inputs,
+    // then every folded net.
+    constexpr net_id unassigned = no_net;
+    s.dense_of.assign(s.net_count, unassigned);
+    s.kinds.resize(s.net_count);
+    net_id next = 0;
+    const auto assign = [&](net_id orig) {
+        s.dense_of[orig] = next;
+        s.kinds[next] = gates[orig].kind;
+        ++next;
+    };
+    for (const net_id id : order) {
+        assign(id);
+    }
+    for (std::size_t pos = 0; pos < ins.size(); ++pos) {
+        const net_id net = ins[pos];
+        if (tie[net] < 0) {
+            assign(net);
+            s.live_inputs.push_back({s.dense_of[net],
+                                     static_cast<std::uint32_t>(pos)});
+        } else {
+            s.tied_checks.emplace_back(static_cast<std::uint32_t>(pos),
+                                       tie[net] != 0);
+        }
+    }
+    for (std::size_t i = 0; i < s.net_count; ++i) {
+        if (val[i] == ternary_x) {
+            continue;
+        }
+        assign(static_cast<net_id>(i));
+        s.const_dense.push_back(s.dense_of[i]);
+        s.const_vals.push_back(val[i]);
+        const gate_kind k = gates[i].kind;
+        if (k != gate_kind::input && k != gate_kind::constant) {
+            ++s.pruned_gates;
+        }
+    }
+
+    s.in0.reserve(order.size());
+    s.in1.reserve(order.size());
+    s.in2.reserve(order.size());
+    for (const net_id id : order) {
+        const gate& g = gates[id];
+        const int arity = gate_kind_arity(g.kind);
+        if (s.runs.empty() || s.runs.back().kind != g.kind) {
+            const auto at = static_cast<std::uint32_t>(s.in0.size());
+            s.runs.push_back({g.kind, at, at});
+        }
+        s.in0.push_back(s.dense_of[g.in0]);
+        s.in1.push_back(arity >= 2 ? s.dense_of[g.in1]
+                                   : 0); // absent fanin: slot 0,
+        s.in2.push_back(arity >= 3 ? s.dense_of[g.in2]
+                                   : 0); // loaded but never used
+        s.runs.back().end = static_cast<std::uint32_t>(s.in0.size());
+    }
+    return s;
+}
+
+// -- executor -----------------------------------------------------------------
+
+template <int W>
+compiled_sim<W>::compiled_sim(
+    std::shared_ptr<const compiled_schedule> schedule)
+    : sched_(std::move(schedule)),
+      values_(sched_->net_count, wide_word<W>::zero()),
+      last_(sched_->net_count, 0),
+      toggles_(sched_->net_count, 0)
+{
+    // Folded nets get their constant once; no kernel ever writes them and
+    // the toggle accounting skips them (a constant never transitions).
+    for (std::size_t i = 0; i < sched_->const_dense.size(); ++i) {
+        const net_id slot = sched_->const_dense[i];
+        const bool v = sched_->const_vals[i] != 0;
+        values_[slot] = v ? wide_word<W>::ones() : wide_word<W>::zero();
+        last_[slot] = v ? 1 : 0;
+    }
+}
+
+template <int W>
+template <gate_kind K>
+void compiled_sim<W>::exec_run(const compiled_run& run,
+                               const wide_word<W>& toggle_mask,
+                               int last_word, int last_bit)
+{
+    const compiled_schedule& s = *sched_;
+    const net_id* const i0 = s.in0.data();
+    const net_id* const i1 = s.in1.data();
+    const net_id* const i2 = s.in2.data();
+    wide_word<W>* const v = values_.data();
+    std::uint64_t* const tg = toggles_.data();
+    std::uint8_t* const last = last_.data();
+    const wide_word<W> ones = wide_word<W>::ones();
+
+    // K is a compile-time constant: eval_gate_kind's switch folds away and
+    // the loop body is branch-free -- three fanin gathers, W-word bitwise
+    // ops, fused transition popcount. Dense renumbering makes the output
+    // slot the loop index, so value/toggle/last writes stream sequentially.
+    for (std::uint32_t i = run.begin; i < run.end; ++i) {
+        const wide_word<W> r =
+            eval_gate_kind<wide_word<W>>(K, v[i0[i]], v[i1[i]], v[i2[i]],
+                                         ones);
+        v[i] = r;
+        tg[i] += lane_shift_transitions(r, last[i], toggle_mask);
+        last[i] = static_cast<std::uint8_t>((r.w[last_word] >> last_bit)
+                                            & 1ULL);
+    }
+}
+
+template <int W>
+void compiled_sim<W>::dispatch_run(const compiled_run& run,
+                                   const wide_word<W>& toggle_mask,
+                                   int last_word, int last_bit)
+{
+    switch (run.kind) {
+    case gate_kind::buf:
+        exec_run<gate_kind::buf>(run, toggle_mask, last_word, last_bit);
+        break;
+    case gate_kind::not_g:
+        exec_run<gate_kind::not_g>(run, toggle_mask, last_word, last_bit);
+        break;
+    case gate_kind::and_g:
+        exec_run<gate_kind::and_g>(run, toggle_mask, last_word, last_bit);
+        break;
+    case gate_kind::or_g:
+        exec_run<gate_kind::or_g>(run, toggle_mask, last_word, last_bit);
+        break;
+    case gate_kind::xor_g:
+        exec_run<gate_kind::xor_g>(run, toggle_mask, last_word, last_bit);
+        break;
+    case gate_kind::nand_g:
+        exec_run<gate_kind::nand_g>(run, toggle_mask, last_word, last_bit);
+        break;
+    case gate_kind::nor_g:
+        exec_run<gate_kind::nor_g>(run, toggle_mask, last_word, last_bit);
+        break;
+    case gate_kind::xnor_g:
+        exec_run<gate_kind::xnor_g>(run, toggle_mask, last_word, last_bit);
+        break;
+    case gate_kind::and3_g:
+        exec_run<gate_kind::and3_g>(run, toggle_mask, last_word, last_bit);
+        break;
+    case gate_kind::or3_g:
+        exec_run<gate_kind::or3_g>(run, toggle_mask, last_word, last_bit);
+        break;
+    case gate_kind::mux_g:
+        exec_run<gate_kind::mux_g>(run, toggle_mask, last_word, last_bit);
+        break;
+    case gate_kind::maj_g:
+        exec_run<gate_kind::maj_g>(run, toggle_mask, last_word, last_bit);
+        break;
+    case gate_kind::input:
+    case gate_kind::constant:
+        throw std::logic_error("compiled_sim: unschedulable kind in run");
+    }
+}
+
+template <int W>
+void compiled_sim<W>::apply(const std::vector<std::uint64_t>& input_words,
+                            int count)
+{
+    const compiled_schedule& s = *sched_;
+    if (input_words.size() != s.input_count * static_cast<std::size_t>(W)) {
+        throw std::invalid_argument(
+            "compiled_sim: input word count mismatch");
+    }
+    if (count < 1 || count > lane_capacity) {
+        throw std::invalid_argument("compiled_sim: count out of range");
+    }
+
+    const wide_word<W> batch_mask = wide_word<W>::first_lanes(count);
+    wide_word<W> toggle_mask = batch_mask;
+    if (!initialized_) {
+        toggle_mask.w[0] &= ~1ULL; // first vector ever: no transition
+    }
+    const int last_word = (count - 1) >> 6;
+    const int last_bit = (count - 1) & 63;
+
+    // Mode-specialized schedules assume the tied inputs really are
+    // constant; a contradicting stimulus would silently undercount
+    // toggles, so reject it.
+    for (const auto& [pos, value] : s.tied_checks) {
+        const std::uint64_t want = value ? ~0ULL : 0ULL;
+        const std::uint64_t* words =
+            input_words.data() + static_cast<std::size_t>(pos) * W;
+        for (int k = 0; k < W; ++k) {
+            if (((words[k] ^ want) & batch_mask.w[k]) != 0) {
+                throw std::invalid_argument(
+                    "compiled_sim: stimulus contradicts a tied input of "
+                    "this mode-specialized schedule");
+            }
+        }
+    }
+
+    for (const compiled_schedule::live_input& li : s.live_inputs) {
+        wide_word<W> v{};
+        std::memcpy(v.w,
+                    input_words.data()
+                        + static_cast<std::size_t>(li.pos) * W,
+                    sizeof(v.w));
+        values_[li.dense] = v;
+        toggles_[li.dense] +=
+            lane_shift_transitions(v, last_[li.dense], toggle_mask);
+        last_[li.dense] = static_cast<std::uint8_t>(
+            (v.w[last_word] >> last_bit) & 1ULL);
+    }
+
+    for (const compiled_run& run : s.runs) {
+        dispatch_run(run, toggle_mask, last_word, last_bit);
+    }
+
+    transitions_ +=
+        static_cast<std::uint64_t>(count) - (initialized_ ? 0U : 1U);
+    initialized_ = true;
+}
+
+template <int W>
+bool compiled_sim<W>::value(net_id id, int lane) const
+{
+    if (lane < 0 || lane >= lane_capacity) {
+        throw std::invalid_argument("compiled_sim: lane out of range");
+    }
+    return values_[sched_->dense_of.at(id)].bit(lane);
+}
+
+template <int W>
+std::uint64_t compiled_sim<W>::word(net_id id, int block) const
+{
+    if (block < 0 || block >= W) {
+        throw std::invalid_argument("compiled_sim: block out of range");
+    }
+    return values_[sched_->dense_of.at(id)].w[block];
+}
+
+template <int W>
+std::uint64_t compiled_sim<W>::read_bus(const std::vector<net_id>& nets,
+                                        int lane) const
+{
+    if (nets.size() > 64) {
+        throw std::invalid_argument(
+            "compiled_sim: bus wider than 64 nets cannot be packed");
+    }
+    if (lane < 0 || lane >= lane_capacity) {
+        throw std::invalid_argument("compiled_sim: lane out of range");
+    }
+    std::uint64_t out = 0;
+    for (std::size_t i = 0; i < nets.size(); ++i) {
+        out |= static_cast<std::uint64_t>(
+                   values_[sched_->dense_of.at(nets[i])].bit(lane))
+               << i;
+    }
+    return out;
+}
+
+template <int W>
+std::uint64_t compiled_sim<W>::total_toggles() const noexcept
+{
+    std::uint64_t total = 0;
+    for (const std::uint64_t t : toggles_) {
+        total += t;
+    }
+    return total;
+}
+
+template <int W>
+double compiled_sim<W>::switched_capacitance_ff(const tech_model& tech) const
+{
+    // Accumulate in ORIGINAL net order: double addition is not
+    // associative, and this sum must equal logic_sim/logic_sim64's to the
+    // last bit (the bench and the differential suite compare exactly).
+    double total = 0.0;
+    for (std::size_t id = 0; id < sched_->dense_of.size(); ++id) {
+        const net_id slot = sched_->dense_of[id];
+        if (toggles_[slot] == 0) {
+            continue;
+        }
+        total += static_cast<double>(toggles_[slot])
+                 * tech.gate_cap_ff(sched_->kinds[slot]);
+    }
+    return total;
+}
+
+template <int W>
+void compiled_sim<W>::reset_stats()
+{
+    std::fill(toggles_.begin(), toggles_.end(), 0);
+    transitions_ = 0;
+}
+
+template class compiled_sim<1>;
+template class compiled_sim<4>;
+template class compiled_sim<8>;
+
+// -- schedule cache -----------------------------------------------------------
+
+compiled_netlist_cache& compiled_netlist_cache::global()
+{
+    static compiled_netlist_cache cache;
+    return cache;
+}
+
+namespace {
+
+// FNV-1a over the structural content. Keying on content rather than
+// address makes the cache safe against address reuse by short-lived
+// netlists and lets identical structures share one schedule.
+std::uint64_t structural_hash(const netlist& nl)
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    const auto mix = [&h](std::uint64_t x) {
+        h ^= x;
+        h *= 1099511628211ULL;
+    };
+    for (const gate& g : nl.gates()) {
+        mix(static_cast<std::uint64_t>(g.kind)
+            | (static_cast<std::uint64_t>(g.aux) << 8));
+        mix(g.in0);
+        mix(g.in1);
+        mix(g.in2);
+    }
+    for (const net_id id : nl.inputs()) {
+        mix(id);
+    }
+    return h;
+}
+
+} // namespace
+
+std::shared_ptr<const compiled_schedule>
+compiled_netlist_cache::get(const netlist& nl,
+                            const std::vector<std::pair<net_id, bool>>& tied)
+{
+    std::ostringstream key;
+    key << std::hex << structural_hash(nl) << std::dec << "|g" << nl.size()
+        << "|i" << nl.inputs().size() << "|t";
+    for (const auto& [id, value] : tied) {
+        key << ":" << id << (value ? "+" : "-");
+    }
+
+    const std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = entries_[key.str()];
+    if (!slot) {
+        slot = std::make_shared<const compiled_schedule>(
+            compile_netlist(nl, tied));
+    }
+    return slot;
+}
+
+} // namespace dvafs

@@ -1,0 +1,199 @@
+// Compile-then-run gate simulation: the energy hot path.
+//
+// logic_sim64 is an interpreter: one `switch (g.kind)` and three random
+// gathers per gate per batch, and a hard 64-lane ceiling. Every energy
+// figure in the repo (Fig. 2/3a/3b/4, Table I k-params, the measured mode
+// frontiers, the streaming governor's prepare pass) bottoms out in that
+// loop, so this module compiles the netlist once and then runs a schedule
+// with no per-gate dispatch at all:
+//
+//  * Gates are levelized and sorted by kind into homogeneous runs stored
+//    structure-of-arrays (in0[]/in1[]/in2[]/out[] index arrays per run).
+//    Each run is evaluated by a tight branch-free kernel instantiated per
+//    gate_kind from the shared truth table in circuit/gate_kinds.h, with
+//    the per-net toggle popcount fused into the same pass.
+//  * Lanes widen from 64 to 64*W via wide_word<W> (W = 1/4/8 -> 64/256/512
+//    vectors per levelized pass); the W-word inner loops auto-vectorize.
+//  * Tied inputs (subword mode selects, DAS precision selects, gated
+//    operand LSBs) are baked in at compile time: constants are folded,
+//    static fan-out cones are pruned from the schedule, and their values
+//    are materialized once. A half-precision mode therefore simulates
+//    roughly half the netlist instead of masking it dynamically.
+//
+// The executor is bit-identical to logic_sim64 on the same vector stream
+// -- values, per-net toggles, switched capacitance, transitions, the
+// first-vector warm-up and the batch-boundary toggle carry -- for every
+// netlist, batch size and mode; tests/test_compiled_sim.cpp asserts this
+// differentially against both scalar and 64-lane oracles. Mode-specialized
+// schedules are only sound when the applied vectors actually honor the
+// ties, so apply() validates the tied input words and throws on a
+// violation instead of silently miscounting.
+//
+// Schedules are immutable after compilation and shared: one schedule
+// serves any number of concurrent executors (sweep threads construct a
+// private compiled_sim<W> each over the shared schedule, mirroring the
+// logic_sim64-over-shared-netlist pattern). compiled_netlist_cache keys
+// schedules on netlist *content* (structural hash), not address, so
+// identical netlists -- e.g. repeated dvafs_multiplier(16) constructions
+// -- share one compiled schedule process-wide, the frontier_cache pattern.
+
+#pragma once
+
+#include "circuit/netlist.h"
+#include "circuit/wide_word.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dvafs {
+
+struct tech_model; // circuit/tech.h
+
+// One kind-homogeneous slice of the schedule: gates [begin, end) of the
+// SoA index arrays, all of the same kind, in dependency-safe order.
+struct compiled_run {
+    gate_kind kind = gate_kind::buf;
+    std::uint32_t begin = 0;
+    std::uint32_t end = 0;
+};
+
+// The compiled form of a netlist under a set of tied inputs. Fully
+// self-contained (kinds and input layout are copied), so a schedule never
+// dangles even if the source netlist is destroyed first.
+//
+// Nets are renumbered into a *dense* id space ordered hot-to-cold:
+// scheduled gates first, in schedule order -- so a gate's value, toggle
+// and last-lane slots are written at index == its schedule position,
+// turning three of the kernel's memory streams sequential -- then the
+// live inputs, then every folded (constant) net. dense_of maps original
+// net ids to dense slots for the value/toggle accessors.
+struct compiled_schedule {
+    // -- netlist shape -------------------------------------------------------
+    std::size_t net_count = 0;
+    std::size_t input_count = 0;          // primary inputs, netlist order
+    std::vector<net_id> dense_of;         // original net id -> dense slot
+    std::vector<gate_kind> kinds;         // per dense slot, for cap weights
+
+    // -- dynamic part --------------------------------------------------------
+    struct live_input {
+        net_id dense = 0;                 // dense slot of this input
+        std::uint32_t pos = 0;            // index in the netlist input order
+    };
+    std::vector<live_input> live_inputs;  // inputs that still vary
+    std::vector<compiled_run> runs;       // level-major, kind-sorted
+    // SoA fanin arrays (dense ids), one entry per scheduled gate; the
+    // gate's own output slot is its array index. Absent fanins hold 0.
+    std::vector<net_id> in0;
+    std::vector<net_id> in1;
+    std::vector<net_id> in2;
+
+    // -- folded part ---------------------------------------------------------
+    // (input position, required value) checks run on every apply().
+    std::vector<std::pair<std::uint32_t, bool>> tied_checks;
+    std::vector<net_id> const_dense;      // dense slots with fixed values
+    std::vector<std::uint8_t> const_vals; // parallel to const_dense
+    std::size_t pruned_gates = 0;         // logic gates folded out (stats)
+
+    std::size_t scheduled_gates() const noexcept { return in0.size(); }
+};
+
+// Compiles `nl` under `tied` (pairs of primary-input net and constant
+// value, e.g. dvafs_multiplier::tied_inputs): three-valued constant
+// propagation folds every gate whose output is fixed, the survivors are
+// levelized and kind-sorted into runs. An empty tie set compiles the
+// generic schedule (only constant gates and their cones fold). Throws
+// std::invalid_argument when a tied net is not a primary input.
+compiled_schedule
+compile_netlist(const netlist& nl,
+                const std::vector<std::pair<net_id, bool>>& tied = {});
+
+// Wide-word executor over a compiled schedule; W uint64_t blocks = 64*W
+// lanes per pass. Same statistics contract as logic_sim64 (lanes ordered
+// in time, toggle carry across batches, warm-up first vector).
+template <int W>
+class compiled_sim {
+public:
+    static constexpr int lane_capacity = 64 * W;
+
+    explicit compiled_sim(std::shared_ptr<const compiled_schedule> schedule);
+
+    // Evaluates `count` (1..64*W) input vectors in one schedule pass.
+    // input_words holds W words per primary input, input-major (words
+    // [i*W, (i+1)*W) are input i's lanes; lane v = bit v%64 of word v/64
+    // -- dvafs_multiplier::pack_input_words with blocks=W produces this).
+    // Throws std::invalid_argument on a size/count mismatch or when a
+    // tied input's words contradict the schedule's baked-in constants.
+    void apply(const std::vector<std::uint64_t>& input_words, int count);
+
+    // Value of a net under vector `lane` of the last batch (lane must be
+    // in [0, 64*W); lanes >= the last count are garbage, as in
+    // logic_sim64).
+    bool value(net_id id, int lane) const;
+    // Raw lane block of a net.
+    std::uint64_t word(net_id id, int block) const;
+
+    // Reads a multi-bit bus (LSB first) under vector `lane`. Throws
+    // std::invalid_argument when the bus is wider than 64 nets.
+    std::uint64_t read_bus(const std::vector<net_id>& nets, int lane) const;
+
+    // -- activity statistics (same contract as logic_sim64) ------------------
+    std::uint64_t toggles(net_id id) const
+    {
+        return toggles_[sched_->dense_of.at(id)];
+    }
+    std::uint64_t total_toggles() const noexcept;
+    double switched_capacitance_ff(const tech_model& tech) const;
+    std::uint64_t transitions() const noexcept { return transitions_; }
+
+    // Clears counters but keeps the last applied values (warm-up contract).
+    void reset_stats();
+
+    const compiled_schedule& schedule() const noexcept { return *sched_; }
+
+private:
+    template <gate_kind K>
+    void exec_run(const compiled_run& run, const wide_word<W>& toggle_mask,
+                  int last_word, int last_bit);
+    void dispatch_run(const compiled_run& run,
+                      const wide_word<W>& toggle_mask, int last_word,
+                      int last_bit);
+
+    std::shared_ptr<const compiled_schedule> sched_;
+    std::vector<wide_word<W>> values_;
+    std::vector<std::uint8_t> last_; // final-lane value of the prev batch
+    std::vector<std::uint64_t> toggles_;
+    std::uint64_t transitions_ = 0;
+    bool initialized_ = false;
+};
+
+extern template class compiled_sim<1>;
+extern template class compiled_sim<4>;
+extern template class compiled_sim<8>;
+
+// Process-wide cache of compiled schedules, keyed on netlist content
+// (structural hash over gates and inputs) plus the tie set -- NOT on the
+// netlist's address, so short-lived netlist objects with identical
+// structure (each dvafs_multiplier(16), say) share one schedule. Entries
+// are immutable and live for the whole process (the netlist_cache /
+// frontier_cache pattern).
+class compiled_netlist_cache {
+public:
+    static compiled_netlist_cache& global();
+
+    std::shared_ptr<const compiled_schedule>
+    get(const netlist& nl,
+        const std::vector<std::pair<net_id, bool>>& tied = {});
+
+private:
+    compiled_netlist_cache() = default;
+
+    std::mutex mu_;
+    std::map<std::string, std::shared_ptr<const compiled_schedule>> entries_;
+};
+
+} // namespace dvafs

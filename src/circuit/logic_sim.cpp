@@ -1,52 +1,17 @@
 #include "circuit/logic_sim.h"
 
+#include "circuit/gate_kinds.h"
 #include "circuit/tech.h"
 
 #include <bit>
-#include <cassert>
+#include <stdexcept>
 
 namespace dvafs {
 
-namespace {
-
-inline std::uint8_t eval_gate(const gate& g,
-                              const std::vector<std::uint8_t>& v)
-{
-    switch (g.kind) {
-    case gate_kind::input:
-        return 0; // set externally; never reached in evaluate()
-    case gate_kind::constant:
-        return g.aux;
-    case gate_kind::buf:
-        return v[g.in0];
-    case gate_kind::not_g:
-        return v[g.in0] ^ 1U;
-    case gate_kind::and_g:
-        return v[g.in0] & v[g.in1];
-    case gate_kind::or_g:
-        return v[g.in0] | v[g.in1];
-    case gate_kind::xor_g:
-        return v[g.in0] ^ v[g.in1];
-    case gate_kind::nand_g:
-        return (v[g.in0] & v[g.in1]) ^ 1U;
-    case gate_kind::nor_g:
-        return (v[g.in0] | v[g.in1]) ^ 1U;
-    case gate_kind::xnor_g:
-        return (v[g.in0] ^ v[g.in1]) ^ 1U;
-    case gate_kind::and3_g:
-        return v[g.in0] & v[g.in1] & v[g.in2];
-    case gate_kind::or3_g:
-        return v[g.in0] | v[g.in1] | v[g.in2];
-    case gate_kind::mux_g:
-        return v[g.in2] ? v[g.in1] : v[g.in0];
-    case gate_kind::maj_g:
-        return static_cast<std::uint8_t>(
-            (v[g.in0] + v[g.in1] + v[g.in2]) >= 2);
-    }
-    return 0;
-}
-
-} // namespace
+// Both interpreters and the constant propagation below evaluate gates
+// through the one shared truth table in circuit/gate_kinds.h (the compiled
+// simulator's kernels use the same table with wide words), so a gate kind
+// is defined in exactly one place.
 
 logic_sim::logic_sim(const netlist& nl)
     : nl_(nl),
@@ -89,7 +54,16 @@ void logic_sim::evaluate()
         if (g.kind == gate_kind::input) {
             continue; // already set
         }
-        values_[i] = eval_gate(g, values_);
+        if (g.kind == gate_kind::constant) {
+            values_[i] = g.aux;
+            continue;
+        }
+        const int arity = gate_kind_arity(g.kind);
+        const std::uint8_t a = values_[g.in0];
+        const std::uint8_t b = arity >= 2 ? values_[g.in1] : std::uint8_t{0};
+        const std::uint8_t c = arity >= 3 ? values_[g.in2] : std::uint8_t{0};
+        values_[i] = eval_gate_kind<std::uint8_t>(g.kind, a, b, c,
+                                                  std::uint8_t{1});
     }
     if (initialized_) {
         ++transitions_;
@@ -104,7 +78,10 @@ void logic_sim::evaluate()
 
 std::uint64_t logic_sim::read_bus(const std::vector<net_id>& nets) const
 {
-    assert(nets.size() <= 64);
+    if (nets.size() > 64) {
+        throw std::invalid_argument(
+            "logic_sim: bus wider than 64 nets cannot be packed");
+    }
     std::uint64_t out = 0;
     for (std::size_t i = 0; i < nets.size(); ++i) {
         out |= static_cast<std::uint64_t>(values_.at(nets[i])) << i;
@@ -169,50 +146,18 @@ void logic_sim64::apply(const std::vector<std::uint64_t>& input_words,
     std::uint64_t* v = values_.data();
     for (std::size_t i = 0; i < gates.size(); ++i) {
         const gate& g = gates[i];
-        switch (g.kind) {
-        case gate_kind::input:
-            break; // already set
-        case gate_kind::constant:
-            v[i] = g.aux ? ~0ULL : 0ULL;
-            break;
-        case gate_kind::buf:
-            v[i] = v[g.in0];
-            break;
-        case gate_kind::not_g:
-            v[i] = ~v[g.in0];
-            break;
-        case gate_kind::and_g:
-            v[i] = v[g.in0] & v[g.in1];
-            break;
-        case gate_kind::or_g:
-            v[i] = v[g.in0] | v[g.in1];
-            break;
-        case gate_kind::xor_g:
-            v[i] = v[g.in0] ^ v[g.in1];
-            break;
-        case gate_kind::nand_g:
-            v[i] = ~(v[g.in0] & v[g.in1]);
-            break;
-        case gate_kind::nor_g:
-            v[i] = ~(v[g.in0] | v[g.in1]);
-            break;
-        case gate_kind::xnor_g:
-            v[i] = ~(v[g.in0] ^ v[g.in1]);
-            break;
-        case gate_kind::and3_g:
-            v[i] = v[g.in0] & v[g.in1] & v[g.in2];
-            break;
-        case gate_kind::or3_g:
-            v[i] = v[g.in0] | v[g.in1] | v[g.in2];
-            break;
-        case gate_kind::mux_g:
-            v[i] = (v[g.in2] & v[g.in1]) | (~v[g.in2] & v[g.in0]);
-            break;
-        case gate_kind::maj_g:
-            v[i] = (v[g.in0] & v[g.in1]) | (v[g.in1] & v[g.in2])
-                   | (v[g.in0] & v[g.in2]);
-            break;
+        if (g.kind == gate_kind::input) {
+            continue; // already set
         }
+        if (g.kind == gate_kind::constant) {
+            v[i] = g.aux ? ~0ULL : 0ULL;
+            continue;
+        }
+        const int arity = gate_kind_arity(g.kind);
+        const std::uint64_t a = v[g.in0];
+        const std::uint64_t b = arity >= 2 ? v[g.in1] : 0ULL;
+        const std::uint64_t c = arity >= 3 ? v[g.in2] : 0ULL;
+        v[i] = eval_gate_kind<std::uint64_t>(g.kind, a, b, c, ~0ULL);
     }
 
     // Toggle accounting: transitions happen between adjacent lanes and
@@ -240,7 +185,10 @@ void logic_sim64::apply(const std::vector<std::uint64_t>& input_words,
 std::uint64_t logic_sim64::read_bus(const std::vector<net_id>& nets,
                                     int lane) const
 {
-    assert(nets.size() <= 64);
+    if (nets.size() > 64) {
+        throw std::invalid_argument(
+            "logic_sim64: bus wider than 64 nets cannot be packed");
+    }
     std::uint64_t out = 0;
     for (std::size_t i = 0; i < nets.size(); ++i) {
         out |= ((values_.at(nets[i]) >> lane) & 1ULL) << i;
@@ -277,16 +225,13 @@ void logic_sim64::reset_stats()
     transitions_ = 0;
 }
 
-std::vector<bool>
-find_static_gates(const netlist& nl,
-                  const std::vector<std::pair<net_id, bool>>& tied)
+std::vector<std::uint8_t>
+propagate_constants(const netlist& nl,
+                    const std::vector<std::pair<net_id, bool>>& tied)
 {
-    // Three-valued constant propagation: 0, 1, X (unknown).
-    enum : std::uint8_t { v0 = 0, v1 = 1, vx = 2 };
-    std::vector<std::uint8_t> val(nl.size(), vx);
-
+    std::vector<std::uint8_t> val(nl.size(), ternary_x);
     for (const auto& [id, value] : tied) {
-        val.at(id) = value ? v1 : v0;
+        val.at(id) = value ? ternary_1 : ternary_0;
     }
 
     const auto& gates = nl.gates();
@@ -296,105 +241,26 @@ find_static_gates(const netlist& nl,
             continue; // stays as tied or X
         }
         if (g.kind == gate_kind::constant) {
-            val[i] = g.aux ? v1 : v0;
+            val[i] = g.aux ? ternary_1 : ternary_0;
             continue;
         }
-        const auto a = [&] { return val[g.in0]; };
-        const auto b = [&] { return val[g.in1]; };
-        const auto c = [&] { return val[g.in2]; };
-        std::uint8_t r = vx;
-        switch (g.kind) {
-        case gate_kind::buf:
-            r = a();
-            break;
-        case gate_kind::not_g:
-            r = a() == vx ? std::uint8_t{vx}
-                          : static_cast<std::uint8_t>(a() ^ 1U);
-            break;
-        case gate_kind::and_g:
-            if (a() == v0 || b() == v0) {
-                r = v0;
-            } else if (a() == v1 && b() == v1) {
-                r = v1;
-            }
-            break;
-        case gate_kind::nand_g:
-            if (a() == v0 || b() == v0) {
-                r = v1;
-            } else if (a() == v1 && b() == v1) {
-                r = v0;
-            }
-            break;
-        case gate_kind::or_g:
-            if (a() == v1 || b() == v1) {
-                r = v1;
-            } else if (a() == v0 && b() == v0) {
-                r = v0;
-            }
-            break;
-        case gate_kind::nor_g:
-            if (a() == v1 || b() == v1) {
-                r = v0;
-            } else if (a() == v0 && b() == v0) {
-                r = v1;
-            }
-            break;
-        case gate_kind::xor_g:
-            if (a() != vx && b() != vx) {
-                r = a() ^ b();
-            }
-            break;
-        case gate_kind::xnor_g:
-            if (a() != vx && b() != vx) {
-                r = (a() ^ b()) ^ 1U;
-            }
-            break;
-        case gate_kind::and3_g:
-            if (a() == v0 || b() == v0 || c() == v0) {
-                r = v0;
-            } else if (a() == v1 && b() == v1 && c() == v1) {
-                r = v1;
-            }
-            break;
-        case gate_kind::or3_g:
-            if (a() == v1 || b() == v1 || c() == v1) {
-                r = v1;
-            } else if (a() == v0 && b() == v0 && c() == v0) {
-                r = v0;
-            }
-            break;
-        case gate_kind::mux_g:
-            if (c() == v0) {
-                r = a();
-            } else if (c() == v1) {
-                r = b();
-            } else if (a() != vx && a() == b()) {
-                r = a();
-            }
-            break;
-        case gate_kind::maj_g: {
-            int zeros = 0;
-            int ones = 0;
-            for (const std::uint8_t s : {a(), b(), c()}) {
-                zeros += (s == v0);
-                ones += (s == v1);
-            }
-            if (ones >= 2) {
-                r = v1;
-            } else if (zeros >= 2) {
-                r = v0;
-            }
-            break;
-        }
-        default:
-            break;
-        }
-        val[i] = r;
+        const int arity = gate_kind_arity(g.kind);
+        const std::uint8_t a = val[g.in0];
+        const std::uint8_t b = arity >= 2 ? val[g.in1] : ternary_x;
+        const std::uint8_t c = arity >= 3 ? val[g.in2] : ternary_x;
+        val[i] = eval_gate_kind_x(g.kind, a, b, c);
     }
+    return val;
+}
 
-    std::vector<bool> is_static(nl.size(), false);
+std::vector<bool>
+find_static_gates(const netlist& nl,
+                  const std::vector<std::pair<net_id, bool>>& tied)
+{
+    const std::vector<std::uint8_t> val = propagate_constants(nl, tied);
+    std::vector<bool> is_static(val.size(), false);
     for (std::size_t i = 0; i < val.size(); ++i) {
-        is_static[i] = (val[i] != vx);
+        is_static[i] = (val[i] != ternary_x);
     }
     return is_static;
 }

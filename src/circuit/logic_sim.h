@@ -32,7 +32,9 @@ public:
 
     bool value(net_id id) const { return values_.at(id) != 0; }
 
-    // Reads a multi-bit bus given its nets, LSB first.
+    // Reads a multi-bit bus given its nets, LSB first. Throws
+    // std::invalid_argument for buses wider than 64 nets (which cannot be
+    // packed into the return word).
     std::uint64_t read_bus(const std::vector<net_id>& nets) const;
 
     // -- activity statistics ------------------------------------------------
@@ -89,6 +91,7 @@ public:
     }
 
     // Reads a multi-bit bus (LSB first) under vector `lane` of the batch.
+    // Throws std::invalid_argument for buses wider than 64 nets.
     std::uint64_t read_bus(const std::vector<net_id>& nets, int lane) const;
 
     // -- activity statistics (same contract as logic_sim) -------------------
@@ -110,6 +113,16 @@ private:
     std::uint64_t transitions_ = 0;
     bool initialized_ = false;
 };
+
+// Three-valued constant propagation (values from circuit/gate_kinds.h:
+// ternary_0 / ternary_1 / ternary_x): one entry per net, the net's fixed
+// value given that the listed inputs are tied to constants, or ternary_x
+// when it can still vary. `tied` holds pairs (input net, value); all other
+// inputs are unknown. This is the oracle behind find_static_gates, the
+// timing analyzer's active cone and the compiled simulator's cone pruning.
+std::vector<std::uint8_t>
+propagate_constants(const netlist& nl,
+                    const std::vector<std::pair<net_id, bool>>& tied);
 
 // Constant propagation: returns a mask (one entry per gate) that is true for
 // gates whose output is fixed given that the listed inputs are tied to

@@ -1,5 +1,7 @@
 #include "circuit/netlist.h"
 
+#include "circuit/gate_kinds.h"
+
 namespace dvafs {
 
 const char* to_string(gate_kind k) noexcept
@@ -25,27 +27,9 @@ const char* to_string(gate_kind k) noexcept
 
 int fanin_count(gate_kind k) noexcept
 {
-    switch (k) {
-    case gate_kind::input:
-    case gate_kind::constant:
-        return 0;
-    case gate_kind::buf:
-    case gate_kind::not_g:
-        return 1;
-    case gate_kind::and_g:
-    case gate_kind::or_g:
-    case gate_kind::xor_g:
-    case gate_kind::nand_g:
-    case gate_kind::nor_g:
-    case gate_kind::xnor_g:
-        return 2;
-    case gate_kind::and3_g:
-    case gate_kind::or3_g:
-    case gate_kind::mux_g:
-    case gate_kind::maj_g:
-        return 3;
-    }
-    return 0;
+    // The arity table lives with the shared truth tables in
+    // circuit/gate_kinds.h; this wrapper keeps the historical entry point.
+    return gate_kind_arity(k);
 }
 
 void netlist::check_fanin(net_id id) const

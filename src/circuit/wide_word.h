@@ -1,0 +1,178 @@
+// Fixed-width block of uint64_t lanes for the compiled gate simulator.
+//
+// wide_word<W> holds 64*W simulation lanes as W consecutive uint64_t words
+// (lane v lives in bit v%64 of word v/64 -- the natural widening of
+// logic_sim64's single-word layout). Every operator is a plain loop over
+// the W words with no cross-word dependency, which the compiler turns into
+// SIMD: at W=4/8 one bitwise gate op over 256/512 lanes is a couple of
+// vector instructions instead of a per-lane pass. W=1 degenerates to the
+// 64-lane word and exists so one code path covers all widths.
+//
+// Toggle counting (the energy hot path) needs one cross-word operation:
+// the "previous lane" shift used to detect transitions between adjacent
+// vectors. lane_shift_transitions fuses shift, xor, mask and popcount in
+// word order, carrying bit 63 of word k into bit 0 of word k+1, with the
+// previous batch's final lane entering bit 0 of word 0 -- bit-exact
+// against logic_sim64's (w ^ ((w << 1) | last)) & mask popcount.
+
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace dvafs {
+
+template <int W>
+struct wide_word {
+    static_assert(W >= 1, "wide_word: W must be positive");
+    static constexpr int words = W;
+    static constexpr int lanes = 64 * W;
+
+    std::uint64_t w[W];
+
+    static constexpr wide_word splat(std::uint64_t v) noexcept
+    {
+        wide_word r{};
+        for (int k = 0; k < W; ++k) {
+            r.w[k] = v;
+        }
+        return r;
+    }
+    static constexpr wide_word zero() noexcept { return splat(0); }
+    static constexpr wide_word ones() noexcept { return splat(~0ULL); }
+
+    // All-ones in lanes [0, count), zero above: the partial-batch mask.
+    static constexpr wide_word first_lanes(int count) noexcept
+    {
+        wide_word r{};
+        for (int k = 0; k < W; ++k) {
+            const int lo = 64 * k;
+            if (count >= lo + 64) {
+                r.w[k] = ~0ULL;
+            } else if (count > lo) {
+                r.w[k] = (1ULL << (count - lo)) - 1;
+            } else {
+                r.w[k] = 0;
+            }
+        }
+        return r;
+    }
+
+    constexpr bool bit(int lane) const noexcept
+    {
+        return ((w[lane >> 6] >> (lane & 63)) & 1ULL) != 0;
+    }
+};
+
+template <int W>
+constexpr wide_word<W> operator&(const wide_word<W>& a,
+                                 const wide_word<W>& b) noexcept
+{
+    wide_word<W> r{};
+    for (int k = 0; k < W; ++k) {
+        r.w[k] = a.w[k] & b.w[k];
+    }
+    return r;
+}
+
+template <int W>
+constexpr wide_word<W> operator|(const wide_word<W>& a,
+                                 const wide_word<W>& b) noexcept
+{
+    wide_word<W> r{};
+    for (int k = 0; k < W; ++k) {
+        r.w[k] = a.w[k] | b.w[k];
+    }
+    return r;
+}
+
+template <int W>
+constexpr wide_word<W> operator^(const wide_word<W>& a,
+                                 const wide_word<W>& b) noexcept
+{
+    wide_word<W> r{};
+    for (int k = 0; k < W; ++k) {
+        r.w[k] = a.w[k] ^ b.w[k];
+    }
+    return r;
+}
+
+template <int W>
+constexpr wide_word<W> operator~(const wide_word<W>& a) noexcept
+{
+    wide_word<W> r{};
+    for (int k = 0; k < W; ++k) {
+        r.w[k] = ~a.w[k];
+    }
+    return r;
+}
+
+// Number of lane-to-lane transitions in `cur` under `mask`, with
+// `last_lane` (0/1, the final lane of the previous batch) shifted into
+// lane 0. This is the wide generalization of logic_sim64's toggle count.
+// When the build enables AVX2 (e.g. -DDVAFS_MARCH=x86-64-v3), W-multiple-
+// of-4 blocks take a vector path: the lane shift is built with a qword
+// rotation, the popcount with the pshufb nibble LUT and psadbw; the
+// result is identical to the scalar path bit for bit.
+template <int W>
+inline std::uint64_t lane_shift_transitions(const wide_word<W>& cur,
+                                            std::uint64_t last_lane,
+                                            const wide_word<W>& mask) noexcept
+{
+#if defined(__AVX2__)
+    if constexpr (W % 4 == 0) {
+        const __m256i lut =
+            _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3,
+                             4, 0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3,
+                             3, 4);
+        const __m256i low4 = _mm256_set1_epi8(0x0f);
+        __m256i acc = _mm256_setzero_si256();
+        std::uint64_t carry = last_lane;
+        for (int q = 0; q < W / 4; ++q) {
+            const __m256i w = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i*>(cur.w + 4 * q));
+            const __m256i mk = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i*>(mask.w + 4 * q));
+            // prev = [carry<<63, w0, w1, w2]: each qword's left neighbour,
+            // so (prev >> 63) is the bit shifted into each lane 0.
+            const __m256i rot = _mm256_permute4x64_epi64(w, 0x90);
+            const __m256i prev = _mm256_blend_epi32(
+                rot,
+                _mm256_set1_epi64x(static_cast<long long>(carry << 63)),
+                0x03);
+            carry = cur.w[4 * q + 3] >> 63;
+            const __m256i shifted = _mm256_or_si256(
+                _mm256_slli_epi64(w, 1), _mm256_srli_epi64(prev, 63));
+            const __m256i x =
+                _mm256_and_si256(_mm256_xor_si256(w, shifted), mk);
+            const __m256i lo =
+                _mm256_shuffle_epi8(lut, _mm256_and_si256(x, low4));
+            const __m256i hi = _mm256_shuffle_epi8(
+                lut, _mm256_and_si256(_mm256_srli_epi16(x, 4), low4));
+            acc = _mm256_add_epi64(
+                acc, _mm256_sad_epu8(_mm256_add_epi8(lo, hi),
+                                     _mm256_setzero_si256()));
+        }
+        const __m128i s =
+            _mm_add_epi64(_mm256_castsi256_si128(acc),
+                          _mm256_extracti128_si256(acc, 1));
+        return static_cast<std::uint64_t>(_mm_cvtsi128_si64(s))
+               + static_cast<std::uint64_t>(_mm_extract_epi64(s, 1));
+    }
+#endif
+    std::uint64_t total = 0;
+    std::uint64_t carry = last_lane;
+    for (int k = 0; k < W; ++k) {
+        const std::uint64_t shifted = (cur.w[k] << 1) | carry;
+        carry = cur.w[k] >> 63;
+        total += static_cast<std::uint64_t>(
+            std::popcount((cur.w[k] ^ shifted) & mask.w[k]));
+    }
+    return total;
+}
+
+} // namespace dvafs

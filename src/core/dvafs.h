@@ -25,10 +25,13 @@
 #include "fixedpoint/quantize.h"
 
 #include "circuit/cells.h"
+#include "circuit/compiled_sim.h"
+#include "circuit/gate_kinds.h"
 #include "circuit/logic_sim.h"
 #include "circuit/netlist.h"
 #include "circuit/tech.h"
 #include "circuit/timing.h"
+#include "circuit/wide_word.h"
 
 #include "mult/array_mult.h"
 #include "mult/booth.h"

@@ -68,6 +68,23 @@ constexpr int hamming(std::uint64_t a, std::uint64_t b) noexcept
     return __builtin_popcountll(a ^ b);
 }
 
+// In-place transpose of a 64x64 bit matrix stored row-major (bit c of
+// x[r] is element (r, c); after the call bit r of x[c] is that element).
+// Recursive block swaps, 6 rounds of 32 masked exchanges -- the fast path
+// for turning per-vector operand words into per-input lane words when
+// packing stimuli for the bit-parallel gate simulators.
+inline void transpose64(std::uint64_t x[64]) noexcept
+{
+    std::uint64_t m = 0x00000000FFFFFFFFULL;
+    for (int j = 32; j != 0; j >>= 1, m ^= m << j) {
+        for (int k = 0; k < 64; k = (k + j + 1) & ~j) {
+            const std::uint64_t t = ((x[k] >> j) ^ x[k + j]) & m;
+            x[k] ^= t << j;
+            x[k + j] ^= t;
+        }
+    }
+}
+
 // Truncates (LSB-gates) a signed `width`-bit value so that only the top
 // `keep_bits` carry information; the dropped LSBs read as zero. This is the
 // DAS input-truncation operation from the paper (Fig. 1a: LSBs gated).

@@ -338,35 +338,46 @@ std::vector<bool> dvafs_multiplier::input_vector(std::int64_t a,
 
 void dvafs_multiplier::pack_input_words(
     sw_mode m, int das_keep_bits, const std::uint64_t* a,
-    const std::uint64_t* b, int count,
-    std::vector<std::uint64_t>& words) const
+    const std::uint64_t* b, int count, std::vector<std::uint64_t>& words,
+    int blocks) const
 {
     const int w = width();
     const int t = w - das_keep_bits;
     const std::uint64_t keep = low_mask(w) & ~low_mask(t);
-    words.assign(nl_.inputs().size(), 0);
-    for (int lane = 0; lane < count; ++lane) {
-        const std::uint64_t ab = a[lane] & keep;
-        const std::uint64_t bb = b[lane] & keep;
-        const std::uint64_t bit = 1ULL << lane;
-        for (int i = 0; i < w; ++i) {
-            if (bit_of(ab, i)) {
-                words[static_cast<std::size_t>(i)] |= bit;
-            }
-            if (bit_of(bb, i)) {
-                words[static_cast<std::size_t>(w + i)] |= bit;
-            }
+    const auto bl = static_cast<std::size_t>(blocks);
+    words.assign(nl_.inputs().size() * bl, 0);
+    // Bit-transpose packing: per 64-lane block, row `lane` holds the gated
+    // operand pair (a | b << w, at most 32 bits for w = 16); one 64x64
+    // transpose turns the rows into per-input lane words -- ~15 ops per
+    // vector instead of a test-and-set per operand bit. Rows past `count`
+    // stay zero, so the unused lanes pack as zero exactly as before.
+    std::uint64_t rows[64];
+    for (int base = 0; base < count; base += 64) {
+        const int n = std::min(64, count - base);
+        for (int lane = 0; lane < n; ++lane) {
+            rows[lane] = (a[base + lane] & keep)
+                         | ((b[base + lane] & keep) << w);
+        }
+        std::fill(rows + n, rows + 64, 0);
+        transpose64(rows);
+        const std::size_t block = static_cast<std::size_t>(base) >> 6;
+        for (int i = 0; i < 2 * w; ++i) {
+            words[static_cast<std::size_t>(i) * bl + block] = rows[i];
         }
     }
     // Select inputs are constant across the batch; lanes beyond `count`
     // are ignored by the simulator, so a full broadcast is safe.
     const int lvl = t / (w / 4);
-    words[static_cast<std::size_t>(2 * w)] =
-        m == sw_mode::w2x8 ? ~0ULL : 0ULL;
-    words[static_cast<std::size_t>(2 * w + 1)] =
-        m == sw_mode::w4x4 ? ~0ULL : 0ULL;
-    words[static_cast<std::size_t>(2 * w + 2)] = (lvl & 1) ? ~0ULL : 0ULL;
-    words[static_cast<std::size_t>(2 * w + 3)] = (lvl & 2) ? ~0ULL : 0ULL;
+    const auto broadcast = [&](int input, bool value) {
+        for (std::size_t k = 0; k < bl; ++k) {
+            words[static_cast<std::size_t>(input) * bl + k] =
+                value ? ~0ULL : 0ULL;
+        }
+    };
+    broadcast(2 * w, m == sw_mode::w2x8);
+    broadcast(2 * w + 1, m == sw_mode::w4x4);
+    broadcast(2 * w + 2, (lvl & 1) != 0);
+    broadcast(2 * w + 3, (lvl & 2) != 0);
 }
 
 std::uint64_t dvafs_multiplier::simulate_packed(std::uint64_t a,
@@ -384,15 +395,18 @@ void dvafs_multiplier::simulate_packed_batch(const std::uint64_t* a,
                                              std::size_t n,
                                              std::uint64_t* out)
 {
+    constexpr int blocks = 8;
+    constexpr int lanes = 64 * blocks;
     std::vector<std::uint64_t> words;
     for (std::size_t done = 0; done < n;) {
-        const int count =
-            static_cast<int>(std::min<std::size_t>(64, n - done));
-        pack_input_words(mode_, das_keep_, a + done, b + done, count, words);
-        sim64_->apply(words, count);
+        const int count = static_cast<int>(
+            std::min<std::size_t>(lanes, n - done));
+        pack_input_words(mode_, das_keep_, a + done, b + done, count, words,
+                         blocks);
+        wide_->apply(words, count);
         if (out != nullptr) {
             for (int lane = 0; lane < count; ++lane) {
-                out[done + lane] = sim64_->read_bus(out_bus_, lane);
+                out[done + lane] = wide_->read_bus(out_bus_, lane);
             }
         }
         done += static_cast<std::size_t>(count);

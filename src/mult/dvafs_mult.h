@@ -63,10 +63,10 @@ public:
     // DAS precision before driving the netlist (hardware contract).
     std::uint64_t simulate_packed(std::uint64_t a, std::uint64_t b);
 
-    // Batched lane-wise multiply through the 64-lane simulator: n packed
-    // operand pairs, products in `out` when non-null. Statistics accumulate
-    // as n consecutive simulate_packed() calls would (on the 64-lane
-    // engine's counters; see structural_multiplier::simulate_batch).
+    // Batched lane-wise multiply through the compiled 512-lane simulator:
+    // n packed operand pairs, products in `out` when non-null. Statistics
+    // accumulate as n consecutive simulate_packed() calls would (on the
+    // batch engine's counters; see structural_multiplier::simulate_batch).
     void simulate_packed_batch(const std::uint64_t* a, const std::uint64_t* b,
                                std::size_t n, std::uint64_t* out = nullptr);
 
@@ -103,14 +103,16 @@ public:
                                        std::uint64_t a,
                                        std::uint64_t b) const;
 
-    // Packs `count` (1..64) operand pairs straight into 64-lane input words
-    // (one uint64 per primary input, lane v = vector v) for logic_sim64 --
-    // the hot-path equivalent of calling input_vector_for per vector
-    // without the per-vector allocation. `words` is resized and zeroed.
+    // Packs `count` (1..64*blocks) operand pairs straight into wide input
+    // words: `blocks` uint64 per primary input, input-major (lane v = bit
+    // v%64 of the input's block v/64) -- the layout logic_sim64 (blocks=1)
+    // and compiled_sim<W> (blocks=W) consume. The hot-path equivalent of
+    // calling input_vector_for per vector without the per-vector
+    // allocation. `words` is resized and zeroed.
     void pack_input_words(sw_mode m, int das_keep_bits,
                           const std::uint64_t* a, const std::uint64_t* b,
-                          int count,
-                          std::vector<std::uint64_t>& words) const;
+                          int count, std::vector<std::uint64_t>& words,
+                          int blocks = 1) const;
 
 private:
     std::vector<bool> input_vector(std::int64_t a,

@@ -10,7 +10,11 @@ namespace dvafs {
 void structural_multiplier::finalize()
 {
     sim_ = std::make_unique<logic_sim>(nl_);
-    sim64_ = std::make_unique<logic_sim64>(nl_);
+    // The generic schedule is shared through the content-keyed cache, so
+    // repeated constructions of the same design (common in tests and
+    // benches) compile the netlist once per process.
+    wide_ = std::make_unique<compiled_sim<8>>(
+        compiled_netlist_cache::global().get(nl_));
 }
 
 std::vector<bool> structural_multiplier::input_vector(std::int64_t a,
@@ -44,28 +48,33 @@ void structural_multiplier::simulate_batch(const std::int64_t* a,
                                            const std::int64_t* b,
                                            std::size_t n, std::int64_t* out)
 {
-    if (!sim64_) {
+    if (!wide_) {
         throw std::logic_error("structural_multiplier: not finalized");
     }
+    constexpr int blocks = 8;
+    constexpr int lanes = 64 * blocks;
     const std::size_t n_in = nl_.inputs().size();
     const int out_width = static_cast<int>(out_bus_.size());
-    std::vector<std::uint64_t> words(n_in);
+    std::vector<std::uint64_t> words(n_in * blocks);
     for (std::size_t done = 0; done < n;) {
-        const int count =
-            static_cast<int>(std::min<std::size_t>(64, n - done));
+        const int count = static_cast<int>(
+            std::min<std::size_t>(lanes, n - done));
         std::fill(words.begin(), words.end(), 0);
         for (int lane = 0; lane < count; ++lane) {
             const std::vector<bool> v =
                 input_vector(a[done + lane], b[done + lane]);
+            const std::uint64_t bit = 1ULL << (lane & 63);
+            const std::size_t block = static_cast<std::size_t>(lane) >> 6;
             for (std::size_t i = 0; i < n_in; ++i) {
-                words[i] |= static_cast<std::uint64_t>(v[i] ? 1 : 0) << lane;
+                if (v[i]) {
+                    words[i * blocks + block] |= bit;
+                }
             }
         }
-        sim64_->apply(words, count);
+        wide_->apply(words, count);
         if (out != nullptr) {
             for (int lane = 0; lane < count; ++lane) {
-                const std::uint64_t raw =
-                    sim64_->read_bus(out_bus_, lane);
+                const std::uint64_t raw = wide_->read_bus(out_bus_, lane);
                 out[done + lane] =
                     signed_ ? sign_extend(raw, out_width)
                             : static_cast<std::int64_t>(raw);

@@ -8,6 +8,7 @@
 #pragma once
 
 #include "circuit/cells.h"
+#include "circuit/compiled_sim.h"
 #include "circuit/logic_sim.h"
 #include "circuit/netlist.h"
 #include "circuit/tech.h"
@@ -36,12 +37,13 @@ public:
     // multiplier's width (signed or unsigned per is_signed()).
     std::int64_t simulate(std::int64_t a, std::int64_t b);
 
-    // Batched variant: evaluates n operand pairs through the 64-lane
-    // simulator (one levelized pass per 64 vectors) and, when `out` is
-    // non-null, stores the n products. Switching statistics accumulate
-    // exactly as n consecutive simulate() calls would; the scalar and
-    // batched engines keep separate last-vector state, so do not interleave
-    // the two paths within one measurement (reset_stats() between them).
+    // Batched variant: evaluates n operand pairs through the compiled
+    // 512-lane simulator (one schedule pass per 512 vectors) and, when
+    // `out` is non-null, stores the n products. Switching statistics
+    // accumulate exactly as n consecutive simulate() calls would; the
+    // scalar and batched engines keep separate last-vector state, so do
+    // not interleave the two paths within one measurement (reset_stats()
+    // between them).
     void simulate_batch(const std::int64_t* a, const std::int64_t* b,
                         std::size_t n, std::int64_t* out = nullptr);
 
@@ -50,25 +52,26 @@ public:
     virtual std::int64_t functional(std::int64_t a, std::int64_t b) const;
 
     // -- switching-activity statistics --------------------------------------
-    // Counters sum over the scalar and 64-lane engines, so either path (or
-    // both, sequentially) contributes to the same energy accounting.
+    // Counters sum over the scalar and compiled batch engines, so either
+    // path (or both, sequentially) contributes to the same energy
+    // accounting.
     void reset_stats()
     {
         sim_->reset_stats();
-        sim64_->reset_stats();
+        wide_->reset_stats();
     }
     std::uint64_t total_toggles() const
     {
-        return sim_->total_toggles() + sim64_->total_toggles();
+        return sim_->total_toggles() + wide_->total_toggles();
     }
     std::uint64_t transitions() const
     {
-        return sim_->transitions() + sim64_->transitions();
+        return sim_->transitions() + wide_->transitions();
     }
     double switched_capacitance_ff(const tech_model& t) const
     {
         return sim_->switched_capacitance_ff(t)
-               + sim64_->switched_capacitance_ff(t);
+               + wide_->switched_capacitance_ff(t);
     }
     // Mean switched capacitance per applied input transition [fF].
     double mean_switched_cap_ff(const tech_model& t) const;
@@ -106,7 +109,10 @@ protected:
     bus b_bus_;
     bus out_bus_;
     std::unique_ptr<logic_sim> sim_;
-    std::unique_ptr<logic_sim64> sim64_;
+    // Batch engine: the compiled 512-lane simulator over this multiplier's
+    // own generic schedule (no ties -- the runtime mode/precision inputs
+    // stay live so set_mode() works between batches).
+    std::unique_ptr<compiled_sim<8>> wide_;
 
 private:
     std::string name_;

@@ -3,9 +3,12 @@
 // The governor splits planning into a slow, once-per-network *prepare*
 // (teacher-dataset sweep, joint refinement, sparsity, accuracy-priced
 // time-aware layer frontiers -- all cached, with the gate-level mode
-// frontier shared process-wide through frontier_cache) and a fast
-// *re-plan* (precision_planner::plan_from_frontiers: a microsecond DP over
-// the cached frontiers under the phase's accuracy and latency budgets).
+// frontier shared process-wide through frontier_cache; its sweeps run on
+// the compiled mode-specialized gate engine of circuit/compiled_sim.h,
+// which also keeps the drift path's frontier_cache::refresh re-measures
+// cheap) and a fast *re-plan* (precision_planner::plan_from_frontiers: a
+// microsecond DP over the cached frontiers under the phase's accuracy
+// and latency budgets).
 // That split is what lets the stream engine swap operating points at phase
 // boundaries and on drift without stalling the stream: re-planning costs a
 // fraction of one frame period.

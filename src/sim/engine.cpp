@@ -1,26 +1,37 @@
 #include "sim/engine.h"
 
-#include "circuit/logic_sim.h"
+#include "circuit/compiled_sim.h"
 #include "fixedpoint/bitops.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 
 #include <algorithm>
-#include <array>
 #include <stdexcept>
 #include <utility>
+#include <vector>
 
 namespace dvafs {
 
-sim_point_result sim_engine::measure(const dvafs_multiplier& mult,
-                                     const tech_model& tech,
-                                     const operating_point_spec& spec) const
+namespace {
+
+// The activity measurement loop over the compiled executor. The operand
+// stream is drawn per vector in stream order, so the statistics are
+// independent of the lane width W -- only the number of vectors per
+// schedule pass changes.
+struct point_activity {
+    std::uint64_t vectors = 0;
+    std::uint64_t toggles = 0;
+    double switched_cap_ff = 0.0;
+};
+
+template <int W>
+point_activity measure_activity(const dvafs_multiplier& mult,
+                                const tech_model& tech,
+                                const operating_point_spec& spec,
+                                const sim_engine_config& cfg)
 {
     const int w = mult.width();
     const int lane_w = mult.lane_width(spec.mode);
-    if (spec.keep_bits < 1 || spec.keep_bits > lane_w) {
-        throw std::invalid_argument("sim_engine: keep_bits out of range");
-    }
     // Structural DAS gating applies in 1xW; in subword modes precision is a
     // data contract (per-lane truncated operands), as in the paper's SIMD
     // processor. This mirrors energy/kparams measure semantics exactly.
@@ -28,25 +39,37 @@ sim_point_result sim_engine::measure(const dvafs_multiplier& mult,
     const int das_keep = is_1x ? spec.keep_bits : w;
     const bool truncate_data = !is_1x && spec.keep_bits < lane_w;
 
-    logic_sim64 sim(mult.net());
-    pcg32 rng(cfg_.seed);
+    // Mode-specialized schedule: the point's *structural* ties -- mode
+    // selects, DAS precision selects and (in 1xW) the DAS-gated operand
+    // LSBs -- are folded and their fan-out cones pruned at compile time
+    // (shared process-wide via the content-keyed cache). Per-lane
+    // truncation in subword modes is deliberately NOT tied: it is a data
+    // contract, and the mode-clean warm-up vector below drives full-
+    // precision operands, exactly as the interpreter-based measurement
+    // always did. The stream honours the structural ties by construction
+    // (pack_input_words gates them), which apply() verifies.
+    compiled_sim<W> sim(compiled_netlist_cache::global().get(
+        mult.net(), mult.tied_inputs(spec.mode, das_keep)));
+    constexpr int lanes = compiled_sim<W>::lane_capacity;
+    pcg32 rng(cfg.seed);
     const std::uint64_t mask = low_mask(w);
     std::vector<std::uint64_t> words;
-    std::array<std::uint64_t, 64> a{};
-    std::array<std::uint64_t, 64> b{};
+    std::vector<std::uint64_t> a(lanes, 0);
+    std::vector<std::uint64_t> b(lanes, 0);
 
     // Warm-up vector: establishes a mode-clean baseline state, then the
     // counted stream starts -- the same contract as the scalar extraction.
     // Draws are sequenced (a before b) so the stream is compiler-portable.
     a[0] = rng.next_u64() & mask;
     b[0] = rng.next_u64() & mask;
-    mult.pack_input_words(spec.mode, das_keep, a.data(), b.data(), 1, words);
+    mult.pack_input_words(spec.mode, das_keep, a.data(), b.data(), 1, words,
+                          W);
     sim.apply(words, 1);
     sim.reset_stats();
 
-    for (std::uint64_t done = 0; done < cfg_.vectors;) {
+    for (std::uint64_t done = 0; done < cfg.vectors;) {
         const int count = static_cast<int>(
-            std::min<std::uint64_t>(64, cfg_.vectors - done));
+            std::min<std::uint64_t>(lanes, cfg.vectors - done));
         for (int lane = 0; lane < count; ++lane) {
             std::uint64_t av = rng.next_u64() & mask;
             std::uint64_t bv = rng.next_u64() & mask;
@@ -60,19 +83,64 @@ sim_point_result sim_engine::measure(const dvafs_multiplier& mult,
             b[static_cast<std::size_t>(lane)] = bv;
         }
         mult.pack_input_words(spec.mode, das_keep, a.data(), b.data(), count,
-                              words);
+                              words, W);
         sim.apply(words, count);
         done += static_cast<std::uint64_t>(count);
     }
 
+    point_activity act;
+    act.vectors = sim.transitions();
+    act.toggles = sim.total_toggles();
+    act.switched_cap_ff = sim.switched_capacitance_ff(tech);
+    return act;
+}
+
+} // namespace
+
+sim_point_result sim_engine::measure(const dvafs_multiplier& mult,
+                                     const tech_model& tech,
+                                     const operating_point_spec& spec) const
+{
+    const int lane_w = mult.lane_width(spec.mode);
+    if (spec.keep_bits < 1 || spec.keep_bits > lane_w) {
+        throw std::invalid_argument("sim_engine: keep_bits out of range");
+    }
+
+    std::uint64_t vectors = 0;
+    std::uint64_t toggles = 0;
+    double switched_cap_ff = 0.0;
+    switch (cfg_.wide_w) {
+    case 1: {
+        const auto act = measure_activity<1>(mult, tech, spec, cfg_);
+        vectors = act.vectors;
+        toggles = act.toggles;
+        switched_cap_ff = act.switched_cap_ff;
+        break;
+    }
+    case 4: {
+        const auto act = measure_activity<4>(mult, tech, spec, cfg_);
+        vectors = act.vectors;
+        toggles = act.toggles;
+        switched_cap_ff = act.switched_cap_ff;
+        break;
+    }
+    case 8: {
+        const auto act = measure_activity<8>(mult, tech, spec, cfg_);
+        vectors = act.vectors;
+        toggles = act.toggles;
+        switched_cap_ff = act.switched_cap_ff;
+        break;
+    }
+    default:
+        throw std::invalid_argument("sim_engine: wide_w must be 1, 4 or 8");
+    }
+
     sim_point_result r;
     r.spec = spec;
-    r.vectors = sim.transitions();
-    r.toggles = sim.total_toggles();
-    r.mean_cap_ff =
-        r.vectors ? sim.switched_capacitance_ff(tech)
-                        / static_cast<double>(r.vectors)
-                  : 0.0;
+    r.vectors = vectors;
+    r.toggles = toggles;
+    r.mean_cap_ff = vectors ? switched_cap_ff / static_cast<double>(vectors)
+                            : 0.0;
     r.lanes = lane_count(spec.mode);
     r.f_mhz = spec.f_mhz > 0.0
                   ? spec.f_mhz

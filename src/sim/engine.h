@@ -1,16 +1,22 @@
 // Multithreaded operating-point sweep engine.
 //
-// Each sweep point is an independent measurement: a fresh logic_sim64 over
-// the *shared* multiplier netlist, driven with an identical seeded operand
-// stream (the same stream for every point, as the k-parameter extraction
-// requires), plus an active-cone timing pass. Points are farmed across a
-// std::thread pool; results are written by point index, so the output is
-// bit-identical for any thread count -- determinism is asserted in
-// tests/test_sim_engine.cpp.
+// Each sweep point is an independent measurement: a fresh compiled
+// wide-word executor (circuit/compiled_sim.h) over the *shared*
+// mode-specialized schedule of the multiplier netlist, driven with an
+// identical seeded operand stream (the same stream for every point, as
+// the k-parameter extraction requires), plus an active-cone timing pass.
+// The schedule bakes the point's tied inputs (mode selects, DAS selects,
+// gated operand LSBs) in at compile time, so reduced-precision points
+// simulate only their active cone; results stay bit-identical to the
+// logic_sim64 interpreter (and the scalar oracle) on the same stream.
+// Points are farmed across a std::thread pool; results are written by
+// point index, so the output is bit-identical for any thread count --
+// determinism is asserted in tests/test_sim_engine.cpp.
 //
 // Building a W-bit DVAFS netlist is the expensive part of standing up a
 // measurement (~10k gate constructions), so netlist_cache shares one
-// immutable structure per key across all engines, threads and benches.
+// immutable structure per key across all engines, threads and benches;
+// compiled_netlist_cache does the same for the per-mode schedules.
 
 #pragma once
 
@@ -33,6 +39,10 @@ struct sim_engine_config {
     std::uint64_t seed = 42;         // operand stream seed (shared by points)
     double throughput_mops = 500.0;  // constant-throughput rule for f
     bool with_timing = true;         // run the active-cone STA per point
+    // uint64 blocks per net in the compiled executor: 1, 4 or 8 (64, 256
+    // or 512 vectors per schedule pass). Purely a throughput knob --
+    // measurements are bit-identical for every value.
+    int wide_w = 8;
 };
 
 class sim_engine {

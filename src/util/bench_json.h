@@ -5,9 +5,9 @@
 //     {"bench": "...", "metric": "...", "value": <number>, "unit": "..."}
 // alongside its human-readable tables, so CI can archive a benchmark
 // trajectory and gate on regressions. The full schema -- field
-// conventions, units, gate exit codes, which benches CI uploads -- lives
-// in docs/bench_schema.md. bench_sim_throughput is the one exception: it
-// links google-benchmark, whose native --benchmark_out does the same job.
+// conventions, units, gate exit codes, which benches CI uploads, and the
+// checked-in BENCH_sim.json baseline built by scripts/collect_bench.py --
+// lives in docs/bench_schema.md.
 
 #pragma once
 

@@ -134,6 +134,26 @@ TEST(logic_sim, read_bus_packs_lsb_first)
     EXPECT_EQ(sim.read_bus({a, b}), 0b10ULL);
 }
 
+TEST(logic_sim, read_bus_rejects_oversized_bus)
+{
+    // Regression: this used to be a debug-only assert, so release builds
+    // silently packed only the low 64 nets and read garbage weights.
+    netlist nl;
+    std::vector<net_id> bus;
+    for (int i = 0; i < 65; ++i) {
+        bus.push_back(nl.add_input("i" + std::to_string(i)));
+    }
+    logic_sim scalar(nl);
+    scalar.apply(std::vector<bool>(65, true));
+    EXPECT_THROW((void)scalar.read_bus(bus), std::invalid_argument);
+    EXPECT_EQ(scalar.read_bus({bus[0], bus[64]}), 0b11ULL);
+
+    logic_sim64 wide(nl);
+    wide.apply(std::vector<std::uint64_t>(65, 1ULL), 1);
+    EXPECT_THROW((void)wide.read_bus(bus, 0), std::invalid_argument);
+    EXPECT_EQ(wide.read_bus({bus[0], bus[64]}, 0), 0b11ULL);
+}
+
 TEST(find_static_gates, constant_propagation)
 {
     netlist nl;
