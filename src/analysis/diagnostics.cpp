@@ -1,0 +1,75 @@
+#include "analysis/diagnostics.h"
+
+#include <sstream>
+#include <utility>
+
+namespace dvafs {
+
+const char* to_string(lint_severity s) noexcept
+{
+    return s == lint_severity::error ? "error" : "warning";
+}
+
+void lint_report::error(std::string code, std::string object,
+                        std::string message)
+{
+    diagnostics.push_back({lint_severity::error, std::move(code),
+                           std::move(object), std::move(message)});
+}
+
+void lint_report::warn(std::string code, std::string object,
+                       std::string message)
+{
+    diagnostics.push_back({lint_severity::warning, std::move(code),
+                           std::move(object), std::move(message)});
+}
+
+std::size_t lint_report::error_count() const noexcept
+{
+    std::size_t n = 0;
+    for (const lint_diagnostic& d : diagnostics) {
+        n += d.severity == lint_severity::error;
+    }
+    return n;
+}
+
+std::size_t lint_report::warning_count() const noexcept
+{
+    return diagnostics.size() - error_count();
+}
+
+void lint_report::merge(const lint_report& other)
+{
+    for (const lint_diagnostic& d : other.diagnostics) {
+        lint_diagnostic copy = d;
+        if (!other.subject.empty()) {
+            copy.object = other.subject
+                          + (copy.object.empty() ? "" : ": " + copy.object);
+        }
+        diagnostics.push_back(std::move(copy));
+    }
+}
+
+std::string lint_report::to_string() const
+{
+    std::ostringstream out;
+    out << (subject.empty() ? "lint" : subject) << ": "
+        << error_count() << " error(s), " << warning_count()
+        << " warning(s)";
+    for (const lint_diagnostic& d : diagnostics) {
+        out << "\n  [" << dvafs::to_string(d.severity) << "] " << d.code;
+        if (!d.object.empty()) {
+            out << " @ " << d.object;
+        }
+        out << ": " << d.message;
+    }
+    return out.str();
+}
+
+verification_error::verification_error(lint_report report)
+    : std::runtime_error(report.to_string()),
+      report_(std::make_shared<const lint_report>(std::move(report)))
+{
+}
+
+} // namespace dvafs

@@ -1,0 +1,72 @@
+// Shared diagnostic vocabulary for the static-verification layer.
+//
+// Every verifier in src/analysis/ (netlist structure, compiled-schedule
+// soundness, planner/governor invariants) reports through the same
+// lint_report: a list of named diagnostics, each carrying a stable
+// machine-readable code ("netlist-combinational-cycle",
+// "schedule-use-before-def", "plan-point-not-on-frontier", ...), the
+// object it is about, and a human-readable message. Codes are the contract
+// the tests and the dvafs_lint CLI key on; messages are free to improve.
+//
+// Verifiers never throw on a finding -- they accumulate and return the
+// report, so one lint pass surfaces every problem at once. Call sites that
+// must fail hard (verify-on-compile, the stream engine's re-plan gate)
+// wrap a failed report in verification_error.
+
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dvafs {
+
+enum class lint_severity : std::uint8_t { warning, error };
+
+const char* to_string(lint_severity s) noexcept;
+
+struct lint_diagnostic {
+    lint_severity severity = lint_severity::error;
+    std::string code;    // stable machine-readable identifier
+    std::string object;  // the net/run/layer the finding is about
+    std::string message; // human-readable explanation
+};
+
+// One verification pass over one subject. ok() is the pass/fail verdict:
+// warnings inform, only errors fail.
+struct lint_report {
+    std::string subject; // what was verified ("dvafs16 netlist", ...)
+    std::vector<lint_diagnostic> diagnostics;
+
+    void error(std::string code, std::string object, std::string message);
+    void warn(std::string code, std::string object, std::string message);
+
+    std::size_t error_count() const noexcept;
+    std::size_t warning_count() const noexcept;
+    bool ok() const noexcept { return error_count() == 0; }
+
+    // Folds another report's findings into this one, prefixing their
+    // objects with the other subject (dvafs_lint aggregates per-target
+    // reports this way).
+    void merge(const lint_report& other);
+
+    // Multi-line rendering: a summary line plus one line per diagnostic.
+    std::string to_string() const;
+};
+
+// Thrown by call sites that turn a failed report into a hard failure
+// (compile_netlist under verify-on-compile, stream_engine's re-plan gate).
+// what() carries the full rendered report; report() the structured form.
+class verification_error : public std::runtime_error {
+public:
+    explicit verification_error(lint_report report);
+
+    const lint_report& report() const noexcept { return *report_; }
+
+private:
+    // shared_ptr so copies of the exception stay cheap and noexcept.
+    std::shared_ptr<const lint_report> report_;
+};
+
+} // namespace dvafs

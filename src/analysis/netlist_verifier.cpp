@@ -1,0 +1,297 @@
+#include "analysis/netlist_verifier.h"
+
+#include "circuit/gate_kinds.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace dvafs {
+
+namespace {
+
+constexpr std::uint8_t max_kind =
+    static_cast<std::uint8_t>(gate_kind::maj_g);
+
+bool known_kind(gate_kind k) noexcept
+{
+    return static_cast<std::uint8_t>(k) <= max_kind;
+}
+
+std::string net_label(const netlist_view& v, net_id id)
+{
+    std::ostringstream o;
+    o << "net " << id;
+    if (id < v.gates.size() && known_kind(v.gates[id].kind)) {
+        o << " (" << to_string(v.gates[id].kind) << ")";
+    }
+    return o.str();
+}
+
+// Dependency-graph cycle search (gate -> fanin edges). Returns the first
+// cycle found as a net-id path [a, b, ..., a], or empty when acyclic.
+// Iterative three-color DFS: the netlist invariant normally guarantees
+// acyclicity by construction order, but raw views carry no such promise.
+std::vector<net_id> find_cycle(const netlist_view& v)
+{
+    const std::size_t n = v.gates.size();
+    enum : std::uint8_t { white, gray, black };
+    std::vector<std::uint8_t> color(n, white);
+
+    struct frame {
+        net_id node;
+        int next_slot;
+    };
+    std::vector<frame> stack;
+
+    for (std::size_t root = 0; root < n; ++root) {
+        if (color[root] != white) {
+            continue;
+        }
+        stack.push_back({static_cast<net_id>(root), 0});
+        color[root] = gray;
+        while (!stack.empty()) {
+            frame& f = stack.back();
+            const gate& g = v.gates[f.node];
+            const int arity = known_kind(g.kind)
+                                  ? gate_kind_arity(g.kind)
+                                  : 0;
+            if (f.next_slot >= arity) {
+                color[f.node] = black;
+                stack.pop_back();
+                continue;
+            }
+            const net_id fan[3] = {g.in0, g.in1, g.in2};
+            const net_id to = fan[f.next_slot++];
+            if (to >= n) {
+                continue; // missing/dangling: reported elsewhere
+            }
+            if (color[to] == gray) {
+                // Back edge: unwind the explicit stack into the cycle.
+                std::vector<net_id> cycle{to};
+                for (std::size_t i = stack.size(); i-- > 0;) {
+                    cycle.push_back(stack[i].node);
+                    if (stack[i].node == to) {
+                        break;
+                    }
+                }
+                std::reverse(cycle.begin(), cycle.end());
+                return cycle;
+            }
+            if (color[to] == white) {
+                color[to] = gray;
+                stack.push_back({to, 0});
+            }
+        }
+    }
+    return {};
+}
+
+} // namespace
+
+lint_report verify_netlist(const netlist_view& v, const std::string& subject)
+{
+    lint_report rep;
+    rep.subject = subject;
+    const std::size_t n = v.gates.size();
+
+    // -- per-gate shape: kind, arity, constant aux ---------------------------
+    for (std::size_t i = 0; i < n; ++i) {
+        const gate& g = v.gates[i];
+        const net_id id = static_cast<net_id>(i);
+        if (!known_kind(g.kind)) {
+            std::ostringstream m;
+            m << "gate kind "
+              << static_cast<unsigned>(static_cast<std::uint8_t>(g.kind))
+              << " is not a known gate_kind";
+            rep.error("netlist-unknown-kind", net_label(v, id), m.str());
+            continue; // arity is meaningless for an unknown kind
+        }
+        const int arity = gate_kind_arity(g.kind);
+        const net_id fan[3] = {g.in0, g.in1, g.in2};
+        for (int slot = 0; slot < 3; ++slot) {
+            if (slot < arity) {
+                if (fan[slot] == no_net) {
+                    std::ostringstream m;
+                    m << to_string(g.kind) << " needs " << arity
+                      << " fanin(s) but fanin " << slot << " is unconnected";
+                    rep.error("netlist-missing-fanin", net_label(v, id),
+                              m.str());
+                } else if (fan[slot] >= n) {
+                    std::ostringstream m;
+                    m << "fanin " << slot << " references net " << fan[slot]
+                      << " but the netlist has only " << n << " nets";
+                    rep.error("netlist-dangling-fanin", net_label(v, id),
+                              m.str());
+                } else if (fan[slot] >= id) {
+                    std::ostringstream m;
+                    m << "fanin " << slot << " references net " << fan[slot]
+                      << " at or after the gate itself; construction order "
+                         "must be topological (the linear-pass engines "
+                         "would read a stale value)";
+                    rep.error("netlist-not-topological", net_label(v, id),
+                              m.str());
+                }
+            } else if (fan[slot] != no_net) {
+                std::ostringstream m;
+                m << to_string(g.kind) << " takes " << arity
+                  << " fanin(s) but fanin " << slot << " is connected to net "
+                  << fan[slot];
+                rep.warn("netlist-excess-fanin", net_label(v, id), m.str());
+            }
+        }
+        if (g.kind == gate_kind::constant && g.aux > 1) {
+            std::ostringstream m;
+            m << "constant carries aux value "
+              << static_cast<unsigned>(g.aux) << "; only 0 or 1 is valid";
+            rep.error("netlist-bad-constant", net_label(v, id), m.str());
+        } else if (g.kind != gate_kind::constant && g.aux != 0) {
+            std::ostringstream m;
+            m << "non-constant gate carries aux value "
+              << static_cast<unsigned>(g.aux);
+            rep.warn("netlist-stray-aux", net_label(v, id), m.str());
+        }
+    }
+
+    // -- combinational cycles ------------------------------------------------
+    // Forward references are already errors above; a true cycle is the
+    // stronger finding, reported with its path.
+    const std::vector<net_id> cycle = find_cycle(v);
+    if (!cycle.empty()) {
+        std::ostringstream m;
+        m << "combinational cycle: ";
+        for (std::size_t i = 0; i < cycle.size(); ++i) {
+            m << (i ? " -> " : "") << cycle[i];
+        }
+        m << " -> " << cycle.front();
+        rep.error("netlist-combinational-cycle", net_label(v, cycle.front()),
+                  m.str());
+    }
+
+    // -- primary-input list --------------------------------------------------
+    std::vector<std::uint32_t> listed(n, 0);
+    for (std::size_t pos = 0; pos < v.inputs.size(); ++pos) {
+        const net_id id = v.inputs[pos];
+        if (id >= n) {
+            std::ostringstream m;
+            m << "input #" << pos << " references net " << id
+              << " but the netlist has only " << n << " nets";
+            rep.error("netlist-input-out-of-range", "input list", m.str());
+            continue;
+        }
+        ++listed[id];
+        if (known_kind(v.gates[id].kind)
+            && v.gates[id].kind != gate_kind::input) {
+            std::ostringstream m;
+            m << "input #" << pos << " is a " << to_string(v.gates[id].kind)
+              << " gate, not a primary input";
+            rep.error("netlist-input-not-input-kind", net_label(v, id),
+                      m.str());
+        }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        const net_id id = static_cast<net_id>(i);
+        if (listed[i] > 1) {
+            std::ostringstream m;
+            m << "listed " << listed[i]
+              << " times in the primary-input order; the stimulus would "
+                 "drive it multiple times";
+            rep.error("netlist-multiply-driven", net_label(v, id), m.str());
+        }
+        if (listed[i] == 0 && known_kind(v.gates[i].kind)
+            && v.gates[i].kind == gate_kind::input) {
+            rep.error("netlist-floating-net", net_label(v, id),
+                      "input-kind gate is missing from the primary-input "
+                      "list; no stimulus ever drives it");
+        }
+    }
+
+    // -- named outputs and bus ranges ----------------------------------------
+    std::map<std::string, std::vector<long>> buses;
+    for (const auto& [name, id] : v.outputs) {
+        if (id >= n) {
+            std::ostringstream m;
+            m << "output '" << name << "' references net " << id
+              << " but the netlist has only " << n << " nets";
+            rep.error("netlist-output-out-of-range", "output map", m.str());
+            continue;
+        }
+        // Split a trailing decimal index off the name ("p13" -> "p", 13).
+        std::size_t d = name.size();
+        while (d > 0 && name[d - 1] >= '0' && name[d - 1] <= '9') {
+            --d;
+        }
+        if (d > 0 && d < name.size() && name.size() - d <= 9) {
+            buses[name.substr(0, d)].push_back(
+                std::stol(name.substr(d)));
+        }
+    }
+    for (auto& [prefix, bits] : buses) {
+        if (bits.size() < 2) {
+            continue; // a lone "x0" is a name, not a bus
+        }
+        std::sort(bits.begin(), bits.end());
+        for (std::size_t i = 0; i < bits.size(); ++i) {
+            if (bits[i] != static_cast<long>(i)) {
+                std::ostringstream m;
+                m << "indexed outputs " << prefix << bits.front() << ".."
+                  << prefix << bits.back() << " (" << bits.size()
+                  << " bits) are not contiguous from " << prefix
+                  << "0: first anomaly at index " << bits[i];
+                rep.warn("netlist-bus-gap", "bus '" + prefix + "'", m.str());
+                break;
+            }
+        }
+    }
+
+    // -- dead logic (reachability is advisory) -------------------------------
+    std::vector<std::uint8_t> has_fanout(n, 0);
+    for (const gate& g : v.gates) {
+        if (!known_kind(g.kind)) {
+            continue;
+        }
+        const int arity = gate_kind_arity(g.kind);
+        const net_id fan[3] = {g.in0, g.in1, g.in2};
+        for (int slot = 0; slot < arity; ++slot) {
+            if (fan[slot] < n) {
+                has_fanout[fan[slot]] = 1;
+            }
+        }
+    }
+    for (const auto& [name, id] : v.outputs) {
+        if (id < n) {
+            has_fanout[id] = 1;
+        }
+    }
+    std::size_t dead = 0;
+    net_id first_dead = no_net;
+    for (std::size_t i = 0; i < n; ++i) {
+        const gate& g = v.gates[i];
+        if (!known_kind(g.kind) || gate_kind_arity(g.kind) == 0) {
+            continue; // unused inputs/constants are common and harmless
+        }
+        if (!has_fanout[i]) {
+            ++dead;
+            if (first_dead == no_net) {
+                first_dead = static_cast<net_id>(i);
+            }
+        }
+    }
+    if (dead > 0) {
+        std::ostringstream m;
+        m << dead << " logic gate(s) drive nothing and are not named "
+          << "outputs (first: " << net_label(v, first_dead)
+          << "); they burn area and toggle energy for no observable value";
+        rep.warn("netlist-dead-gate", "netlist", m.str());
+    }
+
+    return rep;
+}
+
+lint_report verify_netlist(const netlist& nl, const std::string& subject)
+{
+    return verify_netlist(
+        netlist_view{nl.gates(), nl.inputs(), nl.outputs()}, subject);
+}
+
+} // namespace dvafs

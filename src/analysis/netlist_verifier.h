@@ -1,0 +1,52 @@
+// Structural lint for gate-level netlists -- no simulation involved.
+//
+// The netlist construction API already rejects many malformed shapes
+// (check_fanin forbids forward references, add_gate fills unused fanins
+// with no_net), but netlists also arrive from raw gate vectors in tests
+// and, eventually, from external readers. The verifier checks the full
+// representation invariant every engine in circuit/ assumes:
+//
+//  * every gate kind is known and its fanins match gate_kind_arity
+//    (missing, dangling or excess fanins are named individually);
+//  * construction order is topological and the fanin graph is acyclic --
+//    the linear-pass simulators and the levelizer silently read stale
+//    values otherwise, so a forward reference is an error even when the
+//    graph has no true cycle (a cycle is reported with its path);
+//  * the primary-input list is consistent: every listed net is an
+//    input-kind gate, no net is listed twice (multiply driven), and every
+//    input-kind gate is listed (a floating net no stimulus ever drives);
+//  * constants carry a 0/1 aux value and non-constants carry none;
+//  * named outputs resolve to real nets, and indexed output buses
+//    ("p0".."p31") are contiguous from 0 with no duplicate bit.
+//
+// Diagnostic codes are stable (see docs/static_analysis.md for the list);
+// tests and dvafs_lint match on them.
+
+#pragma once
+
+#include "analysis/diagnostics.h"
+#include "circuit/netlist.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace dvafs {
+
+// A raw, unvalidated view of a netlist's content. The netlist class
+// cannot represent most malformed shapes (its API checks at build time),
+// so the verifier also accepts the bare representation -- hand-built gate
+// vectors in the error-path tests, external readers later.
+struct netlist_view {
+    const std::vector<gate>& gates;
+    const std::vector<net_id>& inputs;
+    const std::unordered_map<std::string, net_id>& outputs;
+};
+
+lint_report verify_netlist(const netlist_view& view,
+                           const std::string& subject = "netlist");
+
+lint_report verify_netlist(const netlist& nl,
+                           const std::string& subject = "netlist");
+
+} // namespace dvafs

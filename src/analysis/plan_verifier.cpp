@@ -1,0 +1,205 @@
+#include "analysis/plan_verifier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace dvafs {
+
+namespace {
+
+// Roll-up fields are recomputed the way finish_plan computes them (same
+// in-order summation), so agreement is expected to the last bit; the
+// tolerance only absorbs serialization round-trips.
+bool close(double a, double b) noexcept
+{
+    const double scale = std::max({std::fabs(a), std::fabs(b), 1.0});
+    return std::fabs(a - b) <= 1e-9 * scale;
+}
+
+std::string layer_label(const network_plan& plan, std::size_t i)
+{
+    std::ostringstream o;
+    o << "layer " << i;
+    if (i < plan.layers.size() && !plan.layers[i].layer_name.empty()) {
+        o << " (" << plan.layers[i].layer_name << ")";
+    }
+    return o.str();
+}
+
+} // namespace
+
+lint_report verify_plan(const network& net, const network_plan& plan,
+                        const std::vector<layer_frontier>* frontiers,
+                        const std::string& subject)
+{
+    lint_report rep;
+    rep.subject = subject;
+
+    // -- layer rows ----------------------------------------------------------
+    const std::size_t want_layers = net.weighted_layers().size();
+    if (plan.layers.size() != want_layers) {
+        std::ostringstream m;
+        m << "plan has " << plan.layers.size() << " layer rows but '"
+          << net.name() << "' has " << want_layers << " weighted layers";
+        rep.error("plan-layer-count", "layers", m.str());
+    }
+
+    double energy_sum = 0.0;
+    double time_sum = 0.0;
+    double loss_sum = 0.0;
+    for (std::size_t i = 0; i < plan.layers.size(); ++i) {
+        const layer_plan& lp = plan.layers[i];
+        const double fields[] = {lp.energy_mj, lp.time_ms, lp.power_mw,
+                                 lp.accuracy_loss};
+        const char* names[] = {"energy_mj", "time_ms", "power_mw",
+                               "accuracy_loss"};
+        for (int f = 0; f < 4; ++f) {
+            if (!std::isfinite(fields[f]) || fields[f] < 0.0) {
+                std::ostringstream m;
+                m << names[f] << " = " << fields[f]
+                  << "; layer metrics must be finite and non-negative";
+                rep.error("plan-bad-layer-metric", layer_label(plan, i),
+                          m.str());
+            }
+        }
+        if (lp.weight_bits < 1 || lp.weight_bits > 16 || lp.input_bits < 1
+            || lp.input_bits > 16) {
+            std::ostringstream m;
+            m << "scheduled at " << lp.weight_bits << "w/" << lp.input_bits
+              << "i bits, outside the 1..16 Envision word";
+            rep.error("plan-bad-layer-bits", layer_label(plan, i), m.str());
+        }
+        energy_sum += lp.energy_mj;
+        time_sum += lp.time_ms;
+        loss_sum += lp.accuracy_loss;
+    }
+
+    // -- roll-up consistency (finish_plan's arithmetic) ----------------------
+    if (!close(plan.total_energy_mj, energy_sum)) {
+        std::ostringstream m;
+        m << "total_energy_mj = " << plan.total_energy_mj
+          << " but the layer rows sum to " << energy_sum;
+        rep.error("plan-energy-sum", "roll-up", m.str());
+    }
+    if (!close(plan.total_time_ms, time_sum)) {
+        std::ostringstream m;
+        m << "total_time_ms = " << plan.total_time_ms
+          << " but the layer rows sum to " << time_sum;
+        rep.error("plan-time-sum", "roll-up", m.str());
+    }
+    if (plan.total_time_ms > 0.0 && plan.fps > 0.0
+        && !close(plan.fps * plan.total_time_ms, 1000.0)) {
+        std::ostringstream m;
+        m << "fps = " << plan.fps << " does not invert total_time_ms = "
+          << plan.total_time_ms;
+        rep.error("plan-fps-inconsistent", "roll-up", m.str());
+    }
+    if (plan.total_time_ms > 0.0
+        && !close(plan.avg_power_mw,
+                  plan.total_energy_mj / plan.total_time_ms * 1e3)) {
+        std::ostringstream m;
+        m << "avg_power_mw = " << plan.avg_power_mw
+          << " is not total energy over total time";
+        rep.error("plan-power-inconsistent", "roll-up", m.str());
+    }
+    if (plan.total_energy_mj > 0.0 && plan.baseline_energy_mj > 0.0
+        && !close(plan.savings_factor,
+                  plan.baseline_energy_mj / plan.total_energy_mj)) {
+        std::ostringstream m;
+        m << "savings_factor = " << plan.savings_factor
+          << " but baseline/total = "
+          << plan.baseline_energy_mj / plan.total_energy_mj;
+        rep.error("plan-savings-inconsistent", "roll-up", m.str());
+    }
+    if (!std::isfinite(plan.relative_accuracy)
+        || plan.relative_accuracy < 0.0 || plan.relative_accuracy > 2.0) {
+        std::ostringstream m;
+        m << "relative_accuracy = " << plan.relative_accuracy
+          << " is not a plausible accuracy ratio";
+        rep.error("plan-accuracy-range", "roll-up", m.str());
+    }
+
+    // -- deadline bookkeeping ------------------------------------------------
+    if (plan.deadline_met && plan.latency_budget_ms > 0.0
+        && plan.total_time_ms > plan.latency_budget_ms * (1.0 + 1e-9)) {
+        std::ostringstream m;
+        m << "deadline_met is set but total_time_ms = " << plan.total_time_ms
+          << " exceeds the latency budget " << plan.latency_budget_ms
+          << " ms";
+        rep.error("plan-deadline-inconsistent", "roll-up", m.str());
+    }
+
+    // -- frontier membership (governor re-plans only) ------------------------
+    if (frontiers == nullptr) {
+        return rep;
+    }
+    if (frontiers->size() != plan.layers.size()) {
+        std::ostringstream m;
+        m << plan.layers.size() << " layer rows vs " << frontiers->size()
+          << " cached layer frontiers";
+        rep.error("plan-frontier-count", "frontiers", m.str());
+        return rep;
+    }
+    for (std::size_t i = 0; i < plan.layers.size(); ++i) {
+        const layer_plan& lp = plan.layers[i];
+        const layer_frontier& fr = (*frontiers)[i];
+        if (!fr.layer_name.empty() && !lp.layer_name.empty()
+            && fr.layer_name != lp.layer_name) {
+            std::ostringstream m;
+            m << "plan row is for '" << lp.layer_name
+              << "' but frontier " << i << " is for '" << fr.layer_name
+              << "'";
+            rep.error("plan-frontier-count", layer_label(plan, i), m.str());
+            continue;
+        }
+        if (!fr.contains(lp.point)) {
+            std::ostringstream m;
+            m << "operating point " << lp.point.label()
+              << " is not a member of the layer's Pareto frontier ("
+              << fr.points.size() << " points)";
+            rep.error("plan-point-not-on-frontier", layer_label(plan, i),
+                      m.str());
+            continue;
+        }
+        for (const layer_frontier_point& p : fr.points) {
+            if (!(p.spec == lp.point)) {
+                continue;
+            }
+            if (!close(p.accuracy_loss, lp.accuracy_loss)) {
+                std::ostringstream m;
+                m << "records accuracy_loss " << lp.accuracy_loss
+                  << " but the frontier point " << lp.point.label()
+                  << " measured " << p.accuracy_loss;
+                rep.error("plan-layer-metrics", layer_label(plan, i),
+                          m.str());
+            }
+            if (!close(p.activity_divisor, lp.activity_divisor)) {
+                std::ostringstream m;
+                m << "records activity divisor " << lp.activity_divisor
+                  << " but the frontier point measured "
+                  << p.activity_divisor;
+                rep.error("plan-layer-metrics", layer_label(plan, i),
+                          m.str());
+            }
+            break;
+        }
+    }
+    if (!close(plan.planned_accuracy_loss, loss_sum)) {
+        std::ostringstream m;
+        m << "planned_accuracy_loss = " << plan.planned_accuracy_loss
+          << " but the selected points' losses sum to " << loss_sum;
+        rep.error("plan-accuracy-sum", "roll-up", m.str());
+    }
+    if (plan.deadline_met
+        && loss_sum > plan.accuracy_budget * (1.0 + 1e-9) + 1e-9) {
+        std::ostringstream m;
+        m << "selection spends " << loss_sum
+          << " accuracy-loss against a budget of " << plan.accuracy_budget
+          << " yet claims feasibility";
+        rep.error("plan-budget-overspent", "roll-up", m.str());
+    }
+    return rep;
+}
+
+} // namespace dvafs

@@ -1,0 +1,394 @@
+#include "analysis/schedule_verifier.h"
+
+#include "circuit/gate_kinds.h"
+#include "circuit/logic_sim.h"
+
+#include <map>
+#include <sstream>
+
+namespace dvafs {
+
+namespace {
+
+std::string net_label(const netlist& nl, net_id id)
+{
+    std::ostringstream o;
+    o << "net " << id;
+    if (id < nl.size()) {
+        o << " (" << to_string(nl.at(id).kind) << ")";
+    }
+    return o.str();
+}
+
+bool logic_kind(gate_kind k) noexcept
+{
+    return k != gate_kind::input && k != gate_kind::constant;
+}
+
+} // namespace
+
+lint_report
+verify_schedule(const netlist& nl, const compiled_schedule& s,
+                const std::vector<std::pair<net_id, bool>>& tied,
+                const std::string& subject)
+{
+    lint_report rep;
+    rep.subject = subject;
+    const auto& gates = nl.gates();
+    const auto& ins = nl.inputs();
+    const std::size_t n = nl.size();
+    const std::size_t n_sched = s.scheduled_gates();
+
+    // -- shape: everything below indexes through these sizes -----------------
+    {
+        std::ostringstream m;
+        bool bad = false;
+        if (s.net_count != n) {
+            m << "net_count " << s.net_count << " != netlist size " << n
+              << "; ";
+            bad = true;
+        }
+        if (s.input_count != ins.size()) {
+            m << "input_count " << s.input_count << " != netlist inputs "
+              << ins.size() << "; ";
+            bad = true;
+        }
+        if (s.dense_of.size() != n || s.kinds.size() != n) {
+            m << "dense_of/kinds sized " << s.dense_of.size() << "/"
+              << s.kinds.size() << ", want " << n << "; ";
+            bad = true;
+        }
+        if (s.in1.size() != n_sched || s.in2.size() != n_sched) {
+            m << "SoA fanin arrays sized " << s.in0.size() << "/"
+              << s.in1.size() << "/" << s.in2.size() << "; ";
+            bad = true;
+        }
+        if (s.const_vals.size() != s.const_dense.size()) {
+            m << "const_vals sized " << s.const_vals.size()
+              << " vs const_dense " << s.const_dense.size() << "; ";
+            bad = true;
+        }
+        if (n_sched > n) {
+            m << n_sched << " scheduled gates exceed " << n << " nets; ";
+            bad = true;
+        }
+        if (bad) {
+            rep.error("schedule-shape", "schedule", m.str());
+            return rep; // nothing below can index safely
+        }
+    }
+
+    // -- renumbering: a bijection original -> dense --------------------------
+    std::vector<net_id> inverse(n, no_net);
+    for (std::size_t i = 0; i < n; ++i) {
+        const net_id d = s.dense_of[i];
+        if (d >= n) {
+            std::ostringstream m;
+            m << "maps to dense slot " << d << " outside [0, " << n << ")";
+            rep.error("schedule-renumbering-out-of-range", net_label(nl, i),
+                      m.str());
+            continue;
+        }
+        if (inverse[d] != no_net) {
+            std::ostringstream m;
+            m << "dense slot " << d << " is shared with "
+              << net_label(nl, inverse[d])
+              << "; the renumbering must be a bijection";
+            rep.error("schedule-renumbering-not-bijective",
+                      net_label(nl, i), m.str());
+            continue;
+        }
+        inverse[d] = static_cast<net_id>(i);
+        if (s.kinds[d] != gates[i].kind) {
+            std::ostringstream m;
+            m << "dense slot " << d << " records kind "
+              << to_string(s.kinds[d]) << " but the source gate is "
+              << to_string(gates[i].kind);
+            rep.error("schedule-kind-mismatch", net_label(nl, i), m.str());
+        }
+    }
+
+    // -- re-derive the folding oracle ----------------------------------------
+    for (const auto& [id, value] : tied) {
+        if (id >= n || gates[id].kind != gate_kind::input) {
+            std::ostringstream m;
+            m << "tied net " << id << " (value " << value
+              << ") is not a primary input";
+            rep.error("schedule-bad-tie", "tie set", m.str());
+            return rep;
+        }
+    }
+    const std::vector<std::uint8_t> val = propagate_constants(nl, tied);
+
+    // -- declared constants vs the oracle ------------------------------------
+    std::vector<std::int8_t> const_at(n, -1); // dense slot -> declared value
+    for (std::size_t k = 0; k < s.const_dense.size(); ++k) {
+        const net_id d = s.const_dense[k];
+        std::ostringstream obj;
+        obj << "const entry " << k;
+        if (d >= n) {
+            std::ostringstream m;
+            m << "dense slot " << d << " outside [0, " << n << ")";
+            rep.error("schedule-const-out-of-range", obj.str(), m.str());
+            continue;
+        }
+        if (s.const_vals[k] > 1) {
+            std::ostringstream m;
+            m << "constant value " << static_cast<unsigned>(s.const_vals[k])
+              << " is not 0/1";
+            rep.error("schedule-bad-const-value", obj.str(), m.str());
+        }
+        if (const_at[d] >= 0) {
+            std::ostringstream m;
+            m << "dense slot " << d << " is materialized twice";
+            rep.error("schedule-duplicate-const", obj.str(), m.str());
+            continue;
+        }
+        const_at[d] = s.const_vals[k] != 0 ? 1 : 0;
+    }
+
+    std::size_t pruned = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const net_id d = s.dense_of[i];
+        if (d >= n || inverse[d] != static_cast<net_id>(i)) {
+            continue; // renumbering already reported
+        }
+        const gate_kind k = gates[i].kind;
+        const bool fixed = val[i] != ternary_x;
+        if (fixed) {
+            if (const_at[d] < 0) {
+                std::ostringstream m;
+                m << "propagate_constants fixes this net to "
+                  << static_cast<int>(val[i])
+                  << " under the declared ties, but the schedule never "
+                     "materializes it as a constant";
+                rep.error("schedule-missing-const", net_label(nl, i),
+                          m.str());
+            } else if (const_at[d] != static_cast<std::int8_t>(val[i])) {
+                std::ostringstream m;
+                m << "materialized as constant "
+                  << static_cast<int>(const_at[d])
+                  << " but propagate_constants derives "
+                  << static_cast<int>(val[i]);
+                rep.error("schedule-wrong-const", net_label(nl, i), m.str());
+            }
+            if (d < n_sched) {
+                std::ostringstream m;
+                m << "folded net occupies scheduled slot " << d
+                  << "; constants belong above the scheduled region";
+                rep.error("schedule-region", net_label(nl, i), m.str());
+            }
+            if (logic_kind(k)) {
+                ++pruned; // a justified cone member
+            }
+        } else {
+            if (const_at[d] >= 0) {
+                std::ostringstream m;
+                m << "folded to constant " << static_cast<int>(const_at[d])
+                  << " but propagate_constants says it still varies under "
+                     "the declared ties (unjustified cone pruning)";
+                rep.error("schedule-spurious-const", net_label(nl, i),
+                          m.str());
+            }
+            if (logic_kind(k) && d >= n_sched) {
+                std::ostringstream m;
+                m << "live logic gate sits at dense slot " << d
+                  << " outside the scheduled region [0, " << n_sched
+                  << "); no run ever computes it";
+                rep.error("schedule-gate-not-scheduled", net_label(nl, i),
+                          m.str());
+            }
+            if (!logic_kind(k) && d < n_sched) {
+                std::ostringstream m;
+                m << to_string(k) << " net occupies scheduled slot " << d
+                  << "; only logic gates are schedulable";
+                rep.error("schedule-region", net_label(nl, i), m.str());
+            }
+        }
+    }
+    if (s.pruned_gates != pruned) {
+        std::ostringstream m;
+        m << "schedule reports " << s.pruned_gates
+          << " pruned logic gates; the oracle justifies " << pruned;
+        rep.warn("schedule-pruned-count", "schedule", m.str());
+    }
+
+    // -- live inputs: exactly the untied primary inputs ----------------------
+    std::vector<std::uint8_t> live_seen(ins.size(), 0);
+    for (const compiled_schedule::live_input& li : s.live_inputs) {
+        std::ostringstream obj;
+        obj << "live input pos " << li.pos;
+        if (li.pos >= ins.size()) {
+            std::ostringstream m;
+            m << "input position outside [0, " << ins.size() << ")";
+            rep.error("schedule-live-input", obj.str(), m.str());
+            continue;
+        }
+        const net_id net = ins[li.pos];
+        if (live_seen[li.pos]) {
+            rep.error("schedule-live-input", obj.str(),
+                      "input position listed live twice");
+            continue;
+        }
+        live_seen[li.pos] = 1;
+        if (val[net] != ternary_x) {
+            std::ostringstream m;
+            m << net_label(nl, net) << " is tied to "
+              << static_cast<int>(val[net])
+              << " yet listed as a live (varying) input";
+            rep.error("schedule-live-input", obj.str(), m.str());
+        }
+        if (net < n && li.dense != s.dense_of[net]) {
+            std::ostringstream m;
+            m << "records dense slot " << li.dense << " but "
+              << net_label(nl, net) << " renumbers to " << s.dense_of[net];
+            rep.error("schedule-live-input", obj.str(), m.str());
+        }
+    }
+    for (std::size_t pos = 0; pos < ins.size(); ++pos) {
+        if (!live_seen[pos] && val[ins[pos]] == ternary_x) {
+            std::ostringstream m;
+            m << net_label(nl, ins[pos]) << " at input position " << pos
+              << " is untied but missing from live_inputs; apply() would "
+                 "never load its stimulus";
+            rep.error("schedule-live-input", "live_inputs", m.str());
+        }
+    }
+
+    // -- tied checks: exactly the tied positions, with the tied values -------
+    std::map<std::uint32_t, bool> expected_ties;
+    for (std::size_t pos = 0; pos < ins.size(); ++pos) {
+        if (val[ins[pos]] != ternary_x) {
+            expected_ties[static_cast<std::uint32_t>(pos)] =
+                val[ins[pos]] != 0;
+        }
+    }
+    std::map<std::uint32_t, bool> declared_ties;
+    for (const auto& tc : s.tied_checks) {
+        std::ostringstream obj;
+        obj << "tied check pos " << tc.pos;
+        if (tc.pos >= ins.size()) {
+            std::ostringstream m;
+            m << "input position outside [0, " << ins.size() << ")";
+            rep.error("schedule-tied-checks", obj.str(), m.str());
+            continue;
+        }
+        if (declared_ties.count(tc.pos) != 0) {
+            rep.error("schedule-tied-checks", obj.str(),
+                      "input position checked twice");
+            continue;
+        }
+        declared_ties[tc.pos] = tc.value;
+        const auto it = expected_ties.find(tc.pos);
+        if (it == expected_ties.end()) {
+            std::ostringstream m;
+            m << net_label(nl, ins[tc.pos])
+              << " is untied but apply() would require it constant";
+            rep.error("schedule-tied-checks", obj.str(), m.str());
+        } else if (it->second != tc.value) {
+            std::ostringstream m;
+            m << net_label(nl, ins[tc.pos]) << " is tied to " << it->second
+              << " but the check requires " << tc.value;
+            rep.error("schedule-tied-checks", obj.str(), m.str());
+        }
+        if (tc.net != ins[tc.pos]) {
+            std::ostringstream m;
+            m << "records net " << tc.net << " but input position "
+              << tc.pos << " is " << net_label(nl, ins[tc.pos]);
+            rep.error("schedule-tied-checks", obj.str(), m.str());
+        }
+    }
+    for (const auto& [pos, value] : expected_ties) {
+        if (declared_ties.count(pos) == 0) {
+            std::ostringstream m;
+            m << net_label(nl, ins[pos]) << " at input position " << pos
+              << " is tied to " << value
+              << " but apply() never validates it; a contradicting "
+                 "stimulus would silently miscount toggles";
+            rep.error("schedule-tied-checks", "tied_checks", m.str());
+        }
+    }
+
+    // -- runs: contiguous, kind-homogeneous tiling of the scheduled region ---
+    std::uint32_t at = 0;
+    for (std::size_t r = 0; r < s.runs.size(); ++r) {
+        const compiled_run& run = s.runs[r];
+        std::ostringstream obj;
+        obj << "run " << r << " (" << to_string(run.kind) << ")";
+        if (run.begin != at || run.end < run.begin) {
+            std::ostringstream m;
+            m << "covers [" << run.begin << ", " << run.end
+              << ") but the previous run ended at " << at;
+            rep.error("schedule-runs-gap", obj.str(), m.str());
+        }
+        if (run.end > n_sched) {
+            std::ostringstream m;
+            m << "extends to " << run.end << ", past the "
+              << n_sched << " scheduled gates";
+            rep.error("schedule-runs-gap", obj.str(), m.str());
+            at = run.end;
+            continue;
+        }
+        if (!logic_kind(run.kind)) {
+            rep.error("schedule-run-kind", obj.str(),
+                      "run kind is not a schedulable logic kind");
+        }
+        for (std::uint32_t p = run.begin; p < run.end && p < n; ++p) {
+            if (s.kinds[p] != run.kind) {
+                std::ostringstream m;
+                m << "slot " << p << " holds a " << to_string(s.kinds[p])
+                  << " gate; runs must be kind-homogeneous";
+                rep.error("schedule-run-kind", obj.str(), m.str());
+                break;
+            }
+        }
+        at = std::max(at, run.end);
+    }
+    if (at != n_sched) {
+        std::ostringstream m;
+        m << "runs cover [0, " << at << ") but there are " << n_sched
+          << " scheduled gates";
+        rep.error("schedule-runs-gap", "runs", m.str());
+    }
+
+    // -- fanin slots and use-before-def --------------------------------------
+    for (std::size_t p = 0; p < n_sched; ++p) {
+        const net_id orig = inverse[p];
+        if (orig == no_net) {
+            continue; // renumbering already reported
+        }
+        const gate& g = gates[orig];
+        const int arity = gate_kind_arity(g.kind);
+        const net_id fan[3] = {g.in0, g.in1, g.in2};
+        const net_id slot[3] = {s.in0[p], s.in1[p], s.in2[p]};
+        for (int a = 0; a < 3; ++a) {
+            const net_id want =
+                a < arity && fan[a] < n ? s.dense_of[fan[a]] : 0;
+            if (slot[a] != want) {
+                std::ostringstream m;
+                m << "scheduled at position " << p << ": fanin " << a
+                  << " reads dense slot " << slot[a] << " but "
+                  << (a < arity
+                          ? "net " + std::to_string(fan[a]) + " renumbers to "
+                          : "an absent fanin must read slot ")
+                  << want;
+                rep.error("schedule-fanin-slot", net_label(nl, orig),
+                          m.str());
+            }
+            if (a < arity && slot[a] < n_sched
+                && slot[a] >= static_cast<net_id>(p)) {
+                std::ostringstream m;
+                m << "scheduled at position " << p << " reads fanin "
+                  << net_label(nl, fan[a] < n ? fan[a] : no_net)
+                  << " from slot " << slot[a]
+                  << " before that gate is computed (use before def)";
+                rep.error("schedule-use-before-def", net_label(nl, orig),
+                          m.str());
+            }
+        }
+    }
+
+    return rep;
+}
+
+} // namespace dvafs

@@ -1,0 +1,50 @@
+// Structural soundness proof for a compiled schedule against its source.
+//
+// compile_netlist performs three aggressive transforms -- three-valued
+// constant folding over the declared ties, cone pruning, and a dense
+// hot-to-cold renumbering -- and the executor then trusts the result
+// blindly (no per-gate dispatch, no bounds checks in the kernels). The
+// verifier re-derives what the schedule *must* look like and checks the
+// actual one against it:
+//
+//  * the renumbering is a bijection: every original net maps to exactly
+//    one dense slot in [0, net_count), and per-slot kinds match the source
+//    gates;
+//  * pruned cones are justified: re-running propagate_constants over the
+//    declared ties, exactly the nets it fixes appear in const_dense (with
+//    the propagated values) and exactly the surviving logic gates are
+//    scheduled -- a schedule may not fold a net the oracle calls live, nor
+//    schedule one it calls constant;
+//  * every live net is computed before use: a scheduled gate's SoA fanin
+//    slots equal dense_of[its original fanins], and any fanin that is
+//    itself scheduled sits at an earlier schedule position (inputs and
+//    constants live above the scheduled region and are materialized before
+//    the first run);
+//  * runs tile [0, scheduled_gates()) contiguously, each kind-homogeneous
+//    and of a schedulable (logic) kind;
+//  * the dynamic interface is consistent: live_inputs lists exactly the
+//    untied primary inputs (correct dense slot and input position), and
+//    tied_checks carries exactly the tied positions with the tied values.
+//
+// Like the netlist verifier this accumulates named diagnostics instead of
+// throwing; compile_netlist's verify-on-compile wraps a failed report in
+// verification_error.
+
+#pragma once
+
+#include "analysis/diagnostics.h"
+#include "circuit/compiled_sim.h"
+#include "circuit/netlist.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dvafs {
+
+lint_report
+verify_schedule(const netlist& nl, const compiled_schedule& s,
+                const std::vector<std::pair<net_id, bool>>& tied = {},
+                const std::string& subject = "schedule");
+
+} // namespace dvafs

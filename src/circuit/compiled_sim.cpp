@@ -1,15 +1,56 @@
 #include "circuit/compiled_sim.h"
 
+#include "analysis/netlist_verifier.h"
+#include "analysis/schedule_verifier.h"
 #include "circuit/gate_kinds.h"
 #include "circuit/logic_sim.h"
 #include "circuit/tech.h"
 
 #include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstdlib>
 #include <cstring>
 #include <sstream>
 #include <stdexcept>
 
 namespace dvafs {
+
+// -- verify-on-compile flag ---------------------------------------------------
+
+namespace {
+
+// -1: unset, consult DVAFS_VERIFY_COMPILE on first use; 0/1: explicit.
+std::atomic<int> g_verify_on_compile{-1};
+
+bool env_verify_on_compile() noexcept
+{
+    const char* e = std::getenv("DVAFS_VERIFY_COMPILE");
+    if (e == nullptr) {
+        return false;
+    }
+    const std::string v(e);
+    return v == "1" || v == "on" || v == "true" || v == "yes";
+}
+
+} // namespace
+
+void set_verify_on_compile(bool on) noexcept
+{
+    g_verify_on_compile.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+bool verify_on_compile() noexcept
+{
+    int s = g_verify_on_compile.load(std::memory_order_relaxed);
+    if (s < 0) {
+        // Benign race: the environment is stable, so concurrent first
+        // readers all derive the same value.
+        s = env_verify_on_compile() ? 1 : 0;
+        g_verify_on_compile.store(s, std::memory_order_relaxed);
+    }
+    return s == 1;
+}
 
 // -- compilation --------------------------------------------------------------
 
@@ -94,8 +135,9 @@ compile_netlist(const netlist& nl,
             s.live_inputs.push_back({s.dense_of[net],
                                      static_cast<std::uint32_t>(pos)});
         } else {
-            s.tied_checks.emplace_back(static_cast<std::uint32_t>(pos),
-                                       tie[net] != 0);
+            s.tied_checks.push_back({static_cast<std::uint32_t>(pos),
+                                     tie[net] != 0, net,
+                                     nl.input_name(net)});
         }
     }
     for (std::size_t i = 0; i < s.net_count; ++i) {
@@ -127,6 +169,19 @@ compile_netlist(const netlist& nl,
         s.in2.push_back(arity >= 3 ? s.dense_of[g.in2]
                                    : 0); // loaded but never used
         s.runs.back().end = static_cast<std::uint32_t>(s.in0.size());
+    }
+
+    // Verify-on-compile: prove the source netlist well-formed and the
+    // schedule just built structurally sound against it before anything
+    // caches or executes it.
+    if (verify_on_compile()) {
+        lint_report combined;
+        combined.subject = "verify-on-compile";
+        combined.merge(verify_netlist(nl, "netlist"));
+        combined.merge(verify_schedule(nl, s, tied, "schedule"));
+        if (!combined.ok()) {
+            throw verification_error(std::move(combined));
+        }
     }
     return s;
 }
@@ -252,16 +307,26 @@ void compiled_sim<W>::apply(const std::vector<std::uint64_t>& input_words,
 
     // Mode-specialized schedules assume the tied inputs really are
     // constant; a contradicting stimulus would silently undercount
-    // toggles, so reject it.
-    for (const auto& [pos, value] : s.tied_checks) {
-        const std::uint64_t want = value ? ~0ULL : 0ULL;
+    // toggles, so reject it -- naming the offending input the same way
+    // the schedule verifier's diagnostics do.
+    for (const auto& tc : s.tied_checks) {
+        const std::uint64_t want = tc.value ? ~0ULL : 0ULL;
         const std::uint64_t* words =
-            input_words.data() + static_cast<std::size_t>(pos) * W;
+            input_words.data() + static_cast<std::size_t>(tc.pos) * W;
         for (int k = 0; k < W; ++k) {
-            if (((words[k] ^ want) & batch_mask.w[k]) != 0) {
-                throw std::invalid_argument(
-                    "compiled_sim: stimulus contradicts a tied input of "
-                    "this mode-specialized schedule");
+            const std::uint64_t bad = (words[k] ^ want) & batch_mask.w[k];
+            if (bad != 0) {
+                const int lane = k * 64 + std::countr_zero(bad);
+                std::ostringstream m;
+                m << "compiled_sim: stimulus contradicts tied input ";
+                if (!tc.name.empty()) {
+                    m << "'" << tc.name << "' ";
+                }
+                m << "(net " << tc.net << ", input #" << tc.pos
+                  << "): tied to " << (tc.value ? 1 : 0)
+                  << " by this mode-specialized schedule but driven "
+                  << (tc.value ? 0 : 1) << " in lane " << lane;
+                throw std::invalid_argument(m.str());
             }
         }
     }

@@ -93,8 +93,17 @@ struct compiled_schedule {
     std::vector<net_id> in2;
 
     // -- folded part ---------------------------------------------------------
-    // (input position, required value) checks run on every apply().
-    std::vector<std::pair<std::uint32_t, bool>> tied_checks;
+    // Tied-input checks run on every apply(). Besides the input position
+    // and required value, each check carries the original net id and the
+    // input's registered name so a violation names the offending input the
+    // same way the schedule verifier does.
+    struct tied_check {
+        std::uint32_t pos = 0; // index in the netlist input order
+        bool value = false;    // the baked-in constant
+        net_id net = no_net;   // original primary-input net id
+        std::string name;      // input name ("" when unnamed)
+    };
+    std::vector<tied_check> tied_checks;
     std::vector<net_id> const_dense;      // dense slots with fixed values
     std::vector<std::uint8_t> const_vals; // parallel to const_dense
     std::size_t pruned_gates = 0;         // logic gates folded out (stats)
@@ -111,6 +120,17 @@ struct compiled_schedule {
 compiled_schedule
 compile_netlist(const netlist& nl,
                 const std::vector<std::pair<net_id, bool>>& tied = {});
+
+// Verify-on-compile: when enabled, compile_netlist runs the static
+// verifiers from src/analysis/ (netlist structure, then schedule
+// soundness against the three-valued folding oracle) on every compile and
+// throws verification_error on a failed report. Off by default -- the
+// verifiers cost O(netlist) per compile and schedules are cached -- and
+// overridable per process via the DVAFS_VERIFY_COMPILE environment
+// variable ("1"/"on" enables, "0"/"off" disables; the setter wins once
+// called). Thread-safe.
+void set_verify_on_compile(bool on) noexcept;
+bool verify_on_compile() noexcept;
 
 // Wide-word executor over a compiled schedule; W uint64_t blocks = 64*W
 // lanes per pass. Same statistics contract as logic_sim64 (lanes ordered

@@ -226,6 +226,16 @@ net_id netlist::input(const std::string& name) const
     return it->second;
 }
 
+std::string netlist::input_name(net_id id) const
+{
+    for (const auto& [name, net] : input_names_) {
+        if (net == id) {
+            return name;
+        }
+    }
+    return {};
+}
+
 net_id netlist::output(const std::string& name) const
 {
     const auto it = outputs_.find(name);

@@ -88,6 +88,9 @@ public:
 
     const std::vector<net_id>& inputs() const noexcept { return inputs_; }
     net_id input(const std::string& name) const;
+    // Reverse lookup for diagnostics: the name `id` was registered under,
+    // or "" for unnamed inputs and non-input nets.
+    std::string input_name(net_id id) const;
     net_id output(const std::string& name) const;
     const std::unordered_map<std::string, net_id>& outputs() const noexcept
     {

@@ -1,9 +1,11 @@
 #include "runtime/stream_engine.h"
 
+#include "analysis/plan_verifier.h"
 #include "runtime/wallclock.h"
 
 #include <algorithm>
 #include <chrono>
+#include <string>
 
 namespace dvafs {
 
@@ -11,6 +13,26 @@ stream_result stream_engine::run(const scenario& sc)
 {
     sc.validate();
     stream_result res;
+
+    // Re-plan gate: every plan the governor hands back is statically
+    // verified against its network's cached frontiers before the stream
+    // accepts it (the heuristic boot fallback is exempt -- its closed-form
+    // points are deliberately not frontier members).
+    const auto gate_plan = [this](const network& net,
+                                  const replan_event& ev,
+                                  const char* what) {
+        if (!cfg_.verify_replans) {
+            return;
+        }
+        lint_report rep = verify_plan(
+            net, ev.plan, &governor_.prepare(net).frontiers,
+            std::string(what) + " plan v"
+                + std::to_string(ev.plan_version) + " for '" + net.name()
+                + "'");
+        if (!rep.ok()) {
+            throw verification_error(std::move(rep));
+        }
+    };
 
     // Admission: the slow per-network planning state (teacher sweep,
     // frontiers, boot plan) is built before the first frame arrives, so
@@ -44,6 +66,7 @@ stream_result stream_engine::run(const scenario& sc)
             net, ph,
             g == 0 ? replan_reason::startup : replan_reason::phase_change,
             g);
+        gate_plan(net, ev, "re-plan");
         res.planning_ms += ev.planning_ms;
         int phase_replans = 1;
         if (g == 0 || cfg_.replan_latency_frames <= 0) {
@@ -140,6 +163,7 @@ stream_result stream_engine::run(const scenario& sc)
             }
 
             replan_event dev = governor_.escalate(net, ph, g);
+            gate_plan(net, dev, "escalation");
             // Verify the escalation on the live window: the probe's
             // batch_evaluator is based at the outgoing overlay, so pricing
             // the candidate recomputes only the layers it changed.

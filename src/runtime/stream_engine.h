@@ -50,6 +50,12 @@ struct stream_config {
     int replan_latency_frames = 2; // frames served on the old plan while a
                                    // re-plan is in flight
     int max_escalations_per_phase = 3;
+    // Statically verify every re-plan/escalation against the governor's
+    // cached layer frontiers (analysis/plan_verifier.h) before it is
+    // accepted; a bad plan throws verification_error instead of silently
+    // streaming frames on inconsistent bookkeeping. Costs O(layers x
+    // frontier points) per governor decision, so it stays on by default.
+    bool verify_replans = true;
 };
 
 // Per-phase roll-up of the frame log.

@@ -1,0 +1,411 @@
+// Error-path suite for the static-verification layer (src/analysis/):
+// hand-built malformed netlists must be rejected with their documented
+// diagnostic codes, corrupted compiled schedules must fail the soundness
+// proof, inconsistent plans must fail the plan lint, and -- the property
+// direction -- every netlist the differential suites generate must pass
+// clean, generic and mode-specialized alike. Also covers the
+// verify-on-compile switch and the verification_error wrapper.
+
+#include "analysis/netlist_verifier.h"
+#include "analysis/plan_verifier.h"
+#include "analysis/schedule_verifier.h"
+
+#include "circuit/compiled_sim.h"
+#include "cnn/zoo.h"
+#include "core/planner.h"
+#include "mult/dvafs_mult.h"
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace dvafs {
+namespace {
+
+bool has_code(const lint_report& rep, const std::string& code)
+{
+    for (const lint_diagnostic& d : rep.diagnostics) {
+        if (d.code == code) {
+            return true;
+        }
+    }
+    return false;
+}
+
+// Same construction as test_compiled_sim / test_sim_engine: random gates
+// over every kind, fanins drawn from already-built nets (so the result is
+// well-formed by construction -- the property the lint must agree with).
+netlist random_netlist(int n_inputs, int n_gates, std::uint64_t seed)
+{
+    pcg32 rng(seed);
+    netlist nl;
+    for (int i = 0; i < n_inputs; ++i) {
+        nl.add_input("i" + std::to_string(i));
+    }
+    nl.add_const(false);
+    nl.add_const(true);
+    const gate_kind kinds[] = {
+        gate_kind::buf,    gate_kind::not_g,  gate_kind::and_g,
+        gate_kind::or_g,   gate_kind::xor_g,  gate_kind::nand_g,
+        gate_kind::nor_g,  gate_kind::xnor_g, gate_kind::and3_g,
+        gate_kind::or3_g,  gate_kind::mux_g,  gate_kind::maj_g,
+    };
+    for (int g = 0; g < n_gates; ++g) {
+        const gate_kind k =
+            kinds[rng.bounded(static_cast<std::uint32_t>(std::size(kinds)))];
+        const auto pick = [&] {
+            return static_cast<net_id>(
+                rng.bounded(static_cast<std::uint32_t>(nl.size())));
+        };
+        nl.add_gate(k, pick(),
+                    fanin_count(k) >= 2 ? pick() : no_net,
+                    fanin_count(k) >= 3 ? pick() : no_net);
+    }
+    nl.mark_output("out", static_cast<net_id>(nl.size() - 1));
+    return nl;
+}
+
+// Raw-representation fixture: the netlist class cannot build most
+// malformed shapes, so the error paths go through netlist_view.
+struct raw_netlist {
+    std::vector<gate> gates;
+    std::vector<net_id> inputs;
+    std::unordered_map<std::string, net_id> outputs;
+
+    net_id input()
+    {
+        gates.push_back({gate_kind::input, 0, no_net, no_net, no_net});
+        inputs.push_back(static_cast<net_id>(gates.size() - 1));
+        return inputs.back();
+    }
+
+    net_id add(gate_kind k, net_id a = no_net, net_id b = no_net,
+               net_id c = no_net)
+    {
+        gates.push_back({k, 0, a, b, c});
+        return static_cast<net_id>(gates.size() - 1);
+    }
+
+    netlist_view view() const { return {gates, inputs, outputs}; }
+};
+
+// -- netlist verifier: malformed shapes --------------------------------------
+
+TEST(netlist_verifier, accepts_well_formed_netlists)
+{
+    for (const std::uint64_t seed : {1ULL, 17ULL, 99ULL}) {
+        const netlist nl = random_netlist(10, 250, seed);
+        const lint_report rep = verify_netlist(nl);
+        EXPECT_TRUE(rep.ok()) << rep.to_string();
+    }
+}
+
+TEST(netlist_verifier, rejects_combinational_cycle)
+{
+    raw_netlist r;
+    r.input();
+    // Nets 1 and 2 feed each other: also non-topological, but the cycle
+    // must be reported as a cycle (with its path), not just as a forward
+    // reference.
+    r.add(gate_kind::and_g, 2, 0);
+    r.add(gate_kind::or_g, 1, 0);
+    const lint_report rep = verify_netlist(r.view());
+    EXPECT_FALSE(rep.ok());
+    EXPECT_TRUE(has_code(rep, "netlist-combinational-cycle"))
+        << rep.to_string();
+    EXPECT_TRUE(has_code(rep, "netlist-not-topological"));
+}
+
+TEST(netlist_verifier, rejects_floating_input)
+{
+    raw_netlist r;
+    const net_id a = r.input();
+    // An input-kind gate never registered in the input list: no stimulus
+    // will ever drive it.
+    r.gates.push_back({gate_kind::input, 0, no_net, no_net, no_net});
+    r.add(gate_kind::and_g, a, 1);
+    const lint_report rep = verify_netlist(r.view());
+    EXPECT_FALSE(rep.ok());
+    EXPECT_TRUE(has_code(rep, "netlist-floating-net")) << rep.to_string();
+}
+
+TEST(netlist_verifier, rejects_multiply_driven_input)
+{
+    raw_netlist r;
+    const net_id a = r.input();
+    r.inputs.push_back(a); // listed twice: two stimulus writers, one net
+    r.add(gate_kind::not_g, a);
+    const lint_report rep = verify_netlist(r.view());
+    EXPECT_FALSE(rep.ok());
+    EXPECT_TRUE(has_code(rep, "netlist-multiply-driven"))
+        << rep.to_string();
+}
+
+TEST(netlist_verifier, rejects_bad_arity)
+{
+    raw_netlist r;
+    const net_id a = r.input();
+    r.add(gate_kind::and_g, a, no_net); // binary gate, one fanin
+    const lint_report rep = verify_netlist(r.view());
+    EXPECT_FALSE(rep.ok());
+    EXPECT_TRUE(has_code(rep, "netlist-missing-fanin")) << rep.to_string();
+}
+
+TEST(netlist_verifier, warns_on_excess_fanin)
+{
+    raw_netlist r;
+    const net_id a = r.input();
+    r.add(gate_kind::not_g, a, a); // unary gate with a stale second fanin
+    const lint_report rep = verify_netlist(r.view());
+    EXPECT_TRUE(rep.ok()); // advisory: executors ignore the extra slot
+    EXPECT_TRUE(has_code(rep, "netlist-excess-fanin")) << rep.to_string();
+}
+
+TEST(netlist_verifier, rejects_unknown_kind_and_dangling_fanin)
+{
+    raw_netlist r;
+    const net_id a = r.input();
+    r.gates.push_back(
+        {static_cast<gate_kind>(0xee), 0, no_net, no_net, no_net});
+    r.add(gate_kind::not_g, static_cast<net_id>(40)); // out of range
+    (void)a;
+    const lint_report rep = verify_netlist(r.view());
+    EXPECT_FALSE(rep.ok());
+    EXPECT_TRUE(has_code(rep, "netlist-unknown-kind")) << rep.to_string();
+    EXPECT_TRUE(has_code(rep, "netlist-dangling-fanin"));
+}
+
+TEST(netlist_verifier, rejects_bad_outputs_and_warns_on_bus_gap)
+{
+    raw_netlist r;
+    const net_id a = r.input();
+    const net_id x = r.add(gate_kind::not_g, a);
+    const net_id y = r.add(gate_kind::buf, x);
+    r.outputs["ghost"] = static_cast<net_id>(77);
+    r.outputs["p0"] = x;
+    r.outputs["p2"] = y; // indexed bus skipping p1
+    const lint_report rep = verify_netlist(r.view());
+    EXPECT_FALSE(rep.ok());
+    EXPECT_TRUE(has_code(rep, "netlist-output-out-of-range"))
+        << rep.to_string();
+    EXPECT_TRUE(has_code(rep, "netlist-bus-gap"));
+}
+
+// -- schedule verifier: good schedules pass, corrupted ones fail -------------
+
+TEST(schedule_verifier, accepts_generic_and_tied_compiles)
+{
+    for (const std::uint64_t seed : {3ULL, 21ULL, 77ULL}) {
+        const netlist nl = random_netlist(8, 150, seed);
+        const lint_report generic =
+            verify_schedule(nl, compile_netlist(nl));
+        EXPECT_TRUE(generic.ok()) << generic.to_string();
+
+        const std::vector<std::pair<net_id, bool>> tied = {
+            {nl.inputs()[0], true}, {nl.inputs()[1], false}};
+        const lint_report folded =
+            verify_schedule(nl, compile_netlist(nl, tied), tied);
+        EXPECT_TRUE(folded.ok()) << folded.to_string();
+    }
+}
+
+TEST(schedule_verifier, accepts_every_dvafs_mode_schedule)
+{
+    const dvafs_multiplier m(8);
+    for (const sw_mode mode :
+         {sw_mode::w1x16, sw_mode::w2x8, sw_mode::w4x4}) {
+        const auto tied = m.tied_inputs(mode, 0);
+        const lint_report rep =
+            verify_schedule(m.net(), compile_netlist(m.net(), tied), tied);
+        EXPECT_TRUE(rep.ok()) << rep.to_string();
+    }
+}
+
+// One good netlist + schedule that each corruption test clones and breaks.
+struct corrupted_schedule_test : ::testing::Test {
+    netlist nl = random_netlist(8, 120, 41);
+    std::vector<std::pair<net_id, bool>> tied = {{nl.inputs()[0], true}};
+    compiled_schedule good = compile_netlist(nl, tied);
+
+    lint_report verify(const compiled_schedule& s) const
+    {
+        return verify_schedule(nl, s, tied);
+    }
+};
+
+TEST_F(corrupted_schedule_test, baseline_is_sound)
+{
+    EXPECT_TRUE(verify(good).ok()) << verify(good).to_string();
+}
+
+TEST_F(corrupted_schedule_test, detects_broken_renumbering)
+{
+    compiled_schedule bad = good;
+    // Remap an input's dense slot onto a scheduled gate's: two nets now
+    // share one slot, and the slot kinds disagree.
+    bad.dense_of[nl.inputs()[2]] = 0;
+    const lint_report rep = verify(bad);
+    EXPECT_FALSE(rep.ok());
+    EXPECT_TRUE(has_code(rep, "schedule-renumbering-not-bijective")
+                || has_code(rep, "schedule-kind-mismatch"))
+        << rep.to_string();
+
+    compiled_schedule oob = good;
+    oob.dense_of[nl.inputs()[2]] = static_cast<net_id>(oob.net_count);
+    EXPECT_TRUE(
+        has_code(verify(oob), "schedule-renumbering-out-of-range"));
+}
+
+TEST_F(corrupted_schedule_test, detects_wrong_run_kind)
+{
+    compiled_schedule bad = good;
+    ASSERT_FALSE(bad.runs.empty());
+    bad.runs[0].kind = bad.runs[0].kind == gate_kind::xor_g
+                           ? gate_kind::and_g
+                           : gate_kind::xor_g;
+    const lint_report rep = verify(bad);
+    EXPECT_FALSE(rep.ok());
+    EXPECT_TRUE(has_code(rep, "schedule-run-kind")) << rep.to_string();
+}
+
+TEST_F(corrupted_schedule_test, detects_use_before_def)
+{
+    compiled_schedule bad = good;
+    ASSERT_GT(bad.scheduled_gates(), 0U);
+    // Point the last scheduled gate's first fanin at its own output slot.
+    const std::size_t last = bad.scheduled_gates() - 1;
+    bad.in0[last] = static_cast<net_id>(last);
+    const lint_report rep = verify(bad);
+    EXPECT_FALSE(rep.ok());
+    EXPECT_TRUE(has_code(rep, "schedule-use-before-def"))
+        << rep.to_string();
+}
+
+TEST_F(corrupted_schedule_test, detects_const_corruption)
+{
+    ASSERT_FALSE(good.const_dense.empty()); // netlist has constant gates
+
+    compiled_schedule dropped = good;
+    dropped.const_dense.pop_back();
+    dropped.const_vals.pop_back();
+    EXPECT_TRUE(has_code(verify(dropped), "schedule-missing-const"));
+
+    compiled_schedule flipped = good;
+    flipped.const_vals[0] ^= 1U;
+    EXPECT_TRUE(has_code(verify(flipped), "schedule-wrong-const"));
+}
+
+TEST_F(corrupted_schedule_test, detects_broken_dynamic_interface)
+{
+    compiled_schedule no_tie = good;
+    ASSERT_FALSE(no_tie.tied_checks.empty());
+    no_tie.tied_checks.clear();
+    EXPECT_TRUE(has_code(verify(no_tie), "schedule-tied-checks"));
+
+    compiled_schedule no_live = good;
+    ASSERT_FALSE(no_live.live_inputs.empty());
+    no_live.live_inputs.pop_back();
+    EXPECT_TRUE(has_code(verify(no_live), "schedule-live-input"));
+}
+
+// -- verify-on-compile switch ------------------------------------------------
+
+struct verify_flag_guard {
+    ~verify_flag_guard() { set_verify_on_compile(false); }
+};
+
+TEST(verify_on_compile, runs_both_verifiers_on_every_compile)
+{
+    verify_flag_guard guard;
+    set_verify_on_compile(true);
+    ASSERT_TRUE(verify_on_compile());
+
+    // A sound design compiles exactly as it does unverified.
+    const netlist nl = random_netlist(8, 100, 7);
+    const std::vector<std::pair<net_id, bool>> tied = {
+        {nl.inputs()[0], false}};
+    const compiled_schedule s = compile_netlist(nl, tied);
+    EXPECT_TRUE(verify_schedule(nl, s, tied).ok());
+
+    set_verify_on_compile(false);
+    EXPECT_FALSE(verify_on_compile());
+}
+
+TEST(verify_on_compile, verification_error_carries_the_report)
+{
+    lint_report rep;
+    rep.subject = "unit";
+    rep.error("netlist-combinational-cycle", "net 3", "3 -> 4 -> 3");
+    const verification_error err(rep);
+    EXPECT_EQ(err.report().diagnostics.size(), 1U);
+    EXPECT_NE(std::string(err.what()).find("netlist-combinational-cycle"),
+              std::string::npos);
+}
+
+// -- plan verifier -----------------------------------------------------------
+
+struct plan_verifier_test : ::testing::Test {
+    network net = make_lenet5({.seed = 3});
+    network_plan good = [this] {
+        planner_config pcfg;
+        pcfg.policy = plan_policy::heuristic;
+        std::vector<layer_quant_requirement> reqs;
+        std::vector<layer_sparsity> sparsity;
+        const auto weighted = net.weighted_layers();
+        for (std::size_t k = 0; k < weighted.size(); ++k) {
+            layer_quant_requirement r;
+            r.layer_name = net.at(weighted[k]).name();
+            r.layer_index = k;
+            r.min_weight_bits = 8;
+            r.min_input_bits = 8;
+            reqs.push_back(r);
+            layer_sparsity sp;
+            sp.layer_name = r.layer_name;
+            sp.weight_sparsity = 0.3;
+            sp.input_sparsity = 0.3;
+            sparsity.push_back(sp);
+        }
+        return precision_planner(envision_model{}, pcfg)
+            .plan_with_requirements(net, reqs, sparsity);
+    }();
+
+    lint_report verify(const network_plan& p) const
+    {
+        return verify_plan(net, p, nullptr);
+    }
+};
+
+TEST_F(plan_verifier_test, accepts_heuristic_plan)
+{
+    EXPECT_TRUE(verify(good).ok()) << verify(good).to_string();
+}
+
+TEST_F(plan_verifier_test, detects_rollup_drift)
+{
+    network_plan bad = good;
+    bad.total_energy_mj *= 1.5;
+    EXPECT_TRUE(has_code(verify(bad), "plan-energy-sum"));
+
+    network_plan bits = good;
+    ASSERT_FALSE(bits.layers.empty());
+    bits.layers[0].weight_bits = 0;
+    EXPECT_TRUE(has_code(verify(bits), "plan-bad-layer-bits"));
+
+    network_plan rows = good;
+    rows.layers.pop_back();
+    EXPECT_TRUE(has_code(verify(rows), "plan-layer-count"));
+}
+
+TEST_F(plan_verifier_test, detects_false_deadline_claim)
+{
+    network_plan bad = good;
+    bad.deadline_met = true;
+    bad.latency_budget_ms = bad.total_time_ms / 2.0;
+    EXPECT_TRUE(has_code(verify(bad), "plan-deadline-inconsistent"));
+}
+
+} // namespace
+} // namespace dvafs

@@ -1,0 +1,213 @@
+// dvafs_lint: the static-verification CLI over the repo's built-in
+// designs. Three verifier families run (src/analysis/):
+//
+//  * netlist lint over every built-in multiplier netlist (exact designs,
+//    the approximate baselines, the DVAFS multiplier at 8 and 16 bits);
+//  * schedule lint: each netlist's generic compiled schedule, plus every
+//    mode-specialized schedule of the DVAFS multiplier (subword modes and
+//    the DAS precision selects) checked against the three-valued folding
+//    oracle;
+//  * plan lint over the zoo networks' heuristic plans (roll-up and
+//    deadline invariants; frontier membership is the stream engine's
+//    runtime concern and is covered by tests).
+//
+// Exit status: 0 when every report is error-free (warnings print but do
+// not fail), 1 on any error, 2 on usage errors. `--verbose` prints clean
+// reports in full; the default prints one line per clean target.
+
+#include "analysis/netlist_verifier.h"
+#include "analysis/plan_verifier.h"
+#include "analysis/schedule_verifier.h"
+#include "circuit/compiled_sim.h"
+#include "cnn/zoo.h"
+#include "core/planner.h"
+#include "mult/approx/etm_mult.h"
+#include "mult/approx/kulkarni_mult.h"
+#include "mult/approx/per_mult.h"
+#include "mult/approx/truncated_mult.h"
+#include "mult/array_mult.h"
+#include "mult/booth_wallace_mult.h"
+#include "mult/dvafs_mult.h"
+#include "mult/wallace_mult.h"
+
+#include <cstring>
+#include <functional>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace dvafs;
+
+struct lint_session {
+    bool verbose = false;
+    int targets = 0;
+    std::size_t errors = 0;
+    std::size_t warnings = 0;
+
+    void take(const lint_report& rep)
+    {
+        ++targets;
+        errors += rep.error_count();
+        warnings += rep.warning_count();
+        if (!rep.ok() || rep.warning_count() > 0 || verbose) {
+            std::cout << rep.to_string() << "\n";
+        } else {
+            std::cout << rep.subject << ": clean\n";
+        }
+    }
+};
+
+// Netlist lint plus schedule lint of one compile under `tied`.
+void lint_design(lint_session& s, const std::string& name, const netlist& nl,
+                 const std::vector<std::pair<net_id, bool>>& tied = {},
+                 bool netlist_pass = true)
+{
+    if (netlist_pass) {
+        s.take(verify_netlist(nl, name + " netlist"));
+    }
+    const compiled_schedule sched = compile_netlist(nl, tied);
+    s.take(verify_schedule(nl, sched, tied, name + " schedule"));
+}
+
+void lint_multipliers(lint_session& s)
+{
+    for (const int w : {8, 16}) {
+        const std::string tag = std::to_string(w);
+        {
+            const array_multiplier m(w);
+            lint_design(s, "array" + tag, m.net());
+        }
+        {
+            const wallace_multiplier m(w);
+            lint_design(s, "wallace" + tag, m.net());
+        }
+        {
+            const booth_wallace_multiplier m(w);
+            lint_design(s, "booth_wallace" + tag, m.net());
+        }
+        {
+            const truncated_multiplier m(w);
+            lint_design(s, "truncated" + tag, m.net());
+        }
+        {
+            const kulkarni_multiplier m(w);
+            lint_design(s, "kulkarni" + tag, m.net());
+        }
+        {
+            const etm_multiplier m(w);
+            lint_design(s, "etm" + tag, m.net());
+        }
+        {
+            const per_multiplier m(w, w / 2);
+            lint_design(s, "per" + tag, m.net());
+        }
+        {
+            // The DVAFS multiplier is the paper's core design: lint the
+            // generic schedule and every mode-specialized one (the subword
+            // configurations plus the 1xW DAS precision selects).
+            const dvafs_multiplier m(w);
+            lint_design(s, "dvafs" + tag, m.net());
+            struct mode_case {
+                sw_mode mode;
+                int das;
+            };
+            const std::vector<mode_case> cases = {
+                {sw_mode::w1x16, w / 2}, {sw_mode::w1x16, w / 4},
+                {sw_mode::w2x8, 0},      {sw_mode::w4x4, 0},
+            };
+            for (const mode_case& mc : cases) {
+                std::ostringstream name;
+                name << "dvafs" << tag << " "
+                     << lane_count(mc.mode) << "-lane";
+                if (mc.das > 0) {
+                    name << " das" << mc.das;
+                }
+                lint_design(s, name.str(), m.net(),
+                            m.tied_inputs(mc.mode, mc.das),
+                            /*netlist_pass=*/false);
+            }
+        }
+    }
+}
+
+void lint_zoo(lint_session& s)
+{
+    // Heuristic (closed-form) plans keep the CLI fast: no gate-level
+    // sweeps, no teacher dataset. The plan verifier's frontier-membership
+    // checks run in the streaming tests where frontiers exist.
+    const envision_model model;
+    planner_config pcfg;
+    pcfg.policy = plan_policy::heuristic;
+    const precision_planner planner(model, pcfg);
+
+    struct zoo_case {
+        const char* name;
+        std::function<network()> build;
+    };
+    const std::vector<zoo_case> cases = {
+        {"lenet5", [] { return make_lenet5({.seed = 7}); }},
+        {"alexnet_scaled", [] { return make_alexnet_scaled({.seed = 7}); }},
+        {"vgg16_scaled", [] { return make_vgg16_scaled({.seed = 7}); }},
+    };
+    for (const zoo_case& zc : cases) {
+        const network net = zc.build();
+        const std::vector<std::size_t> weighted = net.weighted_layers();
+        std::vector<layer_quant_requirement> reqs;
+        std::vector<layer_sparsity> sparsity;
+        for (std::size_t k = 0; k < weighted.size(); ++k) {
+            layer_quant_requirement r;
+            r.layer_name = net.at(weighted[k]).name();
+            r.layer_index = k;
+            // A representative mixed-precision profile: early layers
+            // coarse, later layers finer (the Fig. 6 shape).
+            r.min_weight_bits = k < weighted.size() / 2 ? 4 : 8;
+            r.min_input_bits = r.min_weight_bits;
+            reqs.push_back(r);
+            layer_sparsity sp;
+            sp.layer_name = r.layer_name;
+            sp.weight_sparsity = 0.2;
+            sp.input_sparsity = 0.4;
+            sparsity.push_back(sp);
+        }
+        const network_plan plan =
+            planner.plan_with_requirements(net, reqs, sparsity);
+        s.take(verify_plan(net, plan, nullptr,
+                           std::string(zc.name) + " heuristic plan"));
+    }
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    lint_session s;
+    bool do_mults = true;
+    bool do_zoo = true;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--verbose") == 0) {
+            s.verbose = true;
+        } else if (std::strcmp(argv[i], "--mults-only") == 0) {
+            do_zoo = false;
+        } else if (std::strcmp(argv[i], "--zoo-only") == 0) {
+            do_mults = false;
+        } else {
+            std::cerr << "usage: dvafs_lint [--verbose] [--mults-only] "
+                         "[--zoo-only]\n";
+            return 2;
+        }
+    }
+
+    if (do_mults) {
+        lint_multipliers(s);
+    }
+    if (do_zoo) {
+        lint_zoo(s);
+    }
+
+    std::cout << "dvafs_lint: " << s.targets << " target(s), " << s.errors
+              << " error(s), " << s.warnings << " warning(s)\n";
+    return s.errors == 0 ? 0 : 1;
+}
