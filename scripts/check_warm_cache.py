@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Gate the warm-cache speedup of the planner cold-start metric.
+
+Usage: check_warm_cache.py COLD.json WARM.json
+           [--metric cold_start.first_replan_ms] [--min-ratio 5.0]
+
+COLD.json and WARM.json are bench --json outputs (docs/bench_schema.md)
+from two runs of the same bench against one DVAFS_CACHE_DIR: the first
+populates the on-disk cache, the second starts warm. The gate passes when
+cold_value / warm_value >= min-ratio, i.e. the persistent caches actually
+buy the promised cold-start-to-first-replan speedup. CI's bench-release
+job runs this as a hard gate.
+
+Exit codes: 0 ok, 1 usage, 2 malformed/missing input, 3 ratio below gate.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg: str, code: int) -> "None":
+    print(f"check_warm_cache: {msg}", file=sys.stderr)
+    sys.exit(code)
+
+
+def metric_value(path: str, metric: str) -> float:
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot read {path}: {e}", 2)
+    if not isinstance(data, list):
+        fail(f"{path}: expected a JSON array of records", 2)
+    values = [
+        rec["value"]
+        for rec in data
+        if isinstance(rec, dict) and rec.get("metric") == metric
+    ]
+    if len(values) != 1:
+        fail(
+            f"{path}: expected exactly one '{metric}' record,"
+            f" found {len(values)}",
+            2,
+        )
+    value = values[0]
+    if not isinstance(value, (int, float)) or value <= 0:
+        fail(f"{path}: '{metric}' must be a positive number, got {value!r}", 2)
+    return float(value)
+
+
+def main(argv: list) -> int:
+    parser = argparse.ArgumentParser(add_help=False)
+    parser.add_argument("cold")
+    parser.add_argument("warm")
+    parser.add_argument("--metric", default="cold_start.first_replan_ms")
+    parser.add_argument("--min-ratio", type=float, default=5.0)
+    try:
+        args = parser.parse_args(argv[1:])
+    except SystemExit:
+        fail("usage: check_warm_cache.py COLD.json WARM.json"
+             " [--metric M] [--min-ratio R]", 1)
+
+    cold = metric_value(args.cold, args.metric)
+    warm = metric_value(args.warm, args.metric)
+    ratio = cold / warm
+    print(
+        f"check_warm_cache: {args.metric}: cold {cold:.3f} /"
+        f" warm {warm:.3f} = {ratio:.2f}x (gate {args.min_ratio:.2f}x)"
+    )
+    if ratio < args.min_ratio:
+        fail(
+            f"warm run only {ratio:.2f}x faster than cold"
+            f" (need >= {args.min_ratio:.2f}x)",
+            3,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -7,11 +7,15 @@ Every bench_* target writes a flat JSON array of
 {"bench", "metric", "value", "unit"} records (docs/bench_schema.md).
 This script concatenates the inputs, sorts records by (bench, metric) so
 the merged file diffs cleanly between refreshes, and writes the result.
+A (bench, metric) pair appearing twice is a hard error: the baseline
+gate looks records up by that pair, so a duplicate would make the gated
+value depend on merge order (benches that run a configuration twice must
+disambiguate the bench name, e.g. with --bench-suffix).
 CI's bench-release job runs it over the uploaded artifacts to produce the
 refresh candidate for the checked-in BENCH_sim.json baseline; refreshing
 the baseline is a deliberate commit, never automatic.
 
-Exit codes: 0 ok, 1 usage, 2 malformed input.
+Exit codes: 0 ok, 1 usage, 2 malformed input (including duplicates).
 """
 
 import json
@@ -29,6 +33,7 @@ def main(argv: list) -> int:
     out_path, in_paths = argv[1], argv[2:]
 
     records = []
+    seen = {}
     for path in in_paths:
         try:
             with open(path, "r", encoding="utf-8") as f:
@@ -41,6 +46,14 @@ def main(argv: list) -> int:
             missing = {"bench", "metric", "value", "unit"} - set(rec)
             if missing:
                 fail(f"{path}: record missing {sorted(missing)}", 2)
+            pair = (rec["bench"], rec["metric"])
+            if pair in seen:
+                fail(
+                    f"{path}: duplicate record {pair!r}"
+                    f" (already in {seen[pair]})",
+                    2,
+                )
+            seen[pair] = path
             records.append(
                 {
                     "bench": rec["bench"],

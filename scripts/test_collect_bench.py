@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Unit tests for collect_bench.py and check_warm_cache.py.
+
+Runs the scripts as subprocesses (the same way CI invokes them) against
+temp-dir fixtures and asserts on exit codes and outputs. Registered with
+ctest as `script_collect_bench` (unit label).
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPTS = os.path.dirname(os.path.abspath(__file__))
+COLLECT = os.path.join(SCRIPTS, "collect_bench.py")
+WARM = os.path.join(SCRIPTS, "check_warm_cache.py")
+
+
+def run(script, *args):
+    return subprocess.run(
+        [sys.executable, script, *args],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+
+
+def record(bench, metric, value=1.0, unit="x"):
+    return {"bench": bench, "metric": metric, "value": value, "unit": unit}
+
+
+class CollectBenchTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self.dir.cleanup)
+
+    def write(self, name, payload):
+        path = os.path.join(self.dir.name, name)
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(payload, f)
+        return path
+
+    def out_path(self):
+        return os.path.join(self.dir.name, "out.json")
+
+    def test_merges_and_sorts(self):
+        a = self.write("a.json", [record("b2", "m1"), record("b1", "m2")])
+        b = self.write("b.json", [record("b1", "m1")])
+        out = self.out_path()
+        proc = run(COLLECT, out, a, b)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        with open(out, encoding="utf-8") as f:
+            merged = json.load(f)
+        self.assertEqual(
+            [(r["bench"], r["metric"]) for r in merged],
+            [("b1", "m1"), ("b1", "m2"), ("b2", "m1")],
+        )
+
+    def test_duplicate_pair_is_hard_error(self):
+        # Same (bench, metric) from two inputs: the baseline gate would
+        # resolve the pair by merge order, so the merge must refuse.
+        a = self.write("a.json", [record("b1", "m1", 1.0)])
+        b = self.write("b.json", [record("b1", "m1", 2.0)])
+        proc = run(COLLECT, self.out_path(), a, b)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("duplicate", proc.stderr)
+        self.assertFalse(os.path.exists(self.out_path()))
+
+    def test_duplicate_within_one_input(self):
+        a = self.write(
+            "a.json", [record("b1", "m1", 1.0), record("b1", "m1", 1.0)]
+        )
+        proc = run(COLLECT, self.out_path(), a)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("duplicate", proc.stderr)
+
+    def test_same_metric_different_bench_ok(self):
+        # Suffixed bench names (--bench-suffix) are the sanctioned way to
+        # record one metric from two runs.
+        a = self.write(
+            "a.json",
+            [record("stream.cold", "m1", 9.0), record("stream.warm", "m1", 1.0)],
+        )
+        proc = run(COLLECT, self.out_path(), a)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_missing_field_rejected(self):
+        a = self.write("a.json", [{"bench": "b", "metric": "m", "value": 1}])
+        proc = run(COLLECT, self.out_path(), a)
+        self.assertEqual(proc.returncode, 2)
+
+
+class CheckWarmCacheTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self.dir.cleanup)
+
+    def write(self, name, payload):
+        path = os.path.join(self.dir.name, name)
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(payload, f)
+        return path
+
+    def files(self, cold_ms, warm_ms):
+        metric = "cold_start.first_replan_ms"
+        cold = self.write("cold.json", [record("s", metric, cold_ms, "ms")])
+        warm = self.write("warm.json", [record("s", metric, warm_ms, "ms")])
+        return cold, warm
+
+    def test_passes_at_ratio(self):
+        cold, warm = self.files(100.0, 10.0)
+        proc = run(WARM, cold, warm, "--min-ratio", "5")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("10.00x", proc.stdout)
+
+    def test_fails_below_ratio(self):
+        cold, warm = self.files(100.0, 50.0)
+        proc = run(WARM, cold, warm, "--min-ratio", "5")
+        self.assertEqual(proc.returncode, 3)
+
+    def test_missing_metric_is_malformed(self):
+        cold = self.write("cold.json", [record("s", "other", 1.0)])
+        warm = self.write("warm.json", [record("s", "other", 1.0)])
+        proc = run(WARM, cold, warm)
+        self.assertEqual(proc.returncode, 2)
+
+    def test_duplicate_metric_is_malformed(self):
+        metric = "cold_start.first_replan_ms"
+        cold = self.write(
+            "cold.json", [record("a", metric, 5.0), record("b", metric, 6.0)]
+        )
+        warm = self.write("warm.json", [record("s", metric, 1.0)])
+        proc = run(WARM, cold, warm)
+        self.assertEqual(proc.returncode, 2)
+
+    def test_nonpositive_value_is_malformed(self):
+        cold, warm = self.files(100.0, 0.0)
+        proc = run(WARM, cold, warm)
+        self.assertEqual(proc.returncode, 2)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -5,6 +5,8 @@
 #include "circuit/gate_kinds.h"
 #include "circuit/logic_sim.h"
 #include "circuit/tech.h"
+#include "util/disk_store.h"
+#include "util/serial.h"
 
 #include <algorithm>
 #include <atomic>
@@ -426,9 +428,323 @@ void compiled_sim<W>::reset_stats()
     transitions_ = 0;
 }
 
+template <int W>
+sim_activity_state compiled_sim<W>::save_activity() const
+{
+    sim_activity_state st;
+    st.last = last_;
+    st.toggles = toggles_;
+    st.transitions = transitions_;
+    st.initialized = initialized_;
+    return st;
+}
+
+template <int W>
+void compiled_sim<W>::load_activity(const sim_activity_state& st)
+{
+    if (st.last.size() != last_.size()
+        || st.toggles.size() != toggles_.size()) {
+        throw std::invalid_argument(
+            "compiled_sim: activity state does not fit this schedule");
+    }
+    last_ = st.last;
+    toggles_ = st.toggles;
+    transitions_ = st.transitions;
+    initialized_ = st.initialized;
+}
+
+template <int W>
+void compiled_sim<W>::adopt_carry(const compiled_sim& src)
+{
+    if (sched_.get() != src.sched_.get()) {
+        throw std::invalid_argument(
+            "compiled_sim: adopt_carry across different schedules");
+    }
+    last_ = src.last_;
+    initialized_ = src.initialized_;
+}
+
+template <int W>
+void compiled_sim<W>::merge_stats(const compiled_sim& src)
+{
+    if (sched_.get() != src.sched_.get()) {
+        throw std::invalid_argument(
+            "compiled_sim: merge_stats across different schedules");
+    }
+    for (std::size_t i = 0; i < toggles_.size(); ++i) {
+        toggles_[i] += src.toggles_[i];
+    }
+    transitions_ += src.transitions_;
+}
+
 template class compiled_sim<1>;
 template class compiled_sim<4>;
 template class compiled_sim<8>;
+
+double schedule_switched_capacitance_ff(const compiled_schedule& s,
+                                        const std::vector<std::uint64_t>&
+                                            toggles,
+                                        const tech_model& tech)
+{
+    if (toggles.size() != s.net_count) {
+        throw std::invalid_argument(
+            "schedule_switched_capacitance_ff: toggle array size mismatch");
+    }
+    // Accumulate in ORIGINAL net order: double addition is not
+    // associative, and this sum must equal logic_sim/logic_sim64's to the
+    // last bit (the bench and the differential suite compare exactly).
+    double total = 0.0;
+    for (std::size_t id = 0; id < s.dense_of.size(); ++id) {
+        const net_id slot = s.dense_of[id];
+        if (toggles[slot] == 0) {
+            continue;
+        }
+        total += static_cast<double>(toggles[slot])
+                 * tech.gate_cap_ff(s.kinds[slot]);
+    }
+    return total;
+}
+
+// -- executor pool ------------------------------------------------------------
+
+template <int W>
+compiled_sim_pool<W>& compiled_sim_pool<W>::global()
+{
+    static compiled_sim_pool pool;
+    return pool;
+}
+
+template <int W>
+typename compiled_sim_pool<W>::lease
+compiled_sim_pool<W>::acquire(std::shared_ptr<const compiled_schedule> sched)
+{
+    {
+        const std::lock_guard<std::mutex> lock(mu_);
+        const auto it = idle_.find(sched.get());
+        if (it != idle_.end() && !it->second.empty()) {
+            std::unique_ptr<compiled_sim<W>> sim =
+                std::move(it->second.back());
+            it->second.pop_back();
+            return lease(this, std::move(sim));
+        }
+    }
+    return lease(this,
+                 std::make_unique<compiled_sim<W>>(std::move(sched)));
+}
+
+template <int W>
+std::size_t compiled_sim_pool<W>::idle_count(const compiled_schedule& sched)
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = idle_.find(&sched);
+    return it != idle_.end() ? it->second.size() : 0;
+}
+
+template <int W>
+void compiled_sim_pool<W>::give_back(std::unique_ptr<compiled_sim<W>> sim)
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    idle_[&sim->schedule()].push_back(std::move(sim));
+}
+
+template <int W>
+void compiled_sim_pool<W>::lease::release() noexcept
+{
+    if (pool_ != nullptr && sim_ != nullptr) {
+        // give_back only locks and moves; allocation failure aside it
+        // cannot throw, and losing an executor on that path is benign.
+        try {
+            pool_->give_back(std::move(sim_));
+        } catch (...) {
+        }
+    }
+    pool_ = nullptr;
+    sim_.reset();
+}
+
+template class compiled_sim_pool<1>;
+template class compiled_sim_pool<4>;
+template class compiled_sim_pool<8>;
+
+// -- schedule persistence -----------------------------------------------------
+
+namespace {
+
+// Payload format version for "schedule" blobs; bump on any layout change
+// (old entries then silently recompile).
+constexpr std::uint32_t schedule_blob_version = 1;
+
+constexpr std::uint8_t max_gate_kind =
+    static_cast<std::uint8_t>(gate_kind::maj_g);
+
+} // namespace
+
+std::vector<std::uint8_t> serialize_schedule(const compiled_schedule& s)
+{
+    byte_writer w;
+    w.u32(schedule_blob_version);
+    w.u64(s.net_count);
+    w.u64(s.input_count);
+    w.vec_u32(s.dense_of);
+    w.u64(s.kinds.size());
+    for (const gate_kind k : s.kinds) {
+        w.u8(static_cast<std::uint8_t>(k));
+    }
+    w.u64(s.live_inputs.size());
+    for (const compiled_schedule::live_input& li : s.live_inputs) {
+        w.u32(li.dense);
+        w.u32(li.pos);
+    }
+    w.u64(s.runs.size());
+    for (const compiled_run& r : s.runs) {
+        w.u8(static_cast<std::uint8_t>(r.kind));
+        w.u32(r.begin);
+        w.u32(r.end);
+    }
+    w.vec_u32(s.in0);
+    w.vec_u32(s.in1);
+    w.vec_u32(s.in2);
+    w.u64(s.tied_checks.size());
+    for (const compiled_schedule::tied_check& tc : s.tied_checks) {
+        w.u32(tc.pos);
+        w.u8(tc.value ? 1 : 0);
+        w.u32(tc.net);
+        w.str(tc.name);
+    }
+    w.vec_u32(s.const_dense);
+    w.bytes_u8(s.const_vals);
+    w.u64(s.pruned_gates);
+    return w.take();
+}
+
+std::optional<compiled_schedule>
+deserialize_schedule(const std::vector<std::uint8_t>& bytes)
+{
+    compiled_schedule s;
+    try {
+        byte_reader r(bytes);
+        if (r.u32() != schedule_blob_version) {
+            return std::nullopt;
+        }
+        s.net_count = r.u64();
+        s.input_count = r.u64();
+        s.dense_of = r.vec_u32();
+        const std::size_t n_kinds = r.u64();
+        if (n_kinds > r.remaining()) {
+            return std::nullopt;
+        }
+        s.kinds.resize(n_kinds);
+        for (std::size_t i = 0; i < n_kinds; ++i) {
+            const std::uint8_t k = r.u8();
+            if (k > max_gate_kind) {
+                return std::nullopt;
+            }
+            s.kinds[i] = static_cast<gate_kind>(k);
+        }
+        const std::size_t n_live = r.u64();
+        if (n_live > r.remaining() / 8) {
+            return std::nullopt;
+        }
+        s.live_inputs.resize(n_live);
+        for (auto& li : s.live_inputs) {
+            li.dense = r.u32();
+            li.pos = r.u32();
+        }
+        const std::size_t n_runs = r.u64();
+        if (n_runs > r.remaining() / 9) {
+            return std::nullopt;
+        }
+        s.runs.resize(n_runs);
+        for (compiled_run& run : s.runs) {
+            const std::uint8_t k = r.u8();
+            if (k > max_gate_kind) {
+                return std::nullopt;
+            }
+            run.kind = static_cast<gate_kind>(k);
+            run.begin = r.u32();
+            run.end = r.u32();
+        }
+        s.in0 = r.vec_u32();
+        s.in1 = r.vec_u32();
+        s.in2 = r.vec_u32();
+        const std::size_t n_tied = r.u64();
+        if (n_tied > r.remaining() / 9) {
+            return std::nullopt;
+        }
+        s.tied_checks.resize(n_tied);
+        for (auto& tc : s.tied_checks) {
+            tc.pos = r.u32();
+            tc.value = r.u8() != 0;
+            tc.net = r.u32();
+            tc.name = r.str();
+        }
+        s.const_dense = r.vec_u32();
+        s.const_vals = r.bytes_u8();
+        s.pruned_gates = r.u64();
+        if (!r.done()) {
+            return std::nullopt;
+        }
+    } catch (const serial_error&) {
+        return std::nullopt;
+    }
+
+    // Structural consistency: executing an inconsistent schedule would
+    // index out of bounds, so reject anything the executor's assumptions
+    // do not hold for (the deep soundness proof lives in the schedule
+    // verifier; these checks bound every array access).
+    const std::size_t n = s.net_count;
+    const std::size_t sg = s.in0.size();
+    if (s.dense_of.size() != n || s.kinds.size() != n
+        || s.in1.size() != sg || s.in2.size() != sg || sg > n) {
+        return std::nullopt;
+    }
+    for (const net_id d : s.dense_of) {
+        if (d >= n) {
+            return std::nullopt;
+        }
+    }
+    for (std::size_t i = 0; i < sg; ++i) {
+        if (s.in0[i] >= n || s.in1[i] >= n || s.in2[i] >= n) {
+            return std::nullopt;
+        }
+    }
+    std::uint32_t at = 0;
+    for (const compiled_run& run : s.runs) {
+        if (run.begin != at || run.end < run.begin || run.end > sg
+            || run.kind == gate_kind::input
+            || run.kind == gate_kind::constant) {
+            return std::nullopt;
+        }
+        at = run.end;
+    }
+    if (at != sg) {
+        return std::nullopt;
+    }
+    for (const auto& li : s.live_inputs) {
+        if (li.dense >= n || li.pos >= s.input_count) {
+            return std::nullopt;
+        }
+    }
+    for (const auto& tc : s.tied_checks) {
+        if (tc.pos >= s.input_count) {
+            return std::nullopt;
+        }
+    }
+    if (s.const_vals.size() != s.const_dense.size()) {
+        return std::nullopt;
+    }
+    for (const net_id d : s.const_dense) {
+        if (d >= n) {
+            return std::nullopt;
+        }
+    }
+    for (const std::uint8_t v : s.const_vals) {
+        if (v > 1) {
+            return std::nullopt;
+        }
+    }
+    return s;
+}
 
 // -- schedule cache -----------------------------------------------------------
 
@@ -465,9 +781,8 @@ std::uint64_t structural_hash(const netlist& nl)
 
 } // namespace
 
-std::shared_ptr<const compiled_schedule>
-compiled_netlist_cache::get(const netlist& nl,
-                            const std::vector<std::pair<net_id, bool>>& tied)
+std::string compiled_netlist_cache::key_for(
+    const netlist& nl, const std::vector<std::pair<net_id, bool>>& tied)
 {
     std::ostringstream key;
     key << std::hex << structural_hash(nl) << std::dec << "|g" << nl.size()
@@ -475,12 +790,52 @@ compiled_netlist_cache::get(const netlist& nl,
     for (const auto& [id, value] : tied) {
         key << ":" << id << (value ? "+" : "-");
     }
+    return key.str();
+}
+
+std::shared_ptr<const compiled_schedule>
+compiled_netlist_cache::get(const netlist& nl,
+                            const std::vector<std::pair<net_id, bool>>& tied)
+{
+    const std::string key = key_for(nl, tied);
 
     const std::lock_guard<std::mutex> lock(mu_);
-    auto& slot = entries_[key.str()];
-    if (!slot) {
-        slot = std::make_shared<const compiled_schedule>(
-            compile_netlist(nl, tied));
+    auto& slot = entries_[key];
+    if (slot) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return slot;
+    }
+
+    // Memory miss: try the on-disk store before compiling. The key is
+    // content-derived (structural hash + tie list), so a blob from any
+    // process with the same netlist is the same schedule; a blob that
+    // fails deserialization's consistency checks -- or, under
+    // verify-on-compile, the full schedule verifier -- recompiles.
+    const disk_store store = disk_store::from_env();
+    if (store.enabled()) {
+        if (const auto blob = store.load("schedule", key)) {
+            if (auto sched = deserialize_schedule(*blob)) {
+                bool sound = true;
+                if (verify_on_compile()) {
+                    lint_report rep =
+                        verify_schedule(nl, *sched, tied, "schedule(disk)");
+                    sound = rep.ok();
+                }
+                if (sound) {
+                    disk_hits_.fetch_add(1, std::memory_order_relaxed);
+                    slot = std::make_shared<const compiled_schedule>(
+                        std::move(*sched));
+                    return slot;
+                }
+            }
+        }
+    }
+
+    compiles_.fetch_add(1, std::memory_order_relaxed);
+    slot = std::make_shared<const compiled_schedule>(
+        compile_netlist(nl, tied));
+    if (store.enabled()) {
+        store.store("schedule", key, serialize_schedule(*slot));
     }
     return slot;
 }

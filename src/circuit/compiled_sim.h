@@ -42,10 +42,12 @@
 #include "circuit/netlist.h"
 #include "circuit/wide_word.h"
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -132,6 +134,39 @@ compile_netlist(const netlist& nl,
 void set_verify_on_compile(bool on) noexcept;
 bool verify_on_compile() noexcept;
 
+// -- schedule persistence -----------------------------------------------------
+
+// Byte-serializes a compiled schedule for the on-disk cache
+// (util/disk_store.h). The inverse returns nullopt on any structural
+// inconsistency -- truncation, bad sizes, out-of-range dense slots or run
+// bounds -- so a corrupt or stale blob degrades to "recompile", never a
+// crash or an unsound schedule.
+std::vector<std::uint8_t> serialize_schedule(const compiled_schedule& s);
+std::optional<compiled_schedule>
+deserialize_schedule(const std::vector<std::uint8_t>& bytes);
+
+// -- resumable activity state -------------------------------------------------
+
+// The executor's cross-batch statistics carry, detached from the executor:
+// per-net last-lane values, per-net toggle counters, the transition count
+// and the warm-up flag. save/load round trips are bit-exact, which is what
+// lets a measurement suspend after N vectors (persisting this struct) and
+// resume to the same statistics a single uninterrupted run produces.
+struct sim_activity_state {
+    std::vector<std::uint8_t> last;      // final-lane value per dense net
+    std::vector<std::uint64_t> toggles;  // per dense net
+    std::uint64_t transitions = 0;
+    bool initialized = false;
+};
+
+// Switched capacitance from a detached toggle array (original-net-order
+// summation -- the bit-exactness contract all engines share). The member
+// compiled_sim::switched_capacitance_ff delegates here.
+double schedule_switched_capacitance_ff(const compiled_schedule& s,
+                                        const std::vector<std::uint64_t>&
+                                            toggles,
+                                        const tech_model& tech);
+
 // Wide-word executor over a compiled schedule; W uint64_t blocks = 64*W
 // lanes per pass. Same statistics contract as logic_sim64 (lanes ordered
 // in time, toggle carry across batches, warm-up first vector).
@@ -173,7 +208,33 @@ public:
     // Clears counters but keeps the last applied values (warm-up contract).
     void reset_stats();
 
+    // -- suspend / resume / parallel merge -----------------------------------
+    // Detached copy of the statistics carry (see sim_activity_state).
+    sim_activity_state save_activity() const;
+    // Restores a saved carry; the subsequent apply() continues the
+    // statistics exactly where the save left off. Lane *values* are not
+    // part of the carry (the next apply overwrites every live net), only
+    // the per-net last-lane bits that seed the toggle comparison. Throws
+    // std::invalid_argument when the state's shape does not match this
+    // schedule.
+    void load_activity(const sim_activity_state& st);
+    // Adopts `src`'s cross-batch carry (last-lane values + warm-up flag)
+    // without touching the counters: after a chunked parallel batch the
+    // owning executor takes the *final* chunk's carry so the next batch
+    // continues as if it had run every chunk itself. Both executors must
+    // run the same schedule object.
+    void adopt_carry(const compiled_sim& src);
+    // Accumulates `src`'s counters (per-net toggles + transitions) into
+    // this executor. Integer sums, so merge order cannot perturb results.
+    // Both executors must run the same schedule object.
+    void merge_stats(const compiled_sim& src);
+
     const compiled_schedule& schedule() const noexcept { return *sched_; }
+    const std::shared_ptr<const compiled_schedule>&
+    schedule_ptr() const noexcept
+    {
+        return sched_;
+    }
 
 private:
     template <gate_kind K>
@@ -195,25 +256,129 @@ extern template class compiled_sim<1>;
 extern template class compiled_sim<4>;
 extern template class compiled_sim<8>;
 
+// Process-wide pool of warm executors, keyed by schedule. An executor is
+// three net_count-sized allocations (values, last, toggles); sweeps and
+// batched error analysis construct one per measured point, so reusing
+// idle executors removes the dominant allocation from the measurement hot
+// path. Leases hand the executor back on destruction. A leased executor
+// carries *stale* values/carry from its previous use -- every measurement
+// protocol here (warm-up vector + reset_stats, or load_activity) fully
+// re-establishes that state, so reuse is bit-invisible; the pool does not
+// scrub. Constant-net values are set at construction and never written,
+// so they stay valid across reuses of the same schedule.
+template <int W>
+class compiled_sim_pool {
+public:
+    static compiled_sim_pool& global();
+
+    class lease {
+    public:
+        lease() = default;
+        lease(lease&& o) noexcept
+            : pool_(o.pool_), sim_(std::move(o.sim_))
+        {
+            o.pool_ = nullptr;
+        }
+        lease& operator=(lease&& o) noexcept
+        {
+            if (this != &o) {
+                release();
+                pool_ = o.pool_;
+                sim_ = std::move(o.sim_);
+                o.pool_ = nullptr;
+            }
+            return *this;
+        }
+        lease(const lease&) = delete;
+        lease& operator=(const lease&) = delete;
+        ~lease() { release(); }
+
+        compiled_sim<W>& operator*() const noexcept { return *sim_; }
+        compiled_sim<W>* operator->() const noexcept { return sim_.get(); }
+        compiled_sim<W>* get() const noexcept { return sim_.get(); }
+        explicit operator bool() const noexcept { return sim_ != nullptr; }
+
+    private:
+        friend class compiled_sim_pool;
+        lease(compiled_sim_pool* pool,
+              std::unique_ptr<compiled_sim<W>> sim) noexcept
+            : pool_(pool), sim_(std::move(sim))
+        {
+        }
+        void release() noexcept;
+
+        compiled_sim_pool* pool_ = nullptr;
+        std::unique_ptr<compiled_sim<W>> sim_;
+    };
+
+    // An idle executor over `sched` (or a freshly constructed one).
+    lease acquire(std::shared_ptr<const compiled_schedule> sched);
+
+    // Idle executors currently pooled for `sched` (tests).
+    std::size_t idle_count(const compiled_schedule& sched);
+
+private:
+    compiled_sim_pool() = default;
+    void give_back(std::unique_ptr<compiled_sim<W>> sim);
+
+    std::mutex mu_;
+    // Keyed by schedule address: schedules are immutable and cached for
+    // the process lifetime (compiled_netlist_cache), so an address
+    // identifies one schedule for as long as any executor can exist.
+    std::map<const compiled_schedule*,
+             std::vector<std::unique_ptr<compiled_sim<W>>>>
+        idle_;
+};
+
+extern template class compiled_sim_pool<1>;
+extern template class compiled_sim_pool<4>;
+extern template class compiled_sim_pool<8>;
+
 // Process-wide cache of compiled schedules, keyed on netlist content
 // (structural hash over gates and inputs) plus the tie set -- NOT on the
 // netlist's address, so short-lived netlist objects with identical
 // structure (each dvafs_multiplier(16), say) share one schedule. Entries
 // are immutable and live for the whole process (the netlist_cache /
-// frontier_cache pattern).
+// frontier_cache pattern). When DVAFS_CACHE_DIR is set, a memory miss
+// consults the on-disk store ("schedule" kind, same content key) before
+// compiling, and a fresh compile is persisted for the next process --
+// deserialized schedules that fail the structural consistency checks are
+// recompiled silently.
 class compiled_netlist_cache {
 public:
+    // Public constructor so tests can run an isolated instance against a
+    // private store; production code shares global().
+    compiled_netlist_cache() = default;
+
     static compiled_netlist_cache& global();
 
     std::shared_ptr<const compiled_schedule>
     get(const netlist& nl,
         const std::vector<std::pair<net_id, bool>>& tied = {});
 
-private:
-    compiled_netlist_cache() = default;
+    // The content key get() uses (exposed for the disk-store tests).
+    static std::string
+    key_for(const netlist& nl,
+            const std::vector<std::pair<net_id, bool>>& tied = {});
 
+    struct cache_stats {
+        std::uint64_t hits = 0;       // served from memory
+        std::uint64_t disk_hits = 0;  // deserialized from the store
+        std::uint64_t compiles = 0;   // compiled from the netlist
+    };
+    cache_stats stats() const noexcept
+    {
+        return {hits_.load(std::memory_order_relaxed),
+                disk_hits_.load(std::memory_order_relaxed),
+                compiles_.load(std::memory_order_relaxed)};
+    }
+
+private:
     std::mutex mu_;
     std::map<std::string, std::shared_ptr<const compiled_schedule>> entries_;
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> disk_hits_{0};
+    std::atomic<std::uint64_t> compiles_{0};
 };
 
 } // namespace dvafs

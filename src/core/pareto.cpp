@@ -1,10 +1,16 @@
 #include "core/pareto.h"
 
+#include "util/disk_store.h"
+#include "util/parallel.h"
+#include "util/serial.h"
+
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 namespace dvafs {
 
@@ -40,15 +46,18 @@ pareto_front(const std::vector<std::vector<double>>& criteria)
 
 // -- frontier_config ----------------------------------------------------------
 
-std::string frontier_config::key(const tech_model& tech,
-                                 const envision_calibration& cal) const
+std::string frontier_config::base_key(const tech_model& tech,
+                                      const envision_calibration& cal) const
 {
     // `threads` is deliberately absent: measurements are bit-identical for
     // any worker count (the sim_engine contract, asserted in test_pareto),
-    // so planners differing only in thread count share one entry.
+    // so planners differing only in thread count share one entry. Doubles
+    // print as hexfloat: lossless round-trip, so two grids differing below
+    // the old 12-digit precision cannot collide onto one key (and one
+    // on-disk cache file).
     std::ostringstream os;
-    os.precision(12);
-    os << "w" << width << "|n" << vectors << "|s" << seed << "|f";
+    os << std::hexfloat;
+    os << "w" << width << "|s" << seed << "|f";
     for (const double f : f_grid_mhz) {
         os << ":" << f;
     }
@@ -61,6 +70,14 @@ std::string frontier_config::key(const tech_model& tech,
        << tech.unit_cap_ff;
     os << "|cal:" << cal.f_nom_mhz << ":" << cal.v_nom;
     return os.str();
+}
+
+std::string frontier_config::key(const tech_model& tech,
+                                 const envision_calibration& cal) const
+{
+    // The vector count stays out of base_key so that prefix states are
+    // shared across counts; everything else identifies the measurement.
+    return base_key(tech, cal) + "|n" + std::to_string(vectors);
 }
 
 // -- mode frontier ------------------------------------------------------------
@@ -105,9 +122,42 @@ double resolve_vdd(const tech_model& tech, const envision_calibration& cal,
 
 } // namespace
 
+namespace {
+
+// The measured (mode, keep_bits) configurations, one group per subword
+// family -- the canonical point order every frontier measurement (and
+// every persisted measurement state) uses.
+std::vector<std::vector<operating_point_spec>>
+frontier_spec_groups(const frontier_config& cfg)
+{
+    const int q = cfg.width / 4;
+    std::vector<std::vector<operating_point_spec>> groups;
+    for (const sw_mode m : all_sw_modes) {
+        std::vector<operating_point_spec> g;
+        const int lane = cfg.width / lane_count(m);
+        for (int keep = q; keep <= lane; keep += q) {
+            g.push_back({m, keep, 0.0, 0.0});
+        }
+        groups.push_back(std::move(g));
+    }
+    return groups;
+}
+
+} // namespace
+
 mode_frontier measure_mode_frontier(const frontier_config& cfg,
                                     const tech_model& tech,
                                     const envision_calibration& cal)
+{
+    frontier_measurement st;
+    return measure_mode_frontier_with_state(cfg, tech, cal, st);
+}
+
+mode_frontier
+measure_mode_frontier_with_state(const frontier_config& cfg,
+                                 const tech_model& tech,
+                                 const envision_calibration& cal,
+                                 frontier_measurement& st)
 {
     if (cfg.width < 8 || cfg.width % 4 != 0) {
         throw std::invalid_argument("measure_mode_frontier: bad width");
@@ -126,23 +176,50 @@ mode_frontier measure_mode_frontier(const frontier_config& cfg,
 
     // One gate-level measurement per (mode, keep_bits); the (V, f) axes are
     // expanded analytically below, so the sweep cost is independent of the
-    // grid resolution. One group per subword family, all farmed through a
-    // single shared pool.
-    const int q = cfg.width / 4;
-    std::vector<std::vector<operating_point_spec>> groups;
-    for (const sw_mode m : all_sw_modes) {
-        std::vector<operating_point_spec> g;
-        const int lane = cfg.width / lane_count(m);
-        for (int keep = q; keep <= lane; keep += q) {
-            g.push_back({m, keep, 0.0, 0.0});
-        }
-        groups.push_back(std::move(g));
+    // grid resolution. One group per subword family, flattened and farmed
+    // over a single shared pool.
+    const std::vector<std::vector<operating_point_spec>> groups =
+        frontier_spec_groups(cfg);
+    std::vector<operating_point_spec> flat;
+    for (const auto& g : groups) {
+        flat.insert(flat.end(), g.begin(), g.end());
     }
-    const std::vector<sweep_report> reps =
-        engine.run_batch(*mult, tech, groups);
+
+    if (st.vectors == 0 && st.points.empty()) {
+        st.points.reserve(flat.size());
+        for (const operating_point_spec& spec : flat) {
+            point_measure_state ps;
+            ps.spec = spec;
+            st.points.push_back(ps);
+        }
+    } else {
+        // A resumed state must be the same point list, at a uniform count
+        // no larger than the target; anything else is a stale or foreign
+        // state the caller should discard.
+        bool ok = st.vectors <= cfg.vectors
+                  && st.points.size() == flat.size();
+        for (std::size_t i = 0; ok && i < flat.size(); ++i) {
+            ok = st.points[i].spec == flat[i]
+                 && st.points[i].done == st.vectors;
+        }
+        if (!ok) {
+            throw std::invalid_argument(
+                "measure_mode_frontier: measurement state does not match "
+                "the configuration");
+        }
+    }
+
+    // Each point resumes its own suspended stream; measure_to validates
+    // the executor-state shape and the chunking contract makes extension
+    // bit-identical to a fresh full-length run.
+    std::vector<sim_point_result> results(flat.size());
+    parallel_for(flat.size(), cfg.threads, [&](std::size_t i) {
+        results[i] = engine.measure_to(*mult, tech, st.points[i]);
+    });
+    st.vectors = cfg.vectors;
 
     // Reference: 1xW at full precision (the last point of the 1xW group).
-    const sim_point_result& ref = reps[0].points.back();
+    const sim_point_result& ref = results[groups[0].size() - 1];
     if (ref.mean_cap_ff <= 0.0) {
         throw std::runtime_error(
             "measure_mode_frontier: zero reference activity");
@@ -161,9 +238,10 @@ mode_frontier measure_mode_frontier(const frontier_config& cfg,
         fs.insert(fs.begin(), cal.f_nom_mhz);
     }
 
+    std::size_t flat_at = 0;
     for (std::size_t g = 0; g < groups.size(); ++g) {
         for (std::size_t i = 0; i < groups[g].size(); ++i) {
-            const sim_point_result& base = reps[g].points[i];
+            const sim_point_result& base = results[flat_at++];
             for (const double f : fs) {
                 for (const double v : cfg.vdd_grid) {
                     const double vdd = resolve_vdd(tech, cal,
@@ -232,6 +310,184 @@ mode_frontier measure_mode_frontier(const frontier_config& cfg,
     return mf;
 }
 
+// -- frontier (de)serialization -----------------------------------------------
+
+namespace {
+
+constexpr std::uint32_t frontier_blob_version = 1;
+constexpr std::uint32_t frontier_state_blob_version = 1;
+constexpr std::uint8_t max_sw_mode = static_cast<std::uint8_t>(sw_mode::w4x4);
+
+void put_spec(byte_writer& w, const operating_point_spec& s)
+{
+    w.u8(static_cast<std::uint8_t>(s.mode));
+    w.i64(s.keep_bits);
+    w.f64(s.vdd);
+    w.f64(s.f_mhz);
+}
+
+operating_point_spec get_spec(byte_reader& r)
+{
+    const std::uint8_t m = r.u8();
+    if (m > max_sw_mode) {
+        throw serial_error("bad sw_mode");
+    }
+    operating_point_spec s;
+    s.mode = static_cast<sw_mode>(m);
+    s.keep_bits = static_cast<int>(r.i64());
+    s.vdd = r.f64();
+    s.f_mhz = r.f64();
+    return s;
+}
+
+std::vector<std::uint8_t> serialize_frontier(const mode_frontier& mf)
+{
+    byte_writer w;
+    w.u32(frontier_blob_version);
+    // Config echo: the embedded disk-store key already identifies the
+    // measurement, but tech/cal travel only by name there -- echoing the
+    // numeric config makes a mismatched blob detectable on its own.
+    w.u32(static_cast<std::uint32_t>(mf.config.width));
+    w.u64(mf.config.vectors);
+    w.u64(mf.config.seed);
+    w.vec_f64(mf.config.f_grid_mhz);
+    w.vec_f64(mf.config.vdd_grid);
+    w.u64(mf.points.size());
+    for (const frontier_point& p : mf.points) {
+        put_spec(w, p.spec);
+        w.f64(p.vdd);
+        w.f64(p.f_mhz);
+        w.i64(p.lanes);
+        w.i64(p.precision_bits);
+        w.f64(p.mean_cap_ff);
+        w.f64(p.crit_path_ps);
+        w.f64(p.activity_divisor);
+    }
+    std::vector<std::uint64_t> pareto(mf.pareto.size());
+    for (std::size_t i = 0; i < mf.pareto.size(); ++i) {
+        pareto[i] = mf.pareto[i];
+    }
+    w.vec_u64(pareto);
+    w.u64(mf.nominal);
+    return w.take();
+}
+
+std::optional<mode_frontier>
+deserialize_frontier(const std::vector<std::uint8_t>& blob,
+                     const frontier_config& cfg)
+{
+    try {
+        byte_reader r(blob);
+        if (r.u32() != frontier_blob_version) {
+            return std::nullopt;
+        }
+        if (r.u32() != static_cast<std::uint32_t>(cfg.width)
+            || r.u64() != cfg.vectors || r.u64() != cfg.seed
+            || r.vec_f64() != cfg.f_grid_mhz
+            || r.vec_f64() != cfg.vdd_grid) {
+            return std::nullopt;
+        }
+        mode_frontier mf;
+        mf.config = cfg;
+        const std::uint64_t n = r.u64();
+        // Bounded by the bytes left (57 per point), so a corrupt count
+        // throws on overrun instead of allocating.
+        if (n > r.remaining() / 57) {
+            return std::nullopt;
+        }
+        mf.points.resize(static_cast<std::size_t>(n));
+        for (frontier_point& p : mf.points) {
+            p.spec = get_spec(r);
+            p.vdd = r.f64();
+            p.f_mhz = r.f64();
+            p.lanes = static_cast<int>(r.i64());
+            p.precision_bits = static_cast<int>(r.i64());
+            p.mean_cap_ff = r.f64();
+            p.crit_path_ps = r.f64();
+            p.activity_divisor = r.f64();
+        }
+        for (const std::uint64_t idx : r.vec_u64()) {
+            if (idx >= mf.points.size()) {
+                return std::nullopt;
+            }
+            mf.pareto.push_back(static_cast<std::size_t>(idx));
+        }
+        mf.nominal = static_cast<std::size_t>(r.u64());
+        if (mf.nominal >= mf.points.size() || !r.done()
+            || mf.points.empty()) {
+            return std::nullopt;
+        }
+        return mf;
+    } catch (const serial_error&) {
+        return std::nullopt;
+    }
+}
+
+std::vector<std::uint8_t>
+serialize_frontier_state(const frontier_measurement& st)
+{
+    byte_writer w;
+    w.u32(frontier_state_blob_version);
+    w.u64(st.vectors);
+    w.u64(st.points.size());
+    for (const point_measure_state& p : st.points) {
+        put_spec(w, p.spec);
+        w.u64(p.done);
+        w.u64(p.rng.state);
+        w.u64(p.rng.inc);
+        w.u8(p.timed ? 1 : 0);
+        w.f64(p.crit_path_ps);
+        w.u8(p.sim.initialized ? 1 : 0);
+        w.u64(p.sim.transitions);
+        w.bytes_u8(p.sim.last);
+        w.vec_u64(p.sim.toggles);
+    }
+    return w.take();
+}
+
+std::optional<frontier_measurement>
+deserialize_frontier_state(const std::vector<std::uint8_t>& blob)
+{
+    try {
+        byte_reader r(blob);
+        if (r.u32() != frontier_state_blob_version) {
+            return std::nullopt;
+        }
+        frontier_measurement st;
+        st.vectors = r.u64();
+        const std::uint64_t n = r.u64();
+        if (n > r.remaining() / 60) {
+            return std::nullopt;
+        }
+        st.points.resize(static_cast<std::size_t>(n));
+        for (point_measure_state& p : st.points) {
+            p.spec = get_spec(r);
+            p.done = r.u64();
+            p.rng.state = r.u64();
+            p.rng.inc = r.u64();
+            p.timed = r.u8() != 0;
+            p.crit_path_ps = r.f64();
+            p.sim.initialized = r.u8() != 0;
+            p.sim.transitions = r.u64();
+            p.sim.last = r.bytes_u8();
+            p.sim.toggles = r.vec_u64();
+            // Deeper shape checks (net counts) happen against the live
+            // schedule in load_activity; here only the stream invariant.
+            if (p.done != st.vectors) {
+                return std::nullopt;
+            }
+        }
+        if (!r.done()) {
+            return std::nullopt;
+        }
+        return st;
+    } catch (const serial_error&) {
+        return std::nullopt;
+    }
+}
+
+} // namespace
+
 // -- frontier cache -----------------------------------------------------------
 
 frontier_cache& frontier_cache::global()
@@ -240,41 +496,165 @@ frontier_cache& frontier_cache::global()
     return cache;
 }
 
+std::shared_ptr<frontier_cache::flight>
+frontier_cache::flight_for(const std::string& base_key)
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = inflight_[base_key];
+    if (!slot) {
+        slot = std::make_shared<flight>();
+    }
+    return slot;
+}
+
+void frontier_cache::publish(const std::string& full_key,
+                             const std::string& base_key,
+                             std::shared_ptr<const mode_frontier> frontier,
+                             frontier_measurement state)
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    entries_[full_key] = std::move(frontier);
+    // Keep the longest prefix: a shorter concurrent measurement must not
+    // shrink the resumable state another caller could extend.
+    auto& slot = states_[base_key];
+    if (state.vectors >= slot.vectors) {
+        slot = std::move(state);
+    }
+}
+
+frontier_cache::cache_stats frontier_cache::stats() const noexcept
+{
+    cache_stats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.disk_hits = disk_hits_.load(std::memory_order_relaxed);
+    s.extended = extended_.load(std::memory_order_relaxed);
+    s.measured = measured_.load(std::memory_order_relaxed);
+    return s;
+}
+
 std::shared_ptr<const mode_frontier>
 frontier_cache::get(const frontier_config& cfg, const tech_model& tech,
                     const envision_calibration& cal)
 {
-    const std::string key = cfg.key(tech, cal);
+    const std::string full_key = cfg.key(tech, cal);
+    const std::string base = cfg.base_key(tech, cal);
     {
         const std::lock_guard<std::mutex> lock(mu_);
-        const auto it = entries_.find(key);
+        const auto it = entries_.find(full_key);
         if (it != entries_.end()) {
+            hits_.fetch_add(1, std::memory_order_relaxed);
             return it->second;
         }
     }
-    // Measure outside the lock: a frontier sweep is seconds of work and
-    // concurrent first callers must not serialize behind one mutex. The
-    // duplicated effort on a true race is bounded by the thread count, and
-    // publication keeps the first entry, so all callers share one result.
-    auto measured = std::make_shared<const mode_frontier>(
-        measure_mode_frontier(cfg, tech, cal));
-    const std::lock_guard<std::mutex> lock(mu_);
-    const auto [it, inserted] = entries_.emplace(key, std::move(measured));
-    (void)inserted;
-    return it->second;
+
+    // Single-flight per base key: the first caller measures (seconds of
+    // gate-level work) while concurrent first callers block on the latch
+    // and then find the published entry -- the work happens exactly once
+    // (regression in tests/test_pareto.cpp). Serializing the whole miss
+    // path also makes the prefix-state handoff race-free: an extension
+    // always starts from the longest published state.
+    const std::shared_ptr<flight> latch = flight_for(base);
+    const std::lock_guard<std::mutex> flight_lock(latch->m);
+    {
+        const std::lock_guard<std::mutex> lock(mu_);
+        const auto it = entries_.find(full_key);
+        if (it != entries_.end()) {
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            return it->second;
+        }
+    }
+
+    const disk_store store = disk_store::from_env();
+
+    // Layer 1: the finished frontier on disk.
+    if (store.enabled()) {
+        if (const auto blob = store.load("frontier", full_key)) {
+            if (auto mf = deserialize_frontier(*blob, cfg)) {
+                auto shared = std::make_shared<const mode_frontier>(
+                    std::move(*mf));
+                disk_hits_.fetch_add(1, std::memory_order_relaxed);
+                const std::lock_guard<std::mutex> lock(mu_);
+                entries_[full_key] = shared;
+                return shared;
+            }
+        }
+    }
+
+    // Layer 2: a resumable prefix of the same stream -- the in-memory
+    // state from a smaller-vector-count get(), else the persisted one.
+    frontier_measurement st;
+    {
+        const std::lock_guard<std::mutex> lock(mu_);
+        const auto it = states_.find(base);
+        if (it != states_.end() && it->second.vectors > 0
+            && it->second.vectors <= cfg.vectors) {
+            st = it->second;
+        }
+    }
+    if (st.vectors == 0 && store.enabled()) {
+        if (const auto blob = store.load("frontier_state", base)) {
+            if (auto loaded = deserialize_frontier_state(*blob)) {
+                if (loaded->vectors > 0 && loaded->vectors <= cfg.vectors) {
+                    st = std::move(*loaded);
+                }
+            }
+        }
+    }
+
+    // Layer 3: measure -- extending the prefix when one fit, from scratch
+    // otherwise. A stale or corrupt state (wrong point list, executor
+    // shape mismatch) throws; discard it and fall back to a full
+    // measurement rather than failing the caller.
+    const bool resuming = st.vectors > 0;
+    std::shared_ptr<const mode_frontier> shared;
+    try {
+        shared = std::make_shared<const mode_frontier>(
+            measure_mode_frontier_with_state(cfg, tech, cal, st));
+        (resuming ? extended_ : measured_)
+            .fetch_add(1, std::memory_order_relaxed);
+    } catch (const std::invalid_argument&) {
+        if (!resuming) {
+            throw;
+        }
+        st = frontier_measurement{};
+        shared = std::make_shared<const mode_frontier>(
+            measure_mode_frontier_with_state(cfg, tech, cal, st));
+        measured_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    publish(full_key, base, shared, st);
+    if (store.enabled()) {
+        store.store("frontier", full_key, serialize_frontier(*shared));
+        store.store("frontier_state", base, serialize_frontier_state(st));
+    }
+    return shared;
 }
 
 std::shared_ptr<const mode_frontier>
 frontier_cache::refresh(const frontier_config& cfg, const tech_model& tech,
                         const envision_calibration& cal)
 {
-    const std::string key = cfg.key(tech, cal);
-    // Measure outside the lock (same rationale as get()); publication
-    // replaces whatever entry the key held.
+    const std::string full_key = cfg.key(tech, cal);
+    const std::string base = cfg.base_key(tech, cal);
+    // Serialize with any in-flight get() on the same configuration;
+    // publication replaces whatever entry (and prefix state) the key held.
+    const std::shared_ptr<flight> latch = flight_for(base);
+    const std::lock_guard<std::mutex> flight_lock(latch->m);
+
+    frontier_measurement st;
     auto measured = std::make_shared<const mode_frontier>(
-        measure_mode_frontier(cfg, tech, cal));
-    const std::lock_guard<std::mutex> lock(mu_);
-    entries_[key] = measured;
+        measure_mode_frontier_with_state(cfg, tech, cal, st));
+    measured_.fetch_add(1, std::memory_order_relaxed);
+    {
+        const std::lock_guard<std::mutex> lock(mu_);
+        entries_[full_key] = measured;
+        states_[base] = st;
+    }
+    const disk_store store = disk_store::from_env();
+    if (store.enabled()) {
+        store.store("frontier", full_key, serialize_frontier(*measured));
+        store.store("frontier_state", base, serialize_frontier_state(st));
+    }
     return measured;
 }
 

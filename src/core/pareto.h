@@ -31,6 +31,7 @@
 #include "envision/envision.h"
 #include "sim/engine.h"
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -74,9 +75,18 @@ struct frontier_config {
     std::vector<double> f_grid_mhz = {50.0, 100.0, 200.0};
     std::vector<double> vdd_grid = {0.0};
     // Cache key for frontier_cache (tech/calibration are keyed by name and
-    // anchor values).
+    // anchor values). Doubles are serialized as hexfloat so that distinct
+    // grids always yield distinct keys -- the key is also the identity of
+    // the on-disk cache entry, where a collision would silently serve the
+    // wrong frontier (regression in tests/test_pareto.cpp).
     std::string key(const tech_model& tech,
                     const envision_calibration& cal) const;
+
+    // The key minus the vector count: configurations differing only in
+    // `vectors` measure prefixes of one seed-deterministic operand stream,
+    // so they share one resumable measurement state (prefix extension).
+    std::string base_key(const tech_model& tech,
+                         const envision_calibration& cal) const;
 };
 
 // The measured (mode x voltage x frequency) space of one multiplier.
@@ -100,11 +110,46 @@ mode_frontier measure_mode_frontier(const frontier_config& cfg,
                                     const tech_model& tech,
                                     const envision_calibration& cal);
 
+// The resumable half of a frontier measurement: one suspended per-point
+// stream (sim/engine.h) per (mode, keep_bits) configuration, flat in group
+// order, all at the same vector count. Because the operand stream of an
+// N-vector measurement is a prefix of every longer measurement, growing
+// frontier_config::vectors extends this state instead of re-measuring from
+// zero -- bit-identical to a from-scratch run (tests/test_pareto.cpp).
+struct frontier_measurement {
+    std::uint64_t vectors = 0;  // counted vectors each point has reached
+    std::vector<point_measure_state> points;
+};
+
+// measure_mode_frontier, resuming from (and updating) `st`. An empty state
+// starts fresh; a state at a smaller vector count is extended to
+// cfg.vectors. Throws std::invalid_argument when the state does not match
+// the configuration's point list or is ahead of cfg.vectors -- the caller
+// should reset the state and re-measure (frontier_cache does).
+mode_frontier
+measure_mode_frontier_with_state(const frontier_config& cfg,
+                                 const tech_model& tech,
+                                 const envision_calibration& cal,
+                                 frontier_measurement& st);
+
 // Keyed cache of measured frontiers, sharing one immutable result per
 // configuration across planners, threads and benches (the netlist_cache
 // pattern; entries live for the whole process).
+//
+// Three layers back a miss, in order: the on-disk store (DVAFS_CACHE_DIR,
+// util/disk_store.h) under the full key; a resumable measurement state --
+// in memory or on disk under the base key -- holding a shorter prefix of
+// the same operand stream, which is extended instead of re-measured; and a
+// fresh gate-level sweep. First-time measurement is single-flight per base
+// key: concurrent first callers block on one in-flight measurement rather
+// than duplicating seconds of gate-level work (regression in
+// tests/test_pareto.cpp).
 class frontier_cache {
 public:
+    // The process-wide instance. The public constructor exists so tests
+    // can exercise miss/extension paths on a cold cache.
+    frontier_cache() = default;
+
     static frontier_cache& global();
 
     std::shared_ptr<const mode_frontier>
@@ -119,11 +164,34 @@ public:
     refresh(const frontier_config& cfg, const tech_model& tech,
             const envision_calibration& cal);
 
+    struct cache_stats {
+        std::uint64_t hits = 0;       // served from the in-memory map
+        std::uint64_t disk_hits = 0;  // deserialized from DVAFS_CACHE_DIR
+        std::uint64_t extended = 0;   // prefix-extended from a saved state
+        std::uint64_t measured = 0;   // measured from scratch
+    };
+    cache_stats stats() const noexcept;
+
 private:
-    frontier_cache() = default;
+    // Per-base-key single-flight latch; lives as long as the cache.
+    struct flight {
+        std::mutex m;
+    };
+
+    std::shared_ptr<flight> flight_for(const std::string& base_key);
+    void publish(const std::string& full_key, const std::string& base_key,
+                 std::shared_ptr<const mode_frontier> frontier,
+                 frontier_measurement state);
 
     std::mutex mu_;
     std::map<std::string, std::shared_ptr<const mode_frontier>> entries_;
+    std::map<std::string, std::shared_ptr<flight>> inflight_;
+    // Longest measured prefix per base key, for extension.
+    std::map<std::string, frontier_measurement> states_;
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> disk_hits_{0};
+    std::atomic<std::uint64_t> extended_{0};
+    std::atomic<std::uint64_t> measured_{0};
 };
 
 // -- per-layer frontier -------------------------------------------------------

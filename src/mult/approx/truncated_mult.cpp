@@ -50,12 +50,12 @@ std::int64_t truncated_multiplier::functional(std::int64_t a,
     return ta * tb;
 }
 
-std::vector<bool> truncated_multiplier::input_vector(std::int64_t a,
-                                                     std::int64_t b) const
+void truncated_multiplier::input_vector_into(std::int64_t a, std::int64_t b,
+                                             std::vector<bool>& v) const
 {
-    return structural_multiplier::input_vector(
+    structural_multiplier::input_vector_into(
         truncate_lsbs(a, width(), width() - trunc_),
-        truncate_lsbs(b, width(), width() - trunc_));
+        truncate_lsbs(b, width(), width() - trunc_), v);
 }
 
 std::vector<std::pair<net_id, bool>>

@@ -35,8 +35,8 @@ public:
     std::vector<std::pair<net_id, bool>> tied_inputs(int t) const;
 
 private:
-    std::vector<bool> input_vector(std::int64_t a,
-                                   std::int64_t b) const override;
+    void input_vector_into(std::int64_t a, std::int64_t b,
+                           std::vector<bool>& v) const override;
 
     int trunc_ = 0;
 };

@@ -329,11 +329,11 @@ std::vector<bool> dvafs_multiplier::input_vector_for(sw_mode m,
     return v;
 }
 
-std::vector<bool> dvafs_multiplier::input_vector(std::int64_t a,
-                                                 std::int64_t b) const
+void dvafs_multiplier::input_vector_into(std::int64_t a, std::int64_t b,
+                                         std::vector<bool>& v) const
 {
     const int w = width();
-    return input_vector_for(mode_, das_keep_, to_bits(a, w), to_bits(b, w));
+    v = input_vector_for(mode_, das_keep_, to_bits(a, w), to_bits(b, w));
 }
 
 void dvafs_multiplier::pack_input_words(

@@ -115,8 +115,8 @@ public:
                           int blocks = 1) const;
 
 private:
-    std::vector<bool> input_vector(std::int64_t a,
-                                   std::int64_t b) const override;
+    void input_vector_into(std::int64_t a, std::int64_t b,
+                           std::vector<bool>& v) const override;
 
     bus mode_bus_; // two mode selects: (s0, s1); 00=1xW, 01=2x, 10=4x
     bus das_bus_;  // two precision selects: t = (W/4) * (d0 + 2*d1)

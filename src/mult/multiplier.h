@@ -44,8 +44,22 @@ public:
     // scalar and batched engines keep separate last-vector state, so do
     // not interleave the two paths within one measurement (reset_stats()
     // between them).
+    //
+    // Large batches fan out over set_batch_threads() workers in contiguous
+    // 512-vector chunk ranges. Each extra worker leases a warm executor
+    // from the process-wide pool and re-establishes the toggle carry by
+    // replaying its range's predecessor vector uncounted, so outputs,
+    // toggle counts and switched capacitance are bit-identical for every
+    // thread count (asserted in tests/test_sim_engine.cpp).
     void simulate_batch(const std::int64_t* a, const std::int64_t* b,
                         std::size_t n, std::int64_t* out = nullptr);
+
+    // Worker threads for simulate_batch: 0 = hardware default, 1 = serial.
+    void set_batch_threads(unsigned threads) noexcept
+    {
+        batch_threads_ = threads;
+    }
+    unsigned batch_threads() const noexcept { return batch_threads_; }
 
     // Pure-arithmetic result this design is *supposed* to produce (for the
     // exact designs this is the true product; approximate designs override).
@@ -91,12 +105,22 @@ protected:
     // Called by subclasses once construction of nl_ is complete.
     void finalize();
 
-    // Assembles the full primary-input vector for operands a, b. Subclasses
-    // with extra control inputs (modes, precision selects) override it.
-    // Const so that batch drivers and thread-shared sweep workers can build
-    // stimuli without mutating the multiplier.
-    virtual std::vector<bool> input_vector(std::int64_t a,
-                                           std::int64_t b) const;
+    // Assembles the full primary-input vector for operands a, b into `v`
+    // (resized and cleared here, so batch drivers reuse one buffer across
+    // lanes instead of allocating per vector). Subclasses with extra
+    // control inputs (modes, precision selects) override it. Const so that
+    // batch drivers and thread-shared sweep workers can build stimuli
+    // without mutating the multiplier.
+    virtual void input_vector_into(std::int64_t a, std::int64_t b,
+                                   std::vector<bool>& v) const;
+
+    // Allocating convenience wrapper over input_vector_into.
+    std::vector<bool> input_vector(std::int64_t a, std::int64_t b) const
+    {
+        std::vector<bool> v;
+        input_vector_into(a, b, v);
+        return v;
+    }
 
     // Drives one input vector through the scalar simulator.
     void drive(std::int64_t a, std::int64_t b)
@@ -111,13 +135,17 @@ protected:
     std::unique_ptr<logic_sim> sim_;
     // Batch engine: the compiled 512-lane simulator over this multiplier's
     // own generic schedule (no ties -- the runtime mode/precision inputs
-    // stay live so set_mode() works between batches).
+    // stay live so set_mode() works between batches). batch_sched_ keeps
+    // the shared schedule handle so extra simulate_batch workers can lease
+    // pool executors over the very same compiled structure.
+    std::shared_ptr<const compiled_schedule> batch_sched_;
     std::unique_ptr<compiled_sim<8>> wide_;
 
 private:
     std::string name_;
     int width_;
     bool signed_;
+    unsigned batch_threads_ = 0;
 };
 
 } // namespace dvafs

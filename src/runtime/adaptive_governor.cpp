@@ -1,10 +1,14 @@
 #include "runtime/adaptive_governor.h"
 
 #include "runtime/wallclock.h"
+#include "util/disk_store.h"
+#include "util/serial.h"
 
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <optional>
+#include <sstream>
 #include <stdexcept>
 
 namespace dvafs {
@@ -62,6 +66,159 @@ std::uint64_t weight_digest_of(const network& net)
     return h;
 }
 
+// -- teacher-sweep persistence ------------------------------------------------
+//
+// The once-per-network prepare (quantization sweep + joint refinement +
+// accuracy-priced layer frontiers) dominates cold-start-to-first-replan,
+// and its result depends only on the network fingerprint, the sweep
+// config and the measured mode frontier -- all captured in the key below,
+// so a fleet of planner processes shares one sweep through DVAFS_CACHE_DIR.
+// The escalate() path deliberately never stores: drift-escalated
+// requirements are a per-process response, not the network's baseline.
+
+constexpr std::uint32_t teacher_blob_version = 1;
+constexpr std::uint8_t max_sw_mode_u8 = static_cast<std::uint8_t>(
+    sw_mode::w4x4);
+
+std::string teacher_key(const network& net, std::size_t depth,
+                        std::uint64_t macs, std::uint64_t digest,
+                        const governor_config& cfg,
+                        const std::string& frontier_key)
+{
+    std::ostringstream os;
+    os << std::hexfloat;
+    os << "net:" << net.name() << "|d" << depth << "|m" << macs << "|w"
+       << digest << "|img" << cfg.sweep.images << "|acc"
+       << cfg.sweep.target_accuracy << "|mb" << cfg.sweep.max_bits << "|s"
+       << cfg.sweep.seed << "|res" << cfg.budget_resolution
+       << "|fr:" << frontier_key;
+    return os.str();
+}
+
+std::vector<std::uint8_t>
+serialize_teacher(const adaptive_governor::network_state& st)
+{
+    byte_writer w;
+    w.u32(teacher_blob_version);
+    w.f64(st.reference_accuracy);
+    w.u64(st.reqs.size());
+    for (const layer_quant_requirement& r : st.reqs) {
+        w.str(r.layer_name);
+        w.u64(r.layer_index);
+        w.i64(r.min_weight_bits);
+        w.i64(r.min_input_bits);
+    }
+    w.u64(st.sparsity.size());
+    for (const layer_sparsity& s : st.sparsity) {
+        w.str(s.layer_name);
+        w.f64(s.weight_sparsity);
+        w.f64(s.input_sparsity);
+    }
+    w.u64(st.frontiers.size());
+    for (const layer_frontier& f : st.frontiers) {
+        w.str(f.layer_name);
+        w.u64(f.layer_index);
+        w.i64(f.required_bits);
+        w.u64(f.points.size());
+        for (const layer_frontier_point& p : f.points) {
+            w.u64(p.mode_point);
+            w.u8(static_cast<std::uint8_t>(p.spec.mode));
+            w.i64(p.spec.keep_bits);
+            w.f64(p.spec.vdd);
+            w.f64(p.spec.f_mhz);
+            w.f64(p.activity_divisor);
+            w.u8(static_cast<std::uint8_t>(p.mode.mode));
+            w.i64(p.mode.weight_bits);
+            w.i64(p.mode.input_bits);
+            w.f64(p.mode.f_mhz);
+            w.f64(p.mode.vdd);
+            w.f64(p.mode.weight_sparsity);
+            w.f64(p.mode.input_sparsity);
+            w.f64(p.energy_mj);
+            w.f64(p.time_ms);
+            w.f64(p.accuracy_loss);
+        }
+    }
+    return w.take();
+}
+
+bool deserialize_teacher(const std::vector<std::uint8_t>& blob,
+                         std::size_t expected_layers,
+                         adaptive_governor::network_state& st)
+{
+    try {
+        byte_reader r(blob);
+        if (r.u32() != teacher_blob_version) {
+            return false;
+        }
+        st.reference_accuracy = r.f64();
+        const auto read_mode = [&r]() {
+            const std::uint8_t m = r.u8();
+            if (m > max_sw_mode_u8) {
+                throw serial_error("bad sw_mode");
+            }
+            return static_cast<sw_mode>(m);
+        };
+        const std::uint64_t nr = r.u64();
+        if (nr != expected_layers) {
+            return false;
+        }
+        st.reqs.resize(static_cast<std::size_t>(nr));
+        for (layer_quant_requirement& q : st.reqs) {
+            q.layer_name = r.str();
+            q.layer_index = static_cast<std::size_t>(r.u64());
+            q.min_weight_bits = static_cast<int>(r.i64());
+            q.min_input_bits = static_cast<int>(r.i64());
+        }
+        const std::uint64_t ns = r.u64();
+        if (ns != expected_layers) {
+            return false;
+        }
+        st.sparsity.resize(static_cast<std::size_t>(ns));
+        for (layer_sparsity& s : st.sparsity) {
+            s.layer_name = r.str();
+            s.weight_sparsity = r.f64();
+            s.input_sparsity = r.f64();
+        }
+        const std::uint64_t nf = r.u64();
+        if (nf != expected_layers) {
+            return false;
+        }
+        st.frontiers.resize(static_cast<std::size_t>(nf));
+        for (layer_frontier& f : st.frontiers) {
+            f.layer_name = r.str();
+            f.layer_index = static_cast<std::size_t>(r.u64());
+            f.required_bits = static_cast<int>(r.i64());
+            const std::uint64_t np = r.u64();
+            if (np > r.remaining() / 114 || np == 0) {
+                return false;
+            }
+            f.points.resize(static_cast<std::size_t>(np));
+            for (layer_frontier_point& p : f.points) {
+                p.mode_point = static_cast<std::size_t>(r.u64());
+                p.spec.mode = read_mode();
+                p.spec.keep_bits = static_cast<int>(r.i64());
+                p.spec.vdd = r.f64();
+                p.spec.f_mhz = r.f64();
+                p.activity_divisor = r.f64();
+                p.mode.mode = read_mode();
+                p.mode.weight_bits = static_cast<int>(r.i64());
+                p.mode.input_bits = static_cast<int>(r.i64());
+                p.mode.f_mhz = r.f64();
+                p.mode.vdd = r.f64();
+                p.mode.weight_sparsity = r.f64();
+                p.mode.input_sparsity = r.f64();
+                p.energy_mj = r.f64();
+                p.time_ms = r.f64();
+                p.accuracy_loss = r.f64();
+            }
+        }
+        return r.done();
+    } catch (const serial_error&) {
+        return false;
+    }
+}
+
 } // namespace
 
 const char* to_string(replan_reason r) noexcept
@@ -114,13 +271,35 @@ adaptive_governor::prepare_mutable(const network& net)
     st.depth = net.depth();
     st.total_macs = net.total_macs();
     st.weight_digest = weight_digest_of(net);
+    // The dataset is always rebuilt (deterministic from net + seed, cheap
+    // relative to the sweep) -- escalation and drift probing need it live.
     st.data = make_teacher_dataset(net, cfg_.sweep);
-    const batch_evaluator eval(net, st.data, cfg_.sweep.threads);
-    st.reqs = eval.refine(eval.sweep(cfg_.sweep), cfg_.sweep);
-    st.sparsity = eval.sparsity();
-    st.reference_accuracy = requirements_accuracy(net, st.reqs, st.data,
-                                                  cfg_.sweep.threads);
-    rebuild_frontiers(st);
+
+    const disk_store store = disk_store::from_env();
+    const std::string key = teacher_key(
+        net, st.depth, st.total_macs, st.weight_digest, cfg_,
+        cfg_.frontier.key(tech_28nm_fdsoi(), model_.calibration()));
+    const std::size_t layers = net.weighted_layers().size();
+    bool warm = false;
+    if (store.enabled()) {
+        if (const auto blob = store.load("teacher", key)) {
+            warm = deserialize_teacher(*blob, layers, st);
+        }
+    }
+    if (!warm) {
+        const batch_evaluator eval(net, st.data, cfg_.sweep.threads);
+        st.reqs = eval.refine(eval.sweep(cfg_.sweep), cfg_.sweep);
+        st.sparsity = eval.sparsity();
+        st.reference_accuracy = requirements_accuracy(net, st.reqs, st.data,
+                                                      cfg_.sweep.threads);
+        rebuild_frontiers(st);
+        if (store.enabled()) {
+            store.store("teacher", key, serialize_teacher(st));
+        }
+    }
+    // The boot fallback is a cheap heuristic plan (the frontier cache is
+    // warm by now either way); recomputing it keeps the blob independent
+    // of planner internals.
     st.fallback = boot_planner_.plan_with_requirements(net, st.reqs,
                                                        st.sparsity);
     return states_.emplace(net.name(), std::move(st)).first->second;

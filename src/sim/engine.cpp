@@ -27,9 +27,10 @@ struct point_activity {
 template <int W>
 point_activity measure_activity(const dvafs_multiplier& mult,
                                 const tech_model& tech,
-                                const operating_point_spec& spec,
+                                point_measure_state& st,
                                 const sim_engine_config& cfg)
 {
+    const operating_point_spec& spec = st.spec;
     const int w = mult.width();
     const int lane_w = mult.lane_width(spec.mode);
     // Structural DAS gating applies in 1xW; in subword modes precision is a
@@ -38,6 +39,12 @@ point_activity measure_activity(const dvafs_multiplier& mult,
     const bool is_1x = spec.mode == sw_mode::w1x16;
     const int das_keep = is_1x ? spec.keep_bits : w;
     const bool truncate_data = !is_1x && spec.keep_bits < lane_w;
+
+    if (st.done > cfg.vectors) {
+        throw std::invalid_argument(
+            "sim_engine: measurement state is ahead of the target vector "
+            "count");
+    }
 
     // Mode-specialized schedule: the point's *structural* ties -- mode
     // selects, DAS precision selects and (in 1xW) the DAS-gated operand
@@ -48,8 +55,15 @@ point_activity measure_activity(const dvafs_multiplier& mult,
     // precision operands, exactly as the interpreter-based measurement
     // always did. The stream honours the structural ties by construction
     // (pack_input_words gates them), which apply() verifies.
-    compiled_sim<W> sim(compiled_netlist_cache::global().get(
-        mult.net(), mult.tied_inputs(spec.mode, das_keep)));
+    //
+    // The executor comes from the warm pool; a reused instance carries
+    // stale values, which the warm-up apply (fresh start) or
+    // load_activity (resume) fully re-establishes -- pool reuse is
+    // bit-invisible to the measurement.
+    auto lease = compiled_sim_pool<W>::global().acquire(
+        compiled_netlist_cache::global().get(
+            mult.net(), mult.tied_inputs(spec.mode, das_keep)));
+    compiled_sim<W>& sim = *lease;
     constexpr int lanes = compiled_sim<W>::lane_capacity;
     pcg32 rng(cfg.seed);
     const std::uint64_t mask = low_mask(w);
@@ -57,17 +71,29 @@ point_activity measure_activity(const dvafs_multiplier& mult,
     std::vector<std::uint64_t> a(lanes, 0);
     std::vector<std::uint64_t> b(lanes, 0);
 
-    // Warm-up vector: establishes a mode-clean baseline state, then the
-    // counted stream starts -- the same contract as the scalar extraction.
-    // Draws are sequenced (a before b) so the stream is compiler-portable.
-    a[0] = rng.next_u64() & mask;
-    b[0] = rng.next_u64() & mask;
-    mult.pack_input_words(spec.mode, das_keep, a.data(), b.data(), 1, words,
-                          W);
-    sim.apply(words, 1);
-    sim.reset_stats();
+    if (st.done == 0) {
+        // Warm-up vector: establishes a mode-clean baseline state, then
+        // the counted stream starts -- the same contract as the scalar
+        // extraction. Draws are sequenced (a before b) so the stream is
+        // compiler-portable.
+        a[0] = rng.next_u64() & mask;
+        b[0] = rng.next_u64() & mask;
+        mult.pack_input_words(spec.mode, das_keep, a.data(), b.data(), 1,
+                              words, W);
+        sim.apply(words, 1);
+        sim.reset_stats();
+    } else {
+        // Resume: the saved rng position already accounts for the warm-up
+        // draw, and the activity state replays the statistics carry.
+        // Statistics are independent of how the stream is chunked into
+        // schedule passes (the lane-shift toggle contract), so resuming
+        // mid-stream at an arbitrary chunk boundary is bit-identical to
+        // the uninterrupted run.
+        rng.restore(st.rng);
+        sim.load_activity(st.sim);
+    }
 
-    for (std::uint64_t done = 0; done < cfg.vectors;) {
+    for (std::uint64_t done = st.done; done < cfg.vectors;) {
         const int count = static_cast<int>(
             std::min<std::uint64_t>(lanes, cfg.vectors - done));
         for (int lane = 0; lane < count; ++lane) {
@@ -88,6 +114,10 @@ point_activity measure_activity(const dvafs_multiplier& mult,
         done += static_cast<std::uint64_t>(count);
     }
 
+    st.done = cfg.vectors;
+    st.rng = rng.snapshot();
+    st.sim = sim.save_activity();
+
     point_activity act;
     act.vectors = sim.transitions();
     act.toggles = sim.total_toggles();
@@ -101,6 +131,16 @@ sim_point_result sim_engine::measure(const dvafs_multiplier& mult,
                                      const tech_model& tech,
                                      const operating_point_spec& spec) const
 {
+    point_measure_state st;
+    st.spec = spec;
+    return measure_to(mult, tech, st);
+}
+
+sim_point_result sim_engine::measure_to(const dvafs_multiplier& mult,
+                                        const tech_model& tech,
+                                        point_measure_state& st) const
+{
+    const operating_point_spec& spec = st.spec;
     const int lane_w = mult.lane_width(spec.mode);
     if (spec.keep_bits < 1 || spec.keep_bits > lane_w) {
         throw std::invalid_argument("sim_engine: keep_bits out of range");
@@ -111,21 +151,21 @@ sim_point_result sim_engine::measure(const dvafs_multiplier& mult,
     double switched_cap_ff = 0.0;
     switch (cfg_.wide_w) {
     case 1: {
-        const auto act = measure_activity<1>(mult, tech, spec, cfg_);
+        const auto act = measure_activity<1>(mult, tech, st, cfg_);
         vectors = act.vectors;
         toggles = act.toggles;
         switched_cap_ff = act.switched_cap_ff;
         break;
     }
     case 4: {
-        const auto act = measure_activity<4>(mult, tech, spec, cfg_);
+        const auto act = measure_activity<4>(mult, tech, st, cfg_);
         vectors = act.vectors;
         toggles = act.toggles;
         switched_cap_ff = act.switched_cap_ff;
         break;
     }
     case 8: {
-        const auto act = measure_activity<8>(mult, tech, spec, cfg_);
+        const auto act = measure_activity<8>(mult, tech, st, cfg_);
         vectors = act.vectors;
         toggles = act.toggles;
         switched_cap_ff = act.switched_cap_ff;
@@ -146,8 +186,14 @@ sim_point_result sim_engine::measure(const dvafs_multiplier& mult,
                   ? spec.f_mhz
                   : cfg_.throughput_mops / static_cast<double>(r.lanes);
     if (cfg_.with_timing) {
-        r.crit_path_ps = mult.mode_critical_path_ps(
-            tech, tech.vdd_nom, spec.mode, spec.keep_bits);
+        // The STA pass depends only on the spec, never on the stream, so
+        // a resumed measurement reuses the cached result.
+        if (!st.timed) {
+            st.crit_path_ps = mult.mode_critical_path_ps(
+                tech, tech.vdd_nom, spec.mode, spec.keep_bits);
+            st.timed = true;
+        }
+        r.crit_path_ps = st.crit_path_ps;
         if (spec.vdd > 0.0) {
             r.vdd = spec.vdd;
         } else {

@@ -20,10 +20,12 @@
 
 #pragma once
 
+#include "circuit/compiled_sim.h"
 #include "circuit/tech.h"
 #include "mult/dvafs_mult.h"
 #include "sim/result.h"
 #include "sim/sweep.h"
+#include "util/rng.h"
 
 #include <cstdint>
 #include <map>
@@ -45,6 +47,22 @@ struct sim_engine_config {
     int wide_w = 8;
 };
 
+// A suspended per-point measurement: everything needed to extend the
+// measurement to more vectors later -- in this process or another one (the
+// struct is what the frontier cache persists to disk). The operand stream
+// is seed-deterministic and drawn strictly in vector order, and the
+// executor's statistics carry is W- and chunking-independent, so resuming
+// from (done, rng, sim) and running to N vectors is bit-identical to a
+// fresh N-vector measurement (asserted in tests/test_pareto.cpp).
+struct point_measure_state {
+    operating_point_spec spec;
+    std::uint64_t done = 0;        // counted vectors measured so far
+    pcg32_state rng;               // stream position after `done` vectors
+    sim_activity_state sim;        // executor statistics carry
+    double crit_path_ps = 0.0;     // cached active-cone STA result
+    bool timed = false;            // crit_path_ps is valid
+};
+
 class sim_engine {
 public:
     explicit sim_engine(sim_engine_config cfg = {}) : cfg_(cfg) {}
@@ -56,10 +74,24 @@ public:
                      const std::vector<operating_point_spec>& specs) const;
 
     // One point: the unit of work the pool farms out. Exposed for tests
-    // and for callers that only need a single configuration.
+    // and for callers that only need a single configuration. Implemented
+    // as measure_to over a fresh state, so the two entry points cannot
+    // drift apart.
     sim_point_result measure(const dvafs_multiplier& mult,
                              const tech_model& tech,
                              const operating_point_spec& spec) const;
+
+    // Resumable measurement: brings `st` from st.done to cfg.vectors
+    // counted vectors (fresh start when st.done == 0) and returns the
+    // point result at cfg.vectors. The state left in `st` can be fed back
+    // under a larger cfg.vectors to extend the measurement; results are
+    // bit-identical to an uninterrupted run (see point_measure_state).
+    // Throws std::invalid_argument when st.done > cfg.vectors or the
+    // saved executor state does not fit the point's schedule (a caller
+    // holding a stale or corrupt state should reset it and re-measure).
+    sim_point_result measure_to(const dvafs_multiplier& mult,
+                                const tech_model& tech,
+                                point_measure_state& st) const;
 
     // Batched multi-group run: one sweep_report per group, all points of
     // all groups farmed over a single shared thread pool. Equivalent to

@@ -58,6 +58,11 @@ bench_reporter::bench_reporter(std::string bench, int argc, char** argv)
     : bench_(std::move(bench)),
       path_(find_flag_value(argc, argv, "--json"))
 {
+    const std::string suffix =
+        find_flag_value(argc, argv, "--bench-suffix");
+    if (!suffix.empty()) {
+        bench_ += "." + suffix;
+    }
 }
 
 void bench_reporter::add(const std::string& metric, double value,

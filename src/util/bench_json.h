@@ -25,8 +25,12 @@ struct bench_record {
 class bench_reporter {
 public:
     // `bench` names the target (the "bench" field of every record);
-    // argv is scanned for `--json <path>`. Throws std::invalid_argument
-    // when --json is present without a path.
+    // argv is scanned for `--json <path>` and `--bench-suffix <s>` -- the
+    // suffix is appended as "<bench>.<s>", so one bench run twice under
+    // different conditions (CI's cold/warm cache lane) emits records
+    // collect_bench.py accepts as distinct instead of rejecting as
+    // duplicates. Throws std::invalid_argument when either flag is
+    // present without a value.
     bench_reporter(std::string bench, int argc, char** argv);
 
     // Records a metric (kept even without --json; benches may assert on

@@ -1,0 +1,172 @@
+#include "util/disk_store.h"
+
+#include "util/serial.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+namespace dvafs {
+
+namespace {
+
+// "DVFS" little-endian; bumped together with store_format_version whenever
+// the framing (not a payload) changes.
+constexpr std::uint32_t store_magic = 0x53465644U;
+constexpr std::uint32_t store_format_version = 1;
+
+std::uint64_t fnv1a_init() noexcept { return 1469598103934665603ULL; }
+
+void fnv1a_mix(std::uint64_t& h, std::uint8_t b) noexcept
+{
+    h ^= b;
+    h *= 1099511628211ULL;
+}
+
+} // namespace
+
+std::uint64_t fnv1a_hash(const std::string& s) noexcept
+{
+    std::uint64_t h = fnv1a_init();
+    for (const char c : s) {
+        fnv1a_mix(h, static_cast<std::uint8_t>(c));
+    }
+    return h;
+}
+
+std::uint64_t fnv1a_hash(const std::vector<std::uint8_t>& bytes) noexcept
+{
+    std::uint64_t h = fnv1a_init();
+    for (const std::uint8_t b : bytes) {
+        fnv1a_mix(h, b);
+    }
+    return h;
+}
+
+disk_store disk_store::from_env()
+{
+    const char* dir = std::getenv("DVAFS_CACHE_DIR");
+    return dir != nullptr && dir[0] != '\0' ? disk_store(dir)
+                                            : disk_store();
+}
+
+std::string disk_store::path_for(const std::string& kind,
+                                 const std::string& key) const
+{
+    std::ostringstream os;
+    os << dir_ << '/' << kind << '/' << std::hex << fnv1a_hash(key)
+       << ".bin";
+    return os.str();
+}
+
+std::optional<std::vector<std::uint8_t>>
+disk_store::load(const std::string& kind, const std::string& key) const
+{
+    if (!enabled()) {
+        return std::nullopt;
+    }
+    std::vector<std::uint8_t> raw;
+    try {
+        std::ifstream in(path_for(kind, key),
+                         std::ios::binary | std::ios::ate);
+        if (!in) {
+            return std::nullopt;
+        }
+        const std::streamoff size = in.tellg();
+        if (size < 0) {
+            return std::nullopt;
+        }
+        raw.resize(static_cast<std::size_t>(size));
+        in.seekg(0);
+        in.read(reinterpret_cast<char*>(raw.data()),
+                static_cast<std::streamsize>(raw.size()));
+        if (!in) {
+            return std::nullopt;
+        }
+    } catch (...) {
+        return std::nullopt;
+    }
+
+    // Frame checks: any mismatch -- wrong magic, a format bump, a
+    // filename-hash collision (embedded key differs), bit rot (checksum)
+    // or plain truncation -- reads as a miss.
+    try {
+        byte_reader r(raw);
+        if (r.u32() != store_magic
+            || r.u32() != store_format_version) {
+            return std::nullopt;
+        }
+        if (r.str() != kind || r.str() != key) {
+            return std::nullopt;
+        }
+        const std::uint64_t checksum = r.u64();
+        std::vector<std::uint8_t> payload = r.bytes_u8();
+        if (!r.done() || fnv1a_hash(payload) != checksum) {
+            return std::nullopt;
+        }
+        return payload;
+    } catch (const serial_error&) {
+        return std::nullopt;
+    }
+}
+
+bool disk_store::store(const std::string& kind, const std::string& key,
+                       const std::vector<std::uint8_t>& payload) const
+{
+    if (!enabled()) {
+        return false;
+    }
+    byte_writer w;
+    w.u32(store_magic);
+    w.u32(store_format_version);
+    w.str(kind);
+    w.str(key);
+    w.u64(fnv1a_hash(payload));
+    w.bytes_u8(payload);
+
+    try {
+        namespace fs = std::filesystem;
+        const fs::path target(path_for(kind, key));
+        fs::create_directories(target.parent_path());
+        // Unique temp name in the *same* directory (rename must not cross
+        // filesystems): pid + a process-local counter.
+        static std::atomic<std::uint64_t> seq{0};
+        std::ostringstream tmp_name;
+        tmp_name << target.filename().string() << ".tmp."
+                 << static_cast<unsigned long>(::getpid()) << "."
+                 << seq.fetch_add(1, std::memory_order_relaxed);
+        const fs::path tmp = target.parent_path() / tmp_name.str();
+        {
+            std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+            if (!out) {
+                return false;
+            }
+            const auto& bytes = w.data();
+            out.write(reinterpret_cast<const char*>(bytes.data()),
+                      static_cast<std::streamsize>(bytes.size()));
+            if (!out) {
+                out.close();
+                fs::remove(tmp);
+                return false;
+            }
+        }
+        // Atomic publication: concurrent writers race renames, and the
+        // last complete file wins; a reader sees old or new, never torn.
+        std::error_code ec;
+        fs::rename(tmp, target, ec);
+        if (ec) {
+            fs::remove(tmp, ec);
+            return false;
+        }
+        return true;
+    } catch (...) {
+        return false;
+    }
+}
+
+} // namespace dvafs

@@ -1,0 +1,79 @@
+// Versioned on-disk cache shared by a fleet of planner processes.
+//
+// The three expensive measurement caches (compiled schedules, mode
+// frontiers + their resumable measurement states, teacher sweeps) persist
+// their entries here so cold-start-to-first-replan stops paying seconds of
+// gate-level sweeps in every new process. Design rules:
+//
+//  * Opt-in: the store root is the DVAFS_CACHE_DIR environment variable;
+//    unset (or any filesystem failure) means every call degrades to a
+//    cache miss and the caller re-measures. Persistence is an
+//    optimization, never a correctness dependency.
+//  * Content-keyed: entries live at <dir>/<kind>/<fnv1a(key)>.bin, and the
+//    full key string is embedded in the file and verified on load, so a
+//    filename-hash collision reads as a miss instead of the wrong entry.
+//    Keys must therefore identify the content exactly (the reason
+//    frontier_config::key serializes doubles as hexfloat).
+//  * Self-checking: a magic, a store-format version, the kind, the key and
+//    an FNV-1a payload checksum frame every file. Truncated, corrupt,
+//    version-bumped or mismatched files load as std::nullopt -- silently
+//    re-measured, never a crash (tests/test_disk_store.cpp).
+//  * Atomic publication: writes go to a unique temp file in the same
+//    directory and are renamed into place, so concurrent writers (or a
+//    crash mid-write) leave either the old entry or one complete new
+//    entry, never a torn file. Per-process races are additionally
+//    serialized by the callers' single-flight latches (frontier_cache).
+//
+// Layout and invalidation rules are documented in docs/bench_schema.md and
+// the README's "Planning pipeline" section.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dvafs {
+
+// FNV-1a over a string; the filename hash and payload checksum primitive.
+std::uint64_t fnv1a_hash(const std::string& s) noexcept;
+std::uint64_t fnv1a_hash(const std::vector<std::uint8_t>& bytes) noexcept;
+
+class disk_store {
+public:
+    // Disabled store: every load misses, every store is a no-op.
+    disk_store() = default;
+
+    // Store rooted at `dir` ("" = disabled). The directory is created
+    // lazily on the first write.
+    explicit disk_store(std::string dir) : dir_(std::move(dir)) {}
+
+    // Reads DVAFS_CACHE_DIR at call time (not process start), so tests can
+    // point different cache instances at different roots.
+    static disk_store from_env();
+
+    bool enabled() const noexcept { return !dir_.empty(); }
+    const std::string& dir() const noexcept { return dir_; }
+
+    // The payload stored under (kind, key), or nullopt when the store is
+    // disabled, the entry is absent, or the file fails any integrity check
+    // (magic, version, kind, embedded key, checksum). Never throws.
+    std::optional<std::vector<std::uint8_t>>
+    load(const std::string& kind, const std::string& key) const;
+
+    // Atomically publishes `payload` under (kind, key). Best effort:
+    // returns false (and leaves any previous entry intact) on any
+    // filesystem failure. Never throws.
+    bool store(const std::string& kind, const std::string& key,
+               const std::vector<std::uint8_t>& payload) const;
+
+    // The path an entry lives at (valid even when the file is absent).
+    std::string path_for(const std::string& kind,
+                         const std::string& key) const;
+
+private:
+    std::string dir_;
+};
+
+} // namespace dvafs

@@ -11,6 +11,17 @@
 
 namespace dvafs {
 
+// The full generator position, for suspending and resuming a stream
+// mid-measurement (the frontier cache's prefix extension persists these
+// to disk). Restoring a snapshot reproduces the uniform stream exactly;
+// the Box-Muller spare is deliberately not captured -- restore() clears
+// it, so resumable streams must draw only uniform values (which the
+// operand streams do).
+struct pcg32_state {
+    std::uint64_t state = 0;
+    std::uint64_t inc = 0;
+};
+
 // PCG32 (Permuted Congruential Generator, XSH-RR variant).
 // Small, fast, and statistically far better than std::minstd / rand().
 class pcg32 {
@@ -76,6 +87,16 @@ public:
 
     // True with probability p.
     bool bernoulli(double p) noexcept { return uniform() < p; }
+
+    // -- suspend / resume ----------------------------------------------------
+    pcg32_state snapshot() const noexcept { return {state_, inc_}; }
+
+    void restore(const pcg32_state& s) noexcept
+    {
+        state_ = s.state;
+        inc_ = s.inc;
+        has_spare_ = false;
+    }
 
 private:
     std::uint64_t state_ = 0;

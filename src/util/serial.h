@@ -1,0 +1,219 @@
+// Minimal byte-level (de)serialization for the on-disk cache blobs.
+//
+// Fixed little-endian layouts, no framing, no reflection: each cache kind
+// (compiled schedules, mode frontiers, measurement states, teacher sweeps)
+// hand-writes its fields through byte_writer and hand-reads them back
+// through byte_reader. Doubles travel as raw IEEE-754 bit patterns, so a
+// round trip is bit-exact -- the property every "warm result equals cold
+// result" check in tests/test_disk_store.cpp leans on. byte_reader throws
+// serial_error on any overrun or malformed length, which the disk-store
+// loaders catch and convert into "entry absent, re-measure".
+
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dvafs {
+
+class serial_error : public std::runtime_error {
+public:
+    explicit serial_error(const std::string& what)
+        : std::runtime_error("serial: " + what)
+    {
+    }
+};
+
+class byte_writer {
+public:
+    void u8(std::uint8_t v) { buf_.push_back(v); }
+
+    void u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i) {
+            buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+        }
+    }
+
+    void u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+        }
+    }
+
+    void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+    void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+    void str(const std::string& s)
+    {
+        u64(s.size());
+        buf_.insert(buf_.end(), s.begin(), s.end());
+    }
+
+    void bytes_u8(const std::vector<std::uint8_t>& v)
+    {
+        u64(v.size());
+        buf_.insert(buf_.end(), v.begin(), v.end());
+    }
+
+    void vec_u32(const std::vector<std::uint32_t>& v)
+    {
+        u64(v.size());
+        for (const std::uint32_t x : v) {
+            u32(x);
+        }
+    }
+
+    void vec_u64(const std::vector<std::uint64_t>& v)
+    {
+        u64(v.size());
+        for (const std::uint64_t x : v) {
+            u64(x);
+        }
+    }
+
+    void vec_f64(const std::vector<double>& v)
+    {
+        u64(v.size());
+        for (const double x : v) {
+            f64(x);
+        }
+    }
+
+    const std::vector<std::uint8_t>& data() const noexcept { return buf_; }
+    std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+private:
+    std::vector<std::uint8_t> buf_;
+};
+
+class byte_reader {
+public:
+    explicit byte_reader(const std::vector<std::uint8_t>& buf) noexcept
+        : buf_(buf)
+    {
+    }
+
+    std::uint8_t u8()
+    {
+        need(1);
+        return buf_[pos_++];
+    }
+
+    std::uint32_t u32()
+    {
+        need(4);
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i) {
+            v |= static_cast<std::uint32_t>(buf_[pos_ + i]) << (8 * i);
+        }
+        pos_ += 4;
+        return v;
+    }
+
+    std::uint64_t u64()
+    {
+        need(8);
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i) {
+            v |= static_cast<std::uint64_t>(buf_[pos_ + i]) << (8 * i);
+        }
+        pos_ += 8;
+        return v;
+    }
+
+    std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+    double f64() { return std::bit_cast<double>(u64()); }
+
+    std::string str()
+    {
+        const std::size_t n = len();
+        std::string s(reinterpret_cast<const char*>(buf_.data() + pos_), n);
+        pos_ += n;
+        return s;
+    }
+
+    std::vector<std::uint8_t> bytes_u8()
+    {
+        const std::size_t n = len();
+        std::vector<std::uint8_t> v(buf_.begin()
+                                        + static_cast<std::ptrdiff_t>(pos_),
+                                    buf_.begin()
+                                        + static_cast<std::ptrdiff_t>(pos_
+                                                                      + n));
+        pos_ += n;
+        return v;
+    }
+
+    std::vector<std::uint32_t> vec_u32()
+    {
+        const std::size_t n = len_of(4);
+        std::vector<std::uint32_t> v(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            v[i] = u32();
+        }
+        return v;
+    }
+
+    std::vector<std::uint64_t> vec_u64()
+    {
+        const std::size_t n = len_of(8);
+        std::vector<std::uint64_t> v(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            v[i] = u64();
+        }
+        return v;
+    }
+
+    std::vector<double> vec_f64()
+    {
+        const std::size_t n = len_of(8);
+        std::vector<double> v(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            v[i] = f64();
+        }
+        return v;
+    }
+
+    bool done() const noexcept { return pos_ == buf_.size(); }
+    std::size_t remaining() const noexcept { return buf_.size() - pos_; }
+
+private:
+    void need(std::size_t n) const
+    {
+        if (buf_.size() - pos_ < n) {
+            throw serial_error("truncated buffer");
+        }
+    }
+
+    // A length prefix, bounded by the bytes actually left so a corrupt
+    // length cannot drive a multi-GB allocation before the overrun throws.
+    std::size_t len()
+    {
+        const std::uint64_t n = u64();
+        if (n > remaining()) {
+            throw serial_error("length exceeds buffer");
+        }
+        return static_cast<std::size_t>(n);
+    }
+
+    std::size_t len_of(std::size_t elem_size)
+    {
+        const std::uint64_t n = u64();
+        if (n > remaining() / elem_size) {
+            throw serial_error("length exceeds buffer");
+        }
+        return static_cast<std::size_t>(n);
+    }
+
+    const std::vector<std::uint8_t>& buf_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace dvafs

@@ -1,0 +1,434 @@
+// Tests of the on-disk measurement cache (util/disk_store.h) and the
+// serialization it is built on: byte-level round trips, frame integrity
+// (truncated, corrupt and version-bumped files load as misses, never
+// crash), atomic publication under concurrent writers, and the warm-start
+// paths of the three cached kinds -- compiled schedules, mode frontiers
+// (including prefix extension across cache instances) and the governor's
+// teacher sweep -- each bit-identical to a cold measurement.
+
+#include "core/dvafs.h"
+
+#include "util/disk_store.h"
+#include "util/serial.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+namespace dvafs {
+namespace {
+
+namespace fs = std::filesystem;
+
+// A fresh private store root under the gtest temp dir.
+std::string fresh_dir(const std::string& tag)
+{
+    const fs::path dir = fs::path(::testing::TempDir())
+                         / ("dvafs_store_" + tag + "_"
+                            + std::to_string(::getpid()));
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir.string();
+}
+
+// Points DVAFS_CACHE_DIR at a private root for one test, restoring the
+// previous value (or unset state) on destruction.
+class scoped_cache_dir {
+public:
+    explicit scoped_cache_dir(const std::string& dir)
+    {
+        if (const char* old = std::getenv("DVAFS_CACHE_DIR")) {
+            had_ = true;
+            old_ = old;
+        }
+        ::setenv("DVAFS_CACHE_DIR", dir.c_str(), 1);
+    }
+    ~scoped_cache_dir()
+    {
+        if (had_) {
+            ::setenv("DVAFS_CACHE_DIR", old_.c_str(), 1);
+        } else {
+            ::unsetenv("DVAFS_CACHE_DIR");
+        }
+    }
+    scoped_cache_dir(const scoped_cache_dir&) = delete;
+    scoped_cache_dir& operator=(const scoped_cache_dir&) = delete;
+
+private:
+    bool had_ = false;
+    std::string old_;
+};
+
+std::vector<std::uint8_t> read_file(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    EXPECT_TRUE(in) << path;
+    std::vector<std::uint8_t> bytes(
+        static_cast<std::size_t>(in.tellg()));
+    in.seekg(0);
+    in.read(reinterpret_cast<char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+    return bytes;
+}
+
+void write_file(const std::string& path,
+                const std::vector<std::uint8_t>& bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    ASSERT_TRUE(out) << path;
+}
+
+// -- serialization primitives -------------------------------------------------
+
+TEST(serial, round_trips_every_field_type)
+{
+    byte_writer w;
+    w.u8(0xab);
+    w.u32(0xdeadbeefU);
+    w.u64(0x0123456789abcdefULL);
+    w.i64(-42);
+    w.f64(0.1); // not exactly representable; must come back bit-exact
+    w.str("frontier|key");
+    w.bytes_u8({1, 2, 3});
+    w.vec_u32({7, 8});
+    w.vec_u64({9});
+    w.vec_f64({-0.25, 1e300});
+
+    byte_reader r(w.data());
+    EXPECT_EQ(r.u8(), 0xab);
+    EXPECT_EQ(r.u32(), 0xdeadbeefU);
+    EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+    EXPECT_EQ(r.i64(), -42);
+    EXPECT_EQ(r.f64(), 0.1);
+    EXPECT_EQ(r.str(), "frontier|key");
+    EXPECT_EQ(r.bytes_u8(), (std::vector<std::uint8_t>{1, 2, 3}));
+    EXPECT_EQ(r.vec_u32(), (std::vector<std::uint32_t>{7, 8}));
+    EXPECT_EQ(r.vec_u64(), (std::vector<std::uint64_t>{9}));
+    EXPECT_EQ(r.vec_f64(), (std::vector<double>{-0.25, 1e300}));
+    EXPECT_TRUE(r.done());
+}
+
+TEST(serial, overruns_and_bad_lengths_throw)
+{
+    const std::vector<std::uint8_t> four(4, 0xff);
+    byte_reader r(four);
+    EXPECT_THROW((void)r.u64(), serial_error);
+
+    // A length prefix larger than the bytes actually left must throw
+    // before any allocation, not after a multi-GB resize.
+    byte_writer w;
+    w.u64(1ULL << 60);
+    byte_reader r2(w.data());
+    EXPECT_THROW((void)r2.str(), serial_error);
+    byte_reader r3(w.data());
+    EXPECT_THROW((void)r3.vec_u64(), serial_error);
+}
+
+TEST(fnv1a, known_vector_and_content_sensitivity)
+{
+    // FNV-1a 64-bit offset basis: the hash of the empty string.
+    EXPECT_EQ(fnv1a_hash(std::string{}), 1469598103934665603ULL);
+    EXPECT_NE(fnv1a_hash(std::string{"a"}), fnv1a_hash(std::string{"b"}));
+    EXPECT_EQ(fnv1a_hash(std::string{"abc"}),
+              fnv1a_hash(std::vector<std::uint8_t>{'a', 'b', 'c'}));
+}
+
+// -- the store itself ---------------------------------------------------------
+
+TEST(disk_store, disabled_store_misses_and_drops_writes)
+{
+    const disk_store none;
+    EXPECT_FALSE(none.enabled());
+    EXPECT_EQ(none.load("schedule", "k"), std::nullopt);
+    EXPECT_FALSE(none.store("schedule", "k", {1, 2, 3}));
+
+    const disk_store from_unset = [] {
+        ::unsetenv("DVAFS_CACHE_DIR");
+        return disk_store::from_env();
+    }();
+    EXPECT_FALSE(from_unset.enabled());
+}
+
+TEST(disk_store, round_trips_payloads_per_kind_and_key)
+{
+    const disk_store store(fresh_dir("roundtrip"));
+    const std::vector<std::uint8_t> payload = {0, 255, 42, 0, 7};
+    EXPECT_TRUE(store.store("frontier", "key-1", payload));
+    EXPECT_EQ(store.load("frontier", "key-1"), payload);
+
+    // Absent keys and sibling kinds miss.
+    EXPECT_EQ(store.load("frontier", "key-2"), std::nullopt);
+    EXPECT_EQ(store.load("teacher", "key-1"), std::nullopt);
+
+    // A second store replaces the entry.
+    const std::vector<std::uint8_t> updated = {9, 9, 9};
+    EXPECT_TRUE(store.store("frontier", "key-1", updated));
+    EXPECT_EQ(store.load("frontier", "key-1"), updated);
+}
+
+TEST(disk_store, corrupt_files_load_as_misses)
+{
+    const disk_store store(fresh_dir("corrupt"));
+    const std::vector<std::uint8_t> payload(64, 0x5a);
+    ASSERT_TRUE(store.store("frontier", "key", payload));
+    const std::string path = store.path_for("frontier", "key");
+    const std::vector<std::uint8_t> good = read_file(path);
+    ASSERT_EQ(store.load("frontier", "key"), payload);
+
+    // Truncation at any point -- including an empty file.
+    for (const std::size_t keep :
+         {std::size_t{0}, std::size_t{3}, good.size() / 2,
+          good.size() - 1}) {
+        std::vector<std::uint8_t> cut(good.begin(),
+                                      good.begin()
+                                          + static_cast<std::ptrdiff_t>(
+                                              keep));
+        write_file(path, cut);
+        EXPECT_EQ(store.load("frontier", "key"), std::nullopt)
+            << "kept " << keep << " bytes";
+    }
+
+    // Wrong magic.
+    std::vector<std::uint8_t> bad = good;
+    bad[0] ^= 0xff;
+    write_file(path, bad);
+    EXPECT_EQ(store.load("frontier", "key"), std::nullopt);
+
+    // A store-format version bump (bytes 4..7, after the magic).
+    bad = good;
+    bad[4] += 1;
+    write_file(path, bad);
+    EXPECT_EQ(store.load("frontier", "key"), std::nullopt);
+
+    // Payload bit rot fails the checksum.
+    bad = good;
+    bad.back() ^= 0x01;
+    write_file(path, bad);
+    EXPECT_EQ(store.load("frontier", "key"), std::nullopt);
+
+    // A filename-hash collision surfaces as a key mismatch: the bytes of
+    // one key's entry sitting at another key's path read as a miss.
+    write_file(path, good);
+    fs::copy_file(path, store.path_for("frontier", "other-key"),
+                  fs::copy_options::overwrite_existing);
+    EXPECT_EQ(store.load("frontier", "other-key"), std::nullopt);
+
+    // The original, restored, still loads.
+    EXPECT_EQ(store.load("frontier", "key"), payload);
+}
+
+TEST(disk_store, concurrent_writers_leave_one_complete_entry)
+{
+    const disk_store store(fresh_dir("race"));
+    constexpr int writers = 8;
+    std::vector<std::vector<std::uint8_t>> payloads(writers);
+    for (int i = 0; i < writers; ++i) {
+        payloads[i].assign(4096, static_cast<std::uint8_t>(i + 1));
+    }
+    std::vector<std::thread> threads;
+    threads.reserve(writers);
+    for (int i = 0; i < writers; ++i) {
+        threads.emplace_back(
+            [&, i] { store.store("schedule", "shared", payloads[i]); });
+    }
+    for (std::thread& t : threads) {
+        t.join();
+    }
+    // Atomic rename: the surviving file is some writer's payload in full,
+    // never an interleaving.
+    const auto got = store.load("schedule", "shared");
+    ASSERT_TRUE(got.has_value());
+    bool complete = false;
+    for (const auto& p : payloads) {
+        complete = complete || *got == p;
+    }
+    EXPECT_TRUE(complete);
+}
+
+// -- compiled schedules -------------------------------------------------------
+
+TEST(schedule_persistence, round_trip_preserves_the_schedule)
+{
+    const dvafs_multiplier m(8);
+    const auto sched = compiled_netlist_cache::global().get(
+        m.net(), m.tied_inputs(sw_mode::w2x8));
+    const std::vector<std::uint8_t> bytes = serialize_schedule(*sched);
+    const auto back = deserialize_schedule(bytes);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->net_count, sched->net_count);
+    EXPECT_EQ(back->input_count, sched->input_count);
+    EXPECT_EQ(back->scheduled_gates(), sched->scheduled_gates());
+    EXPECT_EQ(back->pruned_gates, sched->pruned_gates);
+    // Full structural equality via the serialized form.
+    EXPECT_EQ(serialize_schedule(*back), bytes);
+}
+
+TEST(schedule_persistence, rejects_truncated_blobs)
+{
+    const dvafs_multiplier m(8);
+    const auto sched = compiled_netlist_cache::global().get(m.net());
+    const std::vector<std::uint8_t> bytes = serialize_schedule(*sched);
+    for (const std::size_t keep :
+         {std::size_t{0}, std::size_t{8}, bytes.size() / 2,
+          bytes.size() - 1}) {
+        const std::vector<std::uint8_t> cut(
+            bytes.begin(),
+            bytes.begin() + static_cast<std::ptrdiff_t>(keep));
+        EXPECT_EQ(deserialize_schedule(cut), std::nullopt)
+            << "kept " << keep << " bytes";
+    }
+}
+
+TEST(schedule_persistence, cache_warm_starts_from_disk)
+{
+    // Built before the store exists: finalize() compiles through the
+    // global cache, which must not pre-populate the test's private dir.
+    const dvafs_multiplier m(8);
+    const std::string dir = fresh_dir("schedule");
+    const scoped_cache_dir env(dir);
+
+    compiled_netlist_cache cold;
+    const auto compiled = cold.get(m.net());
+    EXPECT_EQ(cold.stats().compiles, 1u);
+    EXPECT_EQ(cold.stats().disk_hits, 0u);
+
+    compiled_netlist_cache warm;
+    const auto loaded = warm.get(m.net());
+    EXPECT_EQ(warm.stats().compiles, 0u);
+    EXPECT_EQ(warm.stats().disk_hits, 1u);
+    EXPECT_EQ(serialize_schedule(*loaded), serialize_schedule(*compiled));
+}
+
+// -- mode frontiers -----------------------------------------------------------
+
+frontier_config quick_frontier(std::uint64_t vectors)
+{
+    frontier_config cfg;
+    cfg.vectors = vectors;
+    return cfg;
+}
+
+void expect_frontier_eq(const mode_frontier& a, const mode_frontier& b)
+{
+    ASSERT_EQ(a.points.size(), b.points.size());
+    for (std::size_t i = 0; i < a.points.size(); ++i) {
+        const frontier_point& p = a.points[i];
+        const frontier_point& q = b.points[i];
+        EXPECT_TRUE(p.spec == q.spec) << "point " << i;
+        EXPECT_EQ(p.vdd, q.vdd) << "point " << i;
+        EXPECT_EQ(p.f_mhz, q.f_mhz) << "point " << i;
+        EXPECT_EQ(p.lanes, q.lanes) << "point " << i;
+        EXPECT_EQ(p.precision_bits, q.precision_bits) << "point " << i;
+        EXPECT_EQ(p.mean_cap_ff, q.mean_cap_ff) << "point " << i;
+        EXPECT_EQ(p.crit_path_ps, q.crit_path_ps) << "point " << i;
+        EXPECT_EQ(p.activity_divisor, q.activity_divisor)
+            << "point " << i;
+    }
+    EXPECT_EQ(a.pareto, b.pareto);
+    EXPECT_EQ(a.nominal, b.nominal);
+}
+
+TEST(frontier_persistence, warm_start_is_bit_identical)
+{
+    const std::string dir = fresh_dir("frontier");
+    const scoped_cache_dir env(dir);
+    const tech_model& tech = tech_28nm_fdsoi();
+    const envision_calibration& cal = default_envision_calibration();
+    const frontier_config cfg = quick_frontier(120);
+
+    frontier_cache cold;
+    const auto measured = cold.get(cfg, tech, cal);
+    EXPECT_EQ(cold.stats().measured, 1u);
+    EXPECT_EQ(cold.stats().disk_hits, 0u);
+
+    // A fresh cache instance -- a new process, effectively -- must serve
+    // the same frontier from disk without re-measuring.
+    frontier_cache warm;
+    const auto from_disk = warm.get(cfg, tech, cal);
+    EXPECT_EQ(warm.stats().measured, 0u);
+    EXPECT_EQ(warm.stats().extended, 0u);
+    EXPECT_EQ(warm.stats().disk_hits, 1u);
+    expect_frontier_eq(*measured, *from_disk);
+}
+
+TEST(frontier_persistence, on_disk_state_extends_bit_identically)
+{
+    const std::string dir = fresh_dir("frontier_state");
+    const scoped_cache_dir env(dir);
+    const tech_model& tech = tech_28nm_fdsoi();
+    const envision_calibration& cal = default_envision_calibration();
+
+    {
+        frontier_cache cold;
+        (void)cold.get(quick_frontier(120), tech, cal);
+        EXPECT_EQ(cold.stats().measured, 1u);
+    }
+
+    // A new cache asking for more vectors finds only the persisted
+    // 120-vector measurement state and extends it -- and the extension
+    // must be bit-identical to a from-scratch 240-vector measurement.
+    const frontier_config longer = quick_frontier(240);
+    frontier_cache grown;
+    const auto extended = grown.get(longer, tech, cal);
+    EXPECT_EQ(grown.stats().measured, 0u);
+    EXPECT_EQ(grown.stats().extended, 1u);
+
+    const mode_frontier fresh =
+        measure_mode_frontier(longer, tech, cal);
+    expect_frontier_eq(fresh, *extended);
+}
+
+// -- teacher sweeps -----------------------------------------------------------
+
+TEST(teacher_persistence, warm_governor_matches_cold_run)
+{
+    const std::string dir = fresh_dir("teacher");
+    const scoped_cache_dir env(dir);
+
+    scenario sc;
+    sc.name = "warm-vs-cold";
+    sc.networks.push_back(make_lenet5({.seed = 7}));
+    scenario_phase ph;
+    ph.name = "steady";
+    ph.frames = 10;
+    ph.target_fps = 25.0;
+    ph.accuracy_budget = 0.04;
+    sc.phases.push_back(ph);
+
+    const envision_model model;
+    stream_result res[2];
+    for (int r = 0; r < 2; ++r) {
+        governor_config g;
+        g.sweep.images = 8;
+        g.sweep.max_bits = 8;
+        g.frontier.vectors = 200;
+        stream_engine engine(model, g, stream_config{});
+        res[r] = engine.run(sc);
+    }
+
+    // The second run admits the network from the persisted teacher sweep;
+    // warm results must equal the cold measurement exactly.
+    EXPECT_EQ(res[0].total_energy_mj, res[1].total_energy_mj);
+    EXPECT_EQ(res[0].stream_accuracy, res[1].stream_accuracy);
+    ASSERT_EQ(res[0].replans.size(), res[1].replans.size());
+    for (std::size_t i = 0; i < res[0].replans.size(); ++i) {
+        EXPECT_EQ(res[0].replans[i].plan.total_energy_mj,
+                  res[1].replans[i].plan.total_energy_mj);
+        EXPECT_EQ(res[0].replans[i].plan.total_time_ms,
+                  res[1].replans[i].plan.total_time_ms);
+    }
+    // The sweep actually landed in the store.
+    EXPECT_TRUE(fs::exists(fs::path(dir) / "teacher"));
+}
+
+} // namespace
+} // namespace dvafs

@@ -6,8 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdlib>
 #include <initializer_list>
 #include <limits>
+#include <thread>
 #include <tuple>
 #include <utility>
 
@@ -416,6 +419,104 @@ TEST(frontier_cache, shares_one_measurement_per_key)
     const auto d = frontier_cache::global().get(
         threaded, tech_28nm_fdsoi(), default_envision_calibration());
     EXPECT_EQ(a.get(), d.get());
+}
+
+// The key doubles as the on-disk identity (util/disk_store.h), where a
+// collision silently serves the wrong frontier. Hexfloat serialization
+// makes any ULP of grid drift a distinct key; six-significant-digit
+// formatting (the old bug) prints both grids below identically.
+TEST(frontier_config, key_distinguishes_near_identical_grids)
+{
+    const tech_model& tech = tech_28nm_fdsoi();
+    const envision_calibration& cal = default_envision_calibration();
+    const frontier_config a = small_config();
+
+    frontier_config b = a;
+    b.f_grid_mhz.back() = std::nextafter(a.f_grid_mhz.back(), 1e9);
+    EXPECT_NE(a.key(tech, cal), b.key(tech, cal));
+
+    frontier_config c = a;
+    c.vdd_grid.back() = std::nextafter(a.vdd_grid.back(), 1.0);
+    EXPECT_NE(a.key(tech, cal), c.key(tech, cal));
+
+    // Thread count is not identity (measurements are thread-invariant)...
+    frontier_config t = a;
+    t.threads = 7;
+    EXPECT_EQ(a.key(tech, cal), t.key(tech, cal));
+
+    // ...and the vector count is identity for the full key only: shorter
+    // measurements are prefixes of longer ones, so resumable states share
+    // the base key.
+    frontier_config v = a;
+    v.vectors += 100;
+    EXPECT_NE(a.key(tech, cal), v.key(tech, cal));
+    EXPECT_EQ(a.base_key(tech, cal), v.base_key(tech, cal));
+}
+
+TEST(frontier_cache, first_measurement_is_single_flight)
+{
+    // Hermetic: no disk store, so the only sources are measure or share.
+    ::unsetenv("DVAFS_CACHE_DIR");
+    frontier_cache cache;
+    const frontier_config cfg = small_config();
+    constexpr int callers = 4;
+    std::shared_ptr<const mode_frontier> got[callers];
+    std::vector<std::thread> threads;
+    threads.reserve(callers);
+    for (int t = 0; t < callers; ++t) {
+        threads.emplace_back([&cache, &cfg, &got, t] {
+            got[t] = cache.get(cfg, tech_28nm_fdsoi(),
+                               default_envision_calibration());
+        });
+    }
+    for (std::thread& th : threads) {
+        th.join();
+    }
+    for (int t = 0; t < callers; ++t) {
+        ASSERT_NE(got[t], nullptr) << "caller " << t;
+        EXPECT_EQ(got[0].get(), got[t].get()) << "caller " << t;
+    }
+    // Concurrent first callers block on one in-flight measurement instead
+    // of duplicating the gate-level sweep.
+    EXPECT_EQ(cache.stats().measured, 1u);
+    EXPECT_EQ(cache.stats().extended, 0u);
+}
+
+TEST(frontier_cache, growing_vectors_extends_the_cached_state)
+{
+    ::unsetenv("DVAFS_CACHE_DIR");
+    frontier_cache cache;
+    const frontier_config short_cfg = small_config(); // 200 vectors
+    frontier_config long_cfg = short_cfg;
+    long_cfg.vectors = 400;
+
+    (void)cache.get(short_cfg, tech_28nm_fdsoi(),
+                    default_envision_calibration());
+    const auto extended = cache.get(long_cfg, tech_28nm_fdsoi(),
+                                    default_envision_calibration());
+    EXPECT_EQ(cache.stats().measured, 1u);
+    EXPECT_EQ(cache.stats().extended, 1u);
+
+    // The extension must be bit-identical to measuring 400 vectors from
+    // scratch: same points, same Pareto set, same doubles.
+    const mode_frontier fresh = measure_mode_frontier(
+        long_cfg, tech_28nm_fdsoi(), default_envision_calibration());
+    ASSERT_EQ(extended->points.size(), fresh.points.size());
+    for (std::size_t i = 0; i < fresh.points.size(); ++i) {
+        const frontier_point& p = extended->points[i];
+        const frontier_point& q = fresh.points[i];
+        EXPECT_TRUE(p.spec == q.spec) << "point " << i;
+        EXPECT_EQ(p.vdd, q.vdd) << "point " << i;
+        EXPECT_EQ(p.f_mhz, q.f_mhz) << "point " << i;
+        EXPECT_EQ(p.lanes, q.lanes) << "point " << i;
+        EXPECT_EQ(p.precision_bits, q.precision_bits) << "point " << i;
+        EXPECT_EQ(p.mean_cap_ff, q.mean_cap_ff) << "point " << i;
+        EXPECT_EQ(p.crit_path_ps, q.crit_path_ps) << "point " << i;
+        EXPECT_EQ(p.activity_divisor, q.activity_divisor)
+            << "point " << i;
+    }
+    EXPECT_EQ(extended->pareto, fresh.pareto);
+    EXPECT_EQ(extended->nominal, fresh.nominal);
 }
 
 } // namespace

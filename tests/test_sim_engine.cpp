@@ -198,6 +198,42 @@ TEST(simulate_batch, dvafs_packed_batch_matches_scalar_all_modes)
     }
 }
 
+// The threaded batch path partitions a batch into contiguous 512-vector
+// chunk ranges, each worker re-establishing the toggle carry by replaying
+// its predecessor vector uncounted. Outputs and every statistic must be
+// bit-identical to the serial path -- including across *consecutive*
+// batches, where the owning executor adopts the final chunk's carry.
+TEST(simulate_batch, bit_identical_across_thread_counts)
+{
+    booth_wallace_multiplier serial_m(10);
+    booth_wallace_multiplier threaded_m(10);
+    serial_m.set_batch_threads(1);
+    threaded_m.set_batch_threads(4);
+    pcg32 rng(77);
+    const std::size_t n = 1300; // three 512-lane chunks per batch
+    std::vector<std::int64_t> a(n);
+    std::vector<std::int64_t> b(n);
+    std::vector<std::int64_t> got_serial(n);
+    std::vector<std::int64_t> got_threaded(n);
+    for (int batch = 0; batch < 2; ++batch) {
+        for (std::size_t i = 0; i < n; ++i) {
+            a[i] = sign_extend(rng.next_u64(), 10);
+            b[i] = sign_extend(rng.next_u64(), 10);
+        }
+        serial_m.simulate_batch(a.data(), b.data(), n, got_serial.data());
+        threaded_m.simulate_batch(a.data(), b.data(), n,
+                                  got_threaded.data());
+        ASSERT_EQ(got_serial, got_threaded) << "batch " << batch;
+        EXPECT_EQ(threaded_m.total_toggles(), serial_m.total_toggles())
+            << "batch " << batch;
+        EXPECT_EQ(threaded_m.transitions(), serial_m.transitions())
+            << "batch " << batch;
+    }
+    const tech_model& tech = tech_40nm_lp();
+    EXPECT_EQ(threaded_m.switched_capacitance_ff(tech),
+              serial_m.switched_capacitance_ff(tech));
+}
+
 TEST(sim_engine, results_independent_of_thread_count)
 {
     const dvafs_multiplier& mult = *netlist_cache::global().dvafs(16);
