@@ -25,7 +25,7 @@ int main(int argc, char** argv)
 {
     bench_reporter report("runtime_stream", argc, argv);
     const double max_overhead =
-        bench_flag_double(argc, argv, "--max-overhead", 0.05);
+        bench_flag_double(argc, argv, "max-overhead", 0.05);
 
     scenario sc;
     sc.name = "lenet-budget-ladder";

@@ -53,6 +53,63 @@ void print_frame_log(const stream_result& res, const scenario& sc)
                  "frames)\n\n";
 }
 
+void print_replan_log(const stream_result& res)
+{
+    for (const replan_event& ev : res.replans) {
+        std::cout << "  frame " << ev.frame << ": " << to_string(ev.reason)
+                  << " -> plan v" << ev.plan_version << " ("
+                  << ev.plan.network_name << ", budget "
+                  << fmt_percent(ev.accuracy_budget, 1) << ", "
+                  << fmt_fixed(ev.plan.total_time_ms, 3) << " ms/frame, "
+                  << fmt_fixed(ev.plan.total_energy_mj * 1e3, 2)
+                  << " uJ/frame, deadline "
+                  << (ev.plan.deadline_met ? "met" : "MISSED")
+                  << ", planned in " << fmt_fixed(ev.planning_ms, 3)
+                  << " ms)";
+        if (ev.valve_level > 0
+            || ev.reason == replan_reason::recover) {
+            std::cout << " [valve level " << ev.valve_level << ", "
+                      << fmt_fixed(ev.latency_budget_ms, 2)
+                      << " ms budget]";
+        }
+        if (ev.window_accuracy_before >= 0.0) {
+            std::cout << " [window accuracy "
+                      << fmt_percent(ev.window_accuracy_before, 0)
+                      << " -> "
+                      << fmt_percent(ev.window_accuracy_after, 0) << "]";
+        }
+        if (ev.rebuilt_frontiers) {
+            std::cout << " [frontiers rebuilt]";
+        }
+        if (ev.plan_stale) {
+            std::cout << " [plan stale: no lever left]";
+        }
+        std::cout << "\n";
+    }
+    std::cout << "\n";
+}
+
+// The robustness counters of stream_stats: the same numbers the fuzz and
+// soak harnesses assert on.
+void print_stream_stats(const stream_stats& st)
+{
+    ascii_table t({"counter", "value"});
+    t.add_row({"frames served", std::to_string(st.frames_served)});
+    t.add_row({"frames dropped", std::to_string(st.frames_dropped)});
+    t.add_row({"re-plans", std::to_string(st.replans)});
+    t.add_row({"escalations", std::to_string(st.escalations)});
+    t.add_row({"stale escalations",
+               std::to_string(st.stale_escalations)});
+    t.add_row({"shed events", std::to_string(st.shed_events)});
+    t.add_row({"recover events", std::to_string(st.recover_events)});
+    t.add_row({"max valve level", std::to_string(st.max_valve_level)});
+    t.add_row({"verify failures", std::to_string(st.verify_failures)});
+    t.add_row({"deadline misses", std::to_string(st.deadline_misses)});
+    t.add_row({"faulted frames", std::to_string(st.faulted_frames)});
+    t.add_row({"recovery frames", std::to_string(st.recovery_frames)});
+    t.print(std::cout);
+}
+
 } // namespace
 
 int main()
@@ -60,7 +117,7 @@ int main()
     scenario sc = make_cascade_scenario(make_lenet5({.seed = 2017}),
                                         make_alexnet_scaled({.seed = 2017}),
                                         /*detector_frames=*/48,
-                                        /*recognizer_frames=*/16);
+                                        /*recognizer_frames=*/48);
 
     governor_config gcfg;
     gcfg.sweep.images = 12;
@@ -83,29 +140,7 @@ int main()
               << " ms admission)\n\n";
 
     print_banner(std::cout, "re-plan log (the online decisions)");
-    for (const replan_event& ev : res.replans) {
-        std::cout << "  frame " << ev.frame << ": " << to_string(ev.reason)
-                  << " -> plan v" << ev.plan_version << " ("
-                  << ev.plan.network_name << ", budget "
-                  << fmt_percent(ev.accuracy_budget, 1) << ", "
-                  << fmt_fixed(ev.plan.total_time_ms, 3) << " ms/frame, "
-                  << fmt_fixed(ev.plan.total_energy_mj * 1e3, 2)
-                  << " uJ/frame, deadline "
-                  << (ev.plan.deadline_met ? "met" : "MISSED")
-                  << ", planned in " << fmt_fixed(ev.planning_ms, 3)
-                  << " ms)";
-        if (ev.window_accuracy_before >= 0.0) {
-            std::cout << " [window accuracy "
-                      << fmt_percent(ev.window_accuracy_before, 0)
-                      << " -> "
-                      << fmt_percent(ev.window_accuracy_after, 0) << "]";
-        }
-        if (ev.rebuilt_frontiers) {
-            std::cout << " [frontiers rebuilt]";
-        }
-        std::cout << "\n";
-    }
-    std::cout << "\n";
+    print_replan_log(res);
 
     print_banner(std::cout, "per-frame log");
     print_frame_log(res, sc);
@@ -140,6 +175,9 @@ int main()
         t.print(std::cout);
     }
 
+    print_banner(std::cout, "robustness counters (stream_stats)");
+    print_stream_stats(res.stats);
+
     std::cout << "\nstream: " << res.frames.size() << " frames, "
               << fmt_fixed(res.sustained_fps, 1) << " fps sustained, "
               << fmt_fixed(res.total_energy_mj * 1e3 /
@@ -148,6 +186,32 @@ int main()
               << " uJ/frame, accuracy "
               << fmt_percent(res.stream_accuracy, 0) << " vs the float "
               << "teacher, re-planning spent "
-              << fmt_fixed(res.planning_ms, 2) << " ms total\n";
+              << fmt_fixed(res.planning_ms, 2) << " ms total\n\n";
+
+    // Second pass: the same scenario under scripted adversity -- a drift
+    // burst on the detector's steady state, a service overrun on its tail,
+    // and a deadline storm in the middle of the recognizer phase (the
+    // effective period collapses below the plan's service time). The
+    // overload valve sheds accuracy (never frames) while the storm lasts
+    // and restores the original plan once pressure clears; admission is
+    // cached, so only the frames re-run.
+    fault_script script;
+    script.drift.push_back({{.first = 8, .count = 16}, 0.25});
+    script.service.push_back({{.first = 40, .count = 6}, 2.0});
+    script.rate.push_back({{.first = 56, .count = 20}, 0.0028});
+    const fault_injector faults(std::move(script));
+
+    print_banner(std::cout,
+                 "fault-injected re-run (drift burst + deadline storm)");
+    const stream_result fres = engine.run(sc, &faults);
+    print_replan_log(fres);
+    print_stream_stats(fres.stats);
+    std::cout << "\nfaulted stream: " << fres.frames.size()
+              << " frames served, " << fres.stats.frames_dropped
+              << " dropped, " << fres.stats.shed_events << " shed / "
+              << fres.stats.recover_events
+              << " recover valve transitions, accuracy "
+              << fmt_percent(fres.stream_accuracy, 0)
+              << " vs the float teacher\n";
     return 0;
 }

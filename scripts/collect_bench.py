@@ -2,6 +2,7 @@
 """Merge bench --json outputs into one baseline file.
 
 Usage: collect_bench.py OUT.json IN1.json [IN2.json ...]
+           [--required bench:metric[,bench:metric ...]] ...
 
 Every bench_* target writes a flat JSON array of
 {"bench", "metric", "value", "unit"} records (docs/bench_schema.md).
@@ -11,11 +12,20 @@ A (bench, metric) pair appearing twice is a hard error: the baseline
 gate looks records up by that pair, so a duplicate would make the gated
 value depend on merge order (benches that run a configuration twice must
 disambiguate the bench name, e.g. with --bench-suffix).
-CI's bench-release job runs it over the uploaded artifacts to produce the
-refresh candidate for the checked-in BENCH_sim.json baseline; refreshing
-the baseline is a deliberate commit, never automatic.
 
-Exit codes: 0 ok, 1 usage, 2 malformed input (including duplicates).
+`--required` names (bench, metric) pairs -- colon-separated, since both
+halves contain dots -- that MUST appear in the merged output; the flag
+repeats and each occurrence takes a comma-separated list. A bench that
+silently stops emitting a gated record (renamed metric, crashed before
+report.write, dropped from the CI matrix) would otherwise shrink the
+baseline without failing anything; with --required the merge fails
+loudly instead. CI's bench-release job runs it over the uploaded
+artifacts to produce the refresh candidate for the checked-in
+BENCH_sim.json baseline; refreshing the baseline is a deliberate
+commit, never automatic.
+
+Exit codes: 0 ok, 1 usage, 2 malformed input (including duplicates),
+3 a --required record is missing from the merged output.
 """
 
 import json
@@ -27,10 +37,42 @@ def fail(msg: str, code: int) -> "None":
     sys.exit(code)
 
 
+def parse_args(argv: list):
+    paths = []
+    required = []
+    i = 1
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--required":
+            if i + 1 >= len(argv):
+                fail("--required: missing value", 1)
+            for spec in argv[i + 1].split(","):
+                spec = spec.strip()
+                if not spec:
+                    continue
+                bench, sep, metric = spec.partition(":")
+                if not sep or not bench or not metric:
+                    fail(
+                        f"--required: bad spec {spec!r}"
+                        " (expected bench:metric)",
+                        1,
+                    )
+                required.append((bench, metric))
+            i += 2
+        else:
+            paths.append(arg)
+            i += 1
+    if len(paths) < 2:
+        fail(
+            "usage: collect_bench.py OUT.json IN1.json [IN2.json ...]"
+            " [--required bench:metric[,...]]",
+            1,
+        )
+    return paths[0], paths[1:], required
+
+
 def main(argv: list) -> int:
-    if len(argv) < 3:
-        fail("usage: collect_bench.py OUT.json IN1.json [IN2.json ...]", 1)
-    out_path, in_paths = argv[1], argv[2:]
+    out_path, in_paths, required = parse_args(argv)
 
     records = []
     seen = {}
@@ -62,6 +104,11 @@ def main(argv: list) -> int:
                     "unit": rec["unit"],
                 }
             )
+
+    absent = [pair for pair in required if pair not in seen]
+    if absent:
+        listed = ", ".join(f"{b}:{m}" for b, m in absent)
+        fail(f"required records missing from the merge: {listed}", 3)
 
     records.sort(key=lambda r: (r["bench"], r["metric"]))
     with open(out_path, "w", encoding="utf-8") as f:

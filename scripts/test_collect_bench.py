@@ -91,6 +91,43 @@ class CollectBenchTest(unittest.TestCase):
         proc = run(COLLECT, self.out_path(), a)
         self.assertEqual(proc.returncode, 2)
 
+    def test_required_present_passes(self):
+        a = self.write("a.json", [record("b1", "m.x"), record("b2", "m.y")])
+        proc = run(
+            COLLECT, self.out_path(), a, "--required", "b1:m.x,b2:m.y"
+        )
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_required_missing_fails_loudly(self):
+        # A bench that stops emitting a gated record must fail the merge,
+        # not silently shrink the baseline.
+        a = self.write("a.json", [record("b1", "m.x")])
+        proc = run(
+            COLLECT, self.out_path(), a, "--required", "b1:m.x,soak:p99_ms"
+        )
+        self.assertEqual(proc.returncode, 3)
+        self.assertIn("soak:p99_ms", proc.stderr)
+        self.assertFalse(os.path.exists(self.out_path()))
+
+    def test_required_flag_repeats(self):
+        a = self.write("a.json", [record("b1", "m1")])
+        proc = run(
+            COLLECT,
+            self.out_path(),
+            a,
+            "--required",
+            "b1:m1",
+            "--required",
+            "b9:gone",
+        )
+        self.assertEqual(proc.returncode, 3)
+        self.assertIn("b9:gone", proc.stderr)
+
+    def test_required_bad_spec_is_usage_error(self):
+        a = self.write("a.json", [record("b1", "m1")])
+        proc = run(COLLECT, self.out_path(), a, "--required", "no-colon")
+        self.assertEqual(proc.returncode, 1)
+
 
 class CheckWarmCacheTest(unittest.TestCase):
     def setUp(self):

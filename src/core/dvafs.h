@@ -80,6 +80,7 @@
 #include "core/planner.h"
 
 #include "runtime/adaptive_governor.h"
+#include "runtime/fault_injector.h"
 #include "runtime/scenario.h"
 #include "runtime/stream_engine.h"
 #include "runtime/stream_scheduler.h"

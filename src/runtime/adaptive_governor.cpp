@@ -228,6 +228,8 @@ const char* to_string(replan_reason r) noexcept
     case replan_reason::phase_change: return "phase-change";
     case replan_reason::drift: return "drift";
     case replan_reason::refresh: return "refresh";
+    case replan_reason::shed: return "shed";
+    case replan_reason::recover: return "recover";
     }
     return "?";
 }
@@ -326,10 +328,11 @@ double adaptive_governor::effective_budget(const network& net,
                : ph.accuracy_budget;
 }
 
-replan_event adaptive_governor::replan(const network& net,
-                                       const scenario_phase& ph,
-                                       replan_reason reason,
-                                       std::uint64_t frame)
+replan_event adaptive_governor::replan_with(const network& net,
+                                            replan_reason reason,
+                                            std::uint64_t frame,
+                                            double accuracy_budget,
+                                            double latency_budget_ms)
 {
     const auto t0 = std::chrono::steady_clock::now();
     const network_state& st = prepare(net);
@@ -337,12 +340,44 @@ replan_event adaptive_governor::replan(const network& net,
     ev.reason = reason;
     ev.plan_version = ++version_;
     ev.frame = frame;
-    ev.accuracy_budget = effective_budget(net, ph);
+    ev.accuracy_budget = accuracy_budget;
+    ev.latency_budget_ms = latency_budget_ms;
     ev.plan = planner_.plan_from_frontiers(net, st.reqs, st.sparsity,
-                                           st.frontiers,
-                                           ev.accuracy_budget,
-                                           1000.0 / ph.target_fps);
+                                           st.frontiers, accuracy_budget,
+                                           latency_budget_ms);
     ev.planning_ms = elapsed_ms_since(t0);
+    return ev;
+}
+
+replan_event adaptive_governor::replan(const network& net,
+                                       const scenario_phase& ph,
+                                       replan_reason reason,
+                                       std::uint64_t frame)
+{
+    return replan_with(net, reason, frame, effective_budget(net, ph),
+                       1000.0 / ph.target_fps);
+}
+
+replan_event adaptive_governor::replan_valve(const network& net,
+                                             const scenario_phase& ph,
+                                             replan_reason reason,
+                                             std::uint64_t frame,
+                                             int level, double budget_step,
+                                             double latency_budget_ms)
+{
+    if (level < 0 || budget_step < 0.0 || latency_budget_ms <= 0.0) {
+        throw std::invalid_argument(
+            "adaptive_governor::replan_valve: bad level/step/latency");
+    }
+    // The shed allowance rides on top of whatever the drift path already
+    // tightened the phase budget to -- the two controls compose: drift
+    // says "spend less accuracy overall", the valve says "spend this much
+    // more *right now* to stay feasible under the live deadline".
+    const double budget = std::min(
+        1.0, effective_budget(net, ph) + level * budget_step);
+    replan_event ev =
+        replan_with(net, reason, frame, budget, latency_budget_ms);
+    ev.valve_level = level;
     return ev;
 }
 
@@ -355,6 +390,7 @@ replan_event adaptive_governor::escalate(const network& net,
     const std::string key = net.name() + "/" + ph.name;
     const double cur = effective_budget(net, ph);
     bool rebuilt = false;
+    bool stale = false;
     if (cur >= cfg_.budget_resolution) {
         // Stage one: spend less accuracy. Below one DP resolution step a
         // budget is indistinguishable from zero, so floor it.
@@ -366,7 +402,10 @@ replan_event adaptive_governor::escalate(const network& net,
         // stream -- raise every layer by one bit and re-price the cached
         // frontiers. Bounded: bits cap at the frontier width, and once
         // every requirement is saturated there is nothing left to buy, so
-        // skip the (expensive) rebuild instead of re-measuring a no-op.
+        // skip the (expensive) rebuild instead of re-measuring a no-op
+        // and flag the plan stale: repeated escalation under permanent
+        // drift converges here -- zero budget, saturated requirements --
+        // and must neither loop the rebuild nor underflow the budget.
         const int width = cfg_.frontier.width;
         bool changed = false;
         for (layer_quant_requirement& r : st.reqs) {
@@ -381,10 +420,13 @@ replan_event adaptive_governor::escalate(const network& net,
             st.fallback = boot_planner_.plan_with_requirements(
                 net, st.reqs, st.sparsity);
             rebuilt = true;
+        } else {
+            stale = true;
         }
     }
     replan_event ev = replan(net, ph, replan_reason::drift, frame);
     ev.rebuilt_frontiers = rebuilt;
+    ev.plan_stale = stale;
     ev.planning_ms = elapsed_ms_since(t0);
     return ev;
 }

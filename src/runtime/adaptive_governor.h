@@ -17,6 +17,18 @@
 // phase's effective accuracy budget (floor at zero), then -- at a zero
 // budget -- raise every layer requirement by one bit and rebuild the
 // cached frontiers (the rare, expensive path, flagged on the event).
+// Escalation is bounded: once the budget is floored and every requirement
+// saturates the frontier width there is no lever left, and the event is
+// flagged plan_stale instead of looping or underflowing the budget --
+// the stream keeps serving the converged plan.
+//
+// The overload valve (stream_engine's graceful-degradation path) re-plans
+// through replan_valve: the same frontier DP, but under the *live*
+// effective frame period (shrunk by a rate burst) and an extra accuracy
+// allowance per shed level -- trading accuracy for feasibility before any
+// frame is dropped. A valve re-plan at level 0 under the nominal period
+// is input-identical to the phase-boundary re-plan, which is what makes
+// recovery restore the original plan exactly. See docs/robustness.md.
 
 #pragma once
 
@@ -36,7 +48,14 @@ struct governor_config {
     double budget_resolution = 0.0025;
 };
 
-enum class replan_reason { startup, phase_change, drift, refresh };
+enum class replan_reason {
+    startup,
+    phase_change,
+    drift,
+    refresh,
+    shed,    // overload valve: spend accuracy to fit the live deadline
+    recover, // overload valve: pressure cleared, restore one level
+};
 const char* to_string(replan_reason r) noexcept;
 
 // One governor decision, kept in the stream result's re-plan log.
@@ -48,6 +67,18 @@ struct replan_event {
                                    // excluded from determinism checks)
     double accuracy_budget = 0.0;  // effective budget the DP ran under
     bool rebuilt_frontiers = false;
+    // Drift escalations only: the governor had no lever left (budget
+    // floored at zero AND every requirement saturated at the frontier
+    // width) -- the plan is as good as the frontiers allow, and the
+    // engine stops escalating this phase instead of looping.
+    bool plan_stale = false;
+    // Overload-valve events (shed/recover): the valve level this plan
+    // serves at (0 = nominal). Zero for every other reason.
+    int valve_level = 0;
+    // The per-frame latency budget the DP ran under: the phase's nominal
+    // 1000/target_fps for ordinary re-plans, the live effective period
+    // for valve events.
+    double latency_budget_ms = 0.0;
     // Drift events only: live-window accuracy of the outgoing plan and of
     // this plan, measured by the engine's suffix-cached window_probe.
     double window_accuracy_before = -1.0;
@@ -100,6 +131,18 @@ public:
     replan_event escalate(const network& net, const scenario_phase& ph,
                           std::uint64_t frame);
 
+    // Overload-valve re-plan: DP under the phase budget plus
+    // `level * budget_step` extra accuracy allowance and an explicit
+    // per-frame latency budget (the live effective period under a rate
+    // burst). `reason` is shed or recover; level 0 under the nominal
+    // period reproduces the phase-boundary plan exactly (same DP
+    // inputs). The extra allowance is clamped to [0, 1].
+    replan_event replan_valve(const network& net,
+                              const scenario_phase& ph,
+                              replan_reason reason, std::uint64_t frame,
+                              int level, double budget_step,
+                              double latency_budget_ms);
+
     // Re-measures the shared gate-level mode frontier
     // (frontier_cache::refresh) and rebuilds `net`'s cached layer
     // frontiers against it.
@@ -112,6 +155,9 @@ public:
 
 private:
     network_state& prepare_mutable(const network& net);
+    replan_event replan_with(const network& net, replan_reason reason,
+                             std::uint64_t frame, double accuracy_budget,
+                             double latency_budget_ms);
     double effective_budget(const network& net,
                             const scenario_phase& ph) const;
     void rebuild_frontiers(network_state& st);

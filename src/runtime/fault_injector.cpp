@@ -1,0 +1,164 @@
+#include "runtime/fault_injector.h"
+
+#include "runtime/scenario.h"
+#include "util/rng.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dvafs {
+
+double fault_injector::noise_delta(std::uint64_t frame) const noexcept
+{
+    double d = 0.0;
+    for (const drift_fault& f : script_.drift) {
+        if (f.frames.contains(frame)) {
+            d += f.extra_noise;
+        }
+    }
+    return d;
+}
+
+double fault_injector::period_scale(std::uint64_t frame) const noexcept
+{
+    double s = 1.0;
+    for (const rate_fault& f : script_.rate) {
+        if (f.frames.contains(frame)) {
+            s *= f.period_scale;
+        }
+    }
+    return s;
+}
+
+double fault_injector::service_scale(std::uint64_t frame) const noexcept
+{
+    double s = 1.0;
+    for (const service_fault& f : script_.service) {
+        if (f.frames.contains(frame)) {
+            s *= f.service_scale;
+        }
+    }
+    return s;
+}
+
+bool fault_injector::active(std::uint64_t frame) const noexcept
+{
+    return noise_delta(frame) != 0.0 || period_scale(frame) != 1.0
+           || service_scale(frame) != 1.0;
+}
+
+std::uint64_t fault_injector::next_change(std::uint64_t frame) const noexcept
+{
+    std::uint64_t next = no_change;
+    const auto consider = [&next, frame](const fault_window& w) {
+        if (w.count == 0) {
+            return;
+        }
+        if (w.first > frame) {
+            next = std::min(next, w.first);
+        }
+        if (w.end() > frame) {
+            next = std::min(next, w.end());
+        }
+    };
+    for (const drift_fault& f : script_.drift) {
+        consider(f.frames);
+    }
+    for (const rate_fault& f : script_.rate) {
+        consider(f.frames);
+    }
+    for (const service_fault& f : script_.service) {
+        consider(f.frames);
+    }
+    return next;
+}
+
+disk_fault fault_injector::on_disk_op(disk_op, const std::string&,
+                                      const std::string&)
+{
+    const std::uint64_t op =
+        disk_op_.fetch_add(1, std::memory_order_relaxed);
+    for (const cache_fault& f : script_.cache) {
+        if (f.fault != disk_fault::none && f.ops.contains(op)) {
+            disk_faults_.fetch_add(1, std::memory_order_relaxed);
+            return f.fault;
+        }
+    }
+    return disk_fault::none;
+}
+
+fault_injector fault_injector::random(std::uint64_t seed,
+                                      std::uint64_t frames)
+{
+    pcg32 rng(seed ^ 0xfa417af17ULL, 0x5eedULL);
+    fault_script sc;
+    const std::uint64_t n = std::max<std::uint64_t>(frames, 1);
+    const auto window = [&rng, n]() {
+        fault_window w;
+        w.first = static_cast<std::uint64_t>(
+            rng.range(0, static_cast<std::int64_t>(n - 1)));
+        w.count = static_cast<std::uint64_t>(
+            rng.range(1, std::max<std::int64_t>(
+                             1, static_cast<std::int64_t>(n / 3))));
+        return w;
+    };
+
+    const int drifts = static_cast<int>(rng.range(0, 2));
+    for (int i = 0; i < drifts; ++i) {
+        drift_fault f;
+        f.frames = window();
+        f.extra_noise = rng.uniform(0.05, 0.5);
+        sc.drift.push_back(f);
+    }
+    const int rates = static_cast<int>(rng.range(0, 2));
+    for (int i = 0; i < rates; ++i) {
+        rate_fault f;
+        f.frames = window();
+        // Mostly storms (faster arrivals), occasionally a lull.
+        f.period_scale = rng.bernoulli(0.75) ? rng.uniform(0.2, 0.8)
+                                             : rng.uniform(1.1, 1.6);
+        sc.rate.push_back(f);
+    }
+    const int services = static_cast<int>(rng.range(0, 2));
+    for (int i = 0; i < services; ++i) {
+        service_fault f;
+        f.frames = window();
+        f.service_scale = rng.uniform(1.2, 3.0);
+        sc.service.push_back(f);
+    }
+    // One op-windowed cache fault of a random kind; disk traffic is
+    // bounded, so a generous window exercises the fault on whatever ops
+    // the run actually issues.
+    if (rng.bernoulli(0.5)) {
+        cache_fault f;
+        f.ops.first = static_cast<std::uint64_t>(rng.range(0, 4));
+        f.ops.count = static_cast<std::uint64_t>(rng.range(1, 16));
+        constexpr disk_fault kinds[] = {
+            disk_fault::slow_read, disk_fault::corrupt,
+            disk_fault::transient, disk_fault::enospc};
+        f.fault = kinds[rng.range(0, 3)];
+        sc.cache.push_back(f);
+    }
+    return fault_injector(std::move(sc));
+}
+
+fault_window phase_window(const scenario& sc, std::size_t phase_index)
+{
+    if (phase_index >= sc.phases.size()) {
+        throw std::invalid_argument(
+            "phase_window: phase index out of range");
+    }
+    fault_window w;
+    for (std::size_t i = 0; i < phase_index; ++i) {
+        w.first += sc.phases[i].frames > 0
+                       ? static_cast<std::uint64_t>(sc.phases[i].frames)
+                       : 0;
+    }
+    w.count = sc.phases[phase_index].frames > 0
+                  ? static_cast<std::uint64_t>(
+                        sc.phases[phase_index].frames)
+                  : 0;
+    return w;
+}
+
+} // namespace dvafs

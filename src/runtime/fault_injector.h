@@ -1,0 +1,159 @@
+// Deterministic fault injection for the streaming runtime.
+//
+// A fault_injector carries a *script*: frame-windowed adversities plus a
+// disk-operation-windowed cache-fault schedule, all seeded and replayable
+// -- the same script produces the same faults at any thread count, so the
+// engine's bit-identity contract survives injection. Fault classes:
+//
+//  * drift bursts   -- extra input-sensor noise on a global-frame window
+//                      (the engine adds it to the phase's input_noise
+//                      before synthesizing each frame), the noisy-phase
+//                      regime that defeats the clean teacher sweep;
+//  * rate bursts    -- an arrival-period scale on a frame window
+//                      (scale < 1 = frames arrive faster: a deadline
+//                      storm; scale > 1 = a lull). The engine shrinks the
+//                      effective per-frame deadline accordingly, which is
+//                      what drives the overload valve;
+//  * service overruns -- a modeled service-time scale on a frame window
+//                      (scale > 1 = the platform slowed down: thermal
+//                      throttling, co-tenant interference), creating
+//                      deadline overruns without touching arrivals;
+//  * cache faults   -- a disk_fault (util/disk_store.h) on a window of
+//                      disk-store *operations* (counted process-wide
+//                      while the injector is installed as the hook):
+//                      slow reads, corrupt entries, transient I/O errors,
+//                      ENOSPC on write.
+//
+// Frame-scoped faults are pure functions of the script and the global
+// frame index (thread-safe const reads). Cache faults consume an atomic
+// operation counter -- deterministic per operation *sequence*; the
+// measurement caches only affect speed, never results, so their ordering
+// does not perturb streamed outcomes. Install with
+// scoped_disk_fault_hook(&injector).
+//
+// Scenario fuzzing: fault_injector::random(seed, frames) draws a random
+// script (burst counts, windows, magnitudes) from a PCG32 stream, the
+// generator behind tests/test_runtime_fuzz.cpp and the soak harness's
+// scripted adversity (bench/bench_runtime_soak.cpp). Fault taxonomy and
+// the overload-valve response are documented in docs/robustness.md.
+
+#pragma once
+
+#include "util/disk_store.h"
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace dvafs {
+
+struct scenario; // runtime/scenario.h
+
+// A half-open window [first, first + count) of frames or disk ops.
+struct fault_window {
+    std::uint64_t first = 0;
+    std::uint64_t count = 0;
+
+    bool contains(std::uint64_t i) const noexcept
+    {
+        return i >= first && i - first < count;
+    }
+    std::uint64_t end() const noexcept { return first + count; }
+};
+
+struct drift_fault {
+    fault_window frames;
+    double extra_noise = 0.0; // added to the phase's input_noise
+};
+
+struct rate_fault {
+    fault_window frames;
+    double period_scale = 1.0; // effective period multiplier (<1 = storm)
+};
+
+struct service_fault {
+    fault_window frames;
+    double service_scale = 1.0; // modeled service-time multiplier (>1)
+};
+
+struct cache_fault {
+    fault_window ops; // indexes the injector's disk-operation counter
+    disk_fault fault = disk_fault::none;
+};
+
+struct fault_script {
+    std::vector<drift_fault> drift;
+    std::vector<rate_fault> rate;
+    std::vector<service_fault> service;
+    std::vector<cache_fault> cache;
+
+    bool empty() const noexcept
+    {
+        return drift.empty() && rate.empty() && service.empty()
+               && cache.empty();
+    }
+};
+
+class fault_injector : public disk_fault_hook {
+public:
+    static constexpr std::uint64_t no_change =
+        std::numeric_limits<std::uint64_t>::max();
+
+    fault_injector() = default;
+    explicit fault_injector(fault_script script)
+        : script_(std::move(script))
+    {
+    }
+
+    // Seeded random script over `frames` total stream frames: a handful
+    // of drift/rate/service bursts with overlapping windows plus a cache
+    // fault window per kind -- the fuzzer's adversity generator. Every
+    // value is drawn from one PCG32 stream, so (seed, frames) replays
+    // exactly.
+    static fault_injector random(std::uint64_t seed,
+                                 std::uint64_t frames);
+
+    const fault_script& script() const noexcept { return script_; }
+
+    // -- frame-scoped faults (pure, thread-safe) ------------------------------
+
+    // Sum of active drift bursts at `frame`.
+    double noise_delta(std::uint64_t frame) const noexcept;
+    // Product of active arrival-period scales at `frame`.
+    double period_scale(std::uint64_t frame) const noexcept;
+    // Product of active service-time scales at `frame`.
+    double service_scale(std::uint64_t frame) const noexcept;
+    // True when any frame-scoped fault is active at `frame`.
+    bool active(std::uint64_t frame) const noexcept;
+
+    // The first frame > `frame` where any frame-scoped fault starts or
+    // ends (no_change when none): the engine cuts its admission batches
+    // here so every batch sees constant fault state.
+    std::uint64_t next_change(std::uint64_t frame) const noexcept;
+
+    // -- cache faults (atomic op counter) -------------------------------------
+
+    disk_fault on_disk_op(disk_op op, const std::string& kind,
+                          const std::string& key) override;
+
+    std::uint64_t disk_ops() const noexcept
+    {
+        return disk_op_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t disk_faults_injected() const noexcept
+    {
+        return disk_faults_.load(std::memory_order_relaxed);
+    }
+
+private:
+    fault_script script_;
+    std::atomic<std::uint64_t> disk_op_{0};
+    std::atomic<std::uint64_t> disk_faults_{0};
+};
+
+// The frame window phase `phase_index` occupies in `sc`'s global frame
+// numbering -- the helper for scripting faults "per phase".
+fault_window phase_window(const scenario& sc, std::size_t phase_index);
+
+} // namespace dvafs

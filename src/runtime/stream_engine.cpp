@@ -9,7 +9,8 @@
 
 namespace dvafs {
 
-stream_result stream_engine::run(const scenario& sc)
+stream_result stream_engine::run(const scenario& sc,
+                                 const fault_injector* faults)
 {
     sc.validate();
     stream_result res;
@@ -18,9 +19,9 @@ stream_result stream_engine::run(const scenario& sc)
     // verified against its network's cached frontiers before the stream
     // accepts it (the heuristic boot fallback is exempt -- its closed-form
     // points are deliberately not frontier members).
-    const auto gate_plan = [this](const network& net,
-                                  const replan_event& ev,
-                                  const char* what) {
+    const auto gate_plan = [this, &res](const network& net,
+                                        const replan_event& ev,
+                                        const char* what) {
         if (!cfg_.verify_replans) {
             return;
         }
@@ -30,6 +31,7 @@ stream_result stream_engine::run(const scenario& sc)
                 + std::to_string(ev.plan_version) + " for '" + net.name()
                 + "'");
         if (!rep.ok()) {
+            ++res.stats.verify_failures;
             throw verification_error(std::move(rep));
         }
     };
@@ -68,6 +70,7 @@ stream_result stream_engine::run(const scenario& sc)
             g);
         gate_plan(net, ev, "re-plan");
         res.planning_ms += ev.planning_ms;
+        ++res.stats.replans;
         int phase_replans = 1;
         if (g == 0 || cfg_.replan_latency_frames <= 0) {
             active = ev.plan;
@@ -94,6 +97,21 @@ stream_result stream_engine::run(const scenario& sc)
             probing ? g + static_cast<std::uint64_t>(cfg_.probe_interval)
                     : phase_end;
         int escalations = 0;
+        bool phase_stale = false;
+
+        // Overload-valve state, reset per phase (the boundary re-plan is
+        // a fresh nominal plan; pressure history does not carry over).
+        const valve_config& vc = cfg_.valve;
+        int valve_level = 0;
+        int over_streak = 0;
+        int under_streak = 0;
+        std::uint64_t last_over_frame = 0;
+        // Outgoing plans' total_time_ms / total_energy_mj, one entry per
+        // shed level: recovery only fires when the stacked plan would fit
+        // comfortably again, so persistent pressure cannot oscillate the
+        // valve.
+        std::vector<double> level_time_stack;
+        std::vector<double> level_energy_stack;
 
         while (g < phase_end) {
             if (has_pending && g >= activate_at) {
@@ -101,9 +119,16 @@ stream_result stream_engine::run(const scenario& sc)
                 active_version = pending.plan_version;
                 has_pending = false;
             }
+            // Fault state for this batch: constant, because batches are
+            // additionally cut at fault-window boundaries below.
+            const double pscale = faults ? faults->period_scale(g) : 1.0;
+            const double sscale = faults ? faults->service_scale(g) : 1.0;
+            const double ndelta = faults ? faults->noise_delta(g) : 0.0;
+            const double eff_period = period_ms * pscale;
+
             // Admit up to max_in_flight frames, but never across a plan
-            // activation or a probe boundary (both are frame-indexed, so
-            // batching cannot change any outcome).
+            // activation, a probe boundary or a fault-window edge (all
+            // frame-indexed, so batching cannot change any outcome).
             std::uint64_t batch_end = std::min(
                 phase_end,
                 g + static_cast<std::uint64_t>(
@@ -114,17 +139,119 @@ stream_result stream_engine::run(const scenario& sc)
             if (next_probe > g) {
                 batch_end = std::min(batch_end, next_probe);
             }
+            if (faults) {
+                batch_end = std::min(batch_end, faults->next_change(g));
+            }
 
+            scenario_phase eff_ph = ph;
+            eff_ph.input_noise += ndelta;
             std::vector<tensor> frames;
             frames.reserve(static_cast<std::size_t>(batch_end - g));
             for (std::uint64_t f = g; f < batch_end; ++f) {
                 frames.push_back(
-                    make_stream_frame(net, ph, sc.stream_seed, f));
+                    make_stream_frame(net, eff_ph, sc.stream_seed, f));
             }
+            const std::uint64_t batch_first = g;
             scheduler_.run_batch(net, active, frames, g, pi,
-                                 active_version, period_ms, res.frames,
-                                 res.ledger);
+                                 active_version, eff_period, sscale,
+                                 res.frames, res.ledger);
             g = batch_end;
+            if (faults && faults->active(batch_first)) {
+                res.stats.faulted_frames += batch_end - batch_first;
+            }
+
+            // Pressure bookkeeping: latency utilization against the
+            // effective period, energy utilization against the optional
+            // per-frame energy budget. Constant across the batch (same
+            // plan, same fault state), but streaks advance per frame so
+            // hysteresis is independent of batch size.
+            const double frame_ms = active.total_time_ms * sscale;
+            double pressure = frame_ms / eff_period;
+            if (vc.energy_budget_mj > 0.0) {
+                pressure = std::max(pressure, active.total_energy_mj
+                                                  / vc.energy_budget_mj);
+            }
+            for (std::uint64_t f = batch_first; f < batch_end; ++f) {
+                if (pressure > 1.0) {
+                    ++over_streak;
+                    under_streak = 0;
+                    last_over_frame = f;
+                } else if (pressure <= vc.recover_below) {
+                    ++under_streak;
+                    over_streak = 0;
+                } else {
+                    // Dead band: neither overloaded nor comfortably calm.
+                    over_streak = 0;
+                    under_streak = 0;
+                }
+            }
+
+            // Valve decisions: one per batch at most, never while another
+            // re-plan is in flight (its activation resolves the pressure
+            // picture first).
+            if (vc.enabled && !has_pending && g < phase_end) {
+                if (over_streak >= vc.shed_after
+                    && valve_level < vc.max_level) {
+                    replan_event sev = governor_.replan_valve(
+                        net, ph, replan_reason::shed, g, valve_level + 1,
+                        vc.budget_step, eff_period);
+                    gate_plan(net, sev, "shed");
+                    res.planning_ms += sev.planning_ms;
+                    level_time_stack.push_back(active.total_time_ms);
+                    level_energy_stack.push_back(active.total_energy_mj);
+                    ++valve_level;
+                    res.stats.max_valve_level = std::max(
+                        res.stats.max_valve_level, valve_level);
+                    ++res.stats.shed_events;
+                    over_streak = 0;
+                    under_streak = 0;
+                    pending = sev;
+                    has_pending = true;
+                    activate_at =
+                        g + static_cast<std::uint64_t>(
+                                std::max(0, cfg_.replan_latency_frames));
+                    ++phase_replans;
+                    res.replans.push_back(std::move(sev));
+                } else if (under_streak >= vc.recover_after
+                           && valve_level > 0
+                           && level_time_stack.back()
+                                  <= vc.recover_below * eff_period
+                           && (vc.energy_budget_mj <= 0.0
+                               || level_energy_stack.back()
+                                      <= vc.recover_below
+                                             * vc.energy_budget_mj)) {
+                    // Restore one level: the stacked pre-shed plan would
+                    // comfortably fit the current effective period, so
+                    // re-planning a level down cannot re-trip the valve
+                    // immediately. Recovery to level 0 runs under the
+                    // nominal period -- DP inputs identical to the phase
+                    // boundary, so the original plan is restored exactly.
+                    const int to_level = valve_level - 1;
+                    const double budget_ms =
+                        to_level == 0 ? period_ms : eff_period;
+                    replan_event rev = governor_.replan_valve(
+                        net, ph, replan_reason::recover, g, to_level,
+                        vc.budget_step, budget_ms);
+                    gate_plan(net, rev, "recover");
+                    res.planning_ms += rev.planning_ms;
+                    level_time_stack.pop_back();
+                    level_energy_stack.pop_back();
+                    valve_level = to_level;
+                    ++res.stats.recover_events;
+                    if (to_level == 0) {
+                        res.stats.recovery_frames = g - last_over_frame;
+                    }
+                    over_streak = 0;
+                    under_streak = 0;
+                    pending = rev;
+                    has_pending = true;
+                    activate_at =
+                        g + static_cast<std::uint64_t>(
+                                std::max(0, cfg_.replan_latency_frames));
+                    ++phase_replans;
+                    res.replans.push_back(std::move(rev));
+                }
+            }
 
             if (!probing || g != next_probe || g >= phase_end) {
                 continue;
@@ -154,16 +281,27 @@ stream_result stream_engine::run(const scenario& sc)
                 static_cast<double>(hits) / static_cast<double>(window);
             // The accuracy floor: the governor's *current* reference
             // (stage-two escalations update it) minus the loss the DP
-            // knowingly spent.
+            // knowingly spent. A shed plan's larger planned loss lowers
+            // the floor with it, so the valve and the drift probe never
+            // fight over deliberately spent accuracy.
             const double floor = governor_.prepare(net).reference_accuracy
                                  - active.planned_accuracy_loss;
-            if (has_pending || escalations >= cfg_.max_escalations_per_phase
+            if (has_pending || phase_stale
+                || escalations >= cfg_.max_escalations_per_phase
                 || window_accuracy >= floor - cfg_.drift_margin) {
                 continue;
             }
 
             replan_event dev = governor_.escalate(net, ph, g);
             gate_plan(net, dev, "escalation");
+            if (dev.plan_stale) {
+                // No lever left (budget floored, requirements saturated):
+                // keep serving the converged plan and stop escalating for
+                // the rest of the phase instead of looping.
+                ++res.stats.stale_escalations;
+                phase_stale = true;
+            }
+            ++res.stats.escalations;
             // Verify the escalation on the live window: the probe's
             // batch_evaluator is based at the outgoing overlay, so pricing
             // the candidate recomputes only the layers it changed.
@@ -172,8 +310,12 @@ stream_result stream_engine::run(const scenario& sc)
                 std::vector<int> wlabels;
                 for (std::size_t i = res.frames.size() - window;
                      i < res.frames.size(); ++i) {
+                    scenario_phase wph = ph;
+                    wph.input_noise +=
+                        faults ? faults->noise_delta(res.frames[i].frame)
+                               : 0.0;
                     wframes.push_back(make_stream_frame(
-                        net, ph, sc.stream_seed, res.frames[i].frame));
+                        net, wph, sc.stream_seed, res.frames[i].frame));
                     wlabels.push_back(res.frames[i].teacher);
                 }
                 const window_probe probe(net, std::move(wframes),
@@ -228,7 +370,13 @@ stream_result stream_engine::run(const scenario& sc)
         res.mean_frame_ms += fr.time_ms;
         res.total_energy_mj += fr.energy_mj;
         hits += fr.predicted == fr.teacher;
+        res.stats.deadline_misses += !fr.deadline_met;
     }
+    res.stats.frames_served = res.frames.size();
+    // The engine serves every admitted frame by construction; the counter
+    // exists so tests assert the no-drop contract explicitly.
+    res.stats.frames_dropped =
+        sc.total_frames() - res.frames.size();
     const double n = static_cast<double>(res.frames.size());
     res.mean_frame_ms /= n;
     res.stream_accuracy = static_cast<double>(hits) / n;

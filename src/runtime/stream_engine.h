@@ -11,7 +11,12 @@
 // governor learned):
 //
 //  * Frames of phase p arrive at target_fps; each frame's modeled service
-//    time is its plan's total_time_ms.
+//    time is its plan's total_time_ms. An optional fault_injector
+//    perturbs the stream deterministically: drift bursts add input
+//    noise, rate bursts scale the effective arrival period (a deadline
+//    storm), service overruns scale the modeled service time. Admission
+//    batches are cut at fault-window boundaries, so injection cannot
+//    change any batching-dependent outcome.
 //  * A phase boundary (or a drift detection) *issues* a re-plan; the new
 //    plan activates `replan_latency_frames` frames later. Interim frames
 //    keep streaming on the previous plan -- or, when the phase switched
@@ -22,7 +27,19 @@
 //  * Every probe_interval frames the engine scores the last probe_window
 //    frames' predictions against their float-teacher argmaxes; when that
 //    window accuracy drops more than drift_margin below the phase's
-//    planned accuracy floor, the governor escalates.
+//    planned accuracy floor, the governor escalates. A stale escalation
+//    (no lever left) stops further escalation for the phase.
+//  * The overload valve watches a pressure signal -- the max of latency
+//    utilization (modeled service time over the effective period) and
+//    energy utilization (frame energy over valve.energy_budget_mj) --
+//    with hysteresis: sustained over-pressure sheds *accuracy* (a
+//    cheaper/faster frontier re-plan at valve level L, granted
+//    L * budget_step extra accuracy allowance and the live effective
+//    deadline), never frames; sustained calm restores one level at a
+//    time once the stacked pre-shed plan would comfortably fit again.
+//    Level 0 re-plans are input-identical to the phase-boundary plan, so
+//    full recovery restores the original plan exactly. State machine and
+//    parameters: docs/robustness.md.
 //
 // Energy is ledger-attributed per power domain (AS / NAS / MEM) for every
 // frame from the active plan's envision power decomposition.
@@ -32,6 +49,7 @@
 #include "energy/energy_ledger.h"
 #include "envision/envision.h"
 #include "runtime/adaptive_governor.h"
+#include "runtime/fault_injector.h"
 #include "runtime/scenario.h"
 #include "runtime/stream_scheduler.h"
 
@@ -40,6 +58,30 @@
 #include <vector>
 
 namespace dvafs {
+
+// The overload valve: shed accuracy before frames. Disabled (enabled =
+// false) the engine behaves exactly as before -- over-pressure frames
+// simply miss their deadlines.
+struct valve_config {
+    bool enabled = true;
+    // Consecutive over-pressure frames (pressure > 1) before shedding one
+    // level. Small: a storm should be answered within a frame batch.
+    int shed_after = 3;
+    // Hysteresis: calm means pressure <= recover_below; this margin keeps
+    // shed/recover from oscillating at the boundary.
+    double recover_below = 0.85;
+    // Consecutive calm frames before restoring one level.
+    int recover_after = 12;
+    // Extra accuracy-loss allowance granted per shed level (the DP budget
+    // becomes phase budget + level * budget_step, clamped to 1).
+    double budget_step = 0.02;
+    // Maximum shed depth.
+    int max_level = 4;
+    // Optional global energy pressure: a per-frame energy budget in mJ
+    // (0 = latency pressure only). Frame energy above it reads as
+    // over-pressure exactly like a deadline overrun.
+    double energy_budget_mj = 0.0;
+};
 
 struct stream_config {
     unsigned threads = 0;          // forward-pass workers (0 = hardware)
@@ -56,6 +98,29 @@ struct stream_config {
     // streaming frames on inconsistent bookkeeping. Costs O(layers x
     // frontier points) per governor decision, so it stays on by default.
     bool verify_replans = true;
+    valve_config valve;
+};
+
+// Robustness counters for one run (tests and benches assert on these
+// instead of scraping the logs). frames_dropped is the no-drop contract
+// made visible: the engine serves every scenario frame by construction,
+// so it must read 0 -- anything else is a harness bug.
+struct stream_stats {
+    std::uint64_t frames_served = 0;
+    std::uint64_t frames_dropped = 0;  // always 0: shed accuracy, not frames
+    int replans = 0;                   // startup + phase-boundary re-plans
+    int escalations = 0;               // drift escalations issued
+    int stale_escalations = 0;         // escalations with no lever left
+    int shed_events = 0;               // valve: levels shed
+    int recover_events = 0;            // valve: levels restored
+    int verify_failures = 0;           // plans rejected by the re-plan gate
+    int deadline_misses = 0;           // frames with deadline_met == false
+    int max_valve_level = 0;           // deepest shed this run
+    std::uint64_t faulted_frames = 0;  // frames with any active fault
+    // Frames from the last over-pressure frame to the recover event that
+    // returned the valve to level 0 (the most recent full recovery; 0 if
+    // the valve never fully recovered or never shed).
+    std::uint64_t recovery_frames = 0;
 };
 
 // Per-phase roll-up of the frame log.
@@ -75,6 +140,7 @@ struct stream_result {
     std::vector<frame_result> frames;   // the per-frame log
     std::vector<replan_event> replans;  // every governor decision
     std::vector<phase_stats> phases;
+    stream_stats stats;
     energy_ledger ledger;               // per-domain attribution, all frames
     double total_energy_mj = 0.0;
     double mean_frame_ms = 0.0;
@@ -97,7 +163,14 @@ public:
     // An engine may run several scenarios: governor state is cached by
     // network name, and a rebuilt network re-binds under its name when
     // its structural fingerprint matches (same seeds, same network).
-    stream_result run(const scenario& sc);
+    //
+    // `faults` (optional) injects the scripted adversities of
+    // runtime/fault_injector.h into the frame loop; it must outlive the
+    // call. Cache faults are NOT installed here -- callers that want them
+    // install the injector process-wide with scoped_disk_fault_hook
+    // before admission.
+    stream_result run(const scenario& sc,
+                      const fault_injector* faults = nullptr);
 
     adaptive_governor& governor() noexcept { return governor_; }
     const stream_config& config() const noexcept { return cfg_; }

@@ -29,7 +29,7 @@ void stream_scheduler::run_batch(const network& net,
                                  const std::vector<tensor>& frames,
                                  std::uint64_t first_frame_index,
                                  std::size_t phase, int plan_version,
-                                 double period_ms,
+                                 double period_ms, double service_scale,
                                  std::vector<frame_result>& out,
                                  energy_ledger& ledger) const
 {
@@ -53,7 +53,7 @@ void stream_scheduler::run_batch(const network& net,
         fr.plan_version = plan_version;
         fr.predicted = argmaxes[i].first;
         fr.teacher = argmaxes[i].second;
-        fr.time_ms = plan.total_time_ms;
+        fr.time_ms = plan.total_time_ms * service_scale;
         fr.energy_mj = plan.total_energy_mj;
         fr.deadline_met = period_ms <= 0.0 || fr.time_ms <= period_ms;
         out.push_back(fr);

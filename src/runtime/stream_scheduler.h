@@ -49,12 +49,17 @@ public:
 
     // Runs `frames` through `net` under `plan`, appending one result per
     // frame (input order) to `out` and attributing each frame's energy to
-    // `ledger` per power domain. `period_ms` is the phase's frame period
-    // for the per-frame deadline flag.
+    // `ledger` per power domain. `period_ms` is the *effective* frame
+    // period for the per-frame deadline flag (the engine shrinks it under
+    // an injected rate burst); `service_scale` multiplies the plan's
+    // modeled service time (>1 under an injected service overrun), so a
+    // scripted fault shows up as honest per-frame latency without
+    // touching the energy attribution.
     void run_batch(const network& net, const network_plan& plan,
                    const std::vector<tensor>& frames,
                    std::uint64_t first_frame_index, std::size_t phase,
                    int plan_version, double period_ms,
+                   double service_scale,
                    std::vector<frame_result>& out,
                    energy_ledger& ledger) const;
 

@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -252,6 +253,188 @@ TEST(disk_store, concurrent_writers_leave_one_complete_entry)
         complete = complete || *got == p;
     }
     EXPECT_TRUE(complete);
+}
+
+// -- quarantine, retry and fault injection ------------------------------------
+
+// A scripted fault hook: serves the queued verdicts one physical attempt
+// at a time, then disk_fault::none forever.
+class script_hook : public disk_fault_hook {
+public:
+    explicit script_hook(std::vector<disk_fault> verdicts)
+        : verdicts_(std::move(verdicts))
+    {
+    }
+    disk_fault on_disk_op(disk_op, const std::string&,
+                          const std::string&) override
+    {
+        const std::size_t i = next_.fetch_add(1);
+        return i < verdicts_.size() ? verdicts_[i] : disk_fault::none;
+    }
+
+private:
+    std::vector<disk_fault> verdicts_;
+    std::atomic<std::size_t> next_{0};
+};
+
+// Satellite: a store pre-corrupted on disk (bit rot, a format bump, a
+// truncation) quarantines exactly the damaged entries -- renamed to
+// <name>.bad, counted in the stats, re-measured once -- while a
+// filename-hash collision (a live entry for another key) is left alone.
+TEST(disk_store, pre_corrupted_entries_are_quarantined_once)
+{
+    const disk_store store(fresh_dir("quarantine"));
+    const std::vector<std::uint8_t> payload(48, 0x3c);
+    for (const char* key : {"rot", "bump", "cut", "intact"}) {
+        ASSERT_TRUE(store.store("teacher", key, payload));
+    }
+
+    // Damage three entries the way a bad disk would.
+    std::vector<std::uint8_t> bytes =
+        read_file(store.path_for("teacher", "rot"));
+    bytes.back() ^= 0x01; // payload bit rot -> checksum
+    write_file(store.path_for("teacher", "rot"), bytes);
+    bytes = read_file(store.path_for("teacher", "bump"));
+    bytes[4] += 1; // store-format version bump
+    write_file(store.path_for("teacher", "bump"), bytes);
+    bytes = read_file(store.path_for("teacher", "cut"));
+    bytes.resize(bytes.size() / 2); // truncation
+    write_file(store.path_for("teacher", "cut"), bytes);
+    // And plant a collision: a valid entry for another key at this path.
+    fs::copy_file(store.path_for("teacher", "intact"),
+                  store.path_for("teacher", "collided"),
+                  fs::copy_options::overwrite_existing);
+
+    disk_store::reset_stats();
+    for (const char* key : {"rot", "bump", "cut"}) {
+        EXPECT_EQ(store.load("teacher", key), std::nullopt) << key;
+        EXPECT_FALSE(fs::exists(store.path_for("teacher", key))) << key;
+        EXPECT_TRUE(
+            fs::exists(store.path_for("teacher", key) + ".bad"))
+            << key;
+    }
+    EXPECT_EQ(store.load("teacher", "collided"), std::nullopt);
+    // The collided file is someone else's live entry: still in place.
+    EXPECT_TRUE(fs::exists(store.path_for("teacher", "collided")));
+    EXPECT_FALSE(
+        fs::exists(store.path_for("teacher", "collided") + ".bad"));
+    EXPECT_EQ(store.load("teacher", "intact"), payload);
+
+    const disk_store_stats st = disk_store::stats();
+    EXPECT_EQ(st.quarantined, 3U);
+    EXPECT_EQ(st.loads, 5U);
+    EXPECT_EQ(st.hits, 1U);
+
+    // Quarantine means re-measured exactly once: the second probe of a
+    // damaged key is a plain absent-file miss, and a fresh store heals it.
+    EXPECT_EQ(store.load("teacher", "rot"), std::nullopt);
+    EXPECT_EQ(disk_store::stats().quarantined, 3U);
+    ASSERT_TRUE(store.store("teacher", "rot", payload));
+    EXPECT_EQ(store.load("teacher", "rot"), payload);
+}
+
+TEST(disk_store, transient_faults_retry_with_backoff)
+{
+    const disk_store store(fresh_dir("transient"));
+    const std::vector<std::uint8_t> payload = {1, 2, 3, 4};
+    ASSERT_TRUE(store.store("schedule", "key", payload));
+
+    // Two transient failures: the third (last) attempt goes through.
+    disk_store::reset_stats();
+    {
+        script_hook hook({disk_fault::transient, disk_fault::transient});
+        const scoped_disk_fault_hook guard(&hook);
+        EXPECT_EQ(store.load("schedule", "key"), payload);
+    }
+    disk_store_stats st = disk_store::stats();
+    EXPECT_EQ(st.retries, 2U);
+    EXPECT_EQ(st.hits, 1U);
+    EXPECT_EQ(st.faults_injected, 2U);
+
+    // One more transient than the retry budget: the load degrades to a
+    // miss -- and the entry is NOT quarantined (nothing was read).
+    disk_store::reset_stats();
+    {
+        script_hook hook(std::vector<disk_fault>(
+            disk_store::max_retries + 1, disk_fault::transient));
+        const scoped_disk_fault_hook guard(&hook);
+        EXPECT_EQ(store.load("schedule", "key"), std::nullopt);
+    }
+    st = disk_store::stats();
+    EXPECT_EQ(st.retries,
+              static_cast<std::uint64_t>(disk_store::max_retries));
+    EXPECT_EQ(st.hits, 0U);
+    EXPECT_EQ(st.quarantined, 0U);
+    EXPECT_EQ(store.load("schedule", "key"), payload);
+
+    // Transient store failures retry the same way.
+    disk_store::reset_stats();
+    {
+        script_hook hook({disk_fault::transient});
+        const scoped_disk_fault_hook guard(&hook);
+        EXPECT_TRUE(store.store("schedule", "key2", payload));
+    }
+    EXPECT_EQ(disk_store::stats().retries, 1U);
+    EXPECT_EQ(store.load("schedule", "key2"), payload);
+}
+
+TEST(disk_store, injected_corruption_drives_the_quarantine_path)
+{
+    const disk_store store(fresh_dir("inject_corrupt"));
+    const std::vector<std::uint8_t> payload(32, 0x77);
+    ASSERT_TRUE(store.store("frontier", "key", payload));
+
+    disk_store::reset_stats();
+    {
+        script_hook hook({disk_fault::corrupt});
+        const scoped_disk_fault_hook guard(&hook);
+        EXPECT_EQ(store.load("frontier", "key"), std::nullopt);
+    }
+    const disk_store_stats st = disk_store::stats();
+    EXPECT_EQ(st.quarantined, 1U);
+    EXPECT_EQ(st.faults_injected, 1U);
+    // The on-disk file really was moved aside, and a clean re-store heals.
+    EXPECT_FALSE(fs::exists(store.path_for("frontier", "key")));
+    EXPECT_TRUE(fs::exists(store.path_for("frontier", "key") + ".bad"));
+    ASSERT_TRUE(store.store("frontier", "key", payload));
+    EXPECT_EQ(store.load("frontier", "key"), payload);
+}
+
+TEST(disk_store, enospc_fails_the_store_terminally)
+{
+    const disk_store store(fresh_dir("enospc"));
+    const std::vector<std::uint8_t> old_payload = {1, 1, 1};
+    const std::vector<std::uint8_t> new_payload = {2, 2, 2};
+    ASSERT_TRUE(store.store("schedule", "key", old_payload));
+
+    disk_store::reset_stats();
+    {
+        script_hook hook({disk_fault::enospc});
+        const scoped_disk_fault_hook guard(&hook);
+        EXPECT_FALSE(store.store("schedule", "key", new_payload));
+    }
+    const disk_store_stats st = disk_store::stats();
+    EXPECT_EQ(st.store_failures, 1U);
+    // A full disk is not retried.
+    EXPECT_EQ(st.retries, 0U);
+    // The previous entry survives the failed overwrite.
+    EXPECT_EQ(store.load("schedule", "key"), old_payload);
+}
+
+TEST(disk_store, slow_reads_only_cost_wall_clock)
+{
+    const disk_store store(fresh_dir("slow"));
+    const std::vector<std::uint8_t> payload = {9, 8, 7};
+    ASSERT_TRUE(store.store("schedule", "key", payload));
+
+    disk_store::reset_stats();
+    script_hook hook({disk_fault::slow_read});
+    const scoped_disk_fault_hook guard(&hook);
+    EXPECT_EQ(store.load("schedule", "key"), payload);
+    const disk_store_stats st = disk_store::stats();
+    EXPECT_EQ(st.hits, 1U);
+    EXPECT_EQ(st.retries, 0U);
+    EXPECT_EQ(st.faults_injected, 1U);
 }
 
 // -- compiled schedules -------------------------------------------------------

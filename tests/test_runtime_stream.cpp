@@ -131,7 +131,7 @@ TEST(stream_scheduler, ledger_attribution_matches_plan_energy)
     const stream_scheduler sched(1);
     std::vector<frame_result> out;
     energy_ledger ledger;
-    sched.run_batch(net, plan, frames, 0, 0, 1, 40.0, out, ledger);
+    sched.run_batch(net, plan, frames, 0, 0, 1, 40.0, 1.0, out, ledger);
 
     ASSERT_EQ(out.size(), 3U);
     for (std::size_t i = 0; i < out.size(); ++i) {
@@ -406,6 +406,263 @@ TEST_F(latency_budget_test, infeasible_deadline_falls_back)
     for (const frame_result& fr : res.frames) {
         EXPECT_FALSE(fr.deadline_met);
     }
+}
+
+// -- drift escalation convergence ---------------------------------------------
+
+// Satellite regression: repeated escalation under permanent drift must
+// converge -- budget halves to its zero floor, stage two saturates every
+// requirement at the frontier width -- and then report plan_stale instead
+// of looping the rebuild or underflowing the budget.
+TEST(adaptive_governor, escalation_converges_to_plan_stale)
+{
+    const envision_model model;
+    adaptive_governor gov(model, small_governor());
+    const network net = make_lenet5({.seed = 7});
+    gov.prepare(net);
+    scenario_phase ph;
+    ph.name = "perma-drift";
+    ph.frames = 8;
+    ph.target_fps = 25.0;
+    ph.accuracy_budget = 0.08;
+
+    bool saw_stale = false;
+    int stale_events = 0;
+    double prev_budget = 1.0;
+    network_plan converged;
+    for (int i = 0; i < 32; ++i) {
+        const replan_event ev =
+            gov.escalate(net, ph, static_cast<std::uint64_t>(i));
+        // The budget only ever tightens and never underflows.
+        EXPECT_GE(ev.accuracy_budget, 0.0);
+        EXPECT_LE(ev.accuracy_budget, prev_budget);
+        prev_budget = ev.accuracy_budget;
+        if (ev.plan_stale) {
+            // Stale implies both levers exhausted: zero budget, no
+            // frontier rebuild (the no-op re-measure must be skipped).
+            EXPECT_EQ(ev.accuracy_budget, 0.0);
+            EXPECT_FALSE(ev.rebuilt_frontiers);
+            if (!saw_stale) {
+                converged = ev.plan;
+            } else {
+                // The converged plan is a fixed point.
+                ASSERT_EQ(ev.plan.layers.size(), converged.layers.size());
+                for (std::size_t k = 0; k < converged.layers.size(); ++k) {
+                    EXPECT_EQ(ev.plan.layers[k].point,
+                              converged.layers[k].point);
+                }
+            }
+            saw_stale = true;
+            ++stale_events;
+        } else {
+            // Staleness is terminal: once there is no lever left there
+            // is never one again.
+            EXPECT_FALSE(saw_stale);
+        }
+    }
+    EXPECT_TRUE(saw_stale);
+    EXPECT_GE(stale_events, 2);
+}
+
+// -- overload valve -----------------------------------------------------------
+
+namespace {
+
+// Per-layer fastest / cheapest sums over the cached frontiers: the bounds
+// the valve tests use to place a storm's effective period between "the
+// nominal plan overruns" and "some frontier selection still fits".
+double frontier_min_time_ms(const std::vector<layer_frontier>& frontiers)
+{
+    double total = 0.0;
+    for (const layer_frontier& lf : frontiers) {
+        double best = lf.points.front().time_ms;
+        for (const layer_frontier_point& p : lf.points) {
+            best = std::min(best, p.time_ms);
+        }
+        total += best;
+    }
+    return total;
+}
+
+scenario storm_scenario(int frames)
+{
+    scenario sc;
+    sc.name = "storm";
+    sc.networks.push_back(make_lenet5({.seed = 7}));
+    scenario_phase ph;
+    ph.name = "steady";
+    ph.frames = frames;
+    ph.target_fps = 25.0;
+    ph.accuracy_budget = 0.0;
+    sc.phases.push_back(ph);
+    return sc;
+}
+
+stream_config valve_test_config()
+{
+    stream_config s;
+    s.probe_interval = 0; // no drift probes: isolate the valve
+    s.valve.shed_after = 3;
+    s.valve.recover_after = 6;
+    // A generous allowance so one shed level is enough to reach any
+    // feasible frontier selection under the storm's deadline.
+    s.valve.budget_step = 0.25;
+    return s;
+}
+
+} // namespace
+
+// A deadline storm (effective period between the per-layer fastest sum and
+// the nominal plan's service time) sheds accuracy instead of frames, and
+// once the storm clears the valve restores the original plan exactly.
+TEST(stream_engine, valve_sheds_in_a_deadline_storm_and_recovers_exactly)
+{
+    const envision_model model;
+    stream_engine engine(model, small_governor(), valve_test_config());
+    const scenario sc = storm_scenario(80);
+    const auto& st = engine.governor().prepare(sc.networks[0]);
+    const double fastest = frontier_min_time_ms(st.frontiers);
+    const double nominal =
+        engine.governor()
+            .replan(sc.networks[0], sc.phases[0],
+                    replan_reason::startup, 0)
+            .plan.total_time_ms;
+    ASSERT_GT(nominal, 0.0);
+    if (fastest >= nominal) {
+        GTEST_SKIP() << "frontier has no faster point than the nominal "
+                        "plan; storm cannot be answered";
+    }
+
+    const double period_ms = 1000.0 / sc.phases[0].target_fps;
+    const double eff_period = 0.5 * (fastest + nominal);
+    fault_script script;
+    script.rate.push_back(
+        {{.first = 10, .count = 30}, eff_period / period_ms});
+    const fault_injector faults(std::move(script));
+
+    const stream_result res = engine.run(sc, &faults);
+    EXPECT_EQ(res.stats.frames_served, 80U);
+    EXPECT_EQ(res.stats.frames_dropped, 0U);
+    EXPECT_GE(res.stats.shed_events, 1);
+    EXPECT_GE(res.stats.recover_events, 1);
+    EXPECT_GE(res.stats.max_valve_level, 1);
+    // The storm frames served before the shed activated missed their
+    // effective deadline; nothing else did.
+    EXPECT_GT(res.stats.deadline_misses, 0);
+    EXPECT_LT(res.stats.deadline_misses, 30);
+    EXPECT_EQ(res.stats.faulted_frames, 30U);
+
+    // The shed plan fits the storm's effective period; the recover event
+    // at level 0 restores the startup plan point for point (same DP
+    // inputs: nominal period, no extra allowance).
+    const replan_event* shed = nullptr;
+    const replan_event* recover = nullptr;
+    for (const replan_event& ev : res.replans) {
+        if (ev.reason == replan_reason::shed && shed == nullptr) {
+            shed = &ev;
+        }
+        if (ev.reason == replan_reason::recover && ev.valve_level == 0) {
+            recover = &ev;
+        }
+    }
+    ASSERT_NE(shed, nullptr);
+    ASSERT_NE(recover, nullptr);
+    EXPECT_EQ(shed->valve_level, 1);
+    EXPECT_NEAR(shed->latency_budget_ms, eff_period, eff_period * 1e-12);
+    EXPECT_LE(shed->plan.total_time_ms, eff_period);
+    EXPECT_LT(shed->plan.total_time_ms, nominal);
+    EXPECT_EQ(recover->latency_budget_ms, period_ms);
+    const network_plan& original = res.replans.front().plan;
+    ASSERT_EQ(recover->plan.layers.size(), original.layers.size());
+    for (std::size_t k = 0; k < original.layers.size(); ++k) {
+        EXPECT_EQ(recover->plan.layers[k].point, original.layers[k].point);
+    }
+    EXPECT_EQ(recover->plan.total_time_ms, original.total_time_ms);
+    EXPECT_EQ(recover->plan.total_energy_mj, original.total_energy_mj);
+    EXPECT_GT(res.stats.recovery_frames, 0U);
+
+    // The stream's tail runs on the restored plan.
+    EXPECT_EQ(res.frames.back().plan_version, recover->plan_version);
+    EXPECT_EQ(res.frames.back().time_ms, original.total_time_ms);
+}
+
+// The same storm with the valve disabled: the stream still serves every
+// frame (no drops -- that contract does not depend on the valve), but the
+// storm frames simply miss their deadlines and no accuracy is shed.
+TEST(stream_engine, valve_disabled_misses_deadlines_without_shedding)
+{
+    const envision_model model;
+    stream_config scfg = valve_test_config();
+    scfg.valve.enabled = false;
+    stream_engine engine(model, small_governor(), scfg);
+    const scenario sc = storm_scenario(80);
+    const auto& st = engine.governor().prepare(sc.networks[0]);
+    const double fastest = frontier_min_time_ms(st.frontiers);
+    const double nominal =
+        engine.governor()
+            .replan(sc.networks[0], sc.phases[0],
+                    replan_reason::startup, 0)
+            .plan.total_time_ms;
+    if (fastest >= nominal) {
+        GTEST_SKIP() << "frontier has no faster point than the nominal "
+                        "plan; storm cannot be answered";
+    }
+    const double period_ms = 1000.0 / sc.phases[0].target_fps;
+    const double eff_period = 0.5 * (fastest + nominal);
+    fault_script script;
+    script.rate.push_back(
+        {{.first = 10, .count = 30}, eff_period / period_ms});
+    const fault_injector faults(std::move(script));
+
+    const stream_result res = engine.run(sc, &faults);
+    EXPECT_EQ(res.stats.frames_served, 80U);
+    EXPECT_EQ(res.stats.frames_dropped, 0U);
+    EXPECT_EQ(res.stats.shed_events, 0);
+    EXPECT_EQ(res.stats.recover_events, 0);
+    EXPECT_EQ(res.stats.max_valve_level, 0);
+    // Every storm frame misses the collapsed deadline.
+    EXPECT_EQ(res.stats.deadline_misses, 30);
+}
+
+// Persistent energy pressure (a per-frame energy budget below the nominal
+// plan's appetite) sheds to a cheaper plan and *holds* it: recovery is
+// gated on the stacked plan fitting comfortably again, so the valve does
+// not oscillate against a constraint that never clears.
+TEST(stream_engine, valve_holds_under_persistent_energy_pressure)
+{
+    const envision_model model;
+    stream_engine probe_engine(model, small_governor(),
+                               valve_test_config());
+    const scenario sc = storm_scenario(64);
+    const auto& st = probe_engine.governor().prepare(sc.networks[0]);
+    double cheapest = 0.0;
+    for (const layer_frontier& lf : st.frontiers) {
+        double best = lf.points.front().energy_mj;
+        for (const layer_frontier_point& p : lf.points) {
+            best = std::min(best, p.energy_mj);
+        }
+        cheapest += best;
+    }
+    const double nominal =
+        probe_engine.governor()
+            .replan(sc.networks[0], sc.phases[0],
+                    replan_reason::startup, 0)
+            .plan.total_energy_mj;
+    if (cheapest >= nominal) {
+        GTEST_SKIP() << "frontier has no cheaper point than the nominal "
+                        "plan; energy pressure cannot be answered";
+    }
+
+    stream_config scfg = valve_test_config();
+    scfg.valve.energy_budget_mj = 0.5 * (cheapest + nominal);
+    stream_engine engine(model, small_governor(), scfg);
+    const stream_result res = engine.run(sc);
+    EXPECT_EQ(res.stats.frames_dropped, 0U);
+    EXPECT_GE(res.stats.shed_events, 1);
+    // The pressure never clears, so the shed plan is held.
+    EXPECT_EQ(res.stats.recover_events, 0);
+    const frame_result& last = res.frames.back();
+    EXPECT_LT(last.energy_mj, nominal);
 }
 
 } // namespace
