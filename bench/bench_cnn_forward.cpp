@@ -6,8 +6,11 @@
 // The sweep comparison runs the *identical* probe sequence on both paths
 // and cross-checks the resulting requirements; a mismatch exits 1 (the
 // speedup would be meaningless). `--min-speedup <x>` turns the end-to-end
-// sweep ratio into a gate (exit 3 below the floor; CI passes 10). `--json
-// <path>` writes the machine-readable records (README "Benchmark output").
+// sweep ratio into a gate (exit 3 below the floor; CI passes 10), and
+// `--min-int8-speedup <x>` gates the true-integer engine's throughput
+// against the float GEMM on the widest (deepest-reduction) layer (CI
+// passes 1.0: int8 must not lose). `--json <path>` writes the
+// machine-readable records (README "Benchmark output").
 
 #include "core/dvafs.h"
 
@@ -25,9 +28,16 @@ double seconds_since(std::chrono::steady_clock::time_point t0)
         .count();
 }
 
-// -- single-layer forward: GEMM vs reference ---------------------------------
+// -- single-layer forward: GEMM vs reference, int8 vs float GEMM -------------
 
-void bench_layers(bench_reporter& report)
+// Returns the int8-over-float-GEMM speedup on the widest probed layer --
+// the one with the deepest per-output reduction (largest GEMM k), where
+// the integer engine's narrower arithmetic pays off structurally -- the
+// `int8.widest_speedup` record that `--min-int8-speedup` gates: the true
+// integer engine must not run slower than the float GEMM it replaces
+// where the reduction is deepest. (Shallow-k first convs sit near parity:
+// per-element requantization amortizes over k.)
+double bench_layers(bench_reporter& report)
 {
     print_banner(std::cout,
                  "single-layer forward: im2col+GEMM vs reference loops");
@@ -49,7 +59,9 @@ void bench_layers(bench_reporter& report)
     };
 
     ascii_table t({"layer", "shape", "MMACs", "ref[ms]", "gemm[ms]",
-                   "speedup"});
+                   "speedup", "int8[ms]", "int8/gemm"});
+    double widest_k = 0.0;
+    double widest_speedup = 0.0;
     for (const probe& p : probes) {
         // Activation shape entering the probed layer.
         tensor_shape s = p.net->input_shape();
@@ -80,15 +92,45 @@ void bench_layers(bench_reporter& report)
         }
         const double gemm_ms = seconds_since(t0) * 1e3 / gemm_reps;
 
+        // The true fixed-point engine at the same 8-bit operand grids:
+        // int8 codes, int32 accumulation, one requantization per layer.
+        const layer_quant qi{.weight_bits = 8, .input_bits = 8,
+                             .compute = compute_mode::i8};
+        sink = sink + l.forward(in, qi).flat()[0]; // warm the code cache
+        t0 = std::chrono::steady_clock::now();
+        for (int r = 0; r < gemm_reps; ++r) {
+            sink = sink + l.forward(in, qi).flat()[0];
+        }
+        const double int8_ms = seconds_since(t0) * 1e3 / gemm_reps;
+        const double int8_speedup = gemm_ms / int8_ms;
+        // Reduction depth k = MACs per output element (c*kernel^2 for
+        // conv, the input width for fc).
+        const tensor_shape os = l.out_shape(s);
+        const double out_elems = static_cast<double>(os.c)
+                                 * static_cast<double>(os.h)
+                                 * static_cast<double>(os.w);
+        const double red_k = mmacs * 1e6 / out_elems;
+        if (red_k > widest_k) {
+            widest_k = red_k;
+            widest_speedup = int8_speedup;
+        }
+
         t.add_row({p.label, s.to_string(), fmt_fixed(mmacs, 2),
                    fmt_fixed(ref_ms, 3), fmt_fixed(gemm_ms, 3),
-                   fmt_fixed(ref_ms / gemm_ms, 1) + "x"});
+                   fmt_fixed(ref_ms / gemm_ms, 1) + "x",
+                   fmt_fixed(int8_ms, 3),
+                   fmt_fixed(int8_speedup, 2) + "x"});
         report.add(std::string(p.label) + ".reference_ms", ref_ms, "ms");
         report.add(std::string(p.label) + ".gemm_ms", gemm_ms, "ms");
         report.add(std::string(p.label) + ".speedup", ref_ms / gemm_ms,
                    "x");
+        report.add(std::string(p.label) + ".int8_ms", int8_ms, "ms");
+        report.add(std::string(p.label) + ".int8_speedup", int8_speedup,
+                   "x");
     }
     t.print(std::cout);
+    report.add("int8.widest_speedup", widest_speedup, "x");
+    return widest_speedup;
 }
 
 // -- end-to-end sweep: memoized batch_evaluator vs the pre-PR path -----------
@@ -190,8 +232,10 @@ int main(int argc, char** argv)
     bench_reporter report("cnn_forward", argc, argv);
     const double min_speedup =
         bench_flag_double(argc, argv, "min-speedup", 0.0);
+    const double min_int8_speedup =
+        bench_flag_double(argc, argv, "min-int8-speedup", 0.0);
 
-    bench_layers(report);
+    const double int8_widest = bench_layers(report);
 
     quant_sweep_config lenet_cfg;
     lenet_cfg.images = 12;
@@ -220,6 +264,13 @@ int main(int argc, char** argv)
         std::cerr << "FAIL: end-to-end sweep speedup "
                   << fmt_fixed(vgg_speedup, 1) << "x below the "
                   << fmt_fixed(min_speedup, 1) << "x floor\n";
+        return 3;
+    }
+    if (min_int8_speedup > 0.0 && int8_widest < min_int8_speedup) {
+        std::cerr << "FAIL: int8 engine at "
+                  << fmt_fixed(int8_widest, 2)
+                  << "x the float GEMM on the widest layer, below the "
+                  << fmt_fixed(min_int8_speedup, 2) << "x floor\n";
         return 3;
     }
     return 0;

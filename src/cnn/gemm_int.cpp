@@ -1,0 +1,223 @@
+#include "cnn/gemm_int.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace dvafs {
+
+namespace {
+
+// Register tile: MR x NR accumulators, same blocking scheme as the float
+// GEMM (gemm.cpp). The int8 kernel widens operands to int before the
+// multiply, which the compiler lowers to widening multiply-add vector
+// forms where the ISA has them; the blocking only reorders *independent*
+// outputs, never the k reduction -- though for exact integer accumulation
+// even that would be safe.
+constexpr std::size_t MR = 4;
+constexpr std::size_t NR = 8;
+
+template <typename T, typename Acc>
+void tile_full(const T* a, const T* b, const Acc* bias, Acc* c,
+               std::size_t k, std::size_t n, std::size_t m0, std::size_t n0)
+{
+    Acc acc[MR][NR];
+    for (std::size_t i = 0; i < MR; ++i) {
+        const Acc init = bias != nullptr ? bias[m0 + i] : Acc{0};
+        for (std::size_t j = 0; j < NR; ++j) {
+            acc[i][j] = init;
+        }
+    }
+    for (std::size_t r = 0; r < k; ++r) {
+        const T* brow = b + r * n + n0;
+        for (std::size_t i = 0; i < MR; ++i) {
+            const Acc av = static_cast<Acc>(a[(m0 + i) * k + r]);
+            for (std::size_t j = 0; j < NR; ++j) {
+                acc[i][j] += av * static_cast<Acc>(brow[j]);
+            }
+        }
+    }
+    for (std::size_t i = 0; i < MR; ++i) {
+        Acc* crow = c + (m0 + i) * n + n0;
+        for (std::size_t j = 0; j < NR; ++j) {
+            crow[j] = acc[i][j];
+        }
+    }
+}
+
+template <typename T, typename Acc>
+void tile_edge(const T* a, const T* b, const Acc* bias, Acc* c,
+               std::size_t k, std::size_t n, std::size_t m0, std::size_t n0,
+               std::size_t mb, std::size_t nb)
+{
+    Acc acc[MR][NR];
+    for (std::size_t i = 0; i < mb; ++i) {
+        const Acc init = bias != nullptr ? bias[m0 + i] : Acc{0};
+        for (std::size_t j = 0; j < nb; ++j) {
+            acc[i][j] = init;
+        }
+    }
+    for (std::size_t r = 0; r < k; ++r) {
+        const T* brow = b + r * n + n0;
+        for (std::size_t i = 0; i < mb; ++i) {
+            const Acc av = static_cast<Acc>(a[(m0 + i) * k + r]);
+            for (std::size_t j = 0; j < nb; ++j) {
+                acc[i][j] += av * static_cast<Acc>(brow[j]);
+            }
+        }
+    }
+    for (std::size_t i = 0; i < mb; ++i) {
+        Acc* crow = c + (m0 + i) * n + n0;
+        for (std::size_t j = 0; j < nb; ++j) {
+            crow[j] = acc[i][j];
+        }
+    }
+}
+
+template <typename T, typename Acc>
+void gemm_blocked_int(const T* a, const T* b, const Acc* bias, Acc* c,
+                      std::size_t m, std::size_t k, std::size_t n)
+{
+    for (std::size_t m0 = 0; m0 < m; m0 += MR) {
+        const std::size_t mb = std::min(MR, m - m0);
+        std::size_t n0 = 0;
+        if (mb == MR) {
+            for (; n0 + NR <= n; n0 += NR) {
+                tile_full<T, Acc>(a, b, bias, c, k, n, m0, n0);
+            }
+        }
+        for (; n0 < n; n0 += NR) {
+            tile_edge<T, Acc>(a, b, bias, c, k, n, m0, n0, mb,
+                              std::min(NR, n - n0));
+        }
+    }
+}
+
+template <typename T, typename Acc>
+void gemm_reference_int(const T* a, const T* b, const Acc* bias, Acc* c,
+                        std::size_t m, std::size_t k, std::size_t n)
+{
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            Acc acc = bias != nullptr ? bias[i] : Acc{0};
+            for (std::size_t r = 0; r < k; ++r) {
+                acc += static_cast<Acc>(a[i * k + r])
+                       * static_cast<Acc>(b[r * n + j]);
+            }
+            c[i * n + j] = acc;
+        }
+    }
+}
+
+} // namespace
+
+void gemm_s8(const std::int8_t* a, const std::int8_t* b,
+             const std::int32_t* bias, std::int32_t* c, std::size_t m,
+             std::size_t k, std::size_t n)
+{
+    // k * 127^2 plus a 31-bit bias must fit int32 (header contract).
+    assert(k <= 66571);
+    gemm_blocked_int<std::int8_t, std::int32_t>(a, b, bias, c, m, k, n);
+}
+
+void gemm_s8_reference(const std::int8_t* a, const std::int8_t* b,
+                       const std::int32_t* bias, std::int32_t* c,
+                       std::size_t m, std::size_t k, std::size_t n)
+{
+    assert(k <= 66571);
+    gemm_reference_int<std::int8_t, std::int32_t>(a, b, bias, c, m, k, n);
+}
+
+void gemm_s16(const std::int16_t* a, const std::int16_t* b,
+              const std::int64_t* bias, std::int64_t* c, std::size_t m,
+              std::size_t k, std::size_t n)
+{
+    gemm_blocked_int<std::int16_t, std::int64_t>(a, b, bias, c, m, k, n);
+}
+
+void gemm_s16_reference(const std::int16_t* a, const std::int16_t* b,
+                        const std::int64_t* bias, std::int64_t* c,
+                        std::size_t m, std::size_t k, std::size_t n)
+{
+    gemm_reference_int<std::int16_t, std::int64_t>(a, b, bias, c, m, k, n);
+}
+
+template <typename T>
+void im2col_codes(const T* x, const tensor_shape& is, int kernel,
+                  int stride, int pad, const tensor_shape& out_shape,
+                  std::vector<T>& cols)
+{
+    const std::size_t n = static_cast<std::size_t>(out_shape.h)
+                          * static_cast<std::size_t>(out_shape.w);
+    const std::size_t rows = static_cast<std::size_t>(is.c)
+                             * static_cast<std::size_t>(kernel)
+                             * static_cast<std::size_t>(kernel);
+    cols.resize(rows * n);
+
+    const std::size_t plane = static_cast<std::size_t>(is.h)
+                              * static_cast<std::size_t>(is.w);
+    std::size_t r = 0;
+    for (int c = 0; c < is.c; ++c) {
+        const T* src_plane = x + static_cast<std::size_t>(c) * plane;
+        for (int ky = 0; ky < kernel; ++ky) {
+            for (int kx = 0; kx < kernel; ++kx, ++r) {
+                T* dst = cols.data() + r * n;
+                for (int oy = 0; oy < out_shape.h; ++oy) {
+                    const int y = oy * stride + ky - pad;
+                    if (y < 0 || y >= is.h) {
+                        std::memset(dst, 0,
+                                    static_cast<std::size_t>(out_shape.w)
+                                        * sizeof(T));
+                        dst += out_shape.w;
+                        continue;
+                    }
+                    const T* src =
+                        src_plane + static_cast<std::size_t>(y)
+                                        * static_cast<std::size_t>(is.w);
+                    int ox = 0;
+                    // Leading taps left of the image.
+                    for (; ox < out_shape.w && ox * stride + kx - pad < 0;
+                         ++ox) {
+                        *dst++ = T{0};
+                    }
+                    // In-image taps; same last-in-bounds clamp as the
+                    // float im2col (a negative numerator must not reach
+                    // the truncating division).
+                    const int last_in = is.w - 1 - kx + pad;
+                    const int in_end =
+                        last_in < 0 ? 0 : last_in / stride + 1;
+                    const int run = std::min(out_shape.w, in_end);
+                    if (stride == 1) {
+                        const int count = run - ox;
+                        if (count > 0) {
+                            std::memcpy(dst, src + (ox + kx - pad),
+                                        static_cast<std::size_t>(count)
+                                            * sizeof(T));
+                            dst += count;
+                            ox = run;
+                        }
+                    } else {
+                        for (; ox < run; ++ox) {
+                            *dst++ = src[ox * stride + kx - pad];
+                        }
+                    }
+                    // Trailing taps right of the image.
+                    for (; ox < out_shape.w; ++ox) {
+                        *dst++ = T{0};
+                    }
+                }
+            }
+        }
+    }
+}
+
+template void im2col_codes<std::int8_t>(const std::int8_t*,
+                                        const tensor_shape&, int, int, int,
+                                        const tensor_shape&,
+                                        std::vector<std::int8_t>&);
+template void im2col_codes<std::int16_t>(const std::int16_t*,
+                                         const tensor_shape&, int, int, int,
+                                         const tensor_shape&,
+                                         std::vector<std::int16_t>&);
+
+} // namespace dvafs

@@ -1,6 +1,7 @@
 #include "cnn/layers.h"
 
 #include "cnn/gemm.h"
+#include "cnn/gemm_int.h"
 #include "fixedpoint/quantize.h"
 
 #include <algorithm>
@@ -8,6 +9,16 @@
 #include <stdexcept>
 
 namespace dvafs {
+
+const char* to_string(compute_mode m) noexcept
+{
+    switch (m) {
+    case compute_mode::f32: return "f32";
+    case compute_mode::i16: return "i16";
+    case compute_mode::i8: return "i8";
+    }
+    return "?";
+}
 
 namespace {
 
@@ -41,6 +52,99 @@ std::vector<float> quantized_weights(const std::vector<float>& w, int bits)
     return out;
 }
 
+// -- integer-path helpers -----------------------------------------------------
+
+// Effective code precision under integer compute: the requested bits
+// clamped into (0, lane]; <= 0 ("keep float") means the full lane width --
+// the integer engine has no float operands to keep.
+int effective_bits(int requested, int lane)
+{
+    return requested > 0 ? std::min(requested, lane) : lane;
+}
+
+// Per-thread integer im2col scratch, one per code width (the float
+// im2col_scratch() discipline: capacity persists across forward calls).
+template <typename T>
+std::vector<T>& code_scratch()
+{
+    thread_local std::vector<T> cols;
+    return cols;
+}
+
+template <typename T>
+const weight_codes<T>& cached_codes(const integer_weight_cache& cache,
+                                    const std::vector<float>& w, int bits)
+{
+    if constexpr (std::is_same_v<T, std::int8_t>) {
+        return cache.i8(w, bits);
+    } else {
+        return cache.i16(w, bits);
+    }
+}
+
+void gemm_codes(const std::int8_t* a, const std::int8_t* b,
+                const std::int32_t* bias, std::int32_t* c, std::size_t m,
+                std::size_t k, std::size_t n)
+{
+    gemm_s8(a, b, bias, c, m, k, n);
+}
+
+void gemm_codes(const std::int16_t* a, const std::int16_t* b,
+                const std::int64_t* bias, std::int64_t* c, std::size_t m,
+                std::size_t k, std::size_t n)
+{
+    gemm_s16(a, b, bias, c, m, k, n);
+}
+
+// Bias values scaled onto the accumulator grid (weight_step * input_step),
+// clamped one bit under the accumulator width -- the headroom the GEMM's
+// k bound reserves, so the exact integer accumulation cannot overflow.
+template <typename Acc>
+std::vector<Acc> bias_codes(const std::vector<float>& b, double acc_step)
+{
+    const int width = static_cast<int>(8 * sizeof(Acc)) - 1;
+    std::vector<Acc> out(b.size());
+    for (std::size_t i = 0; i < b.size(); ++i) {
+        out[i] = static_cast<Acc>(clamp_signed(
+            round_scaled(static_cast<double>(b[i]) / acc_step,
+                         rounding::nearest),
+            width));
+    }
+    return out;
+}
+
+// Requantizes raw accumulators onto a float output tensor. The output grid
+// is chosen per layer from the observed accumulator range (symmetric
+// quantization: the largest magnitude maps to the largest code), so the
+// only arithmetic between the codes and the output is the integer
+// requantize itself -- out[i] = requantize(acc[i]) * out_step.
+template <typename Acc>
+tensor requantized_output(const std::vector<Acc>& acc,
+                          const tensor_shape& os, double acc_step,
+                          int out_bits)
+{
+    tensor out(os);
+    Acc max_mag = 0;
+    for (const Acc v : acc) {
+        max_mag = std::max(max_mag, v < 0 ? static_cast<Acc>(-v) : v);
+    }
+    if (max_mag == 0) {
+        return out; // all-zero accumulators: the zero tensor
+    }
+    const double qmax = static_cast<double>(signed_max(out_bits));
+    const double out_step =
+        acc_step * static_cast<double>(max_mag) / qmax;
+    const requant_scale rs =
+        make_requant_scale(qmax / static_cast<double>(max_mag));
+    std::span<float> of = out.flat();
+    for (std::size_t i = 0; i < acc.size(); ++i) {
+        of[i] = static_cast<float>(
+            static_cast<double>(requantize(acc[i], rs, out_bits))
+            * out_step);
+    }
+    return out;
+}
+
 } // namespace
 
 const std::vector<float>& quantized_weight_cache::get(
@@ -63,6 +167,50 @@ void quantized_weight_cache::invalidate() const noexcept
 {
     const std::lock_guard<std::mutex> lock(mu_);
     by_bits_.clear();
+}
+
+namespace {
+
+template <typename T>
+std::unique_ptr<const weight_codes<T>>
+make_weight_codes(const std::vector<float>& w, int bits)
+{
+    auto wc = std::make_unique<weight_codes<T>>();
+    const quant_params qp = choose_quant(w, bits);
+    wc->codes = quantize_codes<T>(w, qp);
+    wc->step = qp.step;
+    return wc;
+}
+
+} // namespace
+
+const weight_codes<std::int8_t>&
+integer_weight_cache::i8(const std::vector<float>& w, int bits) const
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = by_bits_i8_[bits];
+    if (!slot) {
+        slot = make_weight_codes<std::int8_t>(w, bits);
+    }
+    return *slot;
+}
+
+const weight_codes<std::int16_t>&
+integer_weight_cache::i16(const std::vector<float>& w, int bits) const
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = by_bits_i16_[bits];
+    if (!slot) {
+        slot = make_weight_codes<std::int16_t>(w, bits);
+    }
+    return *slot;
+}
+
+void integer_weight_cache::invalidate() const noexcept
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    by_bits_i8_.clear();
+    by_bits_i16_.clear();
 }
 
 conv_layer::conv_layer(std::string name, int filters, int channels,
@@ -93,8 +241,50 @@ tensor_shape conv_layer::out_shape(const tensor_shape& in) const
     return {f_, oh, ow};
 }
 
+// The true fixed-point conv forward: weights and the input feature map are
+// quantized to integer codes (symmetric per-tensor scales, exactly the
+// grids the f32 path fake-quantizes to), im2col packs codes, the integer
+// GEMM accumulates exactly, and one requantization maps the accumulators
+// onto the float output. The float reference_forward is the oracle:
+// outputs agree within the analytic quantization error of the two operand
+// grids plus the output grid (pinned by tests/test_gemm_int.cpp).
+template <typename T, typename Acc>
+tensor conv_layer::forward_integer(const tensor& in,
+                                   const layer_quant& q) const
+{
+    const tensor_shape os = out_shape(in.shape());
+    const int lane = repr_bits(q.compute);
+    const weight_codes<T>& w = cached_codes<T>(
+        icache_, w_, effective_bits(q.weight_bits, lane));
+    const quant_params qx =
+        choose_quant(in.flat(), effective_bits(q.input_bits, lane));
+    const std::vector<T> xcodes = quantize_codes<T>(in.flat(), qx);
+
+    std::vector<T>& cols = code_scratch<T>();
+    im2col_codes(xcodes.data(), in.shape(), k_, s_, p_, os, cols);
+
+    const std::size_t m = static_cast<std::size_t>(f_);
+    const std::size_t kk = static_cast<std::size_t>(c_)
+                           * static_cast<std::size_t>(k_)
+                           * static_cast<std::size_t>(k_);
+    const std::size_t n = static_cast<std::size_t>(os.h)
+                          * static_cast<std::size_t>(os.w);
+    const double acc_step = w.step * qx.step;
+    const std::vector<Acc> bias = bias_codes<Acc>(b_, acc_step);
+    std::vector<Acc> acc(m * n);
+    gemm_codes(w.codes.data(), cols.data(), bias.data(), acc.data(), m, kk,
+               n);
+    return requantized_output(acc, os, acc_step, lane);
+}
+
 tensor conv_layer::forward(const tensor& in, const layer_quant& q) const
 {
+    if (q.compute == compute_mode::i8) {
+        return forward_integer<std::int8_t, std::int32_t>(in, q);
+    }
+    if (q.compute == compute_mode::i16) {
+        return forward_integer<std::int16_t, std::int64_t>(in, q);
+    }
     const tensor_shape os = out_shape(in.shape());
     tensor xq;
     const tensor& x = maybe_quantized(in, q.input_bits, xq);
@@ -245,8 +435,37 @@ tensor_shape fc_layer::out_shape(const tensor_shape& in) const
     return {out_, 1, 1};
 }
 
+// Matrix-vector analog of conv_layer::forward_integer: the quantized input
+// column is the single GEMM B column (n = 1), same requantization.
+template <typename T, typename Acc>
+tensor fc_layer::forward_integer(const tensor& in,
+                                 const layer_quant& q) const
+{
+    const tensor_shape os = out_shape(in.shape());
+    const int lane = repr_bits(q.compute);
+    const weight_codes<T>& w = cached_codes<T>(
+        icache_, w_, effective_bits(q.weight_bits, lane));
+    const quant_params qx =
+        choose_quant(in.flat(), effective_bits(q.input_bits, lane));
+    const std::vector<T> xcodes = quantize_codes<T>(in.flat(), qx);
+
+    const double acc_step = w.step * qx.step;
+    const std::vector<Acc> bias = bias_codes<Acc>(b_, acc_step);
+    std::vector<Acc> acc(static_cast<std::size_t>(out_));
+    gemm_codes(w.codes.data(), xcodes.data(), bias.data(), acc.data(),
+               static_cast<std::size_t>(out_),
+               static_cast<std::size_t>(in_), 1);
+    return requantized_output(acc, os, acc_step, lane);
+}
+
 tensor fc_layer::forward(const tensor& in, const layer_quant& q) const
 {
+    if (q.compute == compute_mode::i8) {
+        return forward_integer<std::int8_t, std::int32_t>(in, q);
+    }
+    if (q.compute == compute_mode::i16) {
+        return forward_integer<std::int16_t, std::int64_t>(in, q);
+    }
     tensor xq;
     const tensor& x = maybe_quantized(in, q.input_bits, xq);
     const std::vector<float>& w = wcache_.get(w_, q.weight_bits);

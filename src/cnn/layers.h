@@ -6,11 +6,18 @@
 // methodology of the paper's reference [22]): value -> round(value/step) ->
 // clamp -> value. Accumulation stays wide (float stands in for the 32+ bit
 // accumulators of the datapath), matching how Envision computes.
+//
+// Setting layer_quant::compute to i16/i8 replaces that emulation with the
+// true integer engine: operand codes at the lane width, exact integer
+// accumulation and a per-layer requantization (cnn/gemm_int.h). The float
+// reference path is untouched either way -- it is the differential oracle
+// both engines are tested against.
 
 #pragma once
 
 #include "cnn/tensor.h"
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -19,10 +26,31 @@
 
 namespace dvafs {
 
-// Per-layer quantization configuration; bits <= 0 means "keep float".
+// Arithmetic a layer's forward pass executes. f32 is the float GEMM path
+// (fake-quantized weights, double accumulation -- the legacy emulation);
+// i16/i8 run the true integer engine (cnn/gemm_int.h): operands quantized
+// to integer codes at most 16/8 bits wide, int64/int32 accumulation, and a
+// per-layer requantization (integer multiply + saturating rounding right
+// shift) back to the activation grid. reference_forward always stays
+// float -- the differential oracle for both engines.
+enum class compute_mode : std::uint8_t { f32 = 0, i16 = 1, i8 = 2 };
+
+const char* to_string(compute_mode m) noexcept;
+
+// Lane width of a compute mode's operand codes (16 for f32: the Envision
+// word the float path emulates).
+constexpr int repr_bits(compute_mode m) noexcept
+{
+    return m == compute_mode::i8 ? 8 : 16;
+}
+
+// Per-layer quantization configuration; bits <= 0 means "keep float" under
+// f32 compute and "full lane width" under integer compute (the integer
+// engine has no float operands to keep).
 struct layer_quant {
     int weight_bits = 0;
     int input_bits = 0;
+    compute_mode compute = compute_mode::f32;
 
     bool operator==(const layer_quant&) const = default;
 };
@@ -45,6 +73,38 @@ private:
     // unique_ptr entries: references stay stable as the map grows.
     mutable std::map<int, std::unique_ptr<const std::vector<float>>>
         by_bits_;
+};
+
+// Integer codes of a weight vector at one precision, plus the symmetric
+// scale that maps them back to real values.
+template <typename T>
+struct weight_codes {
+    std::vector<T> codes;
+    double step = 1.0;
+};
+
+// Thread-safe per-layer cache of integer weight codes, keyed by bit-width
+// exactly like quantized_weight_cache (the sweep probes each (layer, bits,
+// repr) pair against the whole dataset; the quantization pass runs once
+// per pair). Same lifetime discipline: entries live until invalidate(),
+// which every mutable weights() access calls.
+class integer_weight_cache {
+public:
+    const weight_codes<std::int8_t>& i8(const std::vector<float>& w,
+                                        int bits) const;
+    const weight_codes<std::int16_t>& i16(const std::vector<float>& w,
+                                          int bits) const;
+    void invalidate() const noexcept;
+
+private:
+    mutable std::mutex mu_;
+    // unique_ptr entries: references stay stable as the maps grow.
+    mutable std::map<int,
+                     std::unique_ptr<const weight_codes<std::int8_t>>>
+        by_bits_i8_;
+    mutable std::map<int,
+                     std::unique_ptr<const weight_codes<std::int16_t>>>
+        by_bits_i16_;
 };
 
 class layer {
@@ -94,6 +154,7 @@ public:
     std::vector<float>* weights() noexcept override
     {
         wcache_.invalidate();
+        icache_.invalidate();
         return &w_;
     }
     const std::vector<float>* weights() const noexcept override
@@ -109,6 +170,9 @@ public:
     int pad() const noexcept { return p_; }
 
 private:
+    template <typename T, typename Acc>
+    tensor forward_integer(const tensor& in, const layer_quant& q) const;
+
     std::string name_;
     int f_;
     int c_;
@@ -118,6 +182,7 @@ private:
     std::vector<float> w_; // [F][C][K][K]
     std::vector<float> b_; // [F]
     quantized_weight_cache wcache_;
+    integer_weight_cache icache_;
 };
 
 // -- ReLU ----------------------------------------------------------------------
@@ -168,6 +233,7 @@ public:
     std::vector<float>* weights() noexcept override
     {
         wcache_.invalidate();
+        icache_.invalidate();
         return &w_;
     }
     const std::vector<float>* weights() const noexcept override
@@ -179,12 +245,16 @@ public:
     int inputs() const noexcept { return in_; }
 
 private:
+    template <typename T, typename Acc>
+    tensor forward_integer(const tensor& in, const layer_quant& q) const;
+
     std::string name_;
     int out_;
     int in_;
     std::vector<float> w_; // [out][in]
     std::vector<float> b_;
     quantized_weight_cache wcache_;
+    integer_weight_cache icache_;
 };
 
 } // namespace dvafs

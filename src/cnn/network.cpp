@@ -11,6 +11,13 @@ void network::clear_quant()
     }
 }
 
+void network::set_compute(compute_mode m)
+{
+    for (layer_quant& q : quant_) {
+        q.compute = m;
+    }
+}
+
 std::vector<std::size_t> network::weighted_layers() const
 {
     std::vector<std::size_t> idx;

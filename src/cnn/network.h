@@ -36,6 +36,10 @@ public:
     layer_quant& quant(std::size_t i) { return quant_.at(i); }
     const layer_quant& quant(std::size_t i) const { return quant_.at(i); }
     void clear_quant();
+    // Applies one compute mode to every stored per-layer setting -- the
+    // switch that selects the float or integer inference engine for
+    // forward(input, use_quant=true) callers (cnn/layers.h compute_mode).
+    void set_compute(compute_mode m);
 
     // Indices of the layers that carry weights (conv + fc): the layers the
     // paper's Fig. 6 sweeps over.

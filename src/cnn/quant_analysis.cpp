@@ -126,7 +126,9 @@ batch_evaluator::sweep(const quant_sweep_config& cfg) const
         // Weights: quantize only this layer's weights.
         req.min_weight_bits = cfg.max_bits;
         for (int bits = 1; bits <= cfg.max_bits; ++bits) {
-            overlay[li] = layer_quant{.weight_bits = bits, .input_bits = 0};
+            overlay[li] = layer_quant{.weight_bits = bits,
+                                      .input_bits = 0,
+                                      .compute = cfg.compute};
             if (accuracy(overlay) >= cfg.target_accuracy) {
                 req.min_weight_bits = bits;
                 break;
@@ -135,7 +137,9 @@ batch_evaluator::sweep(const quant_sweep_config& cfg) const
         // Inputs: quantize only this layer's input feature map.
         req.min_input_bits = cfg.max_bits;
         for (int bits = 1; bits <= cfg.max_bits; ++bits) {
-            overlay[li] = layer_quant{.weight_bits = 0, .input_bits = bits};
+            overlay[li] = layer_quant{.weight_bits = 0,
+                                      .input_bits = bits,
+                                      .compute = cfg.compute};
             if (accuracy(overlay) >= cfg.target_accuracy) {
                 req.min_input_bits = bits;
                 break;
@@ -152,7 +156,7 @@ batch_evaluator::refine(std::vector<layer_quant_requirement> reqs,
                         const quant_sweep_config& cfg) const
 {
     for (int round = 0; round < cfg.max_bits; ++round) {
-        if (accuracy(requirements_overlay(net_, reqs))
+        if (accuracy(requirements_overlay(net_, reqs, cfg.compute))
             >= cfg.target_accuracy) {
             break;
         }
@@ -261,21 +265,25 @@ sweep_layer_precision(const network& net, const teacher_dataset& data,
 
 std::vector<layer_quant>
 requirements_overlay(const network& net,
-                     const std::vector<layer_quant_requirement>& req)
+                     const std::vector<layer_quant_requirement>& req,
+                     compute_mode compute)
 {
     std::vector<layer_quant> overlay(net.depth());
     for (const layer_quant_requirement& r : req) {
         overlay.at(r.layer_index).weight_bits = r.min_weight_bits;
         overlay.at(r.layer_index).input_bits = r.min_input_bits;
+        overlay.at(r.layer_index).compute = compute;
     }
     return overlay;
 }
 
 double requirements_accuracy(const network& net,
                              const std::vector<layer_quant_requirement>& req,
-                             const teacher_dataset& data, unsigned threads)
+                             const teacher_dataset& data, unsigned threads,
+                             compute_mode compute)
 {
-    return relative_accuracy(net, data, requirements_overlay(net, req),
+    return relative_accuracy(net, data,
+                             requirements_overlay(net, req, compute),
                              threads);
 }
 

@@ -32,6 +32,11 @@ struct quant_sweep_config {
     int max_bits = 12;          // sweep upper bound
     std::uint64_t seed = 7;
     unsigned threads = 0;       // dataset-level workers; 0 = hardware
+    // Arithmetic engine the probes execute (cnn/layers.h): f32 sweeps the
+    // legacy fake-quantized float path; i16/i8 measure accuracy budgets
+    // against the true integer inference the planner prices. The teacher
+    // labels always come from the float network either way.
+    compute_mode compute = compute_mode::f32;
 };
 
 // A labelled synthetic dataset: inputs plus float-teacher argmax labels.
@@ -137,17 +142,21 @@ sweep_layer_precision(const network& net, const teacher_dataset& data,
                       const quant_sweep_config& cfg);
 
 // The quant overlay encoding a requirement set (identity for layers
-// without a requirement).
+// without a requirement). `compute` selects the engine the overlay runs
+// on; layers without a requirement stay f32 (they have no integer grid to
+// quantize onto).
 std::vector<layer_quant>
 requirements_overlay(const network& net,
-                     const std::vector<layer_quant_requirement>& req);
+                     const std::vector<layer_quant_requirement>& req,
+                     compute_mode compute = compute_mode::f32);
 
 // Joint relative accuracy at a requirement set, without touching the
 // network's stored quant settings.
 double requirements_accuracy(const network& net,
                              const std::vector<layer_quant_requirement>& req,
                              const teacher_dataset& data,
-                             unsigned threads = 0);
+                             unsigned threads = 0,
+                             compute_mode compute = compute_mode::f32);
 
 // Applies the sweep result to the network's quant settings and returns the
 // achieved joint relative accuracy.

@@ -25,6 +25,10 @@ struct layer_workload {
     int input_bits = 16;
     double weight_sparsity = 0.0;
     double input_sparsity = 0.0;
+    // Arithmetic engine the layer's forward pass runs (cnn/layers.h): the
+    // mode selector must not schedule a subword configuration wider than
+    // the engine's lanes (an i8 layer never executes 1x16 arithmetic).
+    compute_mode compute = compute_mode::f32;
 };
 
 // Extracts the weighted layers of `net` as workload descriptors.

@@ -64,23 +64,30 @@ layer_plan assemble_frontier_layer(const layer_runner& runner,
 network_plan precision_planner::plan(const network& net,
                                      const quant_sweep_config& cfg) const
 {
-    const teacher_dataset data = make_teacher_dataset(net, cfg);
+    // Either knob selects the integer engine: a non-f32 sweep config wins,
+    // else the planner's own setting applies to sweep and probes alike.
+    quant_sweep_config scfg = cfg;
+    if (scfg.compute == compute_mode::f32) {
+        scfg.compute = cfg_.compute;
+    }
+    const teacher_dataset data = make_teacher_dataset(net, scfg);
     // One evaluator serves the sweep, the joint refinement and the
     // sparsity statistics: its float-activation cache is shared across all
     // three (sweeps only recompute the perturbed suffix; see
     // cnn/quant_analysis.h).
-    const batch_evaluator eval(net, data, cfg.threads);
+    const batch_evaluator eval(net, data, scfg.threads);
     const std::vector<layer_quant_requirement> reqs =
-        eval.refine(eval.sweep(cfg), cfg);
+        eval.refine(eval.sweep(scfg), scfg);
     const std::vector<layer_sparsity> sparsity = eval.sparsity();
-    return plan_internal(net, reqs, sparsity, &data, cfg.threads);
+    return plan_internal(net, reqs, sparsity, &data, scfg.threads,
+                         scfg.compute);
 }
 
 network_plan precision_planner::plan_with_requirements(
     const network& net, const std::vector<layer_quant_requirement>& reqs,
     const std::vector<layer_sparsity>& sparsity) const
 {
-    return plan_internal(net, reqs, sparsity, nullptr);
+    return plan_internal(net, reqs, sparsity, nullptr, 0, cfg_.compute);
 }
 
 network_plan precision_planner::plan_from_frontiers(
@@ -146,6 +153,7 @@ std::vector<layer_workload> precision_planner::build_workloads(
     for (std::size_t i = 0; i < workloads.size(); ++i) {
         workloads[i].weight_bits = reqs[i].min_weight_bits;
         workloads[i].input_bits = reqs[i].min_input_bits;
+        workloads[i].compute = cfg_.compute;
         if (i < sparsity.size()) {
             workloads[i].weight_sparsity = sparsity[i].weight_sparsity;
             workloads[i].input_sparsity = sparsity[i].input_sparsity;
@@ -160,7 +168,8 @@ std::vector<layer_frontier> precision_planner::layer_frontiers(
     const teacher_dataset* data) const
 {
     return layer_frontiers_from_workloads(
-        net, reqs, build_workloads(net, reqs, sparsity), data, nullptr);
+        net, reqs, build_workloads(net, reqs, sparsity), data, nullptr, 0,
+        cfg_.compute);
 }
 
 std::vector<layer_frontier>
@@ -168,7 +177,7 @@ precision_planner::layer_frontiers_from_workloads(
     const network& net, const std::vector<layer_quant_requirement>& reqs,
     const std::vector<layer_workload>& workloads,
     const teacher_dataset* data, double* acc_ref_out,
-    unsigned threads) const
+    unsigned threads, compute_mode compute) const
 {
     const std::shared_ptr<const mode_frontier> mf = frontier();
     const bool price_accuracy =
@@ -180,7 +189,7 @@ precision_planner::layer_frontiers_from_workloads(
     std::optional<batch_evaluator> eval;
     if (price_accuracy) {
         eval.emplace(net, *data, threads);
-        eval->set_base(requirements_overlay(net, reqs));
+        eval->set_base(requirements_overlay(net, reqs, compute));
     }
     const double acc_ref =
         price_accuracy ? eval->accuracy(eval->base()) : 1.0;
@@ -215,7 +224,8 @@ precision_planner::layer_frontiers_from_workloads(
             const double loss = std::max(
                 0.0,
                 acc_ref
-                    - eval->accuracy(requirements_overlay(net, probe)));
+                    - eval->accuracy(
+                        requirements_overlay(net, probe, compute)));
             loss_at.emplace(precision, loss);
             return loss;
         };
@@ -223,6 +233,12 @@ precision_planner::layer_frontiers_from_workloads(
         std::vector<layer_frontier_point> candidates;
         for (const std::size_t pi : mf->pareto) {
             const frontier_point& p = mf->points[pi];
+            // The integer engine bounds the datapath: an i8 layer's
+            // operands are 8-bit codes at most, so operating points on
+            // wider lanes describe arithmetic that engine never executes.
+            if (lane_bits(p.spec.mode) > repr_bits(w.compute)) {
+                continue;
+            }
             double loss = 0.0;
             if (p.precision_bits < lf.required_bits) {
                 if (!price_accuracy) {
@@ -242,6 +258,28 @@ precision_planner::layer_frontiers_from_workloads(
             c.time_ms = lr.time_ms;
             c.accuracy_loss = loss;
             candidates.push_back(c);
+        }
+        if (candidates.empty()) {
+            // Degenerate grid without any narrow-lane point: fall back to
+            // the unfiltered set rather than hand the DP an empty
+            // frontier (the plan is then conservative, not broken).
+            for (const std::size_t pi : mf->pareto) {
+                const frontier_point& p = mf->points[pi];
+                if (p.precision_bits < lf.required_bits) {
+                    continue;
+                }
+                const envision_mode m = runner_.select_mode(w, p);
+                const layer_run lr =
+                    runner_.run_layer(w, m, p.activity_divisor);
+                layer_frontier_point c;
+                c.mode_point = pi;
+                c.spec = p.spec;
+                c.activity_divisor = p.activity_divisor;
+                c.mode = m;
+                c.energy_mj = lr.energy_mj;
+                c.time_ms = lr.time_ms;
+                candidates.push_back(c);
+            }
         }
 
         // Per-layer Pareto prune over (energy, accuracy loss) -- plus
@@ -279,7 +317,8 @@ precision_planner::layer_frontiers_from_workloads(
 network_plan precision_planner::plan_internal(
     const network& net, const std::vector<layer_quant_requirement>& reqs,
     const std::vector<layer_sparsity>& sparsity,
-    const teacher_dataset* data, unsigned threads) const
+    const teacher_dataset* data, unsigned threads,
+    compute_mode compute) const
 {
     const std::vector<layer_workload> workloads =
         build_workloads(net, reqs, sparsity);
@@ -341,7 +380,7 @@ network_plan precision_planner::plan_internal(
     case plan_policy::frontier_search: {
         const std::vector<layer_frontier> fls =
             layer_frontiers_from_workloads(net, reqs, workloads, data,
-                                           &acc_ref, threads);
+                                           &acc_ref, threads, compute);
         const double budget = np.accuracy_budget;
         const std::vector<std::size_t> sel = select_frontier_points(
             fls, budget, cfg_.budget_resolution);
@@ -369,7 +408,8 @@ network_plan precision_planner::plan_internal(
         np.relative_accuracy =
             !downgraded && !std::isnan(acc_ref)
                 ? acc_ref
-                : requirements_accuracy(net, effective, *data, threads);
+                : requirements_accuracy(net, effective, *data, threads,
+                                        compute);
     }
 
     finish_plan(np, workloads);

@@ -62,6 +62,13 @@ struct planner_config {
     bool time_pareto = false;
     // Gate-level sweep behind the measured frontier (cached process-wide).
     frontier_config frontier;
+    // Arithmetic engine the planner's accuracy probes execute
+    // (cnn/layers.h compute_mode): f32 prices the legacy fake-quantized
+    // float path; i16/i8 price the true integer inference engine
+    // (cnn/gemm_int.h) -- the arithmetic the scheduled datapath actually
+    // runs. plan(net, sweep_cfg) lets a non-f32 sweep config override
+    // this, so either knob selects the integer engine end to end.
+    compute_mode compute = compute_mode::f32;
 };
 
 struct layer_plan {
@@ -168,13 +175,16 @@ public:
 
 private:
     // `threads` is the dataset-level worker count for accuracy probes
-    // (quant_sweep_config::threads; 0 = hardware default).
+    // (quant_sweep_config::threads; 0 = hardware default); `compute` the
+    // engine those probes execute (the resolved planner/sweep knob).
     network_plan plan_internal(const network& net,
                                const std::vector<layer_quant_requirement>&
                                    reqs,
                                const std::vector<layer_sparsity>& sparsity,
                                const teacher_dataset* data,
-                               unsigned threads = 0) const;
+                               unsigned threads = 0,
+                               compute_mode compute
+                               = compute_mode::f32) const;
 
     std::vector<layer_workload> build_workloads(
         const network& net,
@@ -189,7 +199,8 @@ private:
         const std::vector<layer_quant_requirement>& reqs,
         const std::vector<layer_workload>& workloads,
         const teacher_dataset* data, double* acc_ref_out,
-        unsigned threads = 0) const;
+        unsigned threads = 0,
+        compute_mode compute = compute_mode::f32) const;
 
     void finish_plan(network_plan& np,
                      const std::vector<layer_workload>& workloads) const;

@@ -16,6 +16,13 @@ envision_mode layer_runner::select_mode(const layer_workload& w) const
     } else {
         m.mode = sw_mode::w1x16;
     }
+    // The integer engine bounds the datapath: an i8 layer's operands are
+    // at most 8-bit codes, so the widest mode it can be scheduled on is
+    // 2x8 -- pricing a 1x16 configuration the engine never executes would
+    // reopen the modeled-vs-executed gap this path closes.
+    if (w.compute == compute_mode::i8 && m.mode == sw_mode::w1x16) {
+        m.mode = sw_mode::w2x8;
+    }
     m.f_mhz = cal.f_nom_mhz / static_cast<double>(m.n());
     m.vdd = cal.voltage_for_frequency(m.f_mhz);
     m.weight_bits = std::min(w.weight_bits, lane_bits(m.mode));

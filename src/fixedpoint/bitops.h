@@ -85,6 +85,71 @@ inline void transpose64(std::uint64_t x[64]) noexcept
     }
 }
 
+// Arithmetic right shift with round-half-away-from-zero -- the repo-wide
+// rounding discipline for dropping fixed-point fraction bits (matches
+// round_scaled(rounding::nearest) in fixed.h and the DVAFS subword
+// datapath's post-multiply scaling stage). shift in [0, 62]; |v| must stay
+// below 2^62 so adding the rounding bias cannot overflow (asserted).
+constexpr std::int64_t rounding_rshift(std::int64_t v, int shift) noexcept
+{
+    assert(shift >= 0 && shift <= 62);
+    if (shift == 0) {
+        return v;
+    }
+    assert(v > -(1LL << 62) && v < (1LL << 62));
+    const std::int64_t bias = 1LL << (shift - 1);
+    return v >= 0 ? (v + bias) >> shift : -((-v + bias) >> shift);
+}
+
+// Saturating signed add in `width` bits: both operands must already fit the
+// width (asserted), the exact 64-bit sum is clamped to the signed range.
+// This is the accumulate step of the subword MAC -- saturation instead of
+// the wrap UB a native narrow add would invoke.
+constexpr std::int64_t saturating_add(std::int64_t a, std::int64_t b,
+                                      int width) noexcept
+{
+    assert(width >= 1 && width <= 63);
+    assert(fits_signed(a, width) && fits_signed(b, width));
+    return clamp_signed(a + b, width);
+}
+
+// Fixed-point requantization core: scales an integer accumulator onto an
+// output grid as acc * multiplier * 2^-shift (round half away from zero,
+// the same discipline as rounding_rshift), then saturates to signed
+// `out_width` bits. multiplier is a Q31-style integer scale (see
+// quantize.h make_requant_scale); shift may be negative (a left shift) for
+// scales >= 2. The product and shift run in 128 bits, so the arithmetic is
+// exact and the final clamp can never wrap -- signed-overflow-free by
+// construction under UBSan for every input.
+constexpr std::int64_t requantize(std::int64_t acc, std::int32_t multiplier,
+                                  int shift, int out_width) noexcept
+{
+    assert(shift >= -32 && shift <= 94);
+    assert(out_width >= 1 && out_width <= 63);
+    // Hot path: an int32 accumulator (the int8 engine) times the Q31
+    // multiplier stays under 2^62, so the whole computation fits the
+    // native 64-bit rounding shift -- same exact result, no 128-bit ops.
+    if (multiplier >= 0 && shift >= 0 && shift <= 62
+        && acc >= signed_min(32) && acc <= signed_max(32)) {
+        const std::int64_t p = acc * static_cast<std::int64_t>(multiplier);
+        return clamp_signed(rounding_rshift(p, shift), out_width);
+    }
+    using i128 = __int128;
+    const i128 p = static_cast<i128>(acc) * multiplier;
+    i128 q;
+    if (shift > 0) {
+        const i128 bias = static_cast<i128>(1) << (shift - 1);
+        q = p >= 0 ? (p + bias) >> shift : -((-p + bias) >> shift);
+    } else if (shift < 0) {
+        q = p * (static_cast<i128>(1) << -shift);
+    } else {
+        q = p;
+    }
+    const i128 lo = signed_min(out_width);
+    const i128 hi = signed_max(out_width);
+    return static_cast<std::int64_t>(q < lo ? lo : (q > hi ? hi : q));
+}
+
 // Truncates (LSB-gates) a signed `width`-bit value so that only the top
 // `keep_bits` carry information; the dropped LSBs read as zero. This is the
 // DAS input-truncation operation from the paper (Fig. 1a: LSBs gated).

@@ -110,8 +110,7 @@ fixed_point fixed_point::convert(fixed_format to, rounding r,
             }
             break;
         case rounding::nearest:
-            raw = raw >= 0 ? (raw + unit / 2) >> shift
-                           : -((-raw + unit / 2) >> shift);
+            raw = rounding_rshift(raw, shift);
             break;
         case rounding::nearest_even: {
             const std::int64_t q = raw >> shift; // floor

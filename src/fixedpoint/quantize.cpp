@@ -21,19 +21,53 @@ quant_params choose_quant(std::span<const float> data, int bits,
     return qp;
 }
 
+requant_scale make_requant_scale(double scale)
+{
+    requant_scale rs;
+    if (!(scale > 0.0)) {
+        return rs;
+    }
+    int exp = 0;
+    const double m = std::frexp(scale, &exp); // m in [0.5, 1)
+    std::int64_t q = round_scaled(m * static_cast<double>(1LL << 31),
+                                  rounding::nearest);
+    int shift = 31 - exp;
+    if (q == (1LL << 31)) {
+        // m rounded up to exactly 1.0: renormalize.
+        q >>= 1;
+        --shift;
+    }
+    if (shift > 62) {
+        // Vanishing scale: push the excess into the multiplier so the
+        // shift stays in requantize()'s exact range.
+        q >>= std::min(shift - 62, 62);
+        shift = 62;
+        if (q == 0) {
+            return rs; // underflow to the zero scale
+        }
+    }
+    if (shift < -32) {
+        // Astronomical scale (>= 2^63): every nonzero accumulator
+        // saturates anyway; pin the shift at the exact-range edge.
+        shift = -32;
+        q = signed_max(32);
+    }
+    rs.multiplier = static_cast<std::int32_t>(q);
+    rs.shift = shift;
+    return rs;
+}
+
 std::vector<std::int32_t> quantize(std::span<const float> data,
                                    const quant_params& qp)
 {
     std::vector<std::int32_t> out;
     out.reserve(data.size());
-    const auto lo = static_cast<std::int32_t>(signed_min(qp.bits));
-    const auto hi = static_cast<std::int32_t>(signed_max(qp.bits));
     for (const float v : data) {
         const std::int64_t code =
             round_scaled(static_cast<double>(v) / qp.step,
                          rounding::nearest);
         out.push_back(static_cast<std::int32_t>(
-            std::clamp<std::int64_t>(code, lo, hi)));
+            clamp_signed(code, qp.bits)));
     }
     return out;
 }
@@ -53,12 +87,10 @@ void fake_quantize_inplace(std::span<float> data, int bits,
                            double max_abs_override)
 {
     const quant_params qp = choose_quant(data, bits, max_abs_override);
-    const auto lo = static_cast<std::int64_t>(signed_min(bits));
-    const auto hi = static_cast<std::int64_t>(signed_max(bits));
     for (float& v : data) {
         std::int64_t code = round_scaled(static_cast<double>(v) / qp.step,
                                          rounding::nearest);
-        code = std::clamp(code, lo, hi);
+        code = clamp_signed(code, bits);
         v = static_cast<float>(qp.dequantize(
             static_cast<std::int32_t>(code)));
     }
@@ -67,13 +99,11 @@ void fake_quantize_inplace(std::span<float> data, int bits,
 double quantization_rmse(std::span<const float> data, int bits)
 {
     const quant_params qp = choose_quant(data, bits);
-    const auto lo = static_cast<std::int64_t>(signed_min(bits));
-    const auto hi = static_cast<std::int64_t>(signed_max(bits));
     double sq = 0.0;
     for (const float v : data) {
         std::int64_t code = round_scaled(static_cast<double>(v) / qp.step,
                                          rounding::nearest);
-        code = std::clamp(code, lo, hi);
+        code = clamp_signed(code, bits);
         const double err =
             qp.dequantize(static_cast<std::int32_t>(code)) - v;
         sq += err * err;

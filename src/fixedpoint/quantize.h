@@ -9,8 +9,10 @@
 
 #include "fixedpoint/fixed.h"
 
+#include <cassert>
 #include <cstdint>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 namespace dvafs {
@@ -27,6 +29,29 @@ struct quant_params {
     }
 };
 
+// Integer requantization scale: a positive real scale decomposed as
+// multiplier * 2^-shift with multiplier a Q31-style integer in
+// [2^30, 2^31) (gemmlowp's normalization; relative error <= 2^-31).
+// multiplier == 0 encodes scale 0 and maps every accumulator to code 0.
+// This is the form fixedpoint/bitops.h requantize() consumes: between an
+// integer accumulator and the output codes the only arithmetic is one
+// integer multiply plus one saturating rounding right shift -- exactly the
+// requantization stage of the DVAFS subword datapath.
+struct requant_scale {
+    std::int32_t multiplier = 0;
+    int shift = 0;
+};
+
+// Decomposes `scale`; scale <= 0 (or denormal-small) yields {0, 0}.
+requant_scale make_requant_scale(double scale);
+
+// Applies the scale to one accumulator, saturating into `out_width` bits.
+inline std::int64_t requantize(std::int64_t acc, const requant_scale& s,
+                               int out_width) noexcept
+{
+    return requantize(acc, s.multiplier, s.shift, out_width);
+}
+
 // Chooses quantization parameters for `data` at `bits` precision.
 // If max_abs_override > 0 it is used instead of the observed max (lets the
 // caller share one scale across tensors, e.g. activations over a batch).
@@ -36,6 +61,27 @@ quant_params choose_quant(std::span<const float> data, int bits,
 // Quantizes to integer codes (saturating, round-half-away-from-zero).
 std::vector<std::int32_t> quantize(std::span<const float> data,
                                    const quant_params& qp);
+
+// Quantizes straight into a narrow code type (int8_t / int16_t) for the
+// integer inference path -- same grid, rounding and saturation as
+// quantize(), but the codes are stored at the width the integer GEMM
+// consumes. qp.bits must fit T (asserted).
+template <typename T>
+std::vector<T> quantize_codes(std::span<const float> data,
+                              const quant_params& qp)
+{
+    static_assert(std::is_signed_v<T> && sizeof(T) <= 4);
+    assert(qp.bits >= 1 && qp.bits <= static_cast<int>(8 * sizeof(T)));
+    std::vector<T> out;
+    out.reserve(data.size());
+    for (const float v : data) {
+        const std::int64_t code =
+            round_scaled(static_cast<double>(v) / qp.step,
+                         rounding::nearest);
+        out.push_back(static_cast<T>(clamp_signed(code, qp.bits)));
+    }
+    return out;
+}
 
 // Dequantizes codes back to real values.
 std::vector<float> dequantize(std::span<const std::int32_t> codes,

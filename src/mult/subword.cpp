@@ -131,7 +131,7 @@ std::uint32_t subword_mac(std::uint32_t acc, std::uint16_t a, std::uint16_t b,
             sign_extend(static_cast<std::uint64_t>(acc) >> (pb * i), pb);
         const std::int64_t pv =
             sign_extend(static_cast<std::uint64_t>(prod) >> (pb * i), pb);
-        const std::int64_t sum = clamp_signed(av + pv, pb);
+        const std::int64_t sum = saturating_add(av, pv, pb);
         out = static_cast<std::uint32_t>(out
                                          | (to_bits(sum, pb) << (pb * i)));
     }
