@@ -8,18 +8,103 @@
 // speedup would be meaningless). `--min-speedup <x>` turns the end-to-end
 // sweep ratio into a gate (exit 3 below the floor; CI passes 10), and
 // `--min-int8-speedup <x>` gates the true-integer engine's throughput
-// against the float GEMM on the widest (deepest-reduction) layer (CI
-// passes 1.0: int8 must not lose). `--json <path>` writes the
-// machine-readable records (README "Benchmark output").
+// against the float GEMM on the widest (deepest-reduction) layer (for
+// the CI floor see .github/workflows/ci.yml). `--json <path>` writes
+// the machine-readable records (README "Benchmark output"); every record
+// carries the active host-SIMD backend in its "isa" field. `--isa <name>`
+// forces a specific vec backend (exit 1 when unavailable); before any
+// timing, all three GEMM datatypes are cross-checked under every
+// available backend against the forced-scalar reference -- exit 1 on any
+// byte of disagreement.
 
 #include "core/dvafs.h"
 
+#include "cnn/gemm_int.h"
+
 #include <chrono>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 
 using namespace dvafs;
 
 namespace {
+
+// Pre-timing cross-backend check: float, int8 and int16 GEMMs over a few
+// shapes (full 4x8 / 4x16 tiles, ragged edges, the n == 1 fc shape the
+// int8 gate measures) must produce byte-identical outputs under every
+// available vec backend vs the scalar overlay. Restores the previously
+// active backend before returning.
+bool vec_backends_identical()
+{
+    struct shape {
+        std::size_t m, k, n;
+    };
+    const std::vector<shape> shapes = {
+        {8, 576, 1}, {4, 64, 16}, {5, 33, 19}, {1, 7, 1}, {3, 66, 40}};
+    pcg32 rng(99);
+    const vec::isa restore = vec::active_isa();
+    bool ok = true;
+    for (const shape& sh : shapes) {
+        std::vector<float> fa(sh.m * sh.k);
+        std::vector<float> fb(sh.k * sh.n);
+        std::vector<float> fbias(sh.m);
+        std::vector<std::int8_t> a8(sh.m * sh.k);
+        std::vector<std::int8_t> b8(sh.k * sh.n);
+        std::vector<std::int32_t> bias32(sh.m);
+        std::vector<std::int16_t> a16(sh.m * sh.k);
+        std::vector<std::int16_t> b16(sh.k * sh.n);
+        std::vector<std::int64_t> bias64(sh.m);
+        for (std::size_t i = 0; i < sh.m * sh.k; ++i) {
+            fa[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+            a8[i] = static_cast<std::int8_t>(rng.next_u64());
+            a16[i] = static_cast<std::int16_t>(rng.next_u64());
+        }
+        for (std::size_t i = 0; i < sh.k * sh.n; ++i) {
+            fb[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+            b8[i] = static_cast<std::int8_t>(rng.next_u64());
+            b16[i] = static_cast<std::int16_t>(rng.next_u64());
+        }
+        for (std::size_t i = 0; i < sh.m; ++i) {
+            fbias[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+            bias32[i] = static_cast<std::int32_t>(rng.next_u64() & 0xffff);
+            bias64[i] = static_cast<std::int64_t>(rng.next_u64() & 0xffff);
+        }
+        std::vector<float> fref(sh.m * sh.n);
+        std::vector<std::int32_t> ref32(sh.m * sh.n);
+        std::vector<std::int64_t> ref64(sh.m * sh.n);
+        vec::force_isa(vec::isa::scalar);
+        gemm_blocked(fa.data(), fb.data(), fbias.data(), fref.data(),
+                     sh.m, sh.k, sh.n);
+        gemm_s8(a8.data(), b8.data(), bias32.data(), ref32.data(), sh.m,
+                sh.k, sh.n);
+        gemm_s16(a16.data(), b16.data(), bias64.data(), ref64.data(),
+                 sh.m, sh.k, sh.n);
+        std::vector<float> fc(sh.m * sh.n);
+        std::vector<std::int32_t> c32(sh.m * sh.n);
+        std::vector<std::int64_t> c64(sh.m * sh.n);
+        for (const vec::isa level : vec::available()) {
+            vec::force_isa(level);
+            gemm_blocked(fa.data(), fb.data(), fbias.data(), fc.data(),
+                         sh.m, sh.k, sh.n);
+            gemm_s8(a8.data(), b8.data(), bias32.data(), c32.data(),
+                    sh.m, sh.k, sh.n);
+            gemm_s16(a16.data(), b16.data(), bias64.data(), c64.data(),
+                     sh.m, sh.k, sh.n);
+            const std::size_t out = sh.m * sh.n;
+            if (std::memcmp(fc.data(), fref.data(), out * sizeof(float))
+                    != 0
+                || c32 != ref32 || c64 != ref64) {
+                std::cerr << "FAIL: vec backend " << vec::isa_name(level)
+                          << " GEMM disagrees with the scalar overlay at "
+                          << sh.m << "x" << sh.k << "x" << sh.n << "\n";
+                ok = false;
+            }
+        }
+    }
+    vec::force_isa(restore);
+    return ok;
+}
 
 double seconds_since(std::chrono::steady_clock::time_point t0)
 {
@@ -234,6 +319,20 @@ int main(int argc, char** argv)
         bench_flag_double(argc, argv, "min-speedup", 0.0);
     const double min_int8_speedup =
         bench_flag_double(argc, argv, "min-int8-speedup", 0.0);
+    const std::string isa_flag = bench_flag_string(argc, argv, "isa", "");
+    if (!isa_flag.empty() && !vec::force_isa(isa_flag)) {
+        std::cerr << "bench_cnn_forward: --isa " << isa_flag
+                  << " is not available on this host/build\n";
+        return 1;
+    }
+    report.set_isa(vec::isa_name(vec::active_isa()));
+    const bool pinned =
+        !isa_flag.empty() || std::getenv("DVAFS_FORCE_ISA") != nullptr;
+    std::cout << "host-SIMD backend: " << vec::isa_name(vec::active_isa())
+              << (pinned ? " (forced)" : " (auto-detected)") << "\n";
+    if (!vec_backends_identical()) {
+        return 1;
+    }
 
     const double int8_widest = bench_layers(report);
 

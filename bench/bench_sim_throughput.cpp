@@ -16,11 +16,18 @@
 // scalar oracle (exit 2 -- advisory on shared runners; the scalar side is
 // an extrapolated slice, so this gate absorbs what bench_sim_engine's
 // old 10x check used to assert). `--json <path>` writes the
-// machine-readable records (docs/bench_schema.md).
+// machine-readable records (docs/bench_schema.md); every record carries
+// the active host-SIMD backend in its "isa" field. `--isa <name>` forces
+// a specific vec backend (exit 1 when unavailable); before any timing the
+// bench replays a sweep slice under every available backend against the
+// forced-scalar reference and exits 1 on the slightest toggle or
+// capacitance disagreement -- a throughput number from a non-bit-identical
+// backend is meaningless.
 
 #include "core/dvafs.h"
 
 #include <chrono>
+#include <cstdlib>
 #include <iostream>
 #include <vector>
 
@@ -174,11 +181,49 @@ activity best_of(int reps, const Runner& runner)
     return best;
 }
 
+// Pre-timing cross-backend check: a short slice of the first sweep point
+// through the compiled engines under every available vec backend must
+// reproduce the forced-scalar toggles and switched capacitance exactly.
+// Restores the previously active backend before returning.
+bool vec_backends_identical(const dvafs_multiplier& mult,
+                            const tech_model& tech)
+{
+    point_stream sc;
+    sc.spec = kparam_sweep_points(16).front();
+    sc.vectors = 1 << 10;
+    const vec::isa restore = vec::active_isa();
+    bool ok = true;
+    vec::force_isa(vec::isa::scalar);
+    const activity ref4 = run_compiled<4>(mult, tech, sc);
+    const activity ref8 = run_compiled<8>(mult, tech, sc);
+    for (const vec::isa level : vec::available()) {
+        vec::force_isa(level);
+        const activity c4 = run_compiled<4>(mult, tech, sc);
+        const activity c8 = run_compiled<8>(mult, tech, sc);
+        if (c4.toggles != ref4.toggles || c4.cap_ff != ref4.cap_ff
+            || c8.toggles != ref8.toggles || c8.cap_ff != ref8.cap_ff) {
+            std::cerr << "FAIL: vec backend " << vec::isa_name(level)
+                      << " disagrees with the scalar overlay\n";
+            ok = false;
+        }
+    }
+    vec::force_isa(restore);
+    return ok;
+}
+
 } // namespace
 
 int main(int argc, char** argv)
 {
     bench_reporter report("sim_throughput", argc, argv);
+    const std::string isa_flag =
+        bench_flag_string(argc, argv, "isa", "");
+    if (!isa_flag.empty() && !vec::force_isa(isa_flag)) {
+        std::cerr << "bench_sim_throughput: --isa " << isa_flag
+                  << " is not available on this host/build\n";
+        return 1;
+    }
+    report.set_isa(vec::isa_name(vec::active_isa()));
     const double min_speedup =
         bench_flag_double(argc, argv, "min-speedup", 0.0);
     const double min_interp_speedup =
@@ -195,6 +240,14 @@ int main(int argc, char** argv)
                  "gate simulation on the Fig. 2 multiplier sweep ("
                      + std::to_string(mult.gate_count()) + " gates, "
                      + std::to_string(vectors) + " vectors/point)");
+    const bool pinned =
+        !isa_flag.empty() || std::getenv("DVAFS_FORCE_ISA") != nullptr;
+    std::cout << "  host-SIMD backend: "
+              << vec::isa_name(vec::active_isa())
+              << (pinned ? " (forced)" : " (auto-detected)") << "\n";
+    if (!vec_backends_identical(mult, tech)) {
+        return 1;
+    }
 
     ascii_table t({"point", "sched gates", "scalar", "64-lane", "W4",
                    "W8", "W4 x", "W8 x"});

@@ -5,22 +5,29 @@ Usage: collect_bench.py OUT.json IN1.json [IN2.json ...]
            [--required bench:metric[,bench:metric ...]] ...
 
 Every bench_* target writes a flat JSON array of
-{"bench", "metric", "value", "unit"} records (docs/bench_schema.md).
-This script concatenates the inputs, sorts records by (bench, metric) so
-the merged file diffs cleanly between refreshes, and writes the result.
-A (bench, metric) pair appearing twice is a hard error: the baseline
-gate looks records up by that pair, so a duplicate would make the gated
-value depend on merge order (benches that run a configuration twice must
-disambiguate the bench name, e.g. with --bench-suffix).
+{"bench", "metric", "value", "unit", "isa"} records
+(docs/bench_schema.md). The "isa" field names the host-SIMD backend the
+numbers were measured under (src/vec/ runtime dispatch); records written
+before the field existed -- including checked-in baselines -- are read
+as isa "default". This script concatenates the inputs, sorts records by
+(bench, metric, isa) so the merged file diffs cleanly between
+refreshes, and writes the result. A (bench, metric, isa) triple
+appearing twice is a hard error: the baseline gate looks records up by
+that key, so a duplicate would make the gated value depend on merge
+order (benches that run a configuration twice under the SAME backend
+must disambiguate the bench name, e.g. with --bench-suffix; the same
+bench under different --isa or DVAFS_MARCH legs merges cleanly because
+the isa differs).
 
 `--required` names (bench, metric) pairs -- colon-separated, since both
-halves contain dots -- that MUST appear in the merged output; the flag
-repeats and each occurrence takes a comma-separated list. A bench that
-silently stops emitting a gated record (renamed metric, crashed before
-report.write, dropped from the CI matrix) would otherwise shrink the
-baseline without failing anything; with --required the merge fails
-loudly instead. CI's bench-release job runs it over the uploaded
-artifacts to produce the refresh candidate for the checked-in
+halves contain dots -- that MUST appear in the merged output under at
+least one isa; the flag repeats and each occurrence takes a
+comma-separated list. A bench that silently stops emitting a gated
+record (renamed metric, crashed before report.write, dropped from the
+CI matrix) would otherwise shrink the baseline without failing
+anything; with --required the merge fails loudly instead. CI's
+bench-release job runs it over the uploaded artifacts of every
+DVAFS_MARCH leg to produce the refresh candidate for the checked-in
 BENCH_sim.json baseline; refreshing the baseline is a deliberate
 commit, never automatic.
 
@@ -88,29 +95,32 @@ def main(argv: list) -> int:
             missing = {"bench", "metric", "value", "unit"} - set(rec)
             if missing:
                 fail(f"{path}: record missing {sorted(missing)}", 2)
-            pair = (rec["bench"], rec["metric"])
-            if pair in seen:
+            isa = rec.get("isa", "default")
+            key = (rec["bench"], rec["metric"], isa)
+            if key in seen:
                 fail(
-                    f"{path}: duplicate record {pair!r}"
-                    f" (already in {seen[pair]})",
+                    f"{path}: duplicate record {key!r}"
+                    f" (already in {seen[key]})",
                     2,
                 )
-            seen[pair] = path
+            seen[key] = path
             records.append(
                 {
                     "bench": rec["bench"],
                     "metric": rec["metric"],
                     "value": rec["value"],
                     "unit": rec["unit"],
+                    "isa": isa,
                 }
             )
 
-    absent = [pair for pair in required if pair not in seen]
+    present = {(bench, metric) for bench, metric, _ in seen}
+    absent = [pair for pair in required if pair not in present]
     if absent:
         listed = ", ".join(f"{b}:{m}" for b, m in absent)
         fail(f"required records missing from the merge: {listed}", 3)
 
-    records.sort(key=lambda r: (r["bench"], r["metric"]))
+    records.sort(key=lambda r: (r["bench"], r["metric"], r["isa"]))
     with open(out_path, "w", encoding="utf-8") as f:
         json.dump(records, f, indent=2)
         f.write("\n")

@@ -27,8 +27,11 @@ def run(script, *args):
     )
 
 
-def record(bench, metric, value=1.0, unit="x"):
-    return {"bench": bench, "metric": metric, "value": value, "unit": unit}
+def record(bench, metric, value=1.0, unit="x", isa=None):
+    rec = {"bench": bench, "metric": metric, "value": value, "unit": unit}
+    if isa is not None:
+        rec["isa"] = isa
+    return rec
 
 
 class CollectBenchTest(unittest.TestCase):
@@ -90,6 +93,52 @@ class CollectBenchTest(unittest.TestCase):
         a = self.write("a.json", [{"bench": "b", "metric": "m", "value": 1}])
         proc = run(COLLECT, self.out_path(), a)
         self.assertEqual(proc.returncode, 2)
+
+    def test_missing_isa_reads_as_default(self):
+        # Records predating the "isa" field (checked-in baselines) stay
+        # valid and come out tagged "default".
+        a = self.write("a.json", [record("b1", "m1")])
+        out = self.out_path()
+        proc = run(COLLECT, out, a)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        with open(out, encoding="utf-8") as f:
+            merged = json.load(f)
+        self.assertEqual(merged[0]["isa"], "default")
+
+    def test_same_metric_different_isa_ok(self):
+        # The same (bench, metric) from two DVAFS_MARCH / --isa legs
+        # merges cleanly; the isa field disambiguates.
+        a = self.write(
+            "a.json",
+            [
+                record("b1", "m1", 9.0, isa="avx2"),
+                record("b1", "m1", 5.0, isa="scalar"),
+            ],
+        )
+        b = self.write("b.json", [record("b1", "m1", 1.0)])  # default
+        out = self.out_path()
+        proc = run(COLLECT, out, a, b)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        with open(out, encoding="utf-8") as f:
+            merged = json.load(f)
+        # Sorted by (bench, metric, isa).
+        self.assertEqual(
+            [r["isa"] for r in merged], ["avx2", "default", "scalar"]
+        )
+
+    def test_same_isa_still_duplicate(self):
+        a = self.write("a.json", [record("b1", "m1", 1.0, isa="avx2")])
+        b = self.write("b.json", [record("b1", "m1", 2.0, isa="avx2")])
+        proc = run(COLLECT, self.out_path(), a, b)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("duplicate", proc.stderr)
+
+    def test_required_satisfied_by_any_isa(self):
+        # --required names (bench, metric); a record under any isa
+        # satisfies it.
+        a = self.write("a.json", [record("b1", "m.x", isa="avx512")])
+        proc = run(COLLECT, self.out_path(), a, "--required", "b1:m.x")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
 
     def test_required_present_passes(self):
         a = self.write("a.json", [record("b1", "m.x"), record("b2", "m.y")])

@@ -7,6 +7,7 @@
 #include "circuit/tech.h"
 #include "util/disk_store.h"
 #include "util/serial.h"
+#include "vec/vec.h"
 
 #include <algorithm>
 #include <atomic>
@@ -209,80 +210,42 @@ compiled_sim<W>::compiled_sim(
 }
 
 template <int W>
-template <gate_kind K>
-void compiled_sim<W>::exec_run(const compiled_run& run,
-                               const wide_word<W>& toggle_mask,
-                               int last_word, int last_bit)
-{
-    const compiled_schedule& s = *sched_;
-    const net_id* const i0 = s.in0.data();
-    const net_id* const i1 = s.in1.data();
-    const net_id* const i2 = s.in2.data();
-    wide_word<W>* const v = values_.data();
-    std::uint64_t* const tg = toggles_.data();
-    std::uint8_t* const last = last_.data();
-    const wide_word<W> ones = wide_word<W>::ones();
-
-    // K is a compile-time constant: eval_gate_kind's switch folds away and
-    // the loop body is branch-free -- three fanin gathers, W-word bitwise
-    // ops, fused transition popcount. Dense renumbering makes the output
-    // slot the loop index, so value/toggle/last writes stream sequentially.
-    for (std::uint32_t i = run.begin; i < run.end; ++i) {
-        const wide_word<W> r =
-            eval_gate_kind<wide_word<W>>(K, v[i0[i]], v[i1[i]], v[i2[i]],
-                                         ones);
-        v[i] = r;
-        tg[i] += lane_shift_transitions(r, last[i], toggle_mask);
-        last[i] = static_cast<std::uint8_t>((r.w[last_word] >> last_bit)
-                                            & 1ULL);
-    }
-}
-
-template <int W>
 void compiled_sim<W>::dispatch_run(const compiled_run& run,
                                    const wide_word<W>& toggle_mask,
                                    int last_word, int last_bit)
 {
-    switch (run.kind) {
-    case gate_kind::buf:
-        exec_run<gate_kind::buf>(run, toggle_mask, last_word, last_bit);
-        break;
-    case gate_kind::not_g:
-        exec_run<gate_kind::not_g>(run, toggle_mask, last_word, last_bit);
-        break;
-    case gate_kind::and_g:
-        exec_run<gate_kind::and_g>(run, toggle_mask, last_word, last_bit);
-        break;
-    case gate_kind::or_g:
-        exec_run<gate_kind::or_g>(run, toggle_mask, last_word, last_bit);
-        break;
-    case gate_kind::xor_g:
-        exec_run<gate_kind::xor_g>(run, toggle_mask, last_word, last_bit);
-        break;
-    case gate_kind::nand_g:
-        exec_run<gate_kind::nand_g>(run, toggle_mask, last_word, last_bit);
-        break;
-    case gate_kind::nor_g:
-        exec_run<gate_kind::nor_g>(run, toggle_mask, last_word, last_bit);
-        break;
-    case gate_kind::xnor_g:
-        exec_run<gate_kind::xnor_g>(run, toggle_mask, last_word, last_bit);
-        break;
-    case gate_kind::and3_g:
-        exec_run<gate_kind::and3_g>(run, toggle_mask, last_word, last_bit);
-        break;
-    case gate_kind::or3_g:
-        exec_run<gate_kind::or3_g>(run, toggle_mask, last_word, last_bit);
-        break;
-    case gate_kind::mux_g:
-        exec_run<gate_kind::mux_g>(run, toggle_mask, last_word, last_bit);
-        break;
-    case gate_kind::maj_g:
-        exec_run<gate_kind::maj_g>(run, toggle_mask, last_word, last_bit);
-        break;
-    case gate_kind::input:
-    case gate_kind::constant:
+    if (run.kind == gate_kind::input || run.kind == gate_kind::constant) {
         throw std::logic_error("compiled_sim: unschedulable kind in run");
+    }
+    // One indirect call per kind-homogeneous run into the dispatched
+    // host-SIMD backend (src/vec/): the backend folds the kind switch at
+    // compile time and fuses the transition popcount into the same pass,
+    // exactly as the pre-vec per-kind templates did -- but compiled once
+    // per ISA with real vector flags instead of hoping the baseline
+    // build auto-vectorizes. Dense renumbering makes the output slot the
+    // loop index, so value/toggle/last writes stream sequentially.
+    static_assert(sizeof(wide_word<W>) == sizeof(std::uint64_t) * W);
+    vec::gate_run_args args;
+    args.kind = static_cast<int>(run.kind);
+    args.in0 = sched_->in0.data();
+    args.in1 = sched_->in1.data();
+    args.in2 = sched_->in2.data();
+    args.begin = run.begin;
+    args.end = run.end;
+    args.values = values_.data()->w;
+    args.toggles = toggles_.data();
+    args.last = last_.data();
+    args.toggle_mask = toggle_mask.w;
+    args.last_word = last_word;
+    args.last_bit = last_bit;
+    const vec::kernel_table& kt = vec::active();
+    if constexpr (W == 1) {
+        kt.exec_gates_w1(args);
+    } else if constexpr (W == 4) {
+        kt.exec_gates_w4(args);
+    } else {
+        static_assert(W == 8, "compiled_sim: no vec kernel for this W");
+        kt.exec_gates_w8(args);
     }
 }
 
@@ -333,6 +296,7 @@ void compiled_sim<W>::apply(const std::vector<std::uint64_t>& input_words,
         }
     }
 
+    const vec::kernel_table& kt = vec::active();
     for (const compiled_schedule::live_input& li : s.live_inputs) {
         wide_word<W> v{};
         std::memcpy(v.w,
@@ -341,7 +305,7 @@ void compiled_sim<W>::apply(const std::vector<std::uint64_t>& input_words,
                     sizeof(v.w));
         values_[li.dense] = v;
         toggles_[li.dense] +=
-            lane_shift_transitions(v, last_[li.dense], toggle_mask);
+            kt.shift_transitions(v.w, toggle_mask.w, W, last_[li.dense]);
         last_[li.dense] = static_cast<std::uint8_t>(
             (v.w[last_word] >> last_bit) & 1ULL);
     }

@@ -237,9 +237,11 @@ public:
     }
 
 private:
-    template <gate_kind K>
-    void exec_run(const compiled_run& run, const wide_word<W>& toggle_mask,
-                  int last_word, int last_bit);
+    // Gate runs execute through the dispatched host-SIMD backend
+    // (src/vec/): one indirect call per kind-homogeneous run, the kind
+    // switch and the W-word kernels live in the backend TU. Every backend
+    // is bit-identical to the scalar one, so engine results never depend
+    // on the host ISA.
     void dispatch_run(const compiled_run& run,
                       const wide_word<W>& toggle_mask, int last_word,
                       int last_bit);

@@ -10,19 +10,14 @@
 //
 // Toggle counting (the energy hot path) needs one cross-word operation:
 // the "previous lane" shift used to detect transitions between adjacent
-// vectors. lane_shift_transitions fuses shift, xor, mask and popcount in
-// word order, carrying bit 63 of word k into bit 0 of word k+1, with the
-// previous batch's final lane entering bit 0 of word 0 -- bit-exact
-// against logic_sim64's (w ^ ((w << 1) | last)) & mask popcount.
+// vectors. That fused shift+xor+mask+popcount lives in the host-SIMD
+// layer (src/vec/, kernel_table::shift_transitions) so each ISA backend
+// compiles it with real vector flags; this header stays a plain POD
+// container with constexpr bitwise operators.
 
 #pragma once
 
-#include <bit>
 #include <cstdint>
-
-#if defined(__AVX2__)
-#include <immintrin.h>
-#endif
 
 namespace dvafs {
 
@@ -109,70 +104,6 @@ constexpr wide_word<W> operator~(const wide_word<W>& a) noexcept
         r.w[k] = ~a.w[k];
     }
     return r;
-}
-
-// Number of lane-to-lane transitions in `cur` under `mask`, with
-// `last_lane` (0/1, the final lane of the previous batch) shifted into
-// lane 0. This is the wide generalization of logic_sim64's toggle count.
-// When the build enables AVX2 (e.g. -DDVAFS_MARCH=x86-64-v3), W-multiple-
-// of-4 blocks take a vector path: the lane shift is built with a qword
-// rotation, the popcount with the pshufb nibble LUT and psadbw; the
-// result is identical to the scalar path bit for bit.
-template <int W>
-inline std::uint64_t lane_shift_transitions(const wide_word<W>& cur,
-                                            std::uint64_t last_lane,
-                                            const wide_word<W>& mask) noexcept
-{
-#if defined(__AVX2__)
-    if constexpr (W % 4 == 0) {
-        const __m256i lut =
-            _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3,
-                             4, 0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3,
-                             3, 4);
-        const __m256i low4 = _mm256_set1_epi8(0x0f);
-        __m256i acc = _mm256_setzero_si256();
-        std::uint64_t carry = last_lane;
-        for (int q = 0; q < W / 4; ++q) {
-            const __m256i w = _mm256_loadu_si256(
-                reinterpret_cast<const __m256i*>(cur.w + 4 * q));
-            const __m256i mk = _mm256_loadu_si256(
-                reinterpret_cast<const __m256i*>(mask.w + 4 * q));
-            // prev = [carry<<63, w0, w1, w2]: each qword's left neighbour,
-            // so (prev >> 63) is the bit shifted into each lane 0.
-            const __m256i rot = _mm256_permute4x64_epi64(w, 0x90);
-            const __m256i prev = _mm256_blend_epi32(
-                rot,
-                _mm256_set1_epi64x(static_cast<long long>(carry << 63)),
-                0x03);
-            carry = cur.w[4 * q + 3] >> 63;
-            const __m256i shifted = _mm256_or_si256(
-                _mm256_slli_epi64(w, 1), _mm256_srli_epi64(prev, 63));
-            const __m256i x =
-                _mm256_and_si256(_mm256_xor_si256(w, shifted), mk);
-            const __m256i lo =
-                _mm256_shuffle_epi8(lut, _mm256_and_si256(x, low4));
-            const __m256i hi = _mm256_shuffle_epi8(
-                lut, _mm256_and_si256(_mm256_srli_epi16(x, 4), low4));
-            acc = _mm256_add_epi64(
-                acc, _mm256_sad_epu8(_mm256_add_epi8(lo, hi),
-                                     _mm256_setzero_si256()));
-        }
-        const __m128i s =
-            _mm_add_epi64(_mm256_castsi256_si128(acc),
-                          _mm256_extracti128_si256(acc, 1));
-        return static_cast<std::uint64_t>(_mm_cvtsi128_si64(s))
-               + static_cast<std::uint64_t>(_mm_extract_epi64(s, 1));
-    }
-#endif
-    std::uint64_t total = 0;
-    std::uint64_t carry = last_lane;
-    for (int k = 0; k < W; ++k) {
-        const std::uint64_t shifted = (cur.w[k] << 1) | carry;
-        carry = cur.w[k] >> 63;
-        total += static_cast<std::uint64_t>(
-            std::popcount((cur.w[k] ^ shifted) & mask.w[k]));
-    }
-    return total;
 }
 
 } // namespace dvafs

@@ -1,104 +1,20 @@
 #include "cnn/gemm.h"
 
+#include "vec/vec.h"
+
 #include <algorithm>
 #include <cstring>
 
 namespace dvafs {
 
-namespace {
-
-// Register tile: MR x NR double accumulators. Sized so the full-tile
-// kernel's accumulators plus one broadcast value and one B-row segment fit
-// the 16 baseline x86-64 vector registers (4x8 doubles = 8 two-lane SSE2
-// registers, or 4 AVX2 registers where the compiler has them).
-constexpr std::size_t MR = 4;
-constexpr std::size_t NR = 8;
-
-// Full MR x NR tile with compile-time trip counts so the inner j loop
-// vectorizes; k stays the sequential outer reduction (the bit-compat
-// contract in gemm.h).
-void tile_full(const float* a, const float* b, const float* bias, float* c,
-               std::size_t k, std::size_t n, std::size_t m0, std::size_t n0)
-{
-    double acc[MR][NR];
-    for (std::size_t i = 0; i < MR; ++i) {
-        const double init = bias != nullptr
-                                ? static_cast<double>(bias[m0 + i])
-                                : 0.0;
-        for (std::size_t j = 0; j < NR; ++j) {
-            acc[i][j] = init;
-        }
-    }
-    for (std::size_t r = 0; r < k; ++r) {
-        const float* brow = b + r * n + n0;
-        double bd[NR];
-        for (std::size_t j = 0; j < NR; ++j) {
-            bd[j] = static_cast<double>(brow[j]);
-        }
-        for (std::size_t i = 0; i < MR; ++i) {
-            const double av = static_cast<double>(a[(m0 + i) * k + r]);
-            for (std::size_t j = 0; j < NR; ++j) {
-                acc[i][j] += av * bd[j];
-            }
-        }
-    }
-    for (std::size_t i = 0; i < MR; ++i) {
-        float* crow = c + (m0 + i) * n + n0;
-        for (std::size_t j = 0; j < NR; ++j) {
-            crow[j] = static_cast<float>(acc[i][j]);
-        }
-    }
-}
-
-// Edge tile with runtime trip counts (mb <= MR, nb <= NR).
-void tile_edge(const float* a, const float* b, const float* bias, float* c,
-               std::size_t k, std::size_t n, std::size_t m0, std::size_t n0,
-               std::size_t mb, std::size_t nb)
-{
-    double acc[MR][NR];
-    for (std::size_t i = 0; i < mb; ++i) {
-        const double init = bias != nullptr
-                                ? static_cast<double>(bias[m0 + i])
-                                : 0.0;
-        for (std::size_t j = 0; j < nb; ++j) {
-            acc[i][j] = init;
-        }
-    }
-    for (std::size_t r = 0; r < k; ++r) {
-        const float* brow = b + r * n + n0;
-        for (std::size_t i = 0; i < mb; ++i) {
-            const double av = static_cast<double>(a[(m0 + i) * k + r]);
-            for (std::size_t j = 0; j < nb; ++j) {
-                acc[i][j] += av * static_cast<double>(brow[j]);
-            }
-        }
-    }
-    for (std::size_t i = 0; i < mb; ++i) {
-        float* crow = c + (m0 + i) * n + n0;
-        for (std::size_t j = 0; j < nb; ++j) {
-            crow[j] = static_cast<float>(acc[i][j]);
-        }
-    }
-}
-
-} // namespace
-
 void gemm_blocked(const float* a, const float* b, const float* bias,
                   float* c, std::size_t m, std::size_t k, std::size_t n)
 {
-    for (std::size_t m0 = 0; m0 < m; m0 += MR) {
-        const std::size_t mb = std::min(MR, m - m0);
-        std::size_t n0 = 0;
-        if (mb == MR) {
-            for (; n0 + NR <= n; n0 += NR) {
-                tile_full(a, b, bias, c, k, n, m0, n0);
-            }
-        }
-        for (; n0 < n; n0 += NR) {
-            tile_edge(a, b, bias, c, k, n, m0, n0, mb,
-                      std::min(NR, n - n0));
-        }
-    }
+    // The MR x NR register-tiled kernel lives in the host-SIMD layer
+    // (src/vec/kernels_body.h) so each ISA backend compiles it with real
+    // vector flags; every backend is bit-identical to the scalar overlay
+    // (k-ascending double accumulation, no FMA contraction).
+    vec::active().gemm_f32(a, b, bias, c, m, k, n);
 }
 
 void im2col(const tensor& x, int kernel, int stride, int pad,

@@ -1,5 +1,7 @@
 #include "cnn/gemm_int.h"
 
+#include "vec/vec.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cstring>
@@ -7,91 +9,6 @@
 namespace dvafs {
 
 namespace {
-
-// Register tile: MR x NR accumulators, same blocking scheme as the float
-// GEMM (gemm.cpp). The int8 kernel widens operands to int before the
-// multiply, which the compiler lowers to widening multiply-add vector
-// forms where the ISA has them; the blocking only reorders *independent*
-// outputs, never the k reduction -- though for exact integer accumulation
-// even that would be safe.
-constexpr std::size_t MR = 4;
-constexpr std::size_t NR = 8;
-
-template <typename T, typename Acc>
-void tile_full(const T* a, const T* b, const Acc* bias, Acc* c,
-               std::size_t k, std::size_t n, std::size_t m0, std::size_t n0)
-{
-    Acc acc[MR][NR];
-    for (std::size_t i = 0; i < MR; ++i) {
-        const Acc init = bias != nullptr ? bias[m0 + i] : Acc{0};
-        for (std::size_t j = 0; j < NR; ++j) {
-            acc[i][j] = init;
-        }
-    }
-    for (std::size_t r = 0; r < k; ++r) {
-        const T* brow = b + r * n + n0;
-        for (std::size_t i = 0; i < MR; ++i) {
-            const Acc av = static_cast<Acc>(a[(m0 + i) * k + r]);
-            for (std::size_t j = 0; j < NR; ++j) {
-                acc[i][j] += av * static_cast<Acc>(brow[j]);
-            }
-        }
-    }
-    for (std::size_t i = 0; i < MR; ++i) {
-        Acc* crow = c + (m0 + i) * n + n0;
-        for (std::size_t j = 0; j < NR; ++j) {
-            crow[j] = acc[i][j];
-        }
-    }
-}
-
-template <typename T, typename Acc>
-void tile_edge(const T* a, const T* b, const Acc* bias, Acc* c,
-               std::size_t k, std::size_t n, std::size_t m0, std::size_t n0,
-               std::size_t mb, std::size_t nb)
-{
-    Acc acc[MR][NR];
-    for (std::size_t i = 0; i < mb; ++i) {
-        const Acc init = bias != nullptr ? bias[m0 + i] : Acc{0};
-        for (std::size_t j = 0; j < nb; ++j) {
-            acc[i][j] = init;
-        }
-    }
-    for (std::size_t r = 0; r < k; ++r) {
-        const T* brow = b + r * n + n0;
-        for (std::size_t i = 0; i < mb; ++i) {
-            const Acc av = static_cast<Acc>(a[(m0 + i) * k + r]);
-            for (std::size_t j = 0; j < nb; ++j) {
-                acc[i][j] += av * static_cast<Acc>(brow[j]);
-            }
-        }
-    }
-    for (std::size_t i = 0; i < mb; ++i) {
-        Acc* crow = c + (m0 + i) * n + n0;
-        for (std::size_t j = 0; j < nb; ++j) {
-            crow[j] = acc[i][j];
-        }
-    }
-}
-
-template <typename T, typename Acc>
-void gemm_blocked_int(const T* a, const T* b, const Acc* bias, Acc* c,
-                      std::size_t m, std::size_t k, std::size_t n)
-{
-    for (std::size_t m0 = 0; m0 < m; m0 += MR) {
-        const std::size_t mb = std::min(MR, m - m0);
-        std::size_t n0 = 0;
-        if (mb == MR) {
-            for (; n0 + NR <= n; n0 += NR) {
-                tile_full<T, Acc>(a, b, bias, c, k, n, m0, n0);
-            }
-        }
-        for (; n0 < n; n0 += NR) {
-            tile_edge<T, Acc>(a, b, bias, c, k, n, m0, n0, mb,
-                              std::min(NR, n - n0));
-        }
-    }
-}
 
 template <typename T, typename Acc>
 void gemm_reference_int(const T* a, const T* b, const Acc* bias, Acc* c,
@@ -116,8 +33,13 @@ void gemm_s8(const std::int8_t* a, const std::int8_t* b,
              std::size_t k, std::size_t n)
 {
     // k * 127^2 plus a 31-bit bias must fit int32 (header contract).
+    // The vec backends' widening multiply-add kernels rely on the same
+    // bound for their per-lane i32 accumulators.
     assert(k <= 66571);
-    gemm_blocked_int<std::int8_t, std::int32_t>(a, b, bias, c, m, k, n);
+    // Dispatched host-SIMD kernel (src/vec/): n == 1 (fc layers) takes a
+    // k-vectorized dot product, wider n a 4x16 interleaved-pmaddwd tile.
+    // Integer accumulation is exact, so every backend is bit-identical.
+    vec::active().gemm_s8(a, b, bias, c, m, k, n);
 }
 
 void gemm_s8_reference(const std::int8_t* a, const std::int8_t* b,
@@ -132,7 +54,7 @@ void gemm_s16(const std::int16_t* a, const std::int16_t* b,
               const std::int64_t* bias, std::int64_t* c, std::size_t m,
               std::size_t k, std::size_t n)
 {
-    gemm_blocked_int<std::int16_t, std::int64_t>(a, b, bias, c, m, k, n);
+    vec::active().gemm_s16(a, b, bias, c, m, k, n);
 }
 
 void gemm_s16_reference(const std::int16_t* a, const std::int16_t* b,

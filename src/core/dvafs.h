@@ -1,6 +1,7 @@
 // Umbrella header: the public API of the DVAFS library.
 //
 // Layering (bottom to top):
+//   vec/       one-source host-SIMD kernels with runtime ISA dispatch
 //   circuit/   gate-level netlists, logic simulation, timing, technology
 //   mult/      exact + approximate multipliers; the DVAFS multiplier
 //   sim/       64-lane batched sweeps: operating-point grids, thread pool
@@ -19,6 +20,8 @@
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
+
+#include "vec/vec.h"
 
 #include "fixedpoint/bitops.h"
 #include "fixedpoint/fixed.h"

@@ -72,7 +72,10 @@ constexpr int hamming(std::uint64_t a, std::uint64_t b) noexcept
 // x[r] is element (r, c); after the call bit r of x[c] is that element).
 // Recursive block swaps, 6 rounds of 32 masked exchanges -- the fast path
 // for turning per-vector operand words into per-input lane words when
-// packing stimuli for the bit-parallel gate simulators.
+// packing stimuli for the bit-parallel gate simulators. This is the
+// reference network; the hot packing loop (mult/dvafs_mult.cpp) calls the
+// dispatched host-SIMD version instead (src/vec/, which vectorizes the
+// wide exchange rounds and is bit-identical to this one).
 inline void transpose64(std::uint64_t x[64]) noexcept
 {
     std::uint64_t m = 0x00000000FFFFFFFFULL;

@@ -2,6 +2,7 @@
 
 #include "fixedpoint/bitops.h"
 #include "mult/booth.h"
+#include "vec/vec.h"
 
 #include <algorithm>
 #include <array>
@@ -350,7 +351,10 @@ void dvafs_multiplier::pack_input_words(
     // operand pair (a | b << w, at most 32 bits for w = 16); one 64x64
     // transpose turns the rows into per-input lane words -- ~15 ops per
     // vector instead of a test-and-set per operand bit. Rows past `count`
-    // stay zero, so the unused lanes pack as zero exactly as before.
+    // stay zero, so the unused lanes pack as zero exactly as before. The
+    // transpose goes through the dispatched host-SIMD backend (src/vec/);
+    // every backend matches the bitops.h reference network bit for bit.
+    const vec::kernel_table& kt = vec::active();
     std::uint64_t rows[64];
     for (int base = 0; base < count; base += 64) {
         const int n = std::min(64, count - base);
@@ -359,7 +363,7 @@ void dvafs_multiplier::pack_input_words(
                          | ((b[base + lane] & keep) << w);
         }
         std::fill(rows + n, rows + 64, 0);
-        transpose64(rows);
+        kt.transpose64(rows);
         const std::size_t block = static_cast<std::size_t>(base) >> 6;
         for (int i = 0; i < 2 * w; ++i) {
             words[static_cast<std::size_t>(i) * bl + block] = rows[i];

@@ -87,7 +87,8 @@ bool bench_reporter::write() const
         out << "  {\"bench\": \"" << json_escape(bench_)
             << "\", \"metric\": \"" << json_escape(r.metric)
             << "\", \"value\": " << json_number(r.value)
-            << ", \"unit\": \"" << json_escape(r.unit) << "\"}"
+            << ", \"unit\": \"" << json_escape(r.unit)
+            << "\", \"isa\": \"" << json_escape(isa_) << "\"}"
             << (i + 1 < records_.size() ? ",\n" : "\n");
     }
     out << "]\n";
@@ -107,6 +108,14 @@ double bench_flag_double(int argc, char** argv, const std::string& name,
         throw std::invalid_argument("--" + name + ": bad number " + raw);
     }
     return v;
+}
+
+std::string bench_flag_string(int argc, char** argv,
+                              const std::string& name,
+                              const std::string& fallback)
+{
+    const std::string raw = find_flag_value(argc, argv, "--" + name);
+    return raw.empty() ? fallback : raw;
 }
 
 } // namespace dvafs

@@ -2,7 +2,8 @@
 //
 // Every bench_* target accepts `--json <path>`; when present, the bench
 // writes a JSON array of flat records
-//     {"bench": "...", "metric": "...", "value": <number>, "unit": "..."}
+//     {"bench": "...", "metric": "...", "value": <number>, "unit": "...",
+//      "isa": "..."}
 // alongside its human-readable tables, so CI can archive a benchmark
 // trajectory and gate on regressions. The full schema -- field
 // conventions, units, gate exit codes, which benches CI uploads, and the
@@ -38,6 +39,14 @@ public:
     void add(const std::string& metric, double value,
              const std::string& unit);
 
+    // Tags every record with the host-SIMD backend the numbers were
+    // measured under (vec::isa_name of the active table). Defaults to
+    // "default": records from benches that predate the vec layer -- and
+    // checked-in baselines missing the field -- stay valid, and
+    // collect_bench.py treats a missing "isa" as "default" when merging.
+    void set_isa(std::string isa) { isa_ = std::move(isa); }
+    const std::string& isa() const noexcept { return isa_; }
+
     bool enabled() const noexcept { return !path_.empty(); }
     const std::vector<bench_record>& records() const noexcept
     {
@@ -51,6 +60,7 @@ public:
 private:
     std::string bench_;
     std::string path_;
+    std::string isa_ = "default";
     std::vector<bench_record> records_;
 };
 
@@ -59,5 +69,11 @@ private:
 // missing or non-numeric value.
 double bench_flag_double(int argc, char** argv, const std::string& name,
                          double fallback);
+
+// String-valued variant of bench_flag_double (e.g. --isa avx2). Throws
+// std::invalid_argument when the flag is present without a value.
+std::string bench_flag_string(int argc, char** argv,
+                              const std::string& name,
+                              const std::string& fallback);
 
 } // namespace dvafs

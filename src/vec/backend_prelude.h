@@ -1,0 +1,25 @@
+// Everything a backend TU includes at global scope, gathered in one place
+// so the overlay headers and kernels_body.h can stay include-free (they
+// are textually included *inside* the backend's namespace, where a
+// #include of a system header would be ill-formed).
+//
+// Keep this list minimal and header-only-light on purpose: a backend TU
+// is compiled with -m<isa> flags, and any shared inline function or
+// template it instantiates becomes a weak symbol carrying ISA-specific
+// code that the linker may select program-wide. gate_kinds.h is safe --
+// the backends instantiate eval_gate_kind only with their own local word
+// type, giving the instantiation a backend-unique mangled name.
+
+#pragma once
+
+#include "circuit/gate_kinds.h" // gate_kind + the shared truth table
+#include "vec/vec.h"
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#elif defined(__ARM_NEON)
+#include <arm_neon.h>
+#endif

@@ -1,0 +1,308 @@
+// AVX2 overlay: 256-bit definitions for the vocabulary ops that profit.
+//
+// Included inside a backend namespace (backend_avx2.cpp, and again under
+// backend_avx512.cpp's namespace for the ops AVX-512 does not re-overlay);
+// no #includes here -- intrinsics come from vec/backend_prelude.h. Every
+// op is bit-identical to the ops_scalar.h fallback: bitwise kernels by
+// construction, the float tile by replicating the exact per-element
+// mul/add sequence in double, the integer kernels because exact integer
+// accumulation is order-free.
+
+#ifndef DVAFS_VEC_HAVE_MASKED_POPCOUNT
+#define DVAFS_VEC_HAVE_MASKED_POPCOUNT 1
+// Harley-Seal-free nibble-LUT popcount: pshufb on both nibbles, psadbw
+// against zero to sum bytes per qword.
+inline std::uint64_t masked_popcount(const std::uint64_t* x,
+                                     const std::uint64_t* m, int n)
+{
+    const __m256i lut = _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2,
+                                         3, 2, 3, 3, 4, 0, 1, 1, 2, 1, 2,
+                                         2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+    const __m256i low4 = _mm256_set1_epi8(0x0f);
+    __m256i acc = _mm256_setzero_si256();
+    int k = 0;
+    for (; k + 4 <= n; k += 4) {
+        const __m256i v = _mm256_and_si256(
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + k)),
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(m + k)));
+        const __m256i lo =
+            _mm256_shuffle_epi8(lut, _mm256_and_si256(v, low4));
+        const __m256i hi = _mm256_shuffle_epi8(
+            lut, _mm256_and_si256(_mm256_srli_epi16(v, 4), low4));
+        acc = _mm256_add_epi64(
+            acc, _mm256_sad_epu8(_mm256_add_epi8(lo, hi),
+                                 _mm256_setzero_si256()));
+    }
+    const __m128i s = _mm_add_epi64(_mm256_castsi256_si128(acc),
+                                    _mm256_extracti128_si256(acc, 1));
+    std::uint64_t total =
+        static_cast<std::uint64_t>(_mm_cvtsi128_si64(s))
+        + static_cast<std::uint64_t>(_mm_extract_epi64(s, 1));
+    for (; k < n; ++k) {
+        total += static_cast<std::uint64_t>(
+            __builtin_popcountll(x[k] & m[k]));
+    }
+    return total;
+}
+#endif
+
+#ifndef DVAFS_VEC_HAVE_SHIFT_TRANSITIONS
+#define DVAFS_VEC_HAVE_SHIFT_TRANSITIONS 1
+// Fused toggle kernel: the lane shift is a qword rotation with the carry
+// blended into lane 0, the popcount the same nibble-LUT + psadbw.
+inline std::uint64_t shift_transitions(const std::uint64_t* cur,
+                                       const std::uint64_t* mask, int n,
+                                       std::uint64_t carry_in)
+{
+    const __m256i lut = _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2,
+                                         3, 2, 3, 3, 4, 0, 1, 1, 2, 1, 2,
+                                         2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+    const __m256i low4 = _mm256_set1_epi8(0x0f);
+    __m256i acc = _mm256_setzero_si256();
+    std::uint64_t carry = carry_in;
+    int k = 0;
+    for (; k + 4 <= n; k += 4) {
+        const __m256i w = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(cur + k));
+        const __m256i mk = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(mask + k));
+        // prev = [carry<<63, w0, w1, w2]: each qword's left neighbour, so
+        // (prev >> 63) is the bit shifted into each qword's bit 0.
+        const __m256i rot = _mm256_permute4x64_epi64(w, 0x90);
+        const __m256i prev = _mm256_blend_epi32(
+            rot, _mm256_set1_epi64x(static_cast<long long>(carry << 63)),
+            0x03);
+        carry = cur[k + 3] >> 63;
+        const __m256i shifted = _mm256_or_si256(
+            _mm256_slli_epi64(w, 1), _mm256_srli_epi64(prev, 63));
+        const __m256i x =
+            _mm256_and_si256(_mm256_xor_si256(w, shifted), mk);
+        const __m256i lo =
+            _mm256_shuffle_epi8(lut, _mm256_and_si256(x, low4));
+        const __m256i hi = _mm256_shuffle_epi8(
+            lut, _mm256_and_si256(_mm256_srli_epi16(x, 4), low4));
+        acc = _mm256_add_epi64(
+            acc, _mm256_sad_epu8(_mm256_add_epi8(lo, hi),
+                                 _mm256_setzero_si256()));
+    }
+    const __m128i s = _mm_add_epi64(_mm256_castsi256_si128(acc),
+                                    _mm256_extracti128_si256(acc, 1));
+    std::uint64_t total =
+        static_cast<std::uint64_t>(_mm_cvtsi128_si64(s))
+        + static_cast<std::uint64_t>(_mm_extract_epi64(s, 1));
+    for (; k < n; ++k) {
+        const std::uint64_t shifted = (cur[k] << 1) | carry;
+        carry = cur[k] >> 63;
+        total += static_cast<std::uint64_t>(
+            __builtin_popcountll((cur[k] ^ shifted) & mask[k]));
+    }
+    return total;
+}
+#endif
+
+#ifndef DVAFS_VEC_HAVE_TRANSPOSE64
+#define DVAFS_VEC_HAVE_TRANSPOSE64 1
+// One masked-exchange round at stride J >= 4: partner rows are J apart and
+// the row indices with bit J clear come in runs of J, so four exchanges
+// happen per vector op. Bitwise-identical to the scalar network round.
+template <int J>
+inline void transpose64_round(std::uint64_t* x, std::uint64_t m)
+{
+    static_assert(J >= 4 && (J & (J - 1)) == 0);
+    const __m256i mm = _mm256_set1_epi64x(static_cast<long long>(m));
+    for (int base = 0; base < 64; base += 2 * J) {
+        for (int k = base; k < base + J; k += 4) {
+            __m256i lo = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i*>(x + k));
+            __m256i hi = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i*>(x + k + J));
+            const __m256i t = _mm256_and_si256(
+                _mm256_xor_si256(_mm256_srli_epi64(lo, J), hi), mm);
+            lo = _mm256_xor_si256(lo, _mm256_slli_epi64(t, J));
+            hi = _mm256_xor_si256(hi, t);
+            _mm256_storeu_si256(reinterpret_cast<__m256i*>(x + k), lo);
+            _mm256_storeu_si256(reinterpret_cast<__m256i*>(x + k + J), hi);
+        }
+    }
+}
+
+inline void transpose64(std::uint64_t x[64])
+{
+    transpose64_round<32>(x, 0x00000000FFFFFFFFULL);
+    transpose64_round<16>(x, 0x0000FFFF0000FFFFULL);
+    transpose64_round<8>(x, 0x00FF00FF00FF00FFULL);
+    transpose64_round<4>(x, 0x0F0F0F0F0F0F0F0FULL);
+    // Strides 2 and 1 exchange within a 4-row vector; scalar rounds.
+    std::uint64_t m = 0x3333333333333333ULL;
+    for (int j = 2; j != 0; j >>= 1, m ^= m << j) {
+        for (int k = 0; k < 64; k = (k + j + 1) & ~j) {
+            const std::uint64_t t = ((x[k] >> j) ^ x[k + j]) & m;
+            x[k] ^= t << j;
+            x[k + j] ^= t;
+        }
+    }
+}
+#endif
+
+#ifndef DVAFS_VEC_HAVE_F32_TILE
+#define DVAFS_VEC_HAVE_F32_TILE 1
+// 4x8 tile, two 4-double accumulators per row. Same per-element op
+// sequence as the scalar tile: widen to double, multiply, add, k
+// ascending -- vcvtps2pd/vmulpd/vaddpd are the IEEE-exact vector forms of
+// exactly those scalar ops (no FMA; the build sets -ffp-contract=off so
+// the scalar side cannot fuse either).
+inline void f32_tile(const float* a, const float* b, const float* bias,
+                     float* c, std::size_t k, std::size_t n, std::size_t m0,
+                     std::size_t n0)
+{
+    __m256d acc0[4];
+    __m256d acc1[4];
+    for (std::size_t i = 0; i < 4; ++i) {
+        const double init =
+            bias != nullptr ? static_cast<double>(bias[m0 + i]) : 0.0;
+        acc0[i] = _mm256_set1_pd(init);
+        acc1[i] = _mm256_set1_pd(init);
+    }
+    for (std::size_t r = 0; r < k; ++r) {
+        const float* brow = b + r * n + n0;
+        const __m256d bd0 = _mm256_cvtps_pd(_mm_loadu_ps(brow));
+        const __m256d bd1 = _mm256_cvtps_pd(_mm_loadu_ps(brow + 4));
+        for (std::size_t i = 0; i < 4; ++i) {
+            const __m256d av = _mm256_set1_pd(
+                static_cast<double>(a[(m0 + i) * k + r]));
+            acc0[i] = _mm256_add_pd(acc0[i], _mm256_mul_pd(av, bd0));
+            acc1[i] = _mm256_add_pd(acc1[i], _mm256_mul_pd(av, bd1));
+        }
+    }
+    for (std::size_t i = 0; i < 4; ++i) {
+        float* crow = c + (m0 + i) * n + n0;
+        _mm_storeu_ps(crow, _mm256_cvtpd_ps(acc0[i]));
+        _mm_storeu_ps(crow + 4, _mm256_cvtpd_ps(acc1[i]));
+    }
+}
+#endif
+
+#ifndef DVAFS_VEC_HAVE_S8_DOT
+#define DVAFS_VEC_HAVE_S8_DOT 1
+// Widen to int16 and vpmaddwd: 16 MACs per step, exact (int8 products fit
+// int16 pairs in int32 with no saturation corner -- the 0x8000*0x8000
+// pmaddwd case is unreachable from int8 inputs). Per-lane accumulation
+// stays below 2^31 under the k <= 66571 contract.
+inline std::int32_t s8_dot(const std::int8_t* x, const std::int8_t* y,
+                           std::size_t k)
+{
+    __m256i acc = _mm256_setzero_si256();
+    std::size_t r = 0;
+    for (; r + 16 <= k; r += 16) {
+        const __m256i xv = _mm256_cvtepi8_epi16(_mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(x + r)));
+        const __m256i yv = _mm256_cvtepi8_epi16(_mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(y + r)));
+        acc = _mm256_add_epi32(acc, _mm256_madd_epi16(xv, yv));
+    }
+    __m128i s = _mm_add_epi32(_mm256_castsi256_si128(acc),
+                              _mm256_extracti128_si256(acc, 1));
+    s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0x4E));
+    s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0xB1));
+    std::int32_t total = _mm_cvtsi128_si32(s);
+    for (; r < k; ++r) {
+        total += static_cast<std::int32_t>(x[r])
+                 * static_cast<std::int32_t>(y[r]);
+    }
+    return total;
+}
+#endif
+
+#ifndef DVAFS_VEC_HAVE_S8_CTILE
+#define DVAFS_VEC_HAVE_S8_CTILE 1
+// 4x16 int8 tile: two B k-rows are widened to int16 and interleaved once
+// (shared by all four A rows), then one vpmaddwd per row computes
+// a0*b0[j] + a1*b1[j] for 8 columns at a time. Unpack works per 128-bit
+// lane, so the low accumulator holds columns {0-3, 8-11} and the high one
+// {4-7, 12-15}; a permute2x128 on store restores column order.
+inline void s8_ctile(const std::int8_t* a, const std::int8_t* b,
+                     const std::int32_t* bias, std::int32_t* c,
+                     std::size_t k, std::size_t n, std::size_t m0,
+                     std::size_t n0)
+{
+    __m256i accl[4];
+    __m256i acch[4];
+    for (std::size_t i = 0; i < 4; ++i) {
+        const __m256i init =
+            _mm256_set1_epi32(bias != nullptr ? bias[m0 + i] : 0);
+        accl[i] = init;
+        acch[i] = init;
+    }
+    std::size_t r = 0;
+    for (; r + 2 <= k; r += 2) {
+        const __m256i b0 = _mm256_cvtepi8_epi16(_mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(b + r * n + n0)));
+        const __m256i b1 = _mm256_cvtepi8_epi16(_mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(b + (r + 1) * n + n0)));
+        const __m256i pl = _mm256_unpacklo_epi16(b0, b1);
+        const __m256i ph = _mm256_unpackhi_epi16(b0, b1);
+        for (std::size_t i = 0; i < 4; ++i) {
+            const std::int32_t a0 = a[(m0 + i) * k + r];
+            const std::int32_t a1 = a[(m0 + i) * k + r + 1];
+            const __m256i ap = _mm256_set1_epi32(
+                (a1 << 16) | (a0 & 0xFFFF));
+            accl[i] = _mm256_add_epi32(accl[i], _mm256_madd_epi16(pl, ap));
+            acch[i] = _mm256_add_epi32(acch[i], _mm256_madd_epi16(ph, ap));
+        }
+    }
+    if (r < k) { // odd k: pair the last row with zero
+        const __m256i b0 = _mm256_cvtepi8_epi16(_mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(b + r * n + n0)));
+        const __m256i zero = _mm256_setzero_si256();
+        const __m256i pl = _mm256_unpacklo_epi16(b0, zero);
+        const __m256i ph = _mm256_unpackhi_epi16(b0, zero);
+        for (std::size_t i = 0; i < 4; ++i) {
+            const std::int32_t a0 = a[(m0 + i) * k + r];
+            const __m256i ap = _mm256_set1_epi32(a0 & 0xFFFF);
+            accl[i] = _mm256_add_epi32(accl[i], _mm256_madd_epi16(pl, ap));
+            acch[i] = _mm256_add_epi32(acch[i], _mm256_madd_epi16(ph, ap));
+        }
+    }
+    for (std::size_t i = 0; i < 4; ++i) {
+        std::int32_t* crow = c + (m0 + i) * n + n0;
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i*>(crow),
+            _mm256_permute2x128_si256(accl[i], acch[i], 0x20));
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i*>(crow + 8),
+            _mm256_permute2x128_si256(accl[i], acch[i], 0x31));
+    }
+}
+#endif
+
+#ifndef DVAFS_VEC_HAVE_S16_DOT
+#define DVAFS_VEC_HAVE_S16_DOT 1
+// Widen int16 -> int32, exact vpmulld products (<= 2^30), then widen to
+// int64 for accumulation.
+inline std::int64_t s16_dot(const std::int16_t* x, const std::int16_t* y,
+                            std::size_t k)
+{
+    __m256i acc = _mm256_setzero_si256(); // 4 x int64
+    std::size_t r = 0;
+    for (; r + 8 <= k; r += 8) {
+        const __m256i xv = _mm256_cvtepi16_epi32(_mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(x + r)));
+        const __m256i yv = _mm256_cvtepi16_epi32(_mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(y + r)));
+        const __m256i p = _mm256_mullo_epi32(xv, yv);
+        acc = _mm256_add_epi64(
+            acc, _mm256_cvtepi32_epi64(_mm256_castsi256_si128(p)));
+        acc = _mm256_add_epi64(
+            acc, _mm256_cvtepi32_epi64(_mm256_extracti128_si256(p, 1)));
+    }
+    const __m128i s = _mm_add_epi64(_mm256_castsi256_si128(acc),
+                                    _mm256_extracti128_si256(acc, 1));
+    std::int64_t total = _mm_cvtsi128_si64(s)
+                         + _mm_extract_epi64(s, 1);
+    for (; r < k; ++r) {
+        total += static_cast<std::int64_t>(x[r])
+                 * static_cast<std::int64_t>(y[r]);
+    }
+    return total;
+}
+#endif

@@ -1,0 +1,177 @@
+// AVX-512 overlay: 512-bit definitions where the wider vectors or the
+// vpopcntq instruction pay; everything else falls through to the AVX2
+// overlay stacked underneath it (backend_avx512.cpp includes this header,
+// then ops_avx2.h, then ops_scalar.h). Requires F+BW+VL+VPOPCNTDQ -- the
+// runtime dispatcher checks all four before ever selecting this table.
+// No #includes here; intrinsics come from vec/backend_prelude.h.
+
+// Horizontal sums written against the zero-masked extract: GCC 12's
+// _mm512_reduce_add_* go through the maskless _mm512_extracti64x4_epi64,
+// whose _mm256_undefined_si256() pass-through operand trips
+// -Wmaybe-uninitialized (GCC PR105593) under -Werror. The zero-masked
+// form compiles to the same single vextracti64x4.
+inline std::uint64_t reduce_add_u64(__m512i v)
+{
+    const __m256i s4 = _mm256_add_epi64(
+        _mm512_castsi512_si256(v),
+        _mm512_maskz_extracti64x4_epi64(static_cast<__mmask8>(0xff), v, 1));
+    const __m128i s2 = _mm_add_epi64(_mm256_castsi256_si128(s4),
+                                     _mm256_extracti128_si256(s4, 1));
+    return static_cast<std::uint64_t>(_mm_cvtsi128_si64(s2))
+           + static_cast<std::uint64_t>(_mm_extract_epi64(s2, 1));
+}
+
+inline std::int32_t reduce_add_s32(__m512i v)
+{
+    const __m256i s8 = _mm256_add_epi32(
+        _mm512_castsi512_si256(v),
+        _mm512_maskz_extracti64x4_epi64(static_cast<__mmask8>(0xff), v, 1));
+    const __m128i s4 = _mm_add_epi32(_mm256_castsi256_si128(s8),
+                                     _mm256_extracti128_si256(s8, 1));
+    const __m128i s2 = _mm_add_epi32(s4, _mm_shuffle_epi32(s4, 0x4E));
+    const __m128i s1 = _mm_add_epi32(s2, _mm_shuffle_epi32(s2, 0xB1));
+    return _mm_cvtsi128_si32(s1);
+}
+
+#ifndef DVAFS_VEC_HAVE_MASKED_POPCOUNT
+#define DVAFS_VEC_HAVE_MASKED_POPCOUNT 1
+inline std::uint64_t masked_popcount(const std::uint64_t* x,
+                                     const std::uint64_t* m, int n)
+{
+    __m512i acc = _mm512_setzero_si512();
+    int k = 0;
+    for (; k + 8 <= n; k += 8) {
+        const __m512i v = _mm512_and_si512(
+            _mm512_loadu_si512(x + k), _mm512_loadu_si512(m + k));
+        acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(v));
+    }
+    std::uint64_t total = reduce_add_u64(acc);
+    if (k + 4 <= n) { // 256-bit leg (VL): the compiled sim's W=4 width
+        const __m256i v = _mm256_and_si256(
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + k)),
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(m + k)));
+        const __m256i p = _mm256_popcnt_epi64(v);
+        const __m128i s = _mm_add_epi64(_mm256_castsi256_si128(p),
+                                        _mm256_extracti128_si256(p, 1));
+        total += static_cast<std::uint64_t>(_mm_cvtsi128_si64(s))
+                 + static_cast<std::uint64_t>(_mm_extract_epi64(s, 1));
+        k += 4;
+    }
+    for (; k < n; ++k) {
+        total += static_cast<std::uint64_t>(
+            __builtin_popcountll(x[k] & m[k]));
+    }
+    return total;
+}
+#endif
+
+#ifndef DVAFS_VEC_HAVE_SHIFT_TRANSITIONS
+#define DVAFS_VEC_HAVE_SHIFT_TRANSITIONS 1
+// The W=8 toggle kernel in one 512-bit pass: valignq builds the
+// left-neighbour vector [carry<<63, w0..w6], vpopcntq counts. The W=4
+// width takes a 256-bit VL leg; odd tails go scalar with the carry chained
+// through.
+inline std::uint64_t shift_transitions(const std::uint64_t* cur,
+                                       const std::uint64_t* mask, int n,
+                                       std::uint64_t carry_in)
+{
+    __m512i acc = _mm512_setzero_si512();
+    std::uint64_t carry = carry_in;
+    int k = 0;
+    for (; k + 8 <= n; k += 8) {
+        const __m512i w = _mm512_loadu_si512(cur + k);
+        const __m512i mk = _mm512_loadu_si512(mask + k);
+        const __m512i cv =
+            _mm512_set1_epi64(static_cast<long long>(carry << 63));
+        const __m512i prev = _mm512_alignr_epi64(w, cv, 7);
+        carry = cur[k + 7] >> 63;
+        const __m512i shifted = _mm512_or_si512(
+            _mm512_slli_epi64(w, 1), _mm512_srli_epi64(prev, 63));
+        const __m512i x =
+            _mm512_and_si512(_mm512_xor_si512(w, shifted), mk);
+        acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(x));
+    }
+    std::uint64_t total = reduce_add_u64(acc);
+    if (k + 4 <= n) {
+        const __m256i w = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(cur + k));
+        const __m256i mk = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(mask + k));
+        const __m256i cv =
+            _mm256_set1_epi64x(static_cast<long long>(carry << 63));
+        const __m256i prev = _mm256_alignr_epi64(w, cv, 3);
+        carry = cur[k + 3] >> 63;
+        const __m256i shifted = _mm256_or_si256(
+            _mm256_slli_epi64(w, 1), _mm256_srli_epi64(prev, 63));
+        const __m256i x =
+            _mm256_and_si256(_mm256_xor_si256(w, shifted), mk);
+        const __m256i p = _mm256_popcnt_epi64(x);
+        const __m128i s = _mm_add_epi64(_mm256_castsi256_si128(p),
+                                        _mm256_extracti128_si256(p, 1));
+        total += static_cast<std::uint64_t>(_mm_cvtsi128_si64(s))
+                 + static_cast<std::uint64_t>(_mm_extract_epi64(s, 1));
+        k += 4;
+    }
+    for (; k < n; ++k) {
+        const std::uint64_t shifted = (cur[k] << 1) | carry;
+        carry = cur[k] >> 63;
+        total += static_cast<std::uint64_t>(
+            __builtin_popcountll((cur[k] ^ shifted) & mask[k]));
+    }
+    return total;
+}
+#endif
+
+#ifndef DVAFS_VEC_HAVE_F32_TILE
+#define DVAFS_VEC_HAVE_F32_TILE 1
+// 4x8 tile with one 8-double zmm accumulator per row; vcvtps2pd, vmulpd,
+// vaddpd -- the same exact op sequence as the scalar tile (no FMA).
+inline void f32_tile(const float* a, const float* b, const float* bias,
+                     float* c, std::size_t k, std::size_t n, std::size_t m0,
+                     std::size_t n0)
+{
+    __m512d acc[4];
+    for (std::size_t i = 0; i < 4; ++i) {
+        acc[i] = _mm512_set1_pd(
+            bias != nullptr ? static_cast<double>(bias[m0 + i]) : 0.0);
+    }
+    for (std::size_t r = 0; r < k; ++r) {
+        const __m512d bd =
+            _mm512_cvtps_pd(_mm256_loadu_ps(b + r * n + n0));
+        for (std::size_t i = 0; i < 4; ++i) {
+            const __m512d av = _mm512_set1_pd(
+                static_cast<double>(a[(m0 + i) * k + r]));
+            acc[i] = _mm512_add_pd(acc[i], _mm512_mul_pd(av, bd));
+        }
+    }
+    for (std::size_t i = 0; i < 4; ++i) {
+        _mm256_storeu_ps(c + (m0 + i) * n + n0, _mm512_cvtpd_ps(acc[i]));
+    }
+}
+#endif
+
+#ifndef DVAFS_VEC_HAVE_S8_DOT
+#define DVAFS_VEC_HAVE_S8_DOT 1
+// 32 int8 MAC pairs per step: widen to int16 in a zmm, vpmaddwd (exact;
+// the 0x8000 corner is unreachable from int8), accumulate in 16 int32
+// lanes. Per-lane sums stay below 2^31 under the k <= 66571 contract.
+inline std::int32_t s8_dot(const std::int8_t* x, const std::int8_t* y,
+                           std::size_t k)
+{
+    __m512i acc = _mm512_setzero_si512();
+    std::size_t r = 0;
+    for (; r + 32 <= k; r += 32) {
+        const __m512i xv = _mm512_cvtepi8_epi16(_mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(x + r)));
+        const __m512i yv = _mm512_cvtepi8_epi16(_mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(y + r)));
+        acc = _mm512_add_epi32(acc, _mm512_madd_epi16(xv, yv));
+    }
+    std::int32_t total = reduce_add_s32(acc);
+    for (; r < k; ++r) {
+        total += static_cast<std::int32_t>(x[r])
+                 * static_cast<std::int32_t>(y[r]);
+    }
+    return total;
+}
+#endif

@@ -1,0 +1,123 @@
+// NEON (aarch64) overlay. Included inside the neon backend namespace; no
+// #includes here -- intrinsics come from vec/backend_prelude.h. Ops this
+// overlay does not define (transpose64, s8_ctile, s16_dot) fall through
+// to the scalar fallback underneath.
+
+#ifndef DVAFS_VEC_HAVE_MASKED_POPCOUNT
+#define DVAFS_VEC_HAVE_MASKED_POPCOUNT 1
+inline std::uint64_t masked_popcount(const std::uint64_t* x,
+                                     const std::uint64_t* m, int n)
+{
+    uint64x2_t acc = vdupq_n_u64(0);
+    int k = 0;
+    for (; k + 2 <= n; k += 2) {
+        const uint64x2_t v = vandq_u64(vld1q_u64(x + k), vld1q_u64(m + k));
+        acc = vaddq_u64(
+            acc, vpaddlq_u32(vpaddlq_u16(
+                     vpaddlq_u8(vcntq_u8(vreinterpretq_u8_u64(v))))));
+    }
+    std::uint64_t total = vgetq_lane_u64(acc, 0) + vgetq_lane_u64(acc, 1);
+    for (; k < n; ++k) {
+        total += static_cast<std::uint64_t>(
+            __builtin_popcountll(x[k] & m[k]));
+    }
+    return total;
+}
+#endif
+
+#ifndef DVAFS_VEC_HAVE_SHIFT_TRANSITIONS
+#define DVAFS_VEC_HAVE_SHIFT_TRANSITIONS 1
+inline std::uint64_t shift_transitions(const std::uint64_t* cur,
+                                       const std::uint64_t* mask, int n,
+                                       std::uint64_t carry_in)
+{
+    uint64x2_t acc = vdupq_n_u64(0);
+    std::uint64_t carry = carry_in;
+    int k = 0;
+    for (; k + 2 <= n; k += 2) {
+        const uint64x2_t w = vld1q_u64(cur + k);
+        const uint64x2_t mk = vld1q_u64(mask + k);
+        // prev = [carry<<63, w0]: each qword's left neighbour.
+        const uint64x2_t prev =
+            vextq_u64(vdupq_n_u64(carry << 63), w, 1);
+        carry = cur[k + 1] >> 63;
+        const uint64x2_t shifted =
+            vorrq_u64(vshlq_n_u64(w, 1), vshrq_n_u64(prev, 63));
+        const uint64x2_t x = vandq_u64(veorq_u64(w, shifted), mk);
+        acc = vaddq_u64(
+            acc, vpaddlq_u32(vpaddlq_u16(
+                     vpaddlq_u8(vcntq_u8(vreinterpretq_u8_u64(x))))));
+    }
+    std::uint64_t total = vgetq_lane_u64(acc, 0) + vgetq_lane_u64(acc, 1);
+    for (; k < n; ++k) {
+        const std::uint64_t shifted = (cur[k] << 1) | carry;
+        carry = cur[k] >> 63;
+        total += static_cast<std::uint64_t>(
+            __builtin_popcountll((cur[k] ^ shifted) & mask[k]));
+    }
+    return total;
+}
+#endif
+
+#ifndef DVAFS_VEC_HAVE_F32_TILE
+#define DVAFS_VEC_HAVE_F32_TILE 1
+// 4x8 tile, four 2-double accumulators per row; vcvt_f64_f32 widens, then
+// separate mul and add (no vfma -- the bit-identity contract).
+inline void f32_tile(const float* a, const float* b, const float* bias,
+                     float* c, std::size_t k, std::size_t n, std::size_t m0,
+                     std::size_t n0)
+{
+    float64x2_t acc[4][4];
+    for (std::size_t i = 0; i < 4; ++i) {
+        const double init =
+            bias != nullptr ? static_cast<double>(bias[m0 + i]) : 0.0;
+        for (std::size_t q = 0; q < 4; ++q) {
+            acc[i][q] = vdupq_n_f64(init);
+        }
+    }
+    for (std::size_t r = 0; r < k; ++r) {
+        const float* brow = b + r * n + n0;
+        const float32x4_t blo = vld1q_f32(brow);
+        const float32x4_t bhi = vld1q_f32(brow + 4);
+        const float64x2_t bd[4] = {
+            vcvt_f64_f32(vget_low_f32(blo)), vcvt_high_f64_f32(blo),
+            vcvt_f64_f32(vget_low_f32(bhi)), vcvt_high_f64_f32(bhi)};
+        for (std::size_t i = 0; i < 4; ++i) {
+            const float64x2_t av = vdupq_n_f64(
+                static_cast<double>(a[(m0 + i) * k + r]));
+            for (std::size_t q = 0; q < 4; ++q) {
+                acc[i][q] = vaddq_f64(acc[i][q], vmulq_f64(av, bd[q]));
+            }
+        }
+    }
+    for (std::size_t i = 0; i < 4; ++i) {
+        float* crow = c + (m0 + i) * n + n0;
+        vst1q_f32(crow, vcombine_f32(vcvt_f32_f64(acc[i][0]),
+                                     vcvt_f32_f64(acc[i][1])));
+        vst1q_f32(crow + 4, vcombine_f32(vcvt_f32_f64(acc[i][2]),
+                                         vcvt_f32_f64(acc[i][3])));
+    }
+}
+#endif
+
+#ifndef DVAFS_VEC_HAVE_S8_DOT
+#define DVAFS_VEC_HAVE_S8_DOT 1
+// vmull_s8 widens 8 products to int16, vpadalq_s16 pair-accumulates into
+// int32 lanes; exact, and the int32 lanes stay small under k <= 66571.
+inline std::int32_t s8_dot(const std::int8_t* x, const std::int8_t* y,
+                           std::size_t k)
+{
+    int32x4_t acc = vdupq_n_s32(0);
+    std::size_t r = 0;
+    for (; r + 8 <= k; r += 8) {
+        const int16x8_t p = vmull_s8(vld1_s8(x + r), vld1_s8(y + r));
+        acc = vpadalq_s16(acc, p);
+    }
+    std::int32_t total = vaddvq_s32(acc);
+    for (; r < k; ++r) {
+        total += static_cast<std::int32_t>(x[r])
+                 * static_cast<std::int32_t>(y[r]);
+    }
+    return total;
+}
+#endif

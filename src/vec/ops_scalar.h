@@ -1,0 +1,170 @@
+// Scalar fallback overlay: the complete op vocabulary, pure C++.
+//
+// This header is textually included *inside a backend namespace* by the
+// backend TUs (see kernels_body.h), always last in the overlay stack, so
+// it must not #include anything -- every external name it uses comes from
+// vec/backend_prelude.h. Each op is guarded by its DVAFS_VEC_HAVE_* macro:
+// an ISA overlay that already defined the op sets the guard and this
+// fallback stays out. The fallback definitions ARE the reference the
+// bit-identity contract in vec/vec.h is stated against.
+//
+// Deliberately uses __builtin_popcountll instead of std::popcount and a
+// local copy of the transpose network instead of fixedpoint/bitops.h:
+// referencing a cross-TU inline function from a TU compiled with -m<isa>
+// flags would emit a weak symbol carrying ISA-specific code that the
+// linker may then pick for the whole program (and crash baseline hosts).
+// Everything a backend TU instantiates must be local to its namespace.
+
+#ifndef DVAFS_VEC_HAVE_MASKED_POPCOUNT
+#define DVAFS_VEC_HAVE_MASKED_POPCOUNT 1
+inline std::uint64_t masked_popcount(const std::uint64_t* x,
+                                     const std::uint64_t* m, int n)
+{
+    std::uint64_t total = 0;
+    for (int k = 0; k < n; ++k) {
+        total += static_cast<std::uint64_t>(
+            __builtin_popcountll(x[k] & m[k]));
+    }
+    return total;
+}
+#endif
+
+#ifndef DVAFS_VEC_HAVE_SHIFT_TRANSITIONS
+#define DVAFS_VEC_HAVE_SHIFT_TRANSITIONS 1
+inline std::uint64_t shift_transitions(const std::uint64_t* cur,
+                                       const std::uint64_t* mask, int n,
+                                       std::uint64_t carry_in)
+{
+    std::uint64_t total = 0;
+    std::uint64_t carry = carry_in;
+    for (int k = 0; k < n; ++k) {
+        const std::uint64_t shifted = (cur[k] << 1) | carry;
+        carry = cur[k] >> 63;
+        total += static_cast<std::uint64_t>(
+            __builtin_popcountll((cur[k] ^ shifted) & mask[k]));
+    }
+    return total;
+}
+#endif
+
+#ifndef DVAFS_VEC_HAVE_TRANSPOSE64
+#define DVAFS_VEC_HAVE_TRANSPOSE64 1
+// Masked-exchange transpose network; must stay bit-identical to
+// fixedpoint/bitops.h transpose64 (local copy, see header comment).
+inline void transpose64(std::uint64_t x[64])
+{
+    std::uint64_t m = 0x00000000FFFFFFFFULL;
+    for (int j = 32; j != 0; j >>= 1, m ^= m << j) {
+        for (int k = 0; k < 64; k = (k + j + 1) & ~j) {
+            const std::uint64_t t = ((x[k] >> j) ^ x[k + j]) & m;
+            x[k] ^= t << j;
+            x[k + j] ^= t;
+        }
+    }
+}
+#endif
+
+#ifndef DVAFS_VEC_HAVE_F32_TILE
+#define DVAFS_VEC_HAVE_F32_TILE 1
+// Full 4x8 float tile, double accumulators, k ascending, separate mul and
+// add per element -- the accumulation contract every overlay must match
+// bit for bit (the build disables FP contraction globally).
+inline void f32_tile(const float* a, const float* b, const float* bias,
+                     float* c, std::size_t k, std::size_t n, std::size_t m0,
+                     std::size_t n0)
+{
+    double acc[4][8];
+    for (std::size_t i = 0; i < 4; ++i) {
+        const double init =
+            bias != nullptr ? static_cast<double>(bias[m0 + i]) : 0.0;
+        for (std::size_t j = 0; j < 8; ++j) {
+            acc[i][j] = init;
+        }
+    }
+    for (std::size_t r = 0; r < k; ++r) {
+        const float* brow = b + r * n + n0;
+        double bd[8];
+        for (std::size_t j = 0; j < 8; ++j) {
+            bd[j] = static_cast<double>(brow[j]);
+        }
+        for (std::size_t i = 0; i < 4; ++i) {
+            const double av = static_cast<double>(a[(m0 + i) * k + r]);
+            for (std::size_t j = 0; j < 8; ++j) {
+                acc[i][j] += av * bd[j];
+            }
+        }
+    }
+    for (std::size_t i = 0; i < 4; ++i) {
+        float* crow = c + (m0 + i) * n + n0;
+        for (std::size_t j = 0; j < 8; ++j) {
+            crow[j] = static_cast<float>(acc[i][j]);
+        }
+    }
+}
+#endif
+
+#ifndef DVAFS_VEC_HAVE_S8_DOT
+#define DVAFS_VEC_HAVE_S8_DOT 1
+// Contiguous int8 dot product (the n == 1 GEMM column, i.e. every fc
+// layer). Exact int32 under the k <= 66571 contract; any summation order
+// is bit-identical.
+inline std::int32_t s8_dot(const std::int8_t* x, const std::int8_t* y,
+                           std::size_t k)
+{
+    std::int32_t total = 0;
+    for (std::size_t r = 0; r < k; ++r) {
+        total += static_cast<std::int32_t>(x[r])
+                 * static_cast<std::int32_t>(y[r]);
+    }
+    return total;
+}
+#endif
+
+#ifndef DVAFS_VEC_HAVE_S8_CTILE
+#define DVAFS_VEC_HAVE_S8_CTILE 1
+// Full 4x16 int8 tile with int32 accumulators (conv layers after im2col).
+inline void s8_ctile(const std::int8_t* a, const std::int8_t* b,
+                     const std::int32_t* bias, std::int32_t* c,
+                     std::size_t k, std::size_t n, std::size_t m0,
+                     std::size_t n0)
+{
+    std::int32_t acc[4][16];
+    for (std::size_t i = 0; i < 4; ++i) {
+        const std::int32_t init = bias != nullptr ? bias[m0 + i] : 0;
+        for (std::size_t j = 0; j < 16; ++j) {
+            acc[i][j] = init;
+        }
+    }
+    for (std::size_t r = 0; r < k; ++r) {
+        const std::int8_t* brow = b + r * n + n0;
+        for (std::size_t i = 0; i < 4; ++i) {
+            const std::int32_t av =
+                static_cast<std::int32_t>(a[(m0 + i) * k + r]);
+            for (std::size_t j = 0; j < 16; ++j) {
+                acc[i][j] += av * static_cast<std::int32_t>(brow[j]);
+            }
+        }
+    }
+    for (std::size_t i = 0; i < 4; ++i) {
+        std::int32_t* crow = c + (m0 + i) * n + n0;
+        for (std::size_t j = 0; j < 16; ++j) {
+            crow[j] = acc[i][j];
+        }
+    }
+}
+#endif
+
+#ifndef DVAFS_VEC_HAVE_S16_DOT
+#define DVAFS_VEC_HAVE_S16_DOT 1
+// Contiguous int16 dot product with exact int64 accumulation.
+inline std::int64_t s16_dot(const std::int16_t* x, const std::int16_t* y,
+                            std::size_t k)
+{
+    std::int64_t total = 0;
+    for (std::size_t r = 0; r < k; ++r) {
+        total += static_cast<std::int64_t>(x[r])
+                 * static_cast<std::int64_t>(y[r]);
+    }
+    return total;
+}
+#endif

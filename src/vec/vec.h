@@ -1,0 +1,145 @@
+// Host SIMD shim: one scalar source, per-ISA overlays, runtime dispatch.
+//
+// NOT the paper's SIMD. src/simd/ models the *hardware* SIMD processor the
+// paper evaluates (subword-parallel MACs at scaled precision); src/vec/ is
+// purely about making this simulator fast on the machine it runs on. The
+// two never meet: vec changes wall-clock, never results.
+//
+// The layout follows the simdops/cardioid "null.hpp" pattern: one scalar
+// fallback header (ops_scalar.h) defines the complete op vocabulary --
+// masked popcount, the fused shift/xor/mask/popcount toggle kernel, the
+// 64x64 bit transpose, the float GEMM register tile and the int8/int16
+// widening multiply-accumulate kernels -- each op guarded by a
+// DVAFS_VEC_HAVE_* macro. Per-ISA overlay headers (ops_avx2.h, ops_avx512.h,
+// ops_neon.h) define some of those ops first and set the guards, so a
+// backend translation unit stacks overlays over the scalar fallback and
+// always ends up with the full vocabulary. The generic kernels in
+// kernels_body.h (gate-run executor, GEMM blocking drivers) are written
+// once against the vocabulary and compiled once per backend TU, each under
+// its own namespace and its own -m<isa> compile flags (per-source CMake
+// options -- the ISA-specific code never leaks into baseline TUs, so the
+// binary stays runnable on a baseline host).
+//
+// Contract: every backend is bit-identical to the scalar overlay. Integer
+// ops are exact, so any evaluation order is fine; the float tile must
+// reproduce the scalar tile's operation sequence per output element
+// (double accumulation, k ascending, separate mul and add -- the build
+// sets -ffp-contract=off so no backend ever fuses). tests/test_vec.cpp
+// enforces this differentially; the throughput benches re-check it on
+// their own workloads before timing.
+//
+// Dispatch: active() returns the best table whose ISA the running CPU
+// supports, overridable via the DVAFS_FORCE_ISA environment variable
+// ("scalar", "neon", "avx2", "avx512") or force_isa() (the benches'
+// --isa flag). Forcing an unavailable ISA from the environment warns and
+// falls back to the best available one; force_isa() returns false.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dvafs::vec {
+
+// ISA levels in preference order (higher wins in best-available pick).
+enum class isa : int { scalar = 0, neon = 1, avx2 = 2, avx512 = 3 };
+
+// One kind-homogeneous gate run over the compiled schedule's SoA arrays
+// (see circuit/compiled_sim.h). `values` is the dense value array viewed
+// as raw words, W words per net; gate i reads fanin blocks in0/in1/in2[i]
+// and writes block i, accumulating the fused toggle popcount into
+// toggles[i] and the final-lane carry into last[i].
+struct gate_run_args {
+    int kind = 0; // static_cast<int>(gate_kind), never input/constant
+    const std::uint32_t* in0 = nullptr;
+    const std::uint32_t* in1 = nullptr;
+    const std::uint32_t* in2 = nullptr;
+    std::uint32_t begin = 0;
+    std::uint32_t end = 0;
+    std::uint64_t* values = nullptr;         // net_count * W words
+    std::uint64_t* toggles = nullptr;        // per dense net
+    std::uint8_t* last = nullptr;            // per dense net
+    const std::uint64_t* toggle_mask = nullptr; // W words
+    int last_word = 0;
+    int last_bit = 0;
+};
+
+// One backend's kernel set. Function pointers rather than virtuals: the
+// table is a static const object per backend TU and dispatch is one atomic
+// pointer load.
+struct kernel_table {
+    const char* name = nullptr; // "scalar" / "neon" / "avx2" / "avx512"
+    int level = 0;              // static_cast<int>(isa)
+
+    // popcount(x[i] & m[i]) summed over n words.
+    std::uint64_t (*masked_popcount)(const std::uint64_t* x,
+                                     const std::uint64_t* m, int n);
+    // The toggle kernel: popcount((cur ^ ((cur << 1) | carry)) & mask)
+    // across n words with the bit-63 carry chained word to word;
+    // carry_in (0/1) enters bit 0 of word 0.
+    std::uint64_t (*shift_transitions)(const std::uint64_t* cur,
+                                       const std::uint64_t* mask, int n,
+                                       std::uint64_t carry_in);
+    // In-place 64x64 bit-matrix transpose (fixedpoint/bitops.h semantics).
+    void (*transpose64)(std::uint64_t x[64]);
+    // Gate-run executors for the compiled sim's three lane widths.
+    void (*exec_gates_w1)(const gate_run_args& run);
+    void (*exec_gates_w4)(const gate_run_args& run);
+    void (*exec_gates_w8)(const gate_run_args& run);
+    // Blocked GEMMs, C = bias + A(m x k) * B(k x n). Float keeps the
+    // cnn/gemm.h accumulation contract; integer kernels are exact (int8
+    // under the k <= 66571 int32 overflow contract of cnn/gemm_int.h).
+    void (*gemm_f32)(const float* a, const float* b, const float* bias,
+                     float* c, std::size_t m, std::size_t k, std::size_t n);
+    void (*gemm_s8)(const std::int8_t* a, const std::int8_t* b,
+                    const std::int32_t* bias, std::int32_t* c,
+                    std::size_t m, std::size_t k, std::size_t n);
+    void (*gemm_s16)(const std::int16_t* a, const std::int16_t* b,
+                     const std::int64_t* bias, std::int64_t* c,
+                     std::size_t m, std::size_t k, std::size_t n);
+};
+
+// Per-backend tables. A backend whose ISA the *build* cannot target
+// (compiler too old, wrong architecture) returns nullptr; scalar is
+// always present.
+namespace scalar {
+const kernel_table* table() noexcept;
+}
+namespace neon {
+const kernel_table* table() noexcept;
+}
+namespace avx2 {
+const kernel_table* table() noexcept;
+}
+namespace avx512 {
+const kernel_table* table() noexcept;
+}
+
+// The dispatched table: best compiled-in backend the running CPU supports,
+// or whatever DVAFS_FORCE_ISA / force_isa() pinned. First call reads the
+// environment; thread-safe (one atomic pointer).
+const kernel_table& active();
+isa active_isa();
+
+const char* isa_name(isa level) noexcept;
+// Parses "scalar"/"neon"/"avx2"/"avx512"; false on anything else.
+bool parse_isa(const std::string& name, isa& out) noexcept;
+
+// Backends that are both compiled in and supported by the running CPU,
+// lowest level first (always contains isa::scalar).
+std::vector<isa> available();
+// Table for one level, nullptr when not compiled in or not supported.
+const kernel_table* table_for(isa level) noexcept;
+
+// Pins dispatch to `level` (or its string name). Returns false -- leaving
+// dispatch unchanged -- when the backend is unavailable or unknown.
+bool force_isa(isa level);
+bool force_isa(const std::string& name);
+// Re-reads DVAFS_FORCE_ISA and re-picks (tests use this to exercise the
+// override round-trip); an unset variable restores best-available. An
+// unknown or unavailable value warns on stderr and falls back to best.
+isa refresh_from_env();
+
+} // namespace dvafs::vec
